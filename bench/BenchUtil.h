@@ -1,0 +1,63 @@
+//===- bench/BenchUtil.h - Shared bench-harness helpers ---------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the experiment binaries (DESIGN.md experiment index):
+/// standard cluster wiring, one-combination runs, and table printing.
+/// Every bench is a deterministic simulation sweep that prints the rows or
+/// series of the corresponding thesis table/figure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_BENCH_BENCHUTIL_H
+#define DMETABENCH_BENCH_BENCHUTIL_H
+
+#include "dmetabench/DMetabench.h"
+#include "support/Format.h"
+#include "support/TextTable.h"
+#include <cstdio>
+#include <string>
+
+namespace dmbbench {
+
+using namespace dmb;
+
+/// Prints a banner naming the experiment and its thesis artifact.
+inline void banner(const std::string &Id, const std::string &Ref,
+                   const std::string &What) {
+  std::printf("==============================================================="
+              "=========\n");
+  std::printf("%s  (%s)\n%s\n", Id.c_str(), Ref.c_str(), What.c_str());
+  std::printf("==============================================================="
+              "=========\n\n");
+}
+
+/// Runs \p Params on \p FsName mounted in \p C for one combination.
+/// The MPI layout provides \p Ppn workers per node plus the master slot.
+inline ResultSet runCombo(Cluster &C, const std::string &FsName,
+                          BenchParams Params, unsigned Nodes, unsigned Ppn) {
+  MpiEnvironment Env = MpiEnvironment::uniform(C.numNodes(), Ppn + 1);
+  Master M(C, Env, FsName, std::move(Params));
+  return M.runCombination(Nodes, Ppn);
+}
+
+/// Stonewall average of the first subtask of \p Results.
+inline double rateOf(const ResultSet &Results) {
+  return stonewallAverage(Results.Subtasks.at(0));
+}
+
+/// Prints a rendered table followed by a blank line.
+inline void printTable(TextTable &T) {
+  std::fputs(T.render().c_str(), stdout);
+  std::fputs("\n", stdout);
+}
+
+/// Formats an ops/s value.
+inline std::string ops(double V) { return format("%.0f", V); }
+
+} // namespace dmbbench
+
+#endif // DMETABENCH_BENCH_BENCHUTIL_H

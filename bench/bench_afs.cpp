@@ -1,0 +1,95 @@
+//===- bench/bench_afs.cpp - E16: §4.7.3 ----------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces \S 4.7.3 "Measurements on AFS": externally aggregated
+/// volumes served by single-threaded fileserver processes. Parallelism is
+/// volume-grained — many processes in one volume serialize at its server,
+/// per-process volumes scale with the number of servers. Callback-based
+/// caching makes repeated stat()s free until another client mutates.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace dmbbench;
+
+namespace {
+
+double afsRate(bool SpreadVolumes, unsigned Nodes) {
+  Scheduler S;
+  Cluster C(S, 8, 8);
+  AfsFs Cell(S);
+  Cell.setupUniform(/*NumServers=*/4, /*VolumesPerServer=*/2);
+  C.mountEverywhere(Cell);
+  BenchParams P;
+  P.Operations = {"MakeFiles"};
+  P.TimeLimit = seconds(10.0);
+  P.ProblemSize = 1000000;
+  if (SpreadVolumes) {
+    for (unsigned V = 0; V < 8; ++V)
+      P.PathList.push_back(format("/vol%u", V));
+  } else {
+    P.PathList = {"/vol0"};
+  }
+  ResultSet Res = runCombo(C, "afs", P, Nodes, 1);
+  return rateOf(Res);
+}
+
+} // namespace
+
+int main() {
+  banner("E16 bench_afs", "thesis §4.7.3",
+         "AFS cell (4 fileservers, 8 volumes): volume-grained parallelism "
+         "and callback caching.");
+
+  std::printf("File creation, 1 process per node:\n\n");
+  TextTable T;
+  T.setHeader({"nodes", "one volume ops/s", "per-process volumes ops/s"});
+  for (unsigned Nodes : {1u, 2u, 4u, 8u})
+    T.addRow({format("%u", Nodes), ops(afsRate(false, Nodes)),
+              ops(afsRate(true, Nodes))});
+  printTable(T);
+
+  // Callback caching: repeat stats are free until another client mutates.
+  Scheduler S;
+  AfsFs Cell(S);
+  std::unique_ptr<ClientFs> A = Cell.makeClient(0);
+  std::unique_ptr<ClientFs> B = Cell.makeClient(1);
+  auto Sync = [&S](ClientFs &C, MetaRequest Req) {
+    MetaReply Out;
+    C.submit(Req, [&Out](MetaReply R) { Out = std::move(R); });
+    S.run();
+    return Out;
+  };
+  MetaReply Open = Sync(*A, makeOpen("/f", OpenWrite | OpenCreate));
+  Sync(*A, makeClose(Open.Fh));
+  Sync(*B, makeStat("/f")); // B acquires the callback.
+  uint64_t Before = Cell.server(0).processedRequests();
+  for (int I = 0; I < 100; ++I)
+    Sync(*B, makeStat("/f"));
+  uint64_t CachedRpcs = Cell.server(0).processedRequests() - Before;
+  MetaRequest Chmod;
+  Chmod.Op = MetaOp::Chmod;
+  Chmod.Path = "/f";
+  Chmod.Mode = 0600;
+  Sync(*A, Chmod); // Breaks B's callback.
+  Before = Cell.server(0).processedRequests();
+  Sync(*B, makeStat("/f"));
+  uint64_t AfterBreak = Cell.server(0).processedRequests() - Before;
+
+  std::printf("Callback caching: 100 repeated stat()s on client B cost "
+              "%llu server RPCs;\nafter client A's chmod breaks the "
+              "callback, the next stat costs %llu RPC.\n\n",
+              (unsigned long long)CachedRpcs,
+              (unsigned long long)AfterBreak);
+
+  std::printf("Expected shape: one volume saturates its single-threaded "
+              "fileserver quickly;\nvolume-spread load scales with the "
+              "server count; callbacks make re-validation\nfree until a "
+              "mutation (open-to-close semantics, §2.6.1).\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+//===- bench/bench_cache_control.cpp - E20: §3.4.3 ------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces \S 3.4.3 "Controlling caching": the three stat-flavoured
+/// plugins compared on NFS. StatFiles is served from the attribute cache
+/// warmed by the create replies; StatNocacheFiles drops the OS caches
+/// after prepare (the drop_caches suid helper); StatMultinodeFiles swaps
+/// file sets with a partner process on another node, bypassing the cache
+/// without privileges.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace dmbbench;
+
+namespace {
+
+struct CacheResult {
+  double OpsPerSec = 0;
+  uint64_t ServerRequests = 0;
+};
+
+CacheResult runStat(const char *Op) {
+  Scheduler S;
+  Cluster C(S, 2, 8);
+  NfsOptions Opts;
+  Opts.Server.EnableConsistencyPoints = false;
+  NfsFs Nfs(S, Opts);
+  C.mountEverywhere(Nfs);
+  BenchParams P;
+  P.Operations = {Op};
+  P.ProblemSize = 5000;
+  // Count only bench-phase server work: sample before and after via the
+  // difference around the run minus prepare/cleanup estimate. Simpler and
+  // robust: report requests per benched stat using a paired baseline of
+  // DeleteFiles-free plugins is overkill — the total includes
+  // prepare/cleanup create+unlink (4 RPCs per file, identical across the
+  // three plugins), so the *difference* between plugins isolates the
+  // bench phase.
+  uint64_t Before = Nfs.server().processedRequests();
+  ResultSet Res = runCombo(C, "nfs", P, 2, 1);
+  CacheResult R;
+  R.OpsPerSec = wallClockAverage(Res.Subtasks[0]);
+  R.ServerRequests = Nfs.server().processedRequests() - Before;
+  return R;
+}
+
+} // namespace
+
+int main() {
+  banner("E20 bench_cache_control", "thesis §3.4.3",
+         "StatFiles vs StatNocacheFiles vs StatMultinodeFiles on NFS "
+         "(2 nodes x 1 ppn,\n5000 files per process).");
+
+  CacheResult Plain = runStat("StatFiles");
+  CacheResult Nocache = runStat("StatNocacheFiles");
+  CacheResult Multi = runStat("StatMultinodeFiles");
+
+  TextTable T;
+  T.setHeader({"plugin", "stat ops/s", "total server requests"});
+  T.addRow({"StatFiles (warm cache)", ops(Plain.OpsPerSec),
+            format("%llu", (unsigned long long)Plain.ServerRequests)});
+  T.addRow({"StatNocacheFiles (drop_caches)", ops(Nocache.OpsPerSec),
+            format("%llu", (unsigned long long)Nocache.ServerRequests)});
+  T.addRow({"StatMultinodeFiles (partner node)", ops(Multi.OpsPerSec),
+            format("%llu", (unsigned long long)Multi.ServerRequests)});
+  printTable(T);
+
+  std::printf("Requests beyond StatFiles' baseline: nocache +%lld, "
+              "multinode +%lld (= the\n~10000 stats that had to go to the "
+              "server).\n\n",
+              (long long)(Nocache.ServerRequests - Plain.ServerRequests),
+              (long long)(Multi.ServerRequests - Plain.ServerRequests));
+
+  std::printf("Expected shape: warm-cache stats run orders of magnitude "
+              "faster and add no\nserver requests; both cache-bypassing "
+              "plugins pay one RPC per stat and land\nwithin a few percent "
+              "of each other (§3.4.3).\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+//===- bench/bench_fig4_6_saturation.cpp - E06: Fig. 4.6 ------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Fig. 4.6: twenty nodes saturate the NFS filer. The WAFL
+/// consistency points produce a sawtooth in total throughput (triggered at
+/// the latest 10 s after the previous CP). In run (b) a CPU hog slows one
+/// node from t=20s — invisible in the total (other clients absorb the
+/// freed capacity) but clearly visible in the per-process COV.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace dmbbench;
+
+namespace {
+
+struct RunOutput {
+  SubtaskResult Sub;
+  uint64_t ConsistencyPoints = 0;
+};
+
+RunOutput runSaturated(bool WithHog) {
+  Scheduler S;
+  Cluster C(S, 20, 8);
+  NfsOptions Opts;
+  // Size NVRAM so the CP cadence is governed by the log fill rate under
+  // full load (a few seconds per CP -> visible sawtooth).
+  Opts.Server.NvramCapacityBytes = 400u * 1024 * 1024;
+  Opts.Server.CpFlushBytesPerSec = 120e6;
+  NfsFs Nfs(S, Opts);
+  C.mountEverywhere(Nfs);
+  if (WithHog)
+    new CpuHog(S, C.node(3).cpu(), /*Weight=*/56.0, seconds(20.0),
+               seconds(60.0));
+  BenchParams P;
+  P.Operations = {"MakeFiles"};
+  P.TimeLimit = seconds(60.0);
+  P.ProblemSize = 1000000;
+  P.HarnessOverheadPerCall = microseconds(60);
+  ResultSet Res = runCombo(C, "nfs", P, 20, 1);
+  return RunOutput{Res.Subtasks[0], Nfs.server().consistencyPointCount()};
+}
+
+} // namespace
+
+int main() {
+  banner("E06 bench_fig4_6_saturation", "thesis Fig. 4.6",
+         "MakeFiles, 20 nodes x 1 ppn saturating the filer: consistency-"
+         "point sawtooth; CPU hog\ninvisible in the total but visible in "
+         "the COV.");
+
+  RunOutput Clean = runSaturated(false);
+  RunOutput Hogged = runSaturated(true);
+
+  std::vector<IntervalRow> CleanRows = intervalSummary(Clean.Sub);
+  std::vector<IntervalRow> HogRows = intervalSummary(Hogged.Sub);
+
+  // Sawtooth: measure the throughput swing between the fastest and the
+  // slowest 1-second window in steady state (10..60s).
+  auto Swing = [](const std::vector<IntervalRow> &Rows) {
+    double Min = -1, Max = -1;
+    double Acc = 0;
+    unsigned N = 0;
+    for (const IntervalRow &Row : Rows) {
+      if (Row.TimeSec <= 10.0 || Row.TimeSec > 60.0)
+        continue;
+      Acc += Row.OpsPerSec;
+      if (++N == 10) { // 1-second windows from 0.1 s intervals
+        double Window = Acc / 10;
+        if (Min < 0 || Window < Min)
+          Min = Window;
+        if (Window > Max)
+          Max = Window;
+        Acc = 0;
+        N = 0;
+      }
+    }
+    return std::pair<double, double>(Min, Max);
+  };
+  auto [CleanMin, CleanMax] = Swing(CleanRows);
+
+  auto MeanCov = [](const std::vector<IntervalRow> &Rows, double From,
+                    double To) {
+    double Sum = 0;
+    unsigned N = 0;
+    for (const IntervalRow &Row : Rows)
+      if (Row.TimeSec > From && Row.TimeSec <= To) {
+        Sum += Row.PerProcCov;
+        ++N;
+      }
+    return N ? Sum / N : 0;
+  };
+  auto MeanRate = [](const std::vector<IntervalRow> &Rows, double From,
+                     double To) {
+    double Sum = 0;
+    unsigned N = 0;
+    for (const IntervalRow &Row : Rows)
+      if (Row.TimeSec > From && Row.TimeSec <= To) {
+        Sum += Row.OpsPerSec;
+        ++N;
+      }
+    return N ? Sum / N : 0;
+  };
+
+  TextTable T;
+  T.setHeader({"metric", "(a) clean", "(b) with hog"});
+  T.addRow({"total ops (60s)",
+            format("%llu", (unsigned long long)Clean.Sub.totalOps()),
+            format("%llu", (unsigned long long)Hogged.Sub.totalOps())});
+  T.addRow({"consistency points",
+            format("%llu", (unsigned long long)Clean.ConsistencyPoints),
+            format("%llu", (unsigned long long)Hogged.ConsistencyPoints)});
+  T.addRow({"ops/s 20-60s (total)", ops(MeanRate(CleanRows, 20, 60)),
+            ops(MeanRate(HogRows, 20, 60))});
+  T.addRow({"mean COV before hog (5-20s)",
+            format("%.3f", MeanCov(CleanRows, 5, 20)),
+            format("%.3f", MeanCov(HogRows, 5, 20))});
+  T.addRow({"mean COV during hog (20-60s)",
+            format("%.3f", MeanCov(CleanRows, 20, 60)),
+            format("%.3f", MeanCov(HogRows, 20, 60))});
+  printTable(T);
+
+  std::printf("Sawtooth in run (a): slowest 1s window %.0f ops/s, fastest "
+              "%.0f ops/s\n\n", CleanMin, CleanMax);
+  std::printf("%s\n", renderTimeChart(Hogged.Sub).c_str());
+  std::printf("Expected shape: multiple CPs with a sawtooth (fast NVRAM "
+              "phases alternating\nwith slow flush phases); hogging one of "
+              "20 nodes barely moves the total —\nthe saturated server "
+              "hands the freed capacity to other clients — while the\nCOV "
+              "clearly rises after t=20s (Fig. 4.6 (b)).\n");
+  return 0;
+}

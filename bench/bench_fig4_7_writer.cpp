@@ -1,0 +1,71 @@
+//===- bench/bench_fig4_7_writer.cpp - E07: Fig. 4.7 ----------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Fig. 4.7: during a 20-node MakeFiles run, an external
+/// process writes a large sequential file to the filer twice. Metadata
+/// throughput drops globally while the write runs, but — unlike a per-node
+/// disturbance — every process slows equally, so the COV barely moves.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace dmbbench;
+
+int main() {
+  banner("E07 bench_fig4_7_writer", "thesis Fig. 4.7",
+         "MakeFiles, 20 nodes x 1 ppn on NFS; two large sequential writes "
+         "to the filer.");
+
+  Scheduler S;
+  Cluster C(S, 20, 8);
+  NfsFs Nfs(S);
+  C.mountEverywhere(Nfs);
+  // Two write bursts, as in the figure.
+  new SequentialWriter(S, Nfs.server(), seconds(12.0), seconds(22.0));
+  new SequentialWriter(S, Nfs.server(), seconds(38.0), seconds(48.0));
+  BenchParams P;
+  P.Operations = {"MakeFiles"};
+  P.TimeLimit = seconds(60.0);
+  P.ProblemSize = 1000000;
+  P.HarnessOverheadPerCall = microseconds(60);
+  ResultSet Res = runCombo(C, "nfs", P, 20, 1);
+  const SubtaskResult &Sub = Res.Subtasks[0];
+  std::vector<IntervalRow> Rows = intervalSummary(Sub);
+
+  auto Mean = [&Rows](double From, double To, bool Cov) {
+    double Sum = 0;
+    unsigned N = 0;
+    for (const IntervalRow &Row : Rows)
+      if (Row.TimeSec > From && Row.TimeSec <= To) {
+        Sum += Cov ? Row.PerProcCov : Row.OpsPerSec;
+        ++N;
+      }
+    return N ? Sum / N : 0;
+  };
+
+  TextTable T;
+  T.setHeader({"window", "ops/s", "mean COV"});
+  T.addRow({"quiet (2-12s)", ops(Mean(2, 12, false)),
+            format("%.3f", Mean(2, 12, true))});
+  T.addRow({"write #1 (12-22s)", ops(Mean(12, 22, false)),
+            format("%.3f", Mean(12, 22, true))});
+  T.addRow({"quiet (24-38s)", ops(Mean(24, 38, false)),
+            format("%.3f", Mean(24, 38, true))});
+  T.addRow({"write #2 (38-48s)", ops(Mean(38, 48, false)),
+            format("%.3f", Mean(38, 48, true))});
+  T.addRow({"quiet (50-60s)", ops(Mean(50, 60, false)),
+            format("%.3f", Mean(50, 60, true))});
+  printTable(T);
+
+  std::printf("%s\n", renderTimeChart(Sub).c_str());
+  std::printf("Expected shape: throughput decreases during both writes "
+              "and recovers after,\nwhile \"there is very little "
+              "difference between the different nodes\" — the\nCOV stays "
+              "low throughout (Fig. 4.7).\n");
+  return 0;
+}

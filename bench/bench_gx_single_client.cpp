@@ -1,0 +1,73 @@
+//===- bench/bench_gx_single_client.cpp - E14: §4.7.1 ---------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces \S 4.7.1 "Single-client measurements on Ontap GX": one
+/// client node against the 8-filer GX cluster. A volume owned by the
+/// client's own N-blade filer is served locally; a volume on another filer
+/// is forwarded over the cluster fabric at roughly 75% efficiency
+/// (Fig. 4.3). Intra-node parallelism scales the client up to the single
+/// D-blade's capacity.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace dmbbench;
+
+namespace {
+
+double gxRate(const std::string &Volume, unsigned Ppn) {
+  Scheduler S;
+  Cluster C(S, 1, 16);
+  GxFs Gx(S);
+  Gx.setupUniformVolumes(8); // /vol0 on filer 0 (= node 0's N-blade), ...
+  C.mountEverywhere(Gx);
+  BenchParams P;
+  P.Operations = {"MakeFiles"};
+  P.TimeLimit = seconds(10.0);
+  P.ProblemSize = 1000000;
+  P.PathList = {Volume};
+  ResultSet Res = runCombo(C, "ontapgx", P, 1, Ppn);
+  return rateOf(Res);
+}
+
+} // namespace
+
+int main() {
+  banner("E14 bench_gx_single_client", "thesis §4.7.1 / Fig. 4.3",
+         "Ontap GX, one client: local vs forwarded volume and intra-node "
+         "scaling.");
+
+  std::printf("Local vs forwarded volume (1 process):\n\n");
+  double Local1 = gxRate("/vol0", 1);  // owned by the client's N-blade
+  double Remote1 = gxRate("/vol1", 1); // owned by filer 1 -> forwarded
+  TextTable T;
+  T.setHeader({"volume placement", "ops/s", "relative"});
+  T.addRow({"local D-blade (/vol0)", ops(Local1), "1.00"});
+  T.addRow({"forwarded D-blade (/vol1)", ops(Remote1),
+            format("%.2f", Remote1 / Local1)});
+  printTable(T);
+
+  std::printf("Intra-node scaling on one volume:\n\n");
+  TextTable T2;
+  T2.setHeader({"processes", "local vol ops/s", "forwarded vol ops/s",
+                "forwarded/local"});
+  for (unsigned Ppn : {1u, 2u, 4u, 8u, 16u}) {
+    double L = gxRate("/vol0", Ppn);
+    double R = gxRate("/vol1", Ppn);
+    T2.addRow({format("%u", Ppn), ops(L), ops(R), format("%.2f", R / L)});
+  }
+  printTable(T2);
+
+  std::printf("Expected shape: at low parallelism the forwarded volume "
+              "runs at roughly 70-80%%\nof the local one ([ECK+07] claims "
+              "~75%% efficiency when all requests forward).\nNear "
+              "saturation the ratio flips above 1: the local case loads "
+              "one filer with\nN-blade AND D-blade work, while forwarding "
+              "spreads the two roles over two heads.\n");
+  return 0;
+}

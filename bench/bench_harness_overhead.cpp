@@ -1,0 +1,195 @@
+//===- bench/bench_harness_overhead.cpp - E03: Table 4.2, §4.2.1 ----------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces \S 4.2's system-level evaluation:
+///  * Table 4.2 — creating 200,000 empty files on an in-memory local file
+///    system with a compiled-C-like harness vs an interpreted (Python-like)
+///    harness: a constant per-call overhead, large for a /dev/shm loop.
+///  * \S 4.2.1 — Python's high-level open() issues an extra fstat() per
+///    file; counting server requests exposes it (a custom plugin, showing
+///    the extension mechanism of \S 3.2.4).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace dmbbench;
+
+namespace {
+
+/// A create loop that mimics Python's file objects: fstat() before every
+/// open() (thesis Listing 4.2: equal counts of fstat/open/close).
+class HighLevelCreateInstance : public PluginInstance {
+public:
+  explicit HighLevelCreateInstance(const PluginContext &Ctx) : Ctx(Ctx) {}
+
+  std::unique_ptr<OpStream> bench() override {
+    struct State {
+      uint64_t Index = 0;
+      int Step = 0; // 0 = fstat probe, 1 = open, 2 = close
+    };
+    struct Stream : OpStream {
+      PluginContext Ctx;
+      State St;
+      explicit Stream(PluginContext C) : Ctx(std::move(C)) {}
+      bool next(const MetaReply &Last, StreamStep &Out) override {
+        if (St.Index >= Ctx.ProblemSize)
+          return false;
+        std::string Path =
+            Ctx.WorkDir + format("/%llu", (unsigned long long)St.Index);
+        switch (St.Step) {
+        case 0:
+          // Python checks that the name is not a directory first.
+          Out.Req = makeStat(Path);
+          St.Step = 1;
+          return true;
+        case 1:
+          Out.Req = makeOpen(Path, OpenWrite | OpenCreate);
+          St.Step = 2;
+          return true;
+        default:
+          Out.Req = makeClose(Last.Fh);
+          Out.CompletesOp = true;
+          St.Step = 0;
+          ++St.Index;
+          return true;
+        }
+      }
+    };
+    return std::make_unique<Stream>(Ctx);
+  }
+
+private:
+  PluginContext Ctx;
+};
+
+class HighLevelCreatePlugin : public BenchmarkPlugin {
+public:
+  std::string name() const override { return "HighLevelCreate"; }
+  std::unique_ptr<PluginInstance>
+  makeInstance(const PluginContext &Ctx) override {
+    return std::make_unique<HighLevelCreateInstance>(Ctx);
+  }
+};
+
+/// The os.open()-style loop: open/close only, no probe — and no cleanup,
+/// so server request counts isolate the bench phase.
+class LowLevelCreateInstance : public PluginInstance {
+public:
+  explicit LowLevelCreateInstance(const PluginContext &Ctx) : Ctx(Ctx) {}
+
+  std::unique_ptr<OpStream> bench() override {
+    struct Stream : OpStream {
+      PluginContext Ctx;
+      uint64_t Index = 0;
+      bool AwaitClose = false;
+      explicit Stream(PluginContext C) : Ctx(std::move(C)) {}
+      bool next(const MetaReply &Last, StreamStep &Out) override {
+        if (AwaitClose) {
+          Out.Req = makeClose(Last.Fh);
+          Out.CompletesOp = true;
+          AwaitClose = false;
+          ++Index;
+          return true;
+        }
+        if (Index >= Ctx.ProblemSize)
+          return false;
+        Out.Req = makeOpen(Ctx.WorkDir +
+                               format("/%llu", (unsigned long long)Index),
+                           OpenWrite | OpenCreate);
+        AwaitClose = true;
+        return true;
+      }
+    };
+    return std::make_unique<Stream>(Ctx);
+  }
+
+private:
+  PluginContext Ctx;
+};
+
+class LowLevelCreatePlugin : public BenchmarkPlugin {
+public:
+  std::string name() const override { return "LowLevelCreate"; }
+  std::unique_ptr<PluginInstance>
+  makeInstance(const PluginContext &Ctx) override {
+    return std::make_unique<LowLevelCreateInstance>(Ctx);
+  }
+};
+
+double runCreateLoop(SimDuration PerCallOverhead, uint64_t Files) {
+  Scheduler S;
+  Cluster C(S, 1, 4);
+  // /dev/shm-like: very fast in-memory local file system.
+  LocalFsOptions Opts;
+  Opts.Costs.BaseMetaOp = nanoseconds(500);
+  Opts.SyscallOverhead = nanoseconds(100);
+  LocalFsModel Local(S, Opts);
+  C.mountEverywhere(Local);
+  BenchParams P;
+  P.Operations = {"MakeOnedirFiles"};
+  P.ProblemSize = Files;
+  P.HarnessOverheadPerCall = PerCallOverhead;
+  ResultSet Res = runCombo(C, "localfs", P, 1, 1);
+  return summarize(Res.Subtasks[0]).WallClockSec;
+}
+
+} // namespace
+
+int main() {
+  banner("E03 bench_harness_overhead", "thesis Table 4.2 / §4.2.1-4.2.2",
+         "Interpreted-harness overhead vs a pure C loop; extra fstat() of "
+         "high-level open().");
+
+  const uint64_t Files = 200000;
+  // Per-call client CPU: a compiled loop vs a CPython loop. Two calls per
+  // created file (open + close).
+  double CSec = runCreateLoop(nanoseconds(250), Files);
+  double PySec = runCreateLoop(microseconds(4), Files);
+
+  std::printf("Create %llu empty files on an in-memory local file system "
+              "(Table 4.2):\n\n", (unsigned long long)Files);
+  TextTable T;
+  T.setHeader({"harness", "wall-clock [s]", "paper [s]"});
+  T.addRow({"C loop", format("%.2f", CSec), "0.62"});
+  T.addRow({"Python loop", format("%.2f", PySec), "2.1"});
+  T.addRow({"overhead", format("%.2f", PySec - CSec), "~1.4"});
+  printTable(T);
+  std::printf("Expected shape: a constant per-operation overhead — the "
+              "interpreted loop is\n~3x the compiled loop on a file system "
+              "this fast, and would wash out on a\nslow distributed file "
+              "system (§4.2.2).\n\n");
+
+  // Part 2 (§4.2.1): the high-level create loop issues one extra fstat per
+  // file; server request counts make it visible.
+  PluginRegistry::global().add(std::make_unique<HighLevelCreatePlugin>());
+  PluginRegistry::global().add(std::make_unique<LowLevelCreatePlugin>());
+
+  TextTable R;
+  R.setHeader({"create loop", "files", "server requests", "requests/file"});
+  for (const char *Op : {"LowLevelCreate", "HighLevelCreate"}) {
+    Scheduler S;
+    Cluster C(S, 1, 4);
+    NfsFs Nfs(S);
+    C.mountEverywhere(Nfs);
+    BenchParams P;
+    P.Operations = {Op};
+    P.ProblemSize = 1000;
+    uint64_t Before = Nfs.server().processedRequests();
+    runCombo(C, "nfs", P, 1, 1);
+    uint64_t Requests = Nfs.server().processedRequests() - Before;
+    R.addRow({Op, "1000", format("%llu", (unsigned long long)Requests),
+              format("%.2f", double(Requests) / 1000.0)});
+  }
+  std::printf("os.open-style loop vs file-object loop (Listing 4.2: equal "
+              "fstat/open/close\ncounts for the latter):\n\n");
+  printTable(R);
+  std::printf("Expected shape: the high-level loop needs ~1 extra request "
+              "per file (the\nfstat probe), i.e. ~3 requests/file plus "
+              "prepare/cleanup traffic vs ~2.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+//===- bench/bench_large_directory.cpp - E09: §4.3.3 ----------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces \S 4.3.3 "Sequential and parallel file creation in large
+/// directories": MakeOnedirFiles with growing total file counts into one
+/// shared directory. A UFS-style linear directory degrades linearly with
+/// size (every create proves uniqueness with a full scan); hashed (WAFL)
+/// and htree (ldiskfs) directories stay flat. Parallel creation into the
+/// same directory adds server-side contention but no semantic conflicts.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace dmbbench;
+
+namespace {
+
+double onedirRate(DirIndexKind Kind, uint64_t TotalFiles, unsigned Nodes,
+                  unsigned Ppn) {
+  Scheduler S;
+  Cluster C(S, 8, 8);
+  NfsOptions Opts;
+  Opts.Server.VolumeDefaults.DirIndex = Kind;
+  Opts.Server.EnableConsistencyPoints = false;
+  NfsFs Nfs(S, Opts);
+  C.mountEverywhere(Nfs);
+  BenchParams P;
+  P.Operations = {"MakeOnedirFiles"};
+  P.ProblemSize = TotalFiles;
+  ResultSet Res = runCombo(C, "nfs", P, Nodes, Ppn);
+  return wallClockAverage(Res.Subtasks[0]);
+}
+
+} // namespace
+
+int main() {
+  banner("E09 bench_large_directory", "thesis §4.3.3",
+         "Sequential and parallel creation into one large shared "
+         "directory; directory-index scaling.");
+
+  std::printf("Sequential creation (1 process) into one directory:\n\n");
+  TextTable T;
+  T.setHeader({"files in dir", "linear (UFS) ops/s", "hashed (WAFL) ops/s",
+               "htree ops/s"});
+  for (uint64_t N : {1000ull, 5000ull, 20000ull, 50000ull})
+    T.addRow({format("%llu", (unsigned long long)N),
+              ops(onedirRate(DirIndexKind::Linear, N, 1, 1)),
+              ops(onedirRate(DirIndexKind::Hashed, N, 1, 1)),
+              ops(onedirRate(DirIndexKind::BTree, N, 1, 1))});
+  printTable(T);
+
+  std::printf("Parallel creation of 20000 files into ONE shared directory "
+              "(hashed index):\n\n");
+  TextTable T2;
+  T2.setHeader({"nodes x ppn", "total procs", "ops/s"});
+  struct Combo {
+    unsigned Nodes, Ppn;
+  } Combos[] = {{1, 1}, {2, 1}, {4, 1}, {4, 2}, {8, 2}};
+  for (const Combo &Cb : Combos)
+    T2.addRow({format("%ux%u", Cb.Nodes, Cb.Ppn),
+               format("%u", Cb.Nodes * Cb.Ppn),
+               ops(onedirRate(DirIndexKind::Hashed, 20000, Cb.Nodes,
+                              Cb.Ppn))});
+  printTable(T2);
+
+  std::printf("Expected shape: the linear directory degrades sharply with "
+              "size (O(n) scans for\nthe uniqueness check, \S 2.6.3) while "
+              "hashed/htree stay nearly flat; parallel\ncreation into one "
+              "directory scales until the server head saturates.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+//===- bench/bench_network_latency.cpp - E13: §4.6 ------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces \S 4.6 "Influence of network latency on metadata
+/// performance": a single client's synchronous metadata operations are
+/// round-trip-bound, so the rate approaches 1/RTT as latency grows — while
+/// cached stat()s do not care, and deeper intra-node parallelism hides
+/// latency by pipelining.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace dmbbench;
+
+namespace {
+
+double latencyRate(SimDuration OneWay, const char *Op, unsigned Ppn) {
+  Scheduler S;
+  Cluster C(S, 1, 16);
+  NfsOptions Opts;
+  Opts.RpcOneWayLatency = OneWay;
+  Opts.Server.EnableConsistencyPoints = false;
+  NfsFs Nfs(S, Opts);
+  C.mountEverywhere(Nfs);
+  BenchParams P;
+  P.Operations = {Op};
+  P.TimeLimit = seconds(10.0);
+  P.ProblemSize = 5000;
+  ResultSet Res = runCombo(C, "nfs", P, 1, Ppn);
+  return std::string(Op) == "MakeFiles" ? rateOf(Res)
+                                        : wallClockAverage(Res.Subtasks[0]);
+}
+
+} // namespace
+
+int main() {
+  banner("E13 bench_network_latency", "thesis §4.6",
+         "Metadata rate vs network round-trip time, LAN to WAN.");
+
+  TextTable T;
+  T.setHeader({"one-way latency", "RTT [ms]", "MakeFiles 1p",
+               "MakeFiles 8p", "StatNocache 1p", "1/RTT bound"});
+  for (double Ms : {0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    SimDuration OneWay = static_cast<SimDuration>(Ms * 1e6);
+    double Create1 = latencyRate(OneWay, "MakeFiles", 1);
+    double Create8 = latencyRate(OneWay, "MakeFiles", 8);
+    double Stat1 = latencyRate(OneWay, "StatNocacheFiles", 1);
+    T.addRow({format("%.2f ms", Ms), format("%.2f", 2 * Ms), ops(Create1),
+              ops(Create8), ops(Stat1),
+              format("%.0f", 1000.0 / (2 * Ms))});
+  }
+  printTable(T);
+
+  std::printf("Cached stats are latency-immune: at 10 ms one-way, plain "
+              "StatFiles still runs at\n%.0f ops/s from the attribute "
+              "cache.\n\n",
+              latencyRate(static_cast<SimDuration>(10e6), "StatFiles", 1));
+
+  std::printf("Expected shape: synchronous single-stream ops track the "
+              "1/RTT bound once latency\ndominates service time (each "
+              "create is two sequential RPCs: open+close, so its\nrate is "
+              "~1/(2*RTT)); parallel streams pipeline the latency away "
+              "(§4.6).\n");
+  return 0;
+}

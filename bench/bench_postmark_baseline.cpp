@@ -1,0 +1,84 @@
+//===- bench/bench_postmark_baseline.cpp - E23: §3.1.4 / §3.2.5 -----------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements the Postmark baseline (thesis \S 3.1.4) and reproduces the
+/// "Result compression" argument of \S 3.2.5: Postmark's single
+/// transactions-per-second number cannot distinguish a healthy run from a
+/// disturbed one, while DMetabench's time-interval log of the *same* runs
+/// shows exactly when and where the disturbance happened.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "workload/Postmark.h"
+
+using namespace dmbbench;
+
+namespace {
+
+SubtaskResult runPostmark(bool Disturbed) {
+  Scheduler S;
+  Cluster C(S, 4, 8);
+  NfsOptions Opts;
+  Opts.Server.EnableConsistencyPoints = false;
+  NfsFs Nfs(S, Opts);
+  C.mountEverywhere(Nfs);
+  if (Disturbed) {
+    // Snapshot maintenance during the middle of the transaction phase.
+    new SnapshotJob(S, Nfs.server(), seconds(4.0), seconds(10.0),
+                    /*Seed=*/7);
+  }
+  BenchParams P;
+  P.Operations = {"Postmark"};
+  P.ProblemSize = 8000; // transactions per process
+  ResultSet Res = runCombo(C, "nfs", P, 4, 1);
+  return Res.Subtasks[0];
+}
+
+} // namespace
+
+int main() {
+  registerPostmarkPlugin(PluginRegistry::global());
+
+  banner("E23 bench_postmark_baseline", "thesis §3.1.4 / §3.2.5",
+         "The Postmark baseline: a single transactions/s number vs "
+         "DMetabench's time-interval log\nof the same runs (4 nodes x 1 "
+         "ppn on NFS, 8000 transactions per process).");
+
+  SubtaskResult Clean = runPostmark(false);
+  SubtaskResult Disturbed = runPostmark(true);
+
+  std::printf("What Postmark reports (its complete output):\n\n");
+  TextTable T;
+  T.setHeader({"run", "transactions/s"});
+  T.addRow({"run A", ops(wallClockAverage(Clean))});
+  T.addRow({"run B", ops(wallClockAverage(Disturbed))});
+  printTable(T);
+  std::printf("From these two numbers alone, run B merely looks ~%.0f%% "
+              "slower — cause unknown.\n\n",
+              (1.0 - wallClockAverage(Disturbed) /
+                         wallClockAverage(Clean)) *
+                  100.0);
+
+  std::printf("What DMetabench's interval log shows for run B:\n\n");
+  std::vector<IntervalRow> Rows = intervalSummary(Disturbed);
+  TextTable I;
+  I.setHeader({"t [s]", "tx/s", "COV"});
+  for (size_t K = 9; K < Rows.size(); K += 20)
+    I.addRow({format("%.1f", Rows[K].TimeSec),
+              format("%.0f", Rows[K].OpsPerSec),
+              format("%.3f", Rows[K].PerProcCov)});
+  printTable(I);
+  std::printf("%s\n", renderTimeChart(Disturbed).c_str());
+
+  std::printf("Expected shape: nearly identical Postmark numbers hide a "
+              "disturbance confined to\nt=4-10s; the interval log shows "
+              "the dip and the erratic COV there, and full speed\n"
+              "elsewhere (§3.2.5: \"too much information is averaged "
+              "and/or lost\").\n");
+  return 0;
+}

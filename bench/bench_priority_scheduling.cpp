@@ -1,0 +1,102 @@
+//===- bench/bench_priority_scheduling.cpp - E11: §4.4 --------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces \S 4.4 "Priority scheduling and metadata performance": two
+/// benchmark processes on one node under heavy competing CPU load. At
+/// equal priority both achieve the same metadata rate; lowering one
+/// process's scheduling weight (a higher nice level) shifts CPU share and
+/// with it metadata throughput — because each operation needs client CPU
+/// before it can be issued.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace dmbbench;
+
+namespace {
+
+/// Runs two StatNocacheFiles workers on one node with given CPU weights
+/// and a co-located CPU-bound load; returns their per-process rates.
+std::pair<double, double> runWeighted(double W0, double W1) {
+  Scheduler S;
+  Cluster C(S, 1, 2); // two cores, so CPU is genuinely contended
+  NfsFs Nfs(S);
+  C.mountEverywhere(Nfs);
+  // Competing CPU-bound load throughout the run.
+  new CpuHog(S, C.node(0).cpu(), /*Weight=*/4.0, 0, seconds(600.0));
+
+  BenchmarkPlugin *Plugin =
+      PluginRegistry::global().get("StatNocacheFiles");
+  SubtaskSpec Spec;
+  Spec.Operation = "StatNocacheFiles";
+  Spec.FileSystem = "nfs";
+  Spec.NumNodes = 1;
+  Spec.PerNode = 2;
+  Spec.Plugin = Plugin;
+  Spec.Params.ProblemSize = 5000;
+  Spec.Params.HarnessOverheadPerCall = microseconds(120);
+  for (unsigned I = 0; I < 2; ++I) {
+    WorkerConfig W;
+    W.Rank = static_cast<int>(I + 1);
+    W.Ordinal = I;
+    W.Hostname = C.node(0).hostname();
+    W.Client = C.node(0).mount("nfs");
+    W.Cpu = &C.node(0).cpu();
+    W.CpuWeight = I == 0 ? W0 : W1;
+    W.PerCallOverhead = Spec.Params.HarnessOverheadPerCall;
+    Spec.Workers.push_back(W);
+    Spec.WorkDirs.push_back("/prio");
+  }
+
+  SubtaskRunner Runner(S, std::move(Spec));
+  SubtaskResult Result;
+  bool DoneFlag = false;
+  Runner.run([&](SubtaskResult R) {
+    Result = std::move(R);
+    DoneFlag = true;
+  });
+  S.run();
+  if (!DoneFlag)
+    return {0, 0};
+  auto Rate = [&Result](unsigned I) {
+    const ProcessTrace &P = Result.Processes[I];
+    double Sec = toSeconds(P.FinishOffset);
+    return Sec > 0 ? double(P.TotalOps) / Sec : 0.0;
+  };
+  return {Rate(0), Rate(1)};
+}
+
+} // namespace
+
+int main() {
+  banner("E11 bench_priority_scheduling", "thesis §4.4",
+         "Scheduling priority (nice level) vs metadata throughput of two "
+         "co-located processes\nunder competing CPU load.");
+
+  TextTable T;
+  T.setHeader({"weights (p0:p1)", "p0 ops/s", "p1 ops/s", "p0/p1"});
+  struct Case {
+    const char *Name;
+    double W0, W1;
+  } Cases[] = {{"1 : 1 (equal)", 1.0, 1.0},
+               {"1 : 0.5 (p1 niced)", 1.0, 0.5},
+               {"1 : 0.25 (p1 niced more)", 1.0, 0.25},
+               {"2 : 1 (p0 boosted)", 2.0, 1.0}};
+  for (const Case &Cs : Cases) {
+    auto [R0, R1] = runWeighted(Cs.W0, Cs.W1);
+    T.addRow({Cs.Name, ops(R0), ops(R1),
+              R1 > 0 ? format("%.2f", R0 / R1) : "-"});
+  }
+  printTable(T);
+
+  std::printf("Expected shape: equal weights give equal metadata rates; "
+              "lowering one process's\nCPU share lowers its metadata "
+              "throughput correspondingly — metadata operations\nare "
+              "CPU-bound on the client when the server is fast (§4.4).\n");
+  return 0;
+}

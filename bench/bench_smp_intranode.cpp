@@ -1,0 +1,82 @@
+//===- bench/bench_smp_intranode.cpp - E12: §4.5 --------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces \S 4.5 "Intra-node scalability on SMP systems": a small SMP
+/// node on a local file system, then a large (Altix-partition-like) SMP
+/// node creating files on CXFS vs NFS. NFS scales inside one OS instance
+/// up to its RPC slot table; CXFS serializes on the node-wide metadata
+/// token and stays flat (\S 4.5.3).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace dmbbench;
+
+namespace {
+
+double intranodeRate(const char *Fs, unsigned Cores, unsigned Ppn) {
+  Scheduler S;
+  Cluster C(S, 1, Cores, "altix");
+  NfsFs Nfs(S);
+  CxfsFs Cxfs(S);
+  LocalFsModel Local(S);
+  C.mountEverywhere(Nfs);
+  C.mountEverywhere(Cxfs);
+  C.mountEverywhere(Local);
+  BenchParams P;
+  P.Operations = {"MakeFiles"};
+  P.TimeLimit = seconds(10.0);
+  P.ProblemSize = 1000000;
+  ResultSet Res = runCombo(C, Fs, P, 1, Ppn);
+  return rateOf(Res);
+}
+
+} // namespace
+
+int main() {
+  banner("E12 bench_smp_intranode", "thesis §4.5",
+         "Intra-node scalability: small SMP on a local file system; large "
+         "SMP (512 cores)\ncreating files on CXFS vs NFS.");
+
+  std::printf("Small SMP (8 cores), local file system:\n\n");
+  TextTable T;
+  T.setHeader({"processes", "localfs ops/s"});
+  for (unsigned Ppn : {1u, 2u, 4u, 8u, 16u})
+    T.addRow({format("%u", Ppn), ops(intranodeRate("localfs", 8, Ppn))});
+  printTable(T);
+
+  std::printf("Large SMP (512-core partition), CXFS vs NFS file "
+              "creation (§4.5.3):\n\n");
+  TextTable T2;
+  T2.setHeader({"processes", "CXFS ops/s", "NFS ops/s"});
+  ChartSeries CxfsSeries{"MakeFiles on CXFS", {}};
+  ChartSeries NfsSeries{"MakeFiles on NFS", {}};
+  for (unsigned Ppn : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    double Cx = intranodeRate("cxfs", 512, Ppn);
+    double Nf = intranodeRate("nfs", 512, Ppn);
+    CxfsSeries.Points.push_back({double(Ppn), Cx});
+    NfsSeries.Points.push_back({double(Ppn), Nf});
+    T2.addRow({format("%u", Ppn), ops(Cx), ops(Nf)});
+  }
+  printTable(T2);
+
+  ChartOptions Opt;
+  Opt.Title = "Large-SMP intra-node file creation (cf. Fig. 3.12 chart "
+              "type)";
+  Opt.XLabel = "processes on one node";
+  Opt.YLabel = "total ops/s";
+  std::printf("%s\n",
+              renderAsciiChart({CxfsSeries, NfsSeries}, Opt).c_str());
+
+  std::printf("Expected shape: the local file system scales until its "
+              "in-kernel mutation lock\nbinds; NFS gains up to its RPC "
+              "slot limit (16) then flattens; CXFS stays flat\nfrom the "
+              "start — every metadata op holds the node-wide token "
+              "(§4.5.3).\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+//===- bench/bench_writeback_caching.cpp - E17: §4.8 ----------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces \S 4.8 "Write-back caching of metadata": Lustre clients ack
+/// metadata mutations from their cache before the MDS commits (\S 2.6.4).
+/// A single client's create rate starts with a burst at local-ack speed,
+/// then settles at the MDS drain rate once the dirty-op window fills. An
+/// fsync() at the end pays the full drain. NFS, with synchronous metadata,
+/// shows a flat rate from the first second.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace dmbbench;
+
+namespace {
+
+SubtaskResult runCreateBurst(bool Writeback) {
+  Scheduler S;
+  Cluster C(S, 1, 8);
+  LustreOptions Opts;
+  Opts.WritebackMetadata = Writeback;
+  Opts.MaxDirtyOps = 8192;
+  LustreFs Lustre(S, Opts);
+  C.mountEverywhere(Lustre);
+  BenchParams P;
+  P.Operations = {"MakeFiles"};
+  P.TimeLimit = seconds(10.0);
+  P.ProblemSize = 1000000;
+  ResultSet Res = runCombo(C, "lustre", P, 1, 1);
+  return Res.Subtasks[0];
+}
+
+double windowRate(const std::vector<IntervalRow> &Rows, double From,
+                  double To) {
+  double Sum = 0;
+  unsigned N = 0;
+  for (const IntervalRow &Row : Rows)
+    if (Row.TimeSec > From && Row.TimeSec <= To) {
+      Sum += Row.OpsPerSec;
+      ++N;
+    }
+  return N ? Sum / N : 0;
+}
+
+} // namespace
+
+int main() {
+  banner("E17 bench_writeback_caching", "thesis §4.8",
+         "Write-back metadata caching on Lustre: burst at local-ack speed, "
+         "then MDS drain rate.");
+
+  SubtaskResult Sync = runCreateBurst(false);
+  SubtaskResult Wb = runCreateBurst(true);
+  std::vector<IntervalRow> SyncRows = intervalSummary(Sync);
+  std::vector<IntervalRow> WbRows = intervalSummary(Wb);
+
+  TextTable T;
+  T.setHeader({"window", "sync RPC ops/s", "write-back ops/s"});
+  T.addRow({"first 0.5s (burst)", ops(windowRate(SyncRows, 0, 0.5)),
+            ops(windowRate(WbRows, 0, 0.5))});
+  T.addRow({"1-5s", ops(windowRate(SyncRows, 1, 5)),
+            ops(windowRate(WbRows, 1, 5))});
+  T.addRow({"5-10s (steady)", ops(windowRate(SyncRows, 5, 10)),
+            ops(windowRate(WbRows, 5, 10))});
+  printTable(T);
+
+  std::printf("%s\n", renderTimeChart(Wb).c_str());
+
+  // fsync() after a dirty burst pays the drain (persistence semantics,
+  // \S 2.6.4).
+  Scheduler S;
+  LustreOptions Opts;
+  Opts.WritebackMetadata = true;
+  LustreFs Lustre(S, Opts);
+  std::unique_ptr<ClientFs> Client = Lustre.makeClient(0);
+  int Acked = 0;
+  for (int I = 0; I < 2000; ++I)
+    Client->submit(makeMkdir("/d" + std::to_string(I)),
+                   [&Acked](MetaReply) { ++Acked; });
+  SimTime FsyncStart = 0, FsyncEnd = 0;
+  Client->submit(makeFsync(InvalidHandle), [&](MetaReply) {
+    FsyncEnd = S.now();
+  });
+  FsyncStart = S.now();
+  S.run();
+  std::printf("fsync() after 2000 cached mkdirs blocked for %.3f s while "
+              "the MDS committed\n(acked locally: %d).\n\n",
+              toSeconds(FsyncEnd - FsyncStart), Acked);
+
+  std::printf("Expected shape: the write-back client's first interval "
+              "runs at local-ack speed,\nthen settles at the MDS *drain* "
+              "rate once the dirty window fills — still far\nabove the "
+              "sync client, which serializes on RPC round trips. Write-"
+              "back decouples\nclient-visible latency from commit "
+              "latency; fsync() pays the drain (§4.8, §2.6.4).\n");
+  return 0;
+}

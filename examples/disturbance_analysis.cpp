@@ -1,0 +1,121 @@
+//===- examples/disturbance_analysis.cpp - Diagnosing slowdowns -----------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shows the diagnostic workflow of thesis \S 4.2.3: the same benchmark
+/// run disturbed in three different ways — a client-side CPU hog, filer
+/// snapshots, and bulk write traffic. Summary averages look alike; the
+/// time-interval log's throughput and COV signatures tell the three causes
+/// apart.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dmetabench/DMetabench.h"
+#include "support/Format.h"
+#include "support/TextTable.h"
+#include <cstdio>
+
+using namespace dmb;
+
+namespace {
+
+enum class Kind { None, CpuHogOnNode, FilerSnapshot, BulkWrite };
+
+SubtaskResult runDisturbed(Kind K) {
+  Scheduler S;
+  Cluster C(S, 4, 8);
+  // Disable consistency points so the filer's own 10 s flush cadence does
+  // not overlap the injected disturbances (it is studied separately in
+  // bench_fig4_6_saturation).
+  NfsOptions Opts;
+  Opts.Server.EnableConsistencyPoints = false;
+  NfsFs Nfs(S, Opts);
+  C.mountEverywhere(Nfs);
+  switch (K) {
+  case Kind::None:
+    break;
+  case Kind::CpuHogOnNode:
+    new CpuHog(S, C.node(2).cpu(), 56.0, seconds(10.0), seconds(20.0));
+    break;
+  case Kind::FilerSnapshot:
+    new SnapshotJob(S, Nfs.server(), seconds(10.0), seconds(20.0));
+    break;
+  case Kind::BulkWrite:
+    new SequentialWriter(S, Nfs.server(), seconds(10.0), seconds(20.0));
+    break;
+  }
+  BenchParams P;
+  P.Operations = {"MakeFiles"};
+  P.TimeLimit = seconds(30.0);
+  P.ProblemSize = 100000;
+  P.HarnessOverheadPerCall = microseconds(60);
+  MpiEnvironment Env = MpiEnvironment::uniform(4, 2);
+  Master M(C, Env, "nfs", P);
+  return M.runCombination(4, 1).Subtasks[0];
+}
+
+struct Signature {
+  double RateDip;  ///< throughput in the window relative to before
+  double CovShift; ///< COV in the window minus COV before
+};
+
+Signature signatureOf(const SubtaskResult &Sub) {
+  std::vector<IntervalRow> Rows = intervalSummary(Sub);
+  double RateBefore = 0, RateDuring = 0, CovBefore = 0, CovDuring = 0;
+  unsigned NB = 0, ND = 0;
+  for (const IntervalRow &Row : Rows) {
+    if (Row.TimeSec > 2 && Row.TimeSec <= 10) {
+      RateBefore += Row.OpsPerSec;
+      CovBefore += Row.PerProcCov;
+      ++NB;
+    } else if (Row.TimeSec > 10 && Row.TimeSec <= 20) {
+      RateDuring += Row.OpsPerSec;
+      CovDuring += Row.PerProcCov;
+      ++ND;
+    }
+  }
+  Signature Sig;
+  Sig.RateDip = NB && ND ? (RateDuring / ND) / (RateBefore / NB) : 1.0;
+  Sig.CovShift = ND && NB ? CovDuring / ND - CovBefore / NB : 0.0;
+  return Sig;
+}
+
+} // namespace
+
+int main() {
+  std::printf("Diagnosing a slowdown from the time-interval log "
+              "(disturbance window 10-20s):\n\n");
+  TextTable T;
+  T.setHeader({"disturbance", "stonewall ops/s", "rate in window",
+               "COV shift", "diagnosis"});
+  struct Case {
+    Kind K;
+    const char *Name;
+  } Cases[] = {{Kind::None, "none"},
+               {Kind::CpuHogOnNode, "CPU hog on one node"},
+               {Kind::FilerSnapshot, "snapshots on the filer"},
+               {Kind::BulkWrite, "bulk write to the filer"}};
+  for (const Case &Cs : Cases) {
+    SubtaskResult Sub = runDisturbed(Cs.K);
+    Signature Sig = signatureOf(Sub);
+    const char *Diagnosis = "healthy";
+    if (Sig.CovShift > 0.1)
+      Diagnosis = "one client lags: client-side problem";
+    else if (Sig.CovShift > 0.02)
+      Diagnosis = "erratic per-client jitter: server maintenance";
+    else if (Sig.RateDip < 0.92)
+      Diagnosis = "uniform slowdown: shared-server contention";
+    T.addRow({Cs.Name, format("%.0f", stonewallAverage(Sub)),
+              format("%.0f%%", Sig.RateDip * 100),
+              format("%+.3f", Sig.CovShift), Diagnosis});
+  }
+  std::fputs(T.render().c_str(), stdout);
+  std::printf("\nThe three causes are indistinguishable in the summary "
+              "averages but separate\ncleanly in the (throughput, COV) "
+              "signature — the thesis's argument for\ntime-interval "
+              "logging (§3.2.5, §4.2.3).\n");
+  return 0;
+}

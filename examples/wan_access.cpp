@@ -1,0 +1,73 @@
+//===- examples/wan_access.cpp - Metadata over a WAN ----------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A practitioner scenario built on thesis \S 4.6 and \S 5.3.2: a remote
+/// site mounts the data-center filer over a WAN. Synchronous per-file
+/// metadata slows with the round-trip time; attribute caching and batched
+/// readdirplus recover most of it. Prints the decision table an admin
+/// would want: expected ops/s per access pattern and link.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dmetabench/DMetabench.h"
+#include "support/Format.h"
+#include "support/TextTable.h"
+#include <cstdio>
+
+using namespace dmb;
+
+namespace {
+
+double rate(const char *Op, double OneWayMs, bool Extensions) {
+  if (Extensions)
+    registerExtensionPlugins(PluginRegistry::global());
+  Scheduler S;
+  Cluster C(S, 1, 8, "branch");
+  NfsOptions Opts;
+  Opts.RpcOneWayLatency = static_cast<SimDuration>(OneWayMs * 1e6);
+  Opts.Server.EnableConsistencyPoints = false;
+  NfsFs Nfs(S, Opts);
+  C.mountEverywhere(Nfs);
+  BenchParams P;
+  P.Operations = {Op};
+  P.ProblemSize = 1000;
+  P.TimeLimit = seconds(10.0);
+  MpiEnvironment Env = MpiEnvironment::uniform(1, 2);
+  Master M(C, Env, "nfs", P);
+  ResultSet Res = M.runCombination(1, 1);
+  return wallClockAverage(Res.Subtasks[0]);
+}
+
+} // namespace
+
+int main() {
+  std::printf("Branch office mounting the data-center filer: metadata "
+              "rates by link (ops/s)\n\n");
+  TextTable T;
+  T.setHeader({"link (one-way)", "create files", "stat uncached",
+               "stat cached", "bulk stat (readdirplus)"});
+  struct Link {
+    const char *Name;
+    double Ms;
+  } Links[] = {{"campus 0.1 ms", 0.1},
+               {"metro 1 ms", 1.0},
+               {"regional 5 ms", 5.0},
+               {"continental 25 ms", 25.0}};
+  for (const Link &L : Links)
+    T.addRow({L.Name, format("%.0f", rate("MakeFiles", L.Ms, false)),
+              format("%.0f", rate("StatNocacheFiles", L.Ms, false)),
+              format("%.0f", rate("StatFiles", L.Ms, false)),
+              format("%.0f", rate("BulkStatFiles", L.Ms, true))});
+  std::fputs(T.render().c_str(), stdout);
+  std::printf(
+      "\nReading: synchronous per-file operations collapse with distance "
+      "(§4.6); the\nattribute cache makes repeated stats free while its "
+      "30 s TTL holds — on the\ncontinental link even *preparing* 1000 "
+      "files outlives the TTL, so the cache\nnever helps; batched "
+      "readdirplus keeps scan-style workloads usable (§5.3.2).\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+//===- analysis/Preprocess.h - Result preprocessing --------------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The data preprocessing step of thesis \S 3.3.9: turns raw per-process
+/// time logs into the per-interval summary of Listing 3.4 (total
+/// operations, interval throughput, stddev and coefficient of variation of
+/// per-process performance) and the summary averages of Listing 3.5
+/// (stonewall average and fixed-operation-count "strong scaling" averages).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_ANALYSIS_PREPROCESS_H
+#define DMETABENCH_ANALYSIS_PREPROCESS_H
+
+#include "core/Results.h"
+#include <string>
+#include <vector>
+
+namespace dmb {
+
+/// One row of the per-interval summary (Listing 3.4).
+struct IntervalRow {
+  double TimeSec = 0;        ///< interval boundary in seconds
+  uint64_t TotalOps = 0;     ///< cumulative ops across all processes
+  double OpsPerSec = 0;      ///< total throughput within this interval
+  double PerProcStddev = 0;  ///< sample stddev of per-process interval ops
+  double PerProcCov = 0;     ///< stddev / mean (0 when mean is 0)
+};
+
+/// Summary averages of one subtask (Listing 3.5).
+struct SubtaskSummary {
+  std::string Operation;
+  unsigned NumNodes = 0;
+  unsigned PerNode = 0;
+  unsigned TotalProcesses = 0;
+  uint64_t TotalOps = 0;
+  double WallClockSec = 0;       ///< slowest process finish
+  double WallClockOpsPerSec = 0; ///< global-throughput average (\S 3.2.5)
+  double StonewallSec = 0;       ///< first process finish boundary
+  double StonewallOpsPerSec = 0; ///< stonewalling average (\S 3.2.5)
+};
+
+/// Computes the Listing 3.4 rows for one subtask.
+std::vector<IntervalRow> intervalSummary(const SubtaskResult &R);
+
+/// Computes the Listing 3.5 summary for one subtask.
+SubtaskSummary summarize(const SubtaskResult &R);
+
+/// Stonewall average: total throughput up to the first interval boundary
+/// at which some process had finished (\S 3.2.5 "stonewalling").
+double stonewallAverage(const SubtaskResult &R);
+
+/// "Strong scaling" average (\S 3.2.5 "Time-based logging and scaling"):
+/// throughput up to the first boundary where at least \p Ops operations
+/// had completed in total; 0 when never reached.
+double averageForFixedOps(const SubtaskResult &R, uint64_t Ops);
+
+/// Global wall-clock average: total ops / slowest process time.
+double wallClockAverage(const SubtaskResult &R);
+
+/// Renders the rows as a Listing 3.4-style TSV.
+std::string intervalSummaryTsv(const SubtaskResult &R);
+
+} // namespace dmb
+
+#endif // DMETABENCH_ANALYSIS_PREPROCESS_H

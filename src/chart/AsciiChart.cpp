@@ -1,0 +1,95 @@
+//===- chart/AsciiChart.cpp -----------------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chart/AsciiChart.h"
+#include "support/Format.h"
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+using namespace dmb;
+
+static const char SeriesGlyphs[] = {'*', '+', 'o', 'x', '#', '@', '%', '~'};
+
+std::string dmb::renderAsciiChart(const std::vector<ChartSeries> &Series,
+                                  const ChartOptions &Opt) {
+  double MinX = 0, MaxX = 0, MinY = 0, MaxY = 0;
+  bool Any = false;
+  for (const ChartSeries &S : Series)
+    for (const auto &[X, Y] : S.Points) {
+      if (!Any) {
+        MinX = MaxX = X;
+        MinY = MaxY = Y;
+        Any = true;
+      }
+      MinX = std::min(MinX, X);
+      MaxX = std::max(MaxX, X);
+      MinY = std::min(MinY, Y);
+      MaxY = std::max(MaxY, Y);
+    }
+  if (!Any)
+    return Opt.Title + "\n(no data)\n";
+  if (Opt.YFromZero)
+    MinY = std::min(0.0, MinY);
+  if (MaxX == MinX)
+    MaxX = MinX + 1;
+  if (MaxY == MinY)
+    MaxY = MinY + 1;
+
+  unsigned W = std::max(16u, Opt.Width), H = std::max(6u, Opt.Height);
+  std::vector<std::string> Grid(H, std::string(W, ' '));
+  for (size_t SI = 0; SI < Series.size(); ++SI) {
+    char Glyph = SeriesGlyphs[SI % sizeof(SeriesGlyphs)];
+    for (const auto &[X, Y] : Series[SI].Points) {
+      unsigned Col = static_cast<unsigned>(
+          std::lround((X - MinX) / (MaxX - MinX) * (W - 1)));
+      unsigned Row = static_cast<unsigned>(
+          std::lround((Y - MinY) / (MaxY - MinY) * (H - 1)));
+      Grid[H - 1 - Row][Col] = Glyph;
+    }
+  }
+
+  std::string Out;
+  if (!Opt.Title.empty())
+    Out += Opt.Title + "\n";
+  for (size_t SI = 0; SI < Series.size(); ++SI)
+    Out += format("  %c %s", SeriesGlyphs[SI % sizeof(SeriesGlyphs)],
+                  Series[SI].Label.c_str()) +
+           ((SI + 1 == Series.size()) ? "\n" : "");
+  Out += format("%11.4g +", MaxY);
+  Out += std::string(W, '-') + "\n";
+  for (unsigned R = 0; R < H; ++R)
+    Out += std::string(11, ' ') + "|" + Grid[R] + "\n";
+  Out += format("%11.4g +", MinY) + std::string(W, '-') + "\n";
+  Out += std::string(13, ' ') +
+         format("%-.4g%*s%.4g", MinX, static_cast<int>(W) - 8, "", MaxX) +
+         "\n";
+  Out += std::string(13, ' ') + Opt.XLabel + "  (y: " + Opt.YLabel + ")\n";
+  return Out;
+}
+
+std::string dmb::seriesTsv(const std::vector<ChartSeries> &Series,
+                           const std::string &XHeader) {
+  // Collect the union of x values.
+  std::map<double, std::vector<std::string>> Rows;
+  for (size_t SI = 0; SI < Series.size(); ++SI)
+    for (const auto &[X, Y] : Series[SI].Points) {
+      auto &Cells = Rows[X];
+      Cells.resize(Series.size());
+      Cells[SI] = format("%.6g", Y);
+    }
+  std::string Out = XHeader;
+  for (const ChartSeries &S : Series)
+    Out += "\t" + S.Label;
+  Out += "\n";
+  for (const auto &[X, Cells] : Rows) {
+    Out += format("%.6g", X);
+    for (size_t SI = 0; SI < Series.size(); ++SI)
+      Out += "\t" + (SI < Cells.size() ? Cells[SI] : std::string());
+    Out += "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,50 @@
+//===- chart/AsciiChart.h - Text-mode XY charts ------------------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small text plotter standing in for the thesis's Ploticus pipeline
+/// (\S 3.4.2): series of (x, y) points rendered into a fixed-size character
+/// grid with axes and legend. Bench binaries print these next to their
+/// numeric tables; the same data is available as gnuplot-ready TSV.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_CHART_ASCIICHART_H
+#define DMETABENCH_CHART_ASCIICHART_H
+
+#include <string>
+#include <vector>
+
+namespace dmb {
+
+/// One plotted series.
+struct ChartSeries {
+  std::string Label;
+  std::vector<std::pair<double, double>> Points;
+};
+
+/// Rendering options.
+struct ChartOptions {
+  std::string Title;
+  std::string XLabel = "x";
+  std::string YLabel = "y";
+  unsigned Width = 72;  ///< plot area columns
+  unsigned Height = 18; ///< plot area rows
+  bool YFromZero = true;
+};
+
+/// Renders the series as an ASCII chart.
+std::string renderAsciiChart(const std::vector<ChartSeries> &Series,
+                             const ChartOptions &Options);
+
+/// Renders the series as TSV: x followed by one column per series (empty
+/// cell when a series has no point at that x).
+std::string seriesTsv(const std::vector<ChartSeries> &Series,
+                      const std::string &XHeader = "x");
+
+} // namespace dmb
+
+#endif // DMETABENCH_CHART_ASCIICHART_H

@@ -1,0 +1,88 @@
+//===- chart/Charts.cpp ---------------------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chart/Charts.h"
+#include "analysis/Preprocess.h"
+#include "support/Format.h"
+
+using namespace dmb;
+
+std::string dmb::renderTimeChart(const SubtaskResult &R) {
+  std::vector<IntervalRow> Rows = intervalSummary(R);
+  ChartSeries Completed{"operations completed", {}};
+  ChartSeries Cov{"per-process ops/s coefficient of variation", {}};
+  ChartSeries Rate{"operations/s", {}};
+  for (const IntervalRow &Row : Rows) {
+    Completed.Points.push_back(
+        {Row.TimeSec, static_cast<double>(Row.TotalOps)});
+    Cov.Points.push_back({Row.TimeSec, Row.PerProcCov});
+    Rate.Points.push_back({Row.TimeSec, Row.OpsPerSec});
+  }
+
+  std::string Title =
+      format("%s %u nodes/%u ppn on %s", R.Operation.c_str(), R.NumNodes,
+             R.PerNode, R.FileSystem.c_str());
+  std::string Out;
+  ChartOptions Opt;
+  Opt.XLabel = "time [s]";
+
+  Opt.Title = Title + " - operations completed";
+  Opt.YLabel = "ops";
+  Out += renderAsciiChart({Completed}, Opt);
+  Opt.Title = Title + " - per-process COV";
+  Opt.YLabel = "cov";
+  Out += renderAsciiChart({Cov}, Opt);
+  Opt.Title = Title + " - total throughput";
+  Opt.YLabel = "ops/s";
+  Out += renderAsciiChart({Rate}, Opt);
+  return Out;
+}
+
+std::string dmb::timeChartTsv(const SubtaskResult &R) {
+  std::string Out = "time_s\ttotal_ops\tcov\tops_per_s\n";
+  for (const IntervalRow &Row : intervalSummary(R))
+    Out += format("%.1f\t%llu\t%.4f\t%.1f\n", Row.TimeSec,
+                  (unsigned long long)Row.TotalOps, Row.PerProcCov,
+                  Row.OpsPerSec);
+  return Out;
+}
+
+std::vector<ChartSeries>
+dmb::scalingSeries(const std::vector<ScalingInput> &In, bool XIsNodes) {
+  std::vector<ChartSeries> Series;
+  for (const ScalingInput &Input : In) {
+    ChartSeries S;
+    S.Label = Input.Label;
+    for (const SubtaskResult *R : Input.Subtasks) {
+      double X = XIsNodes
+                     ? static_cast<double>(R->NumNodes)
+                     : static_cast<double>(R->NumNodes * R->PerNode);
+      S.Points.push_back({X, stonewallAverage(*R)});
+    }
+    Series.push_back(std::move(S));
+  }
+  return Series;
+}
+
+std::string
+dmb::renderProcessScalingChart(const std::vector<ScalingInput> &In,
+                               const std::string &Title) {
+  ChartOptions Opt;
+  Opt.Title = Title;
+  Opt.XLabel = "number of processes";
+  Opt.YLabel = "total ops/s";
+  return renderAsciiChart(scalingSeries(In, /*XIsNodes=*/false), Opt);
+}
+
+std::string
+dmb::renderNodeScalingChart(const std::vector<ScalingInput> &In,
+                            const std::string &Title) {
+  ChartOptions Opt;
+  Opt.Title = Title;
+  Opt.XLabel = "number of nodes";
+  Opt.YLabel = "total ops/s";
+  return renderAsciiChart(scalingSeries(In, /*XIsNodes=*/true), Opt);
+}

@@ -1,0 +1,56 @@
+//===- chart/Charts.h - The three DMetabench chart types --------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three chart types of thesis \S 3.3.10:
+///   1. the combined time chart (operations completed, per-process COV,
+///      total throughput vs. time — Fig. 3.11),
+///   2. performance vs. number of processes (Fig. 3.12),
+///   3. performance vs. number of nodes (Fig. 3.13).
+/// Rendered as ASCII plus gnuplot-ready TSV.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_CHART_CHARTS_H
+#define DMETABENCH_CHART_CHARTS_H
+
+#include "chart/AsciiChart.h"
+#include "core/Results.h"
+#include <string>
+#include <vector>
+
+namespace dmb {
+
+/// Renders the combined time chart of one subtask (Fig. 3.11): three
+/// stacked panels sharing the time axis.
+std::string renderTimeChart(const SubtaskResult &R);
+
+/// TSV backing the combined time chart: time, cumulative ops, COV, ops/s.
+std::string timeChartTsv(const SubtaskResult &R);
+
+/// One measurement series for the scaling charts: each labelled input is a
+/// set of subtasks whose stonewall averages are plotted against the chosen
+/// x dimension.
+struct ScalingInput {
+  std::string Label;
+  std::vector<const SubtaskResult *> Subtasks;
+};
+
+/// Performance vs. total number of processes (Fig. 3.12).
+std::string renderProcessScalingChart(const std::vector<ScalingInput> &In,
+                                      const std::string &Title);
+
+/// Performance vs. number of nodes (Fig. 3.13).
+std::string renderNodeScalingChart(const std::vector<ScalingInput> &In,
+                                   const std::string &Title);
+
+/// The underlying series (stonewall average vs. x) for custom rendering.
+std::vector<ChartSeries>
+scalingSeries(const std::vector<ScalingInput> &In, bool XIsNodes);
+
+} // namespace dmb
+
+#endif // DMETABENCH_CHART_CHARTS_H

@@ -1,0 +1,29 @@
+//===- cluster/Cluster.cpp ------------------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/Cluster.h"
+#include "support/Format.h"
+
+using namespace dmb;
+
+Cluster::Cluster(Scheduler &Sched, unsigned NumNodes, unsigned CoresPerNode,
+                 const std::string &HostPrefix)
+    : Sched(Sched), CoresPerNode(CoresPerNode) {
+  for (unsigned I = 0; I < NumNodes; ++I)
+    Nodes.push_back(std::make_unique<ClusterNode>(
+        Sched, I, format("%s%03u", HostPrefix.c_str(), I), CoresPerNode));
+}
+
+ClusterNode &Cluster::addNode(unsigned Cores, const std::string &Hostname) {
+  Nodes.push_back(std::make_unique<ClusterNode>(Sched, Nodes.size(),
+                                                Hostname, Cores));
+  return *Nodes.back();
+}
+
+void Cluster::mountEverywhere(DistributedFs &Fs) {
+  for (auto &N : Nodes)
+    N->addMount(Fs.name(), Fs.makeClient(N->index()));
+}

@@ -1,0 +1,85 @@
+//===- cluster/Cluster.h - Simulated compute cluster ------------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated compute cluster the benchmark runs on: nodes with CPUs
+/// (processor-sharing, so co-located workloads interfere realistically) and
+/// per-node file system mounts. Mirrors the LRZ Linux-cluster shape of
+/// thesis \S 4.1.2: pools of identical multi-core nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_CLUSTER_CLUSTER_H
+#define DMETABENCH_CLUSTER_CLUSTER_H
+
+#include "dfs/DistributedFs.h"
+#include "sim/Scheduler.h"
+#include "sim/SharedProcessor.h"
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dmb {
+
+/// One compute node: CPUs plus its file system client instances.
+class ClusterNode {
+public:
+  ClusterNode(Scheduler &Sched, unsigned Index, std::string Hostname,
+              unsigned Cores)
+      : Index(Index), Hostname(std::move(Hostname)),
+        Cpu(std::make_unique<SharedProcessor>(Sched, Cores)) {}
+
+  unsigned index() const { return Index; }
+  const std::string &hostname() const { return Hostname; }
+  SharedProcessor &cpu() { return *Cpu; }
+
+  /// The node's mount of file system \p FsName; nullptr when not mounted.
+  ClientFs *mount(const std::string &FsName) {
+    auto It = Mounts.find(FsName);
+    return It == Mounts.end() ? nullptr : It->second.get();
+  }
+
+  void addMount(const std::string &FsName, std::unique_ptr<ClientFs> C) {
+    Mounts[FsName] = std::move(C);
+  }
+
+private:
+  unsigned Index;
+  std::string Hostname;
+  std::unique_ptr<SharedProcessor> Cpu;
+  std::map<std::string, std::unique_ptr<ClientFs>> Mounts;
+};
+
+/// A cluster of nodes sharing one event scheduler. Homogeneous by
+/// default; heterogeneous pools (thesis \S 4.1.2: "pools of identical
+/// machines" of different types) via addNode().
+class Cluster {
+public:
+  Cluster(Scheduler &Sched, unsigned NumNodes, unsigned CoresPerNode,
+          const std::string &HostPrefix = "lx64a");
+
+  /// Appends a node with its own core count and hostname (mixed-cluster
+  /// setups, \S 3.3.4). Mount file systems after all nodes exist.
+  ClusterNode &addNode(unsigned Cores, const std::string &Hostname);
+
+  Scheduler &scheduler() { return Sched; }
+  unsigned numNodes() const { return Nodes.size(); }
+  unsigned coresPerNode() const { return CoresPerNode; }
+  ClusterNode &node(unsigned Index) { return *Nodes[Index]; }
+
+  /// Mounts \p Fs on every node (one client per node, \S 3.2.2).
+  void mountEverywhere(DistributedFs &Fs);
+
+private:
+  Scheduler &Sched;
+  unsigned CoresPerNode;
+  std::vector<std::unique_ptr<ClusterNode>> Nodes;
+};
+
+} // namespace dmb
+
+#endif // DMETABENCH_CLUSTER_CLUSTER_H

@@ -1,0 +1,102 @@
+//===- cluster/Placement.cpp ----------------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/Placement.h"
+#include <algorithm>
+#include <cassert>
+
+using namespace dmb;
+
+MpiEnvironment::MpiEnvironment(std::vector<unsigned> Ranks)
+    : NodeOfRank(std::move(Ranks)) {
+  for (unsigned N : NodeOfRank)
+    NumNodes = std::max(NumNodes, N + 1);
+}
+
+MpiEnvironment MpiEnvironment::uniform(unsigned Nodes, unsigned PerNode) {
+  std::vector<unsigned> Layout;
+  Layout.reserve(static_cast<size_t>(Nodes) * PerNode);
+  for (unsigned N = 0; N < Nodes; ++N)
+    for (unsigned P = 0; P < PerNode; ++P)
+      Layout.push_back(N);
+  return MpiEnvironment(std::move(Layout));
+}
+
+Placement::Placement(const MpiEnvironment &Env) {
+  assert(Env.size() >= 2 && "need at least a master and one worker");
+
+  // Count processes per node and find the node with the most; its first
+  // rank becomes the master (\S 3.3.4).
+  std::map<unsigned, std::vector<int>> RanksByNode;
+  for (int R = 0, E = Env.size(); R != E; ++R)
+    RanksByNode[Env.nodeOf(R)].push_back(R);
+
+  unsigned MasterNode = 0;
+  size_t Best = 0;
+  for (const auto &KV : RanksByNode)
+    if (KV.second.size() > Best) {
+      Best = KV.second.size();
+      MasterNode = KV.first;
+    }
+  Master = RanksByNode[MasterNode].front();
+
+  ByNode = std::move(RanksByNode);
+  auto &MasterNodeRanks = ByNode[MasterNode];
+  MasterNodeRanks.erase(MasterNodeRanks.begin());
+  if (MasterNodeRanks.empty())
+    ByNode.erase(MasterNode);
+}
+
+unsigned Placement::maxPerNode() const {
+  size_t Best = 0;
+  for (const auto &KV : ByNode)
+    Best = std::max(Best, KV.second.size());
+  return Best;
+}
+
+std::optional<std::vector<int>> Placement::select(unsigned Nodes,
+                                                  unsigned PerNode) const {
+  if (Nodes == 0 || PerNode == 0)
+    return std::nullopt;
+  // First N nodes (in node order) with enough free workers.
+  std::vector<const std::vector<int> *> Chosen;
+  for (const auto &KV : ByNode) {
+    if (KV.second.size() >= PerNode)
+      Chosen.push_back(&KV.second);
+    if (Chosen.size() == Nodes)
+      break;
+  }
+  if (Chosen.size() < Nodes)
+    return std::nullopt;
+  // Round-robin across nodes: one worker from each node, then the second
+  // from each, and so forth (Fig. 3.9).
+  std::vector<int> Order;
+  Order.reserve(static_cast<size_t>(Nodes) * PerNode);
+  for (unsigned P = 0; P < PerNode; ++P)
+    for (const std::vector<int> *NodeRanks : Chosen)
+      Order.push_back((*NodeRanks)[P]);
+  return Order;
+}
+
+std::vector<PlanEntry> Placement::plan(unsigned NodeStep,
+                                       unsigned PpnStep) const {
+  if (NodeStep == 0)
+    NodeStep = 1;
+  if (PpnStep == 0)
+    PpnStep = 1;
+  std::vector<PlanEntry> Entries;
+  for (unsigned Ppn = 1; Ppn <= maxPerNode();
+       Ppn = Ppn == 1 ? (PpnStep == 1 ? 2 : PpnStep) : Ppn + PpnStep) {
+    for (unsigned N = 1; N <= maxNodes();
+         N = N == 1 ? (NodeStep == 1 ? 2 : NodeStep) : N + NodeStep) {
+      std::optional<std::vector<int>> Sel = select(N, Ppn);
+      if (!Sel)
+        continue;
+      Entries.push_back(PlanEntry{N, Ppn, std::move(*Sel)});
+    }
+  }
+  return Entries;
+}

@@ -1,0 +1,89 @@
+//===- cluster/Placement.h - MPI placement and execution plans --*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces DMetabench's startup logic (thesis \S 3.3.3-\S 3.3.4): the
+/// MPI environment fixes how many processes run on which node; DMetabench
+/// discovers the mapping (Table 3.2), derives an execution plan of feasible
+/// (nodes x processes-per-node) combinations (Table 3.3), and orders the
+/// selected workers round-robin across nodes (Fig. 3.9) for path-list
+/// matching (Fig. 3.10).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_CLUSTER_PLACEMENT_H
+#define DMETABENCH_CLUSTER_PLACEMENT_H
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dmb {
+
+/// The immutable process layout provided by the MPI runtime: rank -> node.
+class MpiEnvironment {
+public:
+  /// \p NodeOfRank[R] is the node index hosting MPI rank R.
+  explicit MpiEnvironment(std::vector<unsigned> NodeOfRank);
+
+  /// Uniform layout: \p PerNode consecutive ranks on each of \p Nodes
+  /// nodes (block placement, the common mpirun hostfile shape).
+  static MpiEnvironment uniform(unsigned Nodes, unsigned PerNode);
+
+  unsigned size() const { return NodeOfRank.size(); }
+  unsigned nodeOf(int Rank) const { return NodeOfRank[Rank]; }
+  unsigned numNodes() const { return NumNodes; }
+
+private:
+  std::vector<unsigned> NodeOfRank;
+  unsigned NumNodes = 0;
+};
+
+/// One row of the execution plan (one subtask configuration).
+struct PlanEntry {
+  unsigned NumNodes = 0;        ///< nodes used
+  unsigned PerNode = 0;         ///< worker processes per node
+  std::vector<int> WorkerRanks; ///< execution order (round-robin, Fig. 3.9)
+};
+
+/// Placement discovery and execution planning.
+class Placement {
+public:
+  explicit Placement(const MpiEnvironment &Env);
+
+  /// The master process: first rank on the node with the most processes
+  /// (\S 3.3.4), so the largest per-node worker count is preserved.
+  int masterRank() const { return Master; }
+
+  /// Table 3.2: worker ranks available on each node (master excluded).
+  const std::map<unsigned, std::vector<int>> &workersByNode() const {
+    return ByNode;
+  }
+
+  /// Largest feasible processes-per-node and node count.
+  unsigned maxPerNode() const;
+  unsigned maxNodes() const { return ByNode.size(); }
+
+  /// Selects workers for a (nodes x per-node) combination: the first
+  /// \p Nodes nodes with at least \p PerNode free workers, ordered
+  /// round-robin across nodes. nullopt when infeasible.
+  std::optional<std::vector<int>> select(unsigned Nodes,
+                                         unsigned PerNode) const;
+
+  /// Table 3.3: all feasible combinations honouring the step parameters
+  /// (\S 3.3.5: --ppnstep / node step reduce the grid).
+  std::vector<PlanEntry> plan(unsigned NodeStep = 1,
+                              unsigned PpnStep = 1) const;
+
+private:
+  int Master = 0;
+  std::map<unsigned, std::vector<int>> ByNode;
+};
+
+} // namespace dmb
+
+#endif // DMETABENCH_CLUSTER_PLACEMENT_H

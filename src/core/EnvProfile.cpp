@@ -1,0 +1,37 @@
+//===- core/EnvProfile.cpp ------------------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/EnvProfile.h"
+#include "support/Format.h"
+
+using namespace dmb;
+
+EnvProfile EnvProfile::capture(Cluster &C, const std::string &FsName) {
+  EnvProfile P;
+  P.CapturedAt = C.scheduler().now();
+  P.FileSystem = FsName;
+  for (unsigned I = 0, E = C.numNodes(); I != E; ++I) {
+    ClusterNode &N = C.node(I);
+    NodeProfile NP;
+    NP.Hostname = N.hostname();
+    NP.Cores = N.cpu().numCores();
+    NP.ActiveCpuTasks = N.cpu().activeTasks();
+    if (ClientFs *Mount = N.mount(FsName))
+      NP.MountDescription = Mount->describe();
+    P.Nodes.push_back(std::move(NP));
+  }
+  return P;
+}
+
+std::string EnvProfile::render() const {
+  std::string Out = format("# environment profile (t=%.3fs, fs=%s)\n",
+                           toSeconds(CapturedAt), FileSystem.c_str());
+  for (const NodeProfile &N : Nodes)
+    Out += format("node %s cores=%u active-tasks=%zu mount=\"%s\"\n",
+                  N.Hostname.c_str(), N.Cores, N.ActiveCpuTasks,
+                  N.MountDescription.c_str());
+  return Out;
+}

@@ -1,0 +1,49 @@
+//===- core/EnvProfile.h - Environment profiling -----------------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduction-by-retrospective-analysis (thesis \S 3.2.6): DMetabench
+/// records the static and dynamic state of the runtime environment with
+/// every result set, so deviations can be explained after the fact. Here
+/// the "environment" is the simulated cluster: node hardware, mount
+/// descriptions, and dynamic load at capture time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_CORE_ENVPROFILE_H
+#define DMETABENCH_CORE_ENVPROFILE_H
+
+#include "cluster/Cluster.h"
+#include "sim/Time.h"
+#include <string>
+#include <vector>
+
+namespace dmb {
+
+/// Snapshot of one node.
+struct NodeProfile {
+  std::string Hostname;
+  unsigned Cores = 0;
+  std::string MountDescription; ///< the client's describe() string
+  size_t ActiveCpuTasks = 0;    ///< dynamic load at capture (vmstat-like)
+};
+
+/// Snapshot of the whole environment.
+struct EnvProfile {
+  SimTime CapturedAt = 0;
+  std::string FileSystem;
+  std::vector<NodeProfile> Nodes;
+
+  /// Captures the environment for file system \p FsName.
+  static EnvProfile capture(Cluster &C, const std::string &FsName);
+
+  /// Human-readable rendering stored with results.
+  std::string render() const;
+};
+
+} // namespace dmb
+
+#endif // DMETABENCH_CORE_ENVPROFILE_H

@@ -1,0 +1,116 @@
+//===- core/ExtensionPlugins.cpp - Beyond Table 3.5 -----------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Extension plugins implementing the thesis's outlook chapter:
+///  * BulkStatFiles — retrieves all file attributes of a directory with
+///    one readdirplus request instead of per-file stat() round trips, the
+///    "inherently parallel metadata operation" of \S 5.3.2. One logical
+///    operation per file statted, so results compare directly against
+///    StatFiles/StatNocacheFiles.
+///  * ReaddirFiles — repeated full directory listings (the
+///    data-management scan workload of \S 2.8.3).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Plugin.h"
+#include "core/StreamHelpers.h"
+#include "support/Format.h"
+
+using namespace dmb;
+
+namespace {
+
+/// Base sharing the standard prepared file set.
+class PreparedSetInstance : public PluginInstance {
+public:
+  explicit PreparedSetInstance(const PluginContext &Ctx)
+      : Ctx(Ctx), Own(ownDir(Ctx)) {}
+
+  std::unique_ptr<OpStream> prepare() override {
+    return makeFileSetPrepare(Own, Ctx.ProblemSize);
+  }
+
+  std::unique_ptr<OpStream> cleanup() override {
+    return makeFileSetCleanup(Own, Ctx.ProblemSize);
+  }
+
+protected:
+  PluginContext Ctx;
+  std::string Own;
+};
+
+/// One readdirplus request covers the whole prepared directory; the
+/// completion counts one operation per entry statted.
+class BulkStatInstance : public PreparedSetInstance {
+public:
+  using PreparedSetInstance::PreparedSetInstance;
+
+  void beforeBench(ClientFs &Client) override {
+    // Like StatNocacheFiles: measure the protocol, not the local cache.
+    Client.dropCaches();
+  }
+
+  std::unique_ptr<OpStream> bench() override {
+    auto Issued = std::make_shared<bool>(false);
+    std::string Dir = Own + "/d0";
+    uint64_t Count = Ctx.ProblemSize;
+    return makeStream(
+        [Issued, Dir, Count](const MetaReply &, StreamStep &Out) {
+          if (*Issued)
+            return false;
+          *Issued = true;
+          Out.Req = makeReaddirPlus(Dir);
+          Out.CompletesOp = true;
+          Out.OpCount = Count;
+          return true;
+        });
+  }
+};
+
+/// Iterated full directory listings.
+class ReaddirInstance : public PreparedSetInstance {
+public:
+  using PreparedSetInstance::PreparedSetInstance;
+
+  std::unique_ptr<OpStream> bench() override {
+    // List the directory 100 times; each full listing is one operation.
+    auto Remaining = std::make_shared<uint64_t>(100);
+    std::string Dir = Own + "/d0";
+    return makeStream([Remaining, Dir](const MetaReply &, StreamStep &Out) {
+      if (*Remaining == 0)
+        return false;
+      --*Remaining;
+      Out.Req = makeReaddir(Dir);
+      Out.CompletesOp = true;
+      return true;
+    });
+  }
+};
+
+template <typename InstanceT>
+class ExtensionPlugin : public BenchmarkPlugin {
+public:
+  explicit ExtensionPlugin(std::string Name) : Name(std::move(Name)) {}
+
+  std::string name() const override { return Name; }
+  std::unique_ptr<PluginInstance>
+  makeInstance(const PluginContext &Ctx) override {
+    return std::make_unique<InstanceT>(Ctx);
+  }
+
+private:
+  std::string Name;
+};
+
+} // namespace
+
+void dmb::registerExtensionPlugins(PluginRegistry &Registry) {
+  Registry.add(std::make_unique<ExtensionPlugin<BulkStatInstance>>(
+      "BulkStatFiles"));
+  Registry.add(
+      std::make_unique<ExtensionPlugin<ReaddirInstance>>("ReaddirFiles"));
+}

@@ -1,0 +1,97 @@
+//===- core/Master.cpp ----------------------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Master.h"
+#include "core/EnvProfile.h"
+#include "core/Subtask.h"
+#include "support/Format.h"
+#include <cassert>
+
+using namespace dmb;
+
+Master::Master(Cluster &Cl, const MpiEnvironment &Environment,
+               std::string Fs, BenchParams P)
+    : C(Cl), Env(Environment), Plc(Environment), FsName(std::move(Fs)),
+      Params(std::move(P)) {}
+
+std::string Master::workDirFor(const PlanEntry &Entry, const std::string &Op,
+                               unsigned Ordinal) const {
+  if (!Params.PathList.empty())
+    return Params.PathList[Ordinal % Params.PathList.size()];
+  // Distinct root per subtask so consecutive combinations stay independent
+  // (\S 3.3.3: dependencies between operations are eliminated).
+  return Params.WorkDir +
+         format("/%s-%u-%u", Op.c_str(), Entry.NumNodes, Entry.PerNode);
+}
+
+SubtaskResult Master::runSubtask(const PlanEntry &Entry,
+                                 const std::string &Operation) {
+  BenchmarkPlugin *Plugin = PluginRegistry::global().get(Operation);
+  assert(Plugin && "unknown operation (not in the plugin registry)");
+
+  SubtaskSpec Spec;
+  Spec.Operation = Operation;
+  Spec.FileSystem = FsName;
+  Spec.NumNodes = Entry.NumNodes;
+  Spec.PerNode = Entry.PerNode;
+  Spec.Plugin = Plugin;
+  Spec.Params = Params;
+
+  for (unsigned I = 0, E = Entry.WorkerRanks.size(); I != E; ++I) {
+    int Rank = Entry.WorkerRanks[I];
+    unsigned NodeIndex = Env.nodeOf(Rank);
+    ClusterNode &Node = C.node(NodeIndex);
+    WorkerConfig W;
+    W.Rank = Rank;
+    W.Ordinal = I;
+    W.Hostname = Node.hostname();
+    W.Client = Node.mount(FsName);
+    assert(W.Client && "file system not mounted on node");
+    W.Cpu = &Node.cpu();
+    W.PerCallOverhead = Params.HarnessOverheadPerCall;
+    Spec.Workers.push_back(std::move(W));
+    Spec.WorkDirs.push_back(workDirFor(Entry, Operation, I));
+  }
+
+  SubtaskRunner Runner(C.scheduler(), std::move(Spec));
+  bool Finished = false;
+  SubtaskResult Result;
+  Runner.run([&](SubtaskResult R) {
+    Result = std::move(R);
+    Finished = true;
+  });
+  C.scheduler().run();
+  assert(Finished && "subtask did not complete");
+  return Result;
+}
+
+ResultSet Master::run() {
+  ResultSet Results;
+  Results.Label = Params.Label;
+  Results.EnvironmentProfile = EnvProfile::capture(C, FsName).render();
+
+  // Three nested loops: nodes x processes-per-node x operations
+  // (\S 3.3.3 "Benchmark execution").
+  for (const PlanEntry &Entry : Plc.plan(Params.NodeStep, Params.PpnStep))
+    for (const std::string &Op : Params.Operations)
+      Results.Subtasks.push_back(runSubtask(Entry, Op));
+  return Results;
+}
+
+ResultSet Master::runCombination(unsigned Nodes, unsigned PerNode) {
+  ResultSet Results;
+  Results.Label = Params.Label;
+  Results.EnvironmentProfile = EnvProfile::capture(C, FsName).render();
+
+  std::optional<std::vector<int>> Sel = Plc.select(Nodes, PerNode);
+  assert(Sel && "infeasible nodes x per-node combination");
+  if (!Sel)
+    return Results; // No such placement: nothing to run.
+  PlanEntry Entry{Nodes, PerNode, std::move(*Sel)};
+  for (const std::string &Op : Params.Operations)
+    Results.Subtasks.push_back(runSubtask(Entry, Op));
+  return Results;
+}

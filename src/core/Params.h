@@ -1,0 +1,65 @@
+//===- core/Params.h - Benchmark parameters ----------------------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The explicit DMetabench parameters of thesis Table 3.4: problem size,
+/// working directory or per-process path list, node/ppn steps, operations
+/// and label. (The implicit parameters — MPI slots and their placement —
+/// live in cluster/Placement.h.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_CORE_PARAMS_H
+#define DMETABENCH_CORE_PARAMS_H
+
+#include "fs/Types.h"
+#include "sim/Time.h"
+#include <string>
+#include <vector>
+
+namespace dmb {
+
+/// Explicit parameters of a benchmark run (thesis \S 3.3.5).
+struct BenchParams {
+  /// Operations to measure, by plugin name (Table 3.5).
+  std::vector<std::string> Operations = {"MakeFiles"};
+
+  /// Number of operations per process (fixed-size plugins) or the
+  /// directory rollover limit (time-limited plugins, \S 3.3.7).
+  uint64_t ProblemSize = 5000;
+
+  /// Shared target directory (\S 3.3.6, default placement).
+  std::string WorkDir = "/dmetabench";
+
+  /// Optional per-process working paths (\S 3.3.6, Fig. 3.10 (b)); matched
+  /// to workers in execution order. Empty = use WorkDir.
+  std::vector<std::string> PathList;
+
+  /// Wall-clock budget for time-limited plugins such as MakeFiles.
+  SimDuration TimeLimit = seconds(60.0);
+
+  /// Progress sampling interval of the supervisor thread (\S 3.3.3).
+  SimDuration LogInterval = milliseconds(100);
+
+  /// Plan thinning (\S 3.3.5: --ppnstep and the node step).
+  unsigned NodeStep = 1;
+  unsigned PpnStep = 1;
+
+  /// Label recorded with the result set.
+  std::string Label = "run";
+
+  /// Identity the workers run under.
+  Cred Creds;
+
+  /// Per-request client-side CPU cost — the interpreted-harness overhead
+  /// quantified in \S 4.2.2 (Table 4.2). Setting this to the "C loop"
+  /// value reproduces experiment E03.
+  SimDuration HarnessOverheadPerCall = microseconds(7);
+};
+
+} // namespace dmb
+
+#endif // DMETABENCH_CORE_PARAMS_H

@@ -1,0 +1,39 @@
+//===- core/Plugin.cpp ----------------------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Plugin.h"
+
+using namespace dmb;
+
+OpStream::~OpStream() = default;
+PluginInstance::~PluginInstance() = default;
+BenchmarkPlugin::~BenchmarkPlugin() = default;
+
+PluginRegistry &PluginRegistry::global() {
+  static PluginRegistry *Registry = []() {
+    auto *R = new PluginRegistry();
+    registerBuiltinPlugins(*R);
+    return R;
+  }();
+  return *Registry;
+}
+
+void PluginRegistry::add(std::unique_ptr<BenchmarkPlugin> Plugin) {
+  std::string Name = Plugin->name();
+  Plugins[Name] = std::move(Plugin);
+}
+
+BenchmarkPlugin *PluginRegistry::get(const std::string &Name) const {
+  auto It = Plugins.find(Name);
+  return It == Plugins.end() ? nullptr : It->second.get();
+}
+
+std::vector<std::string> PluginRegistry::names() const {
+  std::vector<std::string> Names;
+  for (const auto &KV : Plugins)
+    Names.push_back(KV.first);
+  return Names;
+}

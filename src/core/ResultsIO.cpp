@@ -1,0 +1,74 @@
+//===- core/ResultsIO.cpp -------------------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ResultsIO.h"
+#include "analysis/Preprocess.h"
+#include "support/Format.h"
+#include <cstdio>
+#include <filesystem>
+
+using namespace dmb;
+
+static std::string subtaskFileName(const SubtaskResult &Sub) {
+  return format("results-%s-%u-%u.tsv", Sub.Operation.c_str(), Sub.NumNodes,
+                Sub.NumNodes * Sub.PerNode);
+}
+
+static std::string intervalsFileName(const SubtaskResult &Sub) {
+  return format("intervals-%s-%u-%u.tsv", Sub.Operation.c_str(),
+                Sub.NumNodes, Sub.NumNodes * Sub.PerNode);
+}
+
+std::vector<std::string> dmb::resultSetFileNames(const ResultSet &Results) {
+  std::vector<std::string> Names;
+  for (const SubtaskResult &Sub : Results.Subtasks) {
+    Names.push_back(subtaskFileName(Sub));
+    Names.push_back(intervalsFileName(Sub));
+  }
+  Names.push_back("summary.tsv");
+  Names.push_back("environment.txt");
+  return Names;
+}
+
+static bool writeFile(const std::filesystem::path &Path,
+                      const std::string &Contents) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  size_t Written = std::fwrite(Contents.data(), 1, Contents.size(), F);
+  bool Ok = Written == Contents.size();
+  return std::fclose(F) == 0 && Ok;
+}
+
+bool dmb::writeResultSet(const ResultSet &Results, const std::string &Dir) {
+  std::error_code Ec;
+  std::filesystem::path Root(Dir);
+  std::filesystem::create_directories(Root, Ec);
+  if (Ec)
+    return false;
+
+  // Per-subtask raw protocols (Listing 3.3) and interval summaries
+  // (Listing 3.4).
+  std::string Summary = "Operation\tNodes\tPerNode\tProcs\tTotalOps\t"
+                        "WallClockSec\tWallClockOpsPerSec\t"
+                        "StonewallOpsPerSec\n";
+  for (const SubtaskResult &Sub : Results.Subtasks) {
+    if (!writeFile(Root / subtaskFileName(Sub), Sub.toTsv()))
+      return false;
+    if (!writeFile(Root / intervalsFileName(Sub), intervalSummaryTsv(Sub)))
+      return false;
+    SubtaskSummary Sum = summarize(Sub);
+    Summary += format("%s\t%u\t%u\t%u\t%llu\t%.3f\t%.1f\t%.1f\n",
+                      Sum.Operation.c_str(), Sum.NumNodes, Sum.PerNode,
+                      Sum.TotalProcesses,
+                      (unsigned long long)Sum.TotalOps, Sum.WallClockSec,
+                      Sum.WallClockOpsPerSec, Sum.StonewallOpsPerSec);
+  }
+  if (!writeFile(Root / "summary.tsv", Summary))
+    return false;
+  // The environment snapshot recorded with the run (\S 3.2.6).
+  return writeFile(Root / "environment.txt", Results.EnvironmentProfile);
+}

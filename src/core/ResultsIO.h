@@ -1,0 +1,35 @@
+//===- core/ResultsIO.h - Result-set persistence -----------------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Writes a benchmark run to disk in the thesis's file layout (\S 3.3.9):
+/// one results-<op>-<nodes>-<procs>.tsv per subtask (Listing 3.3), a
+/// summary.tsv of per-subtask averages (Listing 3.5), an intervals
+/// TSV per subtask (Listing 3.4) and the recorded environment profile
+/// (\S 3.2.6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_CORE_RESULTSIO_H
+#define DMETABENCH_CORE_RESULTSIO_H
+
+#include "core/Results.h"
+#include <string>
+#include <vector>
+
+namespace dmb {
+
+/// Writes \p Results under directory \p Dir (created if missing).
+/// Returns false (with nothing partially deleted) on I/O failure.
+bool writeResultSet(const ResultSet &Results, const std::string &Dir);
+
+/// The file names writeResultSet() would produce for \p Results, relative
+/// to the output directory (for tooling and tests).
+std::vector<std::string> resultSetFileNames(const ResultSet &Results);
+
+} // namespace dmb
+
+#endif // DMETABENCH_CORE_RESULTSIO_H

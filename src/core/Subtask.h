@@ -1,0 +1,75 @@
+//===- core/Subtask.h - One benchmark subtask --------------------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs one subtask — one (operation, nodes, processes-per-node) cell of
+/// the execution plan — through its three phases with barriers at phase
+/// boundaries, exactly as in thesis Fig. 3.7: "At the beginning and end of
+/// every phase, an MPI barrier is used to ensure that all processes start
+/// and complete simultaneously. In this manner, all time intervals begin at
+/// the same time."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_CORE_SUBTASK_H
+#define DMETABENCH_CORE_SUBTASK_H
+
+#include "core/Params.h"
+#include "core/Plugin.h"
+#include "core/Results.h"
+#include "core/Worker.h"
+#include "sim/Scheduler.h"
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dmb {
+
+/// Everything needed to run one subtask.
+struct SubtaskSpec {
+  std::string Operation;
+  std::string FileSystem;
+  unsigned NumNodes = 0;
+  unsigned PerNode = 0;
+  BenchmarkPlugin *Plugin = nullptr;
+  BenchParams Params;
+  std::vector<WorkerConfig> Workers;   ///< in execution order (Fig. 3.9)
+  std::vector<std::string> WorkDirs;   ///< per worker (Fig. 3.10)
+};
+
+/// Drives a subtask through prepare / doBench / cleanup.
+class SubtaskRunner {
+public:
+  SubtaskRunner(Scheduler &Sched, SubtaskSpec Spec);
+  ~SubtaskRunner();
+
+  /// Starts the subtask; \p Done receives the result when finished. The
+  /// runner must stay alive until then.
+  void run(std::function<void(SubtaskResult)> Done);
+
+private:
+  void ensureWorkDirs(std::function<void()> Then);
+  void runPhaseAll(int PhaseIndex, std::function<void()> Then);
+  void finish();
+  /// The partner of worker \p Ordinal: the next worker in round-robin
+  /// order, which lives on a different node whenever more than one node
+  /// participates (StatMultinodeFiles, \S 3.4.3).
+  unsigned partnerOf(unsigned Ordinal) const;
+
+  Scheduler &Sched;
+  SubtaskSpec Spec;
+  std::vector<std::unique_ptr<WorkerProcess>> Workers;
+  std::vector<std::unique_ptr<PluginInstance>> Instances;
+  SimTime BenchStart = 0;
+  std::function<void(SubtaskResult)> Done;
+  unsigned Remaining = 0;
+  std::vector<uint64_t> BenchFailures;
+};
+
+} // namespace dmb
+
+#endif // DMETABENCH_CORE_SUBTASK_H

@@ -1,0 +1,37 @@
+//===- core/TimeLog.cpp ---------------------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/TimeLog.h"
+#include <cassert>
+
+using namespace dmb;
+
+void TimeLog::start(SimTime PhaseStart, SimDuration IntervalWidth) {
+  assert(IntervalWidth > 0 && "interval must be positive");
+  Start = PhaseStart;
+  Interval = IntervalWidth;
+  Total = 0;
+  FinishOffset = 0;
+  Buckets.clear();
+}
+
+void TimeLog::record(SimTime Now, uint64_t Count) {
+  assert(Now >= Start && "operation completed before phase start");
+  size_t Index = static_cast<size_t>((Now - Start) / Interval);
+  if (Buckets.size() <= Index)
+    Buckets.resize(Index + 1, 0);
+  Buckets[Index] += Count;
+  Total += Count;
+}
+
+void TimeLog::finish(SimTime Now) { FinishOffset = Now - Start; }
+
+uint64_t TimeLog::cumulativeAt(size_t Index) const {
+  uint64_t Sum = 0;
+  for (size_t I = 0; I <= Index && I < Buckets.size(); ++I)
+    Sum += Buckets[I];
+  return Sum;
+}

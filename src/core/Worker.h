@@ -1,0 +1,80 @@
+//===- core/Worker.h - Worker process engine ---------------------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One benchmark worker process (thesis \S 3.3.2): a closed loop pulling
+/// requests from the current phase's OpStream, charging per-call harness
+/// overhead on the node CPU, submitting to the node's file system client,
+/// and logging completed operations into the TimeLog — the supervisor
+/// thread's role from Fig. 3.7.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_CORE_WORKER_H
+#define DMETABENCH_CORE_WORKER_H
+
+#include "core/Plugin.h"
+#include "core/TimeLog.h"
+#include "sim/Scheduler.h"
+#include "sim/SharedProcessor.h"
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace dmb {
+
+/// Static configuration of one worker process.
+struct WorkerConfig {
+  int Rank = 1;
+  unsigned Ordinal = 0;
+  std::string Hostname;
+  ClientFs *Client = nullptr;
+  SharedProcessor *Cpu = nullptr;
+  /// Scheduling weight of this process on its node (nice level, \S 4.4).
+  double CpuWeight = 1.0;
+  /// Client-side CPU cost per file system call (\S 4.2.2).
+  SimDuration PerCallOverhead = microseconds(7);
+  /// Identity stamped on every request this worker issues.
+  Cred Creds;
+};
+
+/// Executes plugin phases for one process.
+class WorkerProcess {
+public:
+  WorkerProcess(Scheduler &Sched, WorkerConfig Config);
+
+  /// Runs one phase to completion (or until \p Deadline for time-limited
+  /// bench phases; 0 disables the deadline). When \p Record is true,
+  /// completed operations are logged into log(). \p Done fires when the
+  /// phase has finished.
+  void runPhase(std::unique_ptr<OpStream> Stream, bool Record,
+                SimTime Deadline, std::function<void()> Done);
+
+  TimeLog &log() { return Log; }
+  const WorkerConfig &config() const { return Config; }
+  uint64_t failedRequests() const { return Failures; }
+  void resetFailures() { Failures = 0; }
+
+private:
+  void step();
+
+  Scheduler &Sched;
+  WorkerConfig Config;
+  TimeLog Log;
+  uint64_t Failures = 0;
+
+  // Per-phase state.
+  std::unique_ptr<OpStream> Stream;
+  bool Record = false;
+  SimTime Deadline = 0;
+  std::function<void()> Done;
+  MetaReply LastReply;
+  bool AtOpBoundary = true;
+};
+
+} // namespace dmb
+
+#endif // DMETABENCH_CORE_WORKER_H

@@ -1,0 +1,32 @@
+//===- dfs/AttrCache.cpp --------------------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dfs/AttrCache.h"
+
+using namespace dmb;
+
+void AttrCache::insert(const std::string &Path, const Attr &A, SimTime Now) {
+  Entries[Path] = Entry{A, Now};
+}
+
+std::optional<Attr> AttrCache::lookup(const std::string &Path, SimTime Now) {
+  auto It = Entries.find(Path);
+  if (It == Entries.end()) {
+    ++Misses;
+    return std::nullopt;
+  }
+  if (Ttl > 0 && Now - It->second.InsertedAt > Ttl) {
+    Entries.erase(It);
+    ++Misses;
+    return std::nullopt;
+  }
+  ++Hits;
+  return It->second.A;
+}
+
+void AttrCache::invalidate(const std::string &Path) { Entries.erase(Path); }
+
+void AttrCache::clear() { Entries.clear(); }

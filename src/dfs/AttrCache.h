@@ -1,0 +1,61 @@
+//===- dfs/AttrCache.h - Client attribute/dentry cache ----------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A time-bounded attribute cache keyed by path — the client-side cache
+/// whose behaviour the StatFiles / StatNocacheFiles / StatMultinodeFiles
+/// plugins probe (thesis \S 3.4.3). A TTL of zero disables expiry
+/// (callback/invalidation-based systems like AFS).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_DFS_ATTRCACHE_H
+#define DMETABENCH_DFS_ATTRCACHE_H
+
+#include "fs/Types.h"
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace dmb {
+
+/// Path -> Attr cache with per-entry expiry.
+class AttrCache {
+public:
+  /// \p Ttl of 0 means entries never expire (invalidation-only caches).
+  explicit AttrCache(SimDuration Ttl) : Ttl(Ttl) {}
+
+  /// Stores attributes observed at \p Now.
+  void insert(const std::string &Path, const Attr &A, SimTime Now);
+
+  /// Returns fresh attributes or nullopt on miss/expiry.
+  std::optional<Attr> lookup(const std::string &Path, SimTime Now);
+
+  /// Drops one entry (mutation invalidation / callback break).
+  void invalidate(const std::string &Path);
+
+  /// Drops everything (drop_caches, remount).
+  void clear();
+
+  size_t size() const { return Entries.size(); }
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+
+private:
+  struct Entry {
+    Attr A;
+    SimTime InsertedAt = 0;
+  };
+
+  SimDuration Ttl;
+  std::unordered_map<std::string, Entry> Entries;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+} // namespace dmb
+
+#endif // DMETABENCH_DFS_ATTRCACHE_H

@@ -1,0 +1,11 @@
+//===- dfs/ClientFs.cpp ---------------------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dfs/ClientFs.h"
+
+using namespace dmb;
+
+ClientFs::~ClientFs() = default;

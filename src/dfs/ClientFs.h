@@ -1,0 +1,47 @@
+//===- dfs/ClientFs.h - Abstract file system client --------------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client-side mount point a benchmark worker talks to. There is one
+/// ClientFs instance per (node, file system) pair, mirroring how an
+/// operating-system instance shares one file system client — and one cache —
+/// among all its processes (thesis \S 3.2.2 on intra- vs inter-node
+/// parallelism).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_DFS_CLIENTFS_H
+#define DMETABENCH_DFS_CLIENTFS_H
+
+#include "dfs/Message.h"
+#include <functional>
+#include <string>
+
+namespace dmb {
+
+/// Asynchronous client interface: submit an operation, get the reply via
+/// callback once network, queueing and service delays have elapsed.
+class ClientFs {
+public:
+  using Callback = std::function<void(MetaReply)>;
+
+  virtual ~ClientFs();
+
+  /// Submits one operation. The callback fires at the simulated completion
+  /// time of the operation.
+  virtual void submit(const MetaRequest &Req, Callback Done) = 0;
+
+  /// Drops client-side caches — the /proc/sys/vm/drop_caches equivalent
+  /// used by the StatNocacheFiles plugin (thesis \S 3.4.3).
+  virtual void dropCaches() {}
+
+  /// Short description for result protocols ("nfs3 filer=fas3050").
+  virtual std::string describe() const = 0;
+};
+
+} // namespace dmb
+
+#endif // DMETABENCH_DFS_CLIENTFS_H

@@ -1,0 +1,65 @@
+//===- dfs/CxfsFs.cpp -----------------------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dfs/CxfsFs.h"
+#include "support/Format.h"
+
+using namespace dmb;
+
+ServerConfig dmb::makeCxfsMdsConfig(const std::string &Name) {
+  ServerConfig C;
+  C.Name = Name;
+  C.CpuThreads = 2;
+  C.Costs.BaseMetaOp = microseconds(70);
+  C.Costs.PerInodeTouched = microseconds(4);
+  C.Costs.PerDirEntryWritten = microseconds(8);
+  C.CommitLatency = microseconds(25); // metadata log commit
+  // XFS-derived: B-tree directories.
+  C.VolumeDefaults.DirIndex = DirIndexKind::BTree;
+  return C;
+}
+
+CxfsOptions::CxfsOptions() : Mds(makeCxfsMdsConfig()) {}
+
+CxfsFs::CxfsFs(Scheduler &Sched, CxfsOptions Opts)
+    : Sched(Sched), Options(std::move(Opts)), Mds(Sched, Options.Mds) {
+  Mds.addVolume(VolumeName);
+}
+
+std::unique_ptr<ClientFs> CxfsFs::makeClient(unsigned NodeIndex) {
+  return std::make_unique<CxfsClient>(Sched, Mds, Options, NodeIndex);
+}
+
+CxfsClient::CxfsClient(Scheduler &Sched, FileServer &Mds,
+                       const CxfsOptions &Opts, unsigned NodeIndex)
+    : Sched(Sched), Mds(Mds), Options(Opts), NodeIndex(NodeIndex),
+      Token(Sched) {}
+
+std::string CxfsClient::describe() const {
+  return format("cxfs node=%u mds=%s", NodeIndex,
+                Mds.config().Name.c_str());
+}
+
+void CxfsClient::submit(const MetaRequest &Req, Callback Done) {
+  // The node-wide token is held for the whole operation: processes inside
+  // one OS instance serialize (\S 4.5.3), while different nodes proceed in
+  // parallel up to MDS saturation.
+  Token.lock([this, Req, Done = std::move(Done)]() mutable {
+    Sched.after(Options.TokenOverhead + Options.RpcOneWayLatency,
+                [this, Req, Done = std::move(Done)]() mutable {
+                  Mds.process(
+                      CxfsFs::VolumeName, Req,
+                      [this, Done = std::move(Done)](MetaReply Reply) {
+                        Sched.after(Options.RpcOneWayLatency,
+                                    [this, Done = std::move(Done),
+                                     Reply = std::move(Reply)]() {
+                                      Token.unlock();
+                                      Done(Reply);
+                                    });
+                      });
+                });
+  });
+}

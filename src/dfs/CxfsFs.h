@@ -1,0 +1,78 @@
+//===- dfs/CxfsFs.h - CXFS SAN file system model -----------------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CXFS SAN file system of the HLRB II (thesis \S 4.1.3): clients read
+/// and write data directly on the SAN, but *all* metadata operations are
+/// delegated to a central metadata server (\S 2.5.2). Before an operation a
+/// node must obtain the relevant token; within one OS instance this
+/// serializes metadata operations, which is why CXFS intra-node scaling is
+/// flat in \S 4.5.3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_DFS_CXFSFS_H
+#define DMETABENCH_DFS_CXFSFS_H
+
+#include "dfs/DistributedFs.h"
+#include "dfs/FileServer.h"
+#include "sim/Mutex.h"
+#include "sim/Scheduler.h"
+#include <memory>
+
+namespace dmb {
+
+/// Tunables of the CXFS deployment.
+struct CxfsOptions {
+  SimDuration RpcOneWayLatency = microseconds(60); ///< dedicated network
+  SimDuration TokenOverhead = microseconds(25); ///< token acquire/release
+  ServerConfig Mds;
+
+  CxfsOptions();
+};
+
+/// Returns the metadata-controller profile.
+ServerConfig makeCxfsMdsConfig(const std::string &Name = "cxfs-mds");
+
+/// The deployed CXFS file system.
+class CxfsFs final : public DistributedFs {
+public:
+  CxfsFs(Scheduler &Sched, CxfsOptions Options = CxfsOptions());
+
+  std::unique_ptr<ClientFs> makeClient(unsigned NodeIndex) override;
+  std::string name() const override { return "cxfs"; }
+
+  FileServer &mds() { return Mds; }
+  const CxfsOptions &options() const { return Options; }
+
+  static constexpr const char *VolumeName = "san0";
+
+private:
+  Scheduler &Sched;
+  CxfsOptions Options;
+  FileServer Mds;
+};
+
+/// Per-node CXFS client: token-serialized metadata RPCs to the MDS.
+class CxfsClient final : public ClientFs {
+public:
+  CxfsClient(Scheduler &Sched, FileServer &Mds, const CxfsOptions &Options,
+             unsigned NodeIndex);
+
+  void submit(const MetaRequest &Req, Callback Done) override;
+  std::string describe() const override;
+
+private:
+  Scheduler &Sched;
+  FileServer &Mds;
+  CxfsOptions Options;
+  unsigned NodeIndex;
+  SimMutex Token; ///< node-wide metadata token
+};
+
+} // namespace dmb
+
+#endif // DMETABENCH_DFS_CXFSFS_H

@@ -1,0 +1,11 @@
+//===- dfs/DistributedFs.cpp ----------------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dfs/DistributedFs.h"
+
+using namespace dmb;
+
+DistributedFs::~DistributedFs() = default;

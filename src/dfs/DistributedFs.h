@@ -1,0 +1,40 @@
+//===- dfs/DistributedFs.h - Deployed file system instance ------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A file system deployment as the cluster sees it: something that can hand
+/// each node its own client (its own OS cache instance). The six models of
+/// thesis Ch. 4 implement this interface: NFS, Lustre, AFS, Ontap GX, CXFS
+/// and a node-local file system.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_DFS_DISTRIBUTEDFS_H
+#define DMETABENCH_DFS_DISTRIBUTEDFS_H
+
+#include "dfs/ClientFs.h"
+#include <memory>
+#include <string>
+
+namespace dmb {
+
+/// A deployed (simulated) file system.
+class DistributedFs {
+public:
+  virtual ~DistributedFs();
+
+  /// Creates the client/mount instance for node \p NodeIndex. Processes on
+  /// the same node share one client; different nodes get independent
+  /// clients with independent caches (thesis \S 3.2.2).
+  virtual std::unique_ptr<ClientFs> makeClient(unsigned NodeIndex) = 0;
+
+  /// Short name for protocols and charts ("nfs", "lustre", ...).
+  virtual std::string name() const = 0;
+};
+
+} // namespace dmb
+
+#endif // DMETABENCH_DFS_DISTRIBUTEDFS_H

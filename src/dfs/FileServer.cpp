@@ -1,0 +1,372 @@
+//===- dfs/FileServer.cpp -------------------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dfs/FileServer.h"
+#include <algorithm>
+#include <cassert>
+
+using namespace dmb;
+
+FileServer::FileServer(Scheduler &Sched, ServerConfig C)
+    : Sched(Sched), Config(std::move(C)),
+      Cpu(Sched, Config.Name + ".cpu", Config.CpuThreads) {}
+
+LocalFileSystem &FileServer::addVolume(const std::string &Name) {
+  return addVolume(Name, Config.VolumeDefaults);
+}
+
+LocalFileSystem &FileServer::addVolume(const std::string &Name,
+                                       FsConfig VolConfig) {
+  auto Vol = std::make_unique<LocalFileSystem>(VolConfig);
+  LocalFileSystem &Ref = *Vol;
+  Volumes[Name] = std::move(Vol);
+  return Ref;
+}
+
+LocalFileSystem *FileServer::volume(const std::string &Name) {
+  auto It = Volumes.find(Name);
+  return It == Volumes.end() ? nullptr : It->second.get();
+}
+
+std::unique_ptr<LocalFileSystem>
+FileServer::removeVolume(const std::string &Name) {
+  auto It = Volumes.find(Name);
+  if (It == Volumes.end())
+    return nullptr;
+  std::unique_ptr<LocalFileSystem> Vol = std::move(It->second);
+  Volumes.erase(It);
+  return Vol;
+}
+
+void FileServer::adoptVolume(const std::string &Name,
+                             std::unique_ptr<LocalFileSystem> Vol) {
+  Volumes[Name] = std::move(Vol);
+}
+
+MetaReply FileServer::execute(LocalFileSystem &Vol, const MetaRequest &Req,
+                              SimTime Now, OpCost &Cost) {
+  OpCtx Ctx;
+  Ctx.Creds = Req.Creds;
+  Ctx.Now = Now;
+  MetaReply Reply;
+
+  switch (Req.Op) {
+  case MetaOp::Mkdir:
+    Reply.Err = Vol.mkdir(Ctx, Req.Path, Req.Mode);
+    break;
+  case MetaOp::Rmdir:
+    Reply.Err = Vol.rmdir(Ctx, Req.Path);
+    break;
+  case MetaOp::Unlink:
+    Reply.Err = Vol.unlink(Ctx, Req.Path);
+    break;
+  case MetaOp::Remove:
+    Reply.Err = Vol.remove(Ctx, Req.Path);
+    break;
+  case MetaOp::Rename:
+    Reply.Err = Vol.rename(Ctx, Req.Path, Req.Path2);
+    break;
+  case MetaOp::Link:
+    Reply.Err = Vol.link(Ctx, Req.Path, Req.Path2);
+    break;
+  case MetaOp::Symlink:
+    Reply.Err = Vol.symlink(Ctx, Req.Path2, Req.Path);
+    break;
+  case MetaOp::Readlink: {
+    Result<std::string> R = Vol.readlink(Ctx, Req.Path);
+    Reply.Err = R.error();
+    if (R.ok())
+      Reply.Text = *R;
+    break;
+  }
+  case MetaOp::Stat: {
+    Result<Attr> R = Vol.stat(Ctx, Req.Path);
+    Reply.Err = R.error();
+    if (R.ok())
+      Reply.A = *R;
+    break;
+  }
+  case MetaOp::Lstat: {
+    Result<Attr> R = Vol.lstat(Ctx, Req.Path);
+    Reply.Err = R.error();
+    if (R.ok())
+      Reply.A = *R;
+    break;
+  }
+  case MetaOp::Chmod:
+    Reply.Err = Vol.chmod(Ctx, Req.Path, Req.Mode);
+    break;
+  case MetaOp::Chown:
+    Reply.Err = Vol.chown(Ctx, Req.Path, Req.Uid, Req.Gid);
+    break;
+  case MetaOp::Utimes:
+    Reply.Err = Vol.utimes(Ctx, Req.Path, Req.Atime, Req.Mtime);
+    break;
+  case MetaOp::Readdir: {
+    Result<std::vector<DirEntry>> R = Vol.readdir(Ctx, Req.Path);
+    Reply.Err = R.error();
+    if (R.ok())
+      Reply.Entries = std::move(*R);
+    break;
+  }
+  case MetaOp::ReaddirPlus: {
+    Result<std::vector<DirEntry>> R = Vol.readdir(Ctx, Req.Path);
+    Reply.Err = R.error();
+    if (!R.ok())
+      break;
+    Reply.Entries = std::move(*R);
+    // One server-side pass gathers every entry's attributes — the whole
+    // point of the batched protocol (\S 5.3.2): no per-entry round trip.
+    std::string Base = Req.Path == "/" ? std::string() : Req.Path;
+    for (const DirEntry &E : Reply.Entries) {
+      if (E.Name == "." || E.Name == "..")
+        continue;
+      Result<Attr> A = Vol.lstat(Ctx, Base + "/" + E.Name);
+      if (A.ok())
+        Reply.EntryAttrs.push_back({E.Name, *A});
+    }
+    break;
+  }
+  case MetaOp::Open: {
+    Result<FileHandle> R = Vol.open(Ctx, Req.Path, Req.Flags, Req.Mode);
+    Reply.Err = R.error();
+    if (R.ok()) {
+      Reply.Fh = *R;
+      // Post-operation attributes, as NFSv3 replies carry them; clients use
+      // this to warm their attribute caches.
+      if (Result<Attr> A = Vol.fstat(Ctx, *R); A.ok())
+        Reply.A = *A;
+    }
+    break;
+  }
+  case MetaOp::Close:
+    Reply.Err = Vol.close(Ctx, Req.Fh);
+    break;
+  case MetaOp::Write: {
+    Result<uint64_t> R = Vol.write(Ctx, Req.Fh, Req.Bytes);
+    Reply.Err = R.error();
+    if (R.ok())
+      Reply.Bytes = *R;
+    break;
+  }
+  case MetaOp::Read: {
+    Result<uint64_t> R = Vol.read(Ctx, Req.Fh, Req.Bytes);
+    Reply.Err = R.error();
+    if (R.ok())
+      Reply.Bytes = *R;
+    break;
+  }
+  case MetaOp::Seek: {
+    Result<uint64_t> R = Vol.seek(Ctx, Req.Fh, Req.Bytes);
+    Reply.Err = R.error();
+    if (R.ok())
+      Reply.Bytes = *R;
+    break;
+  }
+  case MetaOp::Ftruncate:
+    Reply.Err = Vol.ftruncate(Ctx, Req.Fh, Req.Bytes);
+    break;
+  case MetaOp::Fsync:
+    // State is always durable in the in-memory store; fsync only costs time
+    // (charged by the server's commit model).
+    Reply.Err = FsError::Ok;
+    break;
+  case MetaOp::Lock:
+    Reply.Err = Vol.lockFile(Ctx, Req.Fh, /*Exclusive=*/Req.Flags != 0);
+    break;
+  case MetaOp::Unlock:
+    Reply.Err = Vol.unlockFile(Ctx, Req.Fh);
+    break;
+  case MetaOp::Setxattr:
+    Reply.Err = Vol.setxattr(Ctx, Req.Path, Req.Path2, Req.Value);
+    break;
+  case MetaOp::Getxattr: {
+    Result<std::string> R = Vol.getxattr(Ctx, Req.Path, Req.Path2);
+    Reply.Err = R.error();
+    if (R.ok())
+      Reply.Text = *R;
+    break;
+  }
+  }
+
+  Cost += Ctx.Cost;
+  return Reply;
+}
+
+void FileServer::noteMutation(const MetaRequest &Req) {
+  bool Mutates = isMutation(Req.Op) ||
+                 (Req.Op == MetaOp::Open && (Req.Flags & OpenCreate));
+  if (!Mutates)
+    return;
+  DirtyBytes += Config.LogBytesPerMutation;
+  if (Config.EnableConsistencyPoints)
+    maybeStartConsistencyPoint();
+  else
+    DirtyBytes = 0; // No CP model: commits are immediate.
+}
+
+void FileServer::maybeStartConsistencyPoint() {
+  // Arm the periodic timer on first dirty data: a CP happens at the latest
+  // CpInterval after the previous one (WAFL behaviour, \S 4.2.3).
+  if (!CpTimerArmed && DirtyBytes > 0) {
+    CpTimerArmed = true;
+    Sched.after(Config.CpInterval, [this]() {
+      CpTimerArmed = false;
+      if (DirtyBytes > 0 && !CpActive)
+        startConsistencyPoint();
+      else if (DirtyBytes > 0)
+        maybeStartConsistencyPoint();
+    });
+  }
+  // NVRAM half-full forces an early CP.
+  if (!CpActive && DirtyBytes >= Config.NvramCapacityBytes / 2)
+    startConsistencyPoint();
+}
+
+void FileServer::startConsistencyPoint() {
+  assert(!CpActive && "nested consistency point");
+  CpActive = true;
+  ++CpCount;
+  uint64_t Flushing = DirtyBytes;
+  DirtyBytes = 0;
+  SimDuration FlushTime = static_cast<SimDuration>(
+      static_cast<double>(Flushing) / Config.CpFlushBytesPerSec * 1e9);
+  Cpu.setSlowdown(Config.CpSlowdown);
+  Sched.after(FlushTime, [this]() {
+    Cpu.setSlowdown(1.0);
+    CpActive = false;
+    if (DirtyBytes >= Config.NvramCapacityBytes / 2)
+      startConsistencyPoint();
+    else if (DirtyBytes > 0)
+      maybeStartConsistencyPoint();
+  });
+}
+
+MetaReply FileServer::processEager(const std::string &Volume,
+                                   const MetaRequest &Req,
+                                   std::function<void()> Committed) {
+  LocalFileSystem *Vol = volume(Volume);
+  if (!Vol) {
+    // Unknown volume: the distributed-handle equivalent of ESTALE.
+    Sched.after(0, std::move(Committed));
+    MetaReply Reply;
+    Reply.Err = FsError::Stale;
+    return Reply;
+  }
+
+  // Execute at arrival: the CPU queue is FIFO, so arrival order equals
+  // service order and state changes serialize exactly as on a real server.
+  OpCost Cost;
+  MetaReply Reply = execute(*Vol, Req, Sched.now(), Cost);
+  noteMutation(Req);
+
+  SimDuration Service = Config.Costs.serviceTime(Cost);
+  bool Mutates = isMutation(Req.Op) ||
+                 (Req.Op == MetaOp::Open && (Req.Flags & OpenCreate));
+  if (Mutates || Req.Op == MetaOp::Fsync)
+    Service += Config.CommitLatency;
+
+  if (Reply.ok() && Mutates) {
+    // Asynchronous metadata logging (\S 2.7.1): append now, durable when
+    // the server finishes the operation.
+    if (Journal) {
+      if (std::optional<uint64_t> Seq =
+              Journal->append(Volume, Req, Sched.now())) {
+        Committed = [this, Seq = *Seq,
+                     Inner = std::move(Committed)]() {
+          Journal->commit(Seq);
+          Inner();
+        };
+      }
+    }
+    // Change notification (\S 2.8.3).
+    for (const auto &W : Watchers)
+      W(Volume, Req);
+  }
+  if (JitterMean > 0) {
+    // Mostly small per-request extras with an occasional heavy hit.
+    double Extra = JitterRng.exponential(static_cast<double>(JitterMean));
+    if (JitterRng.uniform() < 0.02)
+      Extra += JitterRng.exponential(20.0 * static_cast<double>(JitterMean));
+    Service += static_cast<SimDuration>(Extra);
+  }
+
+  ++Processed;
+
+  // Admission control (\S 5.4): a rate-limited tenant's requests wait for
+  // their admission slot before consuming server CPU. The state change
+  // already happened in arrival order; only time is shaped.
+  auto LimitIt = TenantLimits.find(Req.Creds.Uid);
+  if (LimitIt != TenantLimits.end()) {
+    RateLimit &Limit = LimitIt->second;
+    SimTime Admit = std::max(Sched.now(), Limit.NextAdmission);
+    Limit.NextAdmission = Admit + Limit.Period;
+    Sched.at(Admit, [this, Service, Committed = std::move(Committed)]() {
+      Cpu.request(Service, std::move(Committed));
+    });
+    return Reply;
+  }
+
+  Cpu.request(Service, std::move(Committed));
+  return Reply;
+}
+
+void FileServer::enableJournal() {
+  if (!Journal)
+    Journal = std::make_unique<MetadataJournal>();
+}
+
+uint64_t FileServer::crashAndRecover(const std::string &Volume) {
+  if (!Journal)
+    return ~0ULL;
+  auto It = Volumes.find(Volume);
+  if (It == Volumes.end())
+    return ~0ULL;
+  // The crash loses everything not yet durable; recovery replays the
+  // committed log into a fresh store (\S 2.7.1: redo of the change log).
+  uint64_t Lost = Journal->discardUncommitted(Volume);
+  FsConfig VolConfig = It->second->config();
+  auto Fresh = std::make_unique<LocalFileSystem>(VolConfig);
+  Journal->replay(Volume, *Fresh);
+  It->second = std::move(Fresh);
+  return Lost;
+}
+
+void FileServer::watchMutations(
+    std::function<void(const std::string &, const MetaRequest &)> Watcher) {
+  Watchers.push_back(std::move(Watcher));
+}
+
+void FileServer::setTenantRateLimit(uint32_t Uid, double OpsPerSec) {
+  if (OpsPerSec <= 0) {
+    TenantLimits.erase(Uid);
+    return;
+  }
+  RateLimit Limit;
+  Limit.Period = static_cast<SimDuration>(1e9 / OpsPerSec);
+  Limit.NextAdmission = Sched.now();
+  TenantLimits[Uid] = Limit;
+}
+
+void FileServer::process(const std::string &Volume, const MetaRequest &Req,
+                         Callback Done) {
+  auto Holder = std::make_shared<MetaReply>();
+  *Holder = processEager(Volume, Req, [Done = std::move(Done), Holder]() {
+    Done(*Holder);
+  });
+}
+
+void FileServer::injectWork(SimDuration Service, std::function<void()> Done) {
+  Cpu.request(Service, [Done = std::move(Done)]() {
+    if (Done)
+      Done();
+  });
+}
+
+void FileServer::setServiceJitter(SimDuration Mean, uint64_t Seed) {
+  JitterMean = Mean;
+  JitterRng.reseed(Seed);
+}

@@ -1,0 +1,179 @@
+//===- dfs/FileServer.h - Simulated file server ------------------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A generic simulated file server: one or more volumes (each a real
+/// LocalFileSystem), a CPU queue, and an optional WAFL-style NVRAM /
+/// consistency-point model (thesis \S 4.2.3: the sawtooth of Fig. 4.6).
+/// Every distributed file system model composes one or more FileServers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_DFS_FILESERVER_H
+#define DMETABENCH_DFS_FILESERVER_H
+
+#include "dfs/Journal.h"
+#include "dfs/Message.h"
+#include "fs/CostModel.h"
+#include "fs/LocalFileSystem.h"
+#include "sim/Resource.h"
+#include "sim/Scheduler.h"
+#include "support/Random.h"
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace dmb {
+
+/// Configuration of one simulated server.
+struct ServerConfig {
+  std::string Name = "server";
+  unsigned CpuThreads = 2;   ///< concurrent request service units
+  CostModel Costs;           ///< OpCost -> service time mapping
+  FsConfig VolumeDefaults;   ///< config applied to addVolume()
+
+  /// \name WAFL-style NVRAM + consistency points (\S 4.2.3)
+  /// @{
+  bool EnableConsistencyPoints = false;
+  SimDuration CpInterval = seconds(10.0);     ///< max time between CPs
+  uint64_t NvramCapacityBytes = 64 * 1024 * 1024; ///< CP at half-full
+  double CpSlowdown = 3.5;   ///< CPU slowdown while a CP flushes
+  double CpFlushBytesPerSec = 60e6; ///< flush rate -> CP duration
+  uint64_t LogBytesPerMutation = 4096; ///< NVRAM log growth per mutation
+  /// @}
+
+  /// Extra latency charged to every *mutating* op for stable-storage commit
+  /// (NFS: synchronous metadata, \S 2.6.4; NVRAM acks make this small).
+  SimDuration CommitLatency = microseconds(30);
+};
+
+/// Simulated file server processing MetaRequests against its volumes.
+class FileServer {
+public:
+  using Callback = std::function<void(MetaReply)>;
+
+  FileServer(Scheduler &Sched, ServerConfig Config);
+
+  /// Adds a volume with the server's default FsConfig; returns it.
+  LocalFileSystem &addVolume(const std::string &Name);
+  /// Adds a volume with an explicit config.
+  LocalFileSystem &addVolume(const std::string &Name, FsConfig Config);
+  /// Looks up a volume; nullptr when absent.
+  LocalFileSystem *volume(const std::string &Name);
+
+  /// \name Volume mobility (\S 2.5.1: volumes move between servers)
+  /// @{
+  /// Detaches a volume (requests for it then return ESTALE here).
+  std::unique_ptr<LocalFileSystem> removeVolume(const std::string &Name);
+  /// Attaches an existing volume under \p Name.
+  void adoptVolume(const std::string &Name,
+                   std::unique_ptr<LocalFileSystem> Vol);
+  /// @}
+
+  /// Processes \p Req against \p Volume. The reply callback fires after CPU
+  /// queueing + service (+ commit latency for mutations).
+  void process(const std::string &Volume, const MetaRequest &Req,
+               Callback Done);
+
+  /// Write-back flavour: executes \p Req immediately (state changes and the
+  /// reply are available now), while CPU time and commit drain
+  /// asynchronously; \p Committed fires when the server has finished the
+  /// work. This models clients that ack metadata from their cache before
+  /// the server commits (Lustre, \S 2.6.4 / \S 4.8).
+  MetaReply processEager(const std::string &Volume, const MetaRequest &Req,
+                         std::function<void()> Committed);
+
+  /// Enqueues non-benchmark work (snapshot chunks, streaming writes) that
+  /// competes with request service — the disturbance injectors use this.
+  void injectWork(SimDuration Service, std::function<void()> Done = {});
+
+  /// While enabled, every request's service time gains an exponentially
+  /// distributed extra with the given mean — the per-request jitter of
+  /// internal maintenance such as snapshot copy-on-write (\S 4.2.3 /
+  /// Fig. 4.5). Pass 0 to disable.
+  void setServiceJitter(SimDuration Mean, uint64_t Seed = 1);
+
+  /// Load control / quality of service (thesis \S 5.4): admits at most
+  /// \p OpsPerSec requests per second from tenant \p Uid; excess requests
+  /// are delayed before touching the CPU. Pass 0 to remove the limit.
+  void setTenantRateLimit(uint32_t Uid, double OpsPerSec);
+
+  /// \name Metadata journaling and crash recovery (thesis \S 2.7)
+  /// @{
+  /// Enables the write-ahead metadata journal. Journalable mutations are
+  /// logged at execution and committed when the server finishes the
+  /// operation (asynchronous logging, \S 2.7.1).
+  void enableJournal();
+  /// The journal; nullptr unless enableJournal() was called.
+  MetadataJournal *journal() { return Journal.get(); }
+  /// Simulates a crash of \p Volume: the volume is replaced by a fresh
+  /// store rebuilt by replaying the journal's committed records. Returns
+  /// the number of appended-but-uncommitted (lost) records, or ~0ULL when
+  /// journaling is off or the volume does not exist.
+  uint64_t crashAndRecover(const std::string &Volume);
+  /// @}
+
+  /// Change notification (thesis \S 2.8.3, FAM / file-policy servers):
+  /// \p Watcher fires after every successful mutation with the volume and
+  /// the request. Watchers live as long as the server.
+  void watchMutations(
+      std::function<void(const std::string &, const MetaRequest &)>
+          Watcher);
+
+  /// \name Observability
+  /// @{
+  Resource &cpu() { return Cpu; }
+  const ServerConfig &config() const { return Config; }
+  uint64_t processedRequests() const { return Processed; }
+  uint64_t consistencyPointCount() const { return CpCount; }
+  bool consistencyPointActive() const { return CpActive; }
+  uint64_t dirtyLogBytes() const { return DirtyBytes; }
+  /// @}
+
+  /// Executes \p Req directly against \p Vol (no queueing). Exposed for the
+  /// clients that run parts of an operation locally (e.g. write-back
+  /// replay) and for tests.
+  static MetaReply execute(LocalFileSystem &Vol, const MetaRequest &Req,
+                           SimTime Now, OpCost &Cost);
+
+private:
+  void noteMutation(const MetaRequest &Req);
+  void maybeStartConsistencyPoint();
+  void startConsistencyPoint();
+
+  Scheduler &Sched;
+  ServerConfig Config;
+  Resource Cpu;
+  std::map<std::string, std::unique_ptr<LocalFileSystem>> Volumes;
+  uint64_t Processed = 0;
+
+  // Consistency-point state.
+  uint64_t DirtyBytes = 0;
+  bool CpActive = false;
+  uint64_t CpCount = 0;
+  bool CpTimerArmed = false;
+
+  // Per-request service jitter (disturbance modelling).
+  SimDuration JitterMean = 0;
+  Rng JitterRng;
+
+  // Per-tenant admission control (\S 5.4).
+  struct RateLimit {
+    SimDuration Period = 0;
+    SimTime NextAdmission = 0;
+  };
+  std::map<uint32_t, RateLimit> TenantLimits;
+
+  // Journaling (\S 2.7) and change notification (\S 2.8.3).
+  std::unique_ptr<MetadataJournal> Journal;
+  std::vector<std::function<void(const std::string &, const MetaRequest &)>>
+      Watchers;
+};
+
+} // namespace dmb
+
+#endif // DMETABENCH_DFS_FILESERVER_H

@@ -1,0 +1,102 @@
+//===- dfs/Journal.cpp -----------------------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dfs/Journal.h"
+#include "dfs/FileServer.h"
+
+using namespace dmb;
+
+bool MetadataJournal::isJournalable(const MetaRequest &Req) {
+  switch (Req.Op) {
+  case MetaOp::Mkdir:
+  case MetaOp::Rmdir:
+  case MetaOp::Unlink:
+  case MetaOp::Remove:
+  case MetaOp::Rename:
+  case MetaOp::Link:
+  case MetaOp::Symlink:
+  case MetaOp::Chmod:
+  case MetaOp::Chown:
+  case MetaOp::Utimes:
+  case MetaOp::Setxattr:
+    return true;
+  case MetaOp::Open:
+    // Creating opens are replayed as create+close.
+    return (Req.Flags & OpenCreate) != 0;
+  default:
+    return false;
+  }
+}
+
+std::optional<uint64_t> MetadataJournal::append(const std::string &Volume,
+                                                const MetaRequest &Req,
+                                                SimTime Now) {
+  if (!isJournalable(Req))
+    return std::nullopt;
+  Record R;
+  R.Seq = NextSeq++;
+  R.Volume = Volume;
+  R.Req = Req;
+  R.At = Now;
+  Records.push_back(std::move(R));
+  return Records.back().Seq;
+}
+
+void MetadataJournal::commit(uint64_t Seq) {
+  // Sequence numbers are dense and 1-based.
+  if (Seq == 0 || Seq > Records.size())
+    return;
+  if (!Records[Seq - 1].Discarded)
+    Records[Seq - 1].Committed = true;
+}
+
+size_t MetadataJournal::discardUncommitted(const std::string &Volume) {
+  size_t N = 0;
+  for (Record &R : Records)
+    if (!R.Committed && !R.Discarded && R.Volume == Volume) {
+      R.Discarded = true;
+      ++N;
+    }
+  return N;
+}
+
+void MetadataJournal::commitAll() {
+  for (Record &R : Records)
+    R.Committed = true;
+}
+
+size_t MetadataJournal::committedCount() const {
+  size_t N = 0;
+  for (const Record &R : Records)
+    if (R.Committed)
+      ++N;
+  return N;
+}
+
+size_t MetadataJournal::uncommittedCount(const std::string &Volume) const {
+  size_t N = 0;
+  for (const Record &R : Records)
+    if (!R.Committed && !R.Discarded && R.Volume == Volume)
+      ++N;
+  return N;
+}
+
+void MetadataJournal::replay(const std::string &Volume,
+                             LocalFileSystem &Fs) const {
+  for (const Record &R : Records) {
+    if (!R.Committed || R.Volume != Volume)
+      continue;
+    OpCost Cost;
+    MetaReply Reply = FileServer::execute(Fs, R.Req, R.At, Cost);
+    // A successful creating open leaves a handle; close it right away.
+    if (R.Req.Op == MetaOp::Open && Reply.ok()) {
+      OpCtx Ctx;
+      Ctx.Creds = R.Req.Creds;
+      Ctx.Now = R.At;
+      Fs.close(Ctx, Reply.Fh);
+    }
+  }
+}

@@ -1,0 +1,83 @@
+//===- dfs/Journal.h - Metadata write-ahead journal ---------------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Metadata logging as in thesis \S 2.7.1: a write-ahead change log for
+/// namespace mutations. With asynchronous logging "some metadata
+/// operations might be lost, but the file system can still be made
+/// consistent" — replaying the committed prefix of the journal into a
+/// fresh store reconstructs a consistent namespace after a crash.
+///
+/// Only logical namespace operations are journaled; file *data* beyond
+/// the existence/size recorded by creates is not (data durability needs
+/// fsync, \S 2.6.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_DFS_JOURNAL_H
+#define DMETABENCH_DFS_JOURNAL_H
+
+#include "dfs/Message.h"
+#include "fs/LocalFileSystem.h"
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dmb {
+
+/// Redo log of namespace mutations, per server (records carry their
+/// volume).
+class MetadataJournal {
+public:
+  /// One logged mutation.
+  struct Record {
+    uint64_t Seq = 0;
+    std::string Volume;
+    MetaRequest Req;
+    SimTime At = 0;
+    bool Committed = false;
+    bool Discarded = false; ///< lost in a crash; can no longer commit
+  };
+
+  /// True when \p Req can be re-executed from the log (path-based
+  /// namespace mutations; handle-based data ops cannot).
+  static bool isJournalable(const MetaRequest &Req);
+
+  /// Appends a record; returns its sequence number, or nullopt when the
+  /// operation is not journalable.
+  std::optional<uint64_t> append(const std::string &Volume,
+                                 const MetaRequest &Req, SimTime Now);
+
+  /// Marks a record as durable (stable-storage commit finished).
+  void commit(uint64_t Seq);
+
+  /// Marks everything durable (synchronous-journal mode).
+  void commitAll();
+
+  /// Re-executes the committed records for \p Volume into \p Fs in log
+  /// order. Replay is idempotent per record; errors are ignored (redo
+  /// into a fresh store cannot conflict).
+  void replay(const std::string &Volume, LocalFileSystem &Fs) const;
+
+  /// Invalidates the uncommitted records of \p Volume (what a crash
+  /// destroys); returns how many were lost.
+  size_t discardUncommitted(const std::string &Volume);
+
+  size_t size() const { return Records.size(); }
+  size_t committedCount() const;
+  /// Records for \p Volume that were appended but not committed — what a
+  /// crash loses under asynchronous logging.
+  size_t uncommittedCount(const std::string &Volume) const;
+
+private:
+  std::vector<Record> Records;
+  uint64_t NextSeq = 1;
+};
+
+} // namespace dmb
+
+#endif // DMETABENCH_DFS_JOURNAL_H

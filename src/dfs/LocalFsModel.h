@@ -1,0 +1,75 @@
+//===- dfs/LocalFsModel.h - Node-local file system model --------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A node-local file system (each node sees its own independent instance) —
+/// the "single-node setup" of thesis \S 3.3.4 used to examine in-kernel
+/// parallelism, caching and locking without any network. Mutations pass
+/// through a single VFS-level lock; lookups scale with kernel threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_DFS_LOCALFSMODEL_H
+#define DMETABENCH_DFS_LOCALFSMODEL_H
+
+#include "dfs/DistributedFs.h"
+#include "dfs/FileServer.h"
+#include "sim/Mutex.h"
+#include "sim/Resource.h"
+#include "sim/Scheduler.h"
+#include <memory>
+
+namespace dmb {
+
+/// Tunables of the local file system model.
+struct LocalFsOptions {
+  FsConfig Volume;
+  CostModel Costs;
+  unsigned KernelThreads = 8; ///< concurrent in-kernel op service
+  SimDuration SyscallOverhead = microseconds(1);
+
+  LocalFsOptions();
+};
+
+/// Deployed local file systems: one independent instance per node.
+class LocalFsModel final : public DistributedFs {
+public:
+  LocalFsModel(Scheduler &Sched, LocalFsOptions Options = LocalFsOptions());
+
+  std::unique_ptr<ClientFs> makeClient(unsigned NodeIndex) override;
+  std::string name() const override { return "localfs"; }
+
+  const LocalFsOptions &options() const { return Options; }
+
+private:
+  Scheduler &Sched;
+  LocalFsOptions Options;
+};
+
+/// One node's local file system.
+class LocalClient final : public ClientFs {
+public:
+  LocalClient(Scheduler &Sched, const LocalFsOptions &Options,
+              unsigned NodeIndex);
+
+  void submit(const MetaRequest &Req, Callback Done) override;
+  std::string describe() const override;
+
+  /// Direct access for tests and preparation shortcuts.
+  LocalFileSystem &fileSystem() { return Fs; }
+
+private:
+  Scheduler &Sched;
+  LocalFsOptions Options;
+  unsigned NodeIndex;
+  LocalFileSystem Fs;
+  Resource Cpu;
+  SimMutex VfsLock; ///< serializes namespace mutations in the kernel
+};
+
+} // namespace dmb
+
+#endif // DMETABENCH_DFS_LOCALFSMODEL_H

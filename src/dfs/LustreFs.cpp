@@ -1,0 +1,153 @@
+//===- dfs/LustreFs.cpp ---------------------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dfs/LustreFs.h"
+#include "support/Format.h"
+
+using namespace dmb;
+
+ServerConfig dmb::makeMdsConfig(const std::string &Name) {
+  ServerConfig C;
+  C.Name = Name;
+  C.CpuThreads = 4;
+  // A dedicated MDS has more service threads than a filer head, but each
+  // operation carries more protocol work; ldiskfs journals metadata.
+  C.Costs.BaseMetaOp = microseconds(90);
+  C.Costs.PerInodeTouched = microseconds(4);
+  C.Costs.PerDirEntryWritten = microseconds(8);
+  C.Costs.PerDirEntryScanned = nanoseconds(120);
+  C.CommitLatency = microseconds(20);
+  C.EnableConsistencyPoints = false;
+  // ldiskfs uses htree directories.
+  C.VolumeDefaults.DirIndex = DirIndexKind::BTree;
+  return C;
+}
+
+LustreOptions::LustreOptions() : Mds(makeMdsConfig()) {}
+
+LustreFs::LustreFs(Scheduler &Sched, LustreOptions Opts)
+    : Sched(Sched), Options(std::move(Opts)), Mds(Sched, Options.Mds) {
+  Mds.addVolume(VolumeName);
+}
+
+std::unique_ptr<ClientFs> LustreFs::makeClient(unsigned NodeIndex) {
+  return std::make_unique<LustreClient>(Sched, Mds, Options, NodeIndex);
+}
+
+LustreClient::LustreClient(Scheduler &Sched, FileServer &Mds,
+                           const LustreOptions &Opts, unsigned NodeIndex)
+    : RpcClientBase(Sched, Opts.RpcSlotsPerClient, Opts.RpcOneWayLatency),
+      Mds(Mds), Options(Opts), NodeIndex(NodeIndex),
+      Cache(Opts.AttrCacheTtl) {}
+
+std::string LustreClient::describe() const {
+  return format("lustre node=%u mds=%s writeback=%d", NodeIndex,
+                Mds.config().Name.c_str(), Options.WritebackMetadata ? 1 : 0);
+}
+
+static bool isCreateLike(const MetaRequest &Req) {
+  return Req.Op == MetaOp::Open && (Req.Flags & OpenCreate);
+}
+
+void LustreClient::rpc(const MetaRequest &Req, Callback Done) {
+  // Creating a file also pre-allocates an object on an OSS; the MDS hides
+  // most of this with pre-created object pools — a small extra cost.
+  SimDuration Extra =
+      isCreateLike(Req) ? Options.OssObjectCreateCost : SimDuration(0);
+  withSlot([this, Req, Extra, Done = std::move(Done)]() mutable {
+    sched().after(oneWayLatency() + Extra, [this, Req,
+                                            Done = std::move(Done)]() {
+      Mds.process(LustreFs::VolumeName, Req,
+                  [this, Req, Done = std::move(Done)](MetaReply Reply) {
+                    sched().after(oneWayLatency(),
+                                  [this, Req, Done = std::move(Done),
+                                   Reply = std::move(Reply)]() {
+                                    if (Reply.ok() &&
+                                        (Req.Op == MetaOp::Stat ||
+                                         Req.Op == MetaOp::Lstat))
+                                      Cache.insert(Req.Path, Reply.A,
+                                                   sched().now());
+                                    slotDone();
+                                    Done(Reply);
+                                  });
+                  });
+    });
+  });
+}
+
+void LustreClient::drainStalled() {
+  while (!Stalled.empty() && DirtyOps < Options.MaxDirtyOps) {
+    std::function<void()> Next = std::move(Stalled.front());
+    Stalled.erase(Stalled.begin());
+    Next();
+  }
+  if (DirtyOps == 0 && !FsyncWaiters.empty()) {
+    std::vector<std::function<void()>> Waiters = std::move(FsyncWaiters);
+    FsyncWaiters.clear();
+    for (std::function<void()> &W : Waiters)
+      W();
+  }
+}
+
+void LustreClient::submitWriteback(const MetaRequest &Req, Callback Done) {
+  if (DirtyOps >= Options.MaxDirtyOps) {
+    // Dirty limit reached: the operation blocks until the MDS drains.
+    Stalled.push_back(
+        [this, Req, Done = std::move(Done)]() mutable {
+          submitWriteback(Req, std::move(Done));
+        });
+    return;
+  }
+  ++DirtyOps;
+  // The state change happens now (the MDS will see operations in exactly
+  // this order); the reply is served from the client cache while the MDS
+  // commit drains in the background.
+  MetaReply Reply =
+      Mds.processEager(LustreFs::VolumeName, Req, [this]() {
+        --DirtyOps;
+        drainStalled();
+      });
+  sched().after(Options.LocalAckCost,
+                [Done = std::move(Done), Reply = std::move(Reply)]() {
+                  Done(Reply);
+                });
+}
+
+void LustreClient::submit(const MetaRequest &Req, Callback Done) {
+  if (Req.Op == MetaOp::Fsync) {
+    if (DirtyOps == 0) {
+      sched().after(Options.LocalAckCost, [Done = std::move(Done)]() {
+        MetaReply Reply;
+        Done(Reply);
+      });
+      return;
+    }
+    FsyncWaiters.push_back([this, Done = std::move(Done)]() {
+      MetaReply Reply;
+      sched().after(0, [Done, Reply]() { Done(Reply); });
+    });
+    return;
+  }
+
+  if (Options.WritebackMetadata && (isMutation(Req.Op) || isCreateLike(Req) ||
+                                    Req.Op == MetaOp::Close)) {
+    submitWriteback(Req, std::move(Done));
+    return;
+  }
+
+  if (Req.Op == MetaOp::Stat || Req.Op == MetaOp::Lstat) {
+    if (std::optional<Attr> A = Cache.lookup(Req.Path, sched().now())) {
+      sched().after(Options.CacheHitCost,
+                    [Done = std::move(Done), A = *A]() {
+                      MetaReply Reply;
+                      Reply.A = A;
+                      Done(Reply);
+                    });
+      return;
+    }
+  }
+  rpc(Req, std::move(Done));
+}

@@ -1,0 +1,224 @@
+//===- dfs/Message.cpp ----------------------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dfs/Message.h"
+
+using namespace dmb;
+
+const char *dmb::metaOpName(MetaOp Op) {
+  switch (Op) {
+  case MetaOp::Mkdir:
+    return "mkdir";
+  case MetaOp::Rmdir:
+    return "rmdir";
+  case MetaOp::Unlink:
+    return "unlink";
+  case MetaOp::Remove:
+    return "remove";
+  case MetaOp::Rename:
+    return "rename";
+  case MetaOp::Link:
+    return "link";
+  case MetaOp::Symlink:
+    return "symlink";
+  case MetaOp::Readlink:
+    return "readlink";
+  case MetaOp::Stat:
+    return "stat";
+  case MetaOp::Lstat:
+    return "lstat";
+  case MetaOp::Chmod:
+    return "chmod";
+  case MetaOp::Chown:
+    return "chown";
+  case MetaOp::Utimes:
+    return "utimes";
+  case MetaOp::Readdir:
+    return "readdir";
+  case MetaOp::Open:
+    return "open";
+  case MetaOp::Close:
+    return "close";
+  case MetaOp::Write:
+    return "write";
+  case MetaOp::Read:
+    return "read";
+  case MetaOp::Seek:
+    return "seek";
+  case MetaOp::Ftruncate:
+    return "ftruncate";
+  case MetaOp::Fsync:
+    return "fsync";
+  case MetaOp::Setxattr:
+    return "setxattr";
+  case MetaOp::Getxattr:
+    return "getxattr";
+  case MetaOp::ReaddirPlus:
+    return "readdirplus";
+  case MetaOp::Lock:
+    return "lock";
+  case MetaOp::Unlock:
+    return "unlock";
+  }
+  return "unknown";
+}
+
+bool dmb::isMutation(MetaOp Op) {
+  switch (Op) {
+  case MetaOp::Mkdir:
+  case MetaOp::Rmdir:
+  case MetaOp::Unlink:
+  case MetaOp::Remove:
+  case MetaOp::Rename:
+  case MetaOp::Link:
+  case MetaOp::Symlink:
+  case MetaOp::Chmod:
+  case MetaOp::Chown:
+  case MetaOp::Utimes:
+  case MetaOp::Write:
+  case MetaOp::Ftruncate:
+  case MetaOp::Setxattr:
+    return true;
+  case MetaOp::Open:
+    // open() may create; callers that care inspect OpenCreate themselves.
+    return false;
+  case MetaOp::Readlink:
+  case MetaOp::Stat:
+  case MetaOp::Lstat:
+  case MetaOp::Readdir:
+  case MetaOp::Close:
+  case MetaOp::Read:
+  case MetaOp::Seek:
+  case MetaOp::Fsync:
+  case MetaOp::Getxattr:
+  case MetaOp::ReaddirPlus:
+  case MetaOp::Lock:
+  case MetaOp::Unlock:
+    return false;
+  }
+  return false;
+}
+
+MetaRequest dmb::makeMkdir(std::string Path, uint32_t Mode) {
+  MetaRequest R;
+  R.Op = MetaOp::Mkdir;
+  R.Path = std::move(Path);
+  R.Mode = Mode;
+  return R;
+}
+
+MetaRequest dmb::makeRmdir(std::string Path) {
+  MetaRequest R;
+  R.Op = MetaOp::Rmdir;
+  R.Path = std::move(Path);
+  return R;
+}
+
+MetaRequest dmb::makeUnlink(std::string Path) {
+  MetaRequest R;
+  R.Op = MetaOp::Unlink;
+  R.Path = std::move(Path);
+  return R;
+}
+
+MetaRequest dmb::makeRename(std::string From, std::string To) {
+  MetaRequest R;
+  R.Op = MetaOp::Rename;
+  R.Path = std::move(From);
+  R.Path2 = std::move(To);
+  return R;
+}
+
+MetaRequest dmb::makeLink(std::string Existing, std::string NewPath) {
+  MetaRequest R;
+  R.Op = MetaOp::Link;
+  R.Path = std::move(Existing);
+  R.Path2 = std::move(NewPath);
+  return R;
+}
+
+MetaRequest dmb::makeSymlink(std::string Target, std::string LinkPath) {
+  MetaRequest R;
+  R.Op = MetaOp::Symlink;
+  R.Path = std::move(LinkPath);
+  R.Path2 = std::move(Target);
+  return R;
+}
+
+MetaRequest dmb::makeStat(std::string Path) {
+  MetaRequest R;
+  R.Op = MetaOp::Stat;
+  R.Path = std::move(Path);
+  return R;
+}
+
+MetaRequest dmb::makeReaddir(std::string Path) {
+  MetaRequest R;
+  R.Op = MetaOp::Readdir;
+  R.Path = std::move(Path);
+  return R;
+}
+
+MetaRequest dmb::makeReaddirPlus(std::string Path) {
+  MetaRequest R;
+  R.Op = MetaOp::ReaddirPlus;
+  R.Path = std::move(Path);
+  return R;
+}
+
+MetaRequest dmb::makeOpen(std::string Path, uint32_t Flags, uint32_t Mode) {
+  MetaRequest R;
+  R.Op = MetaOp::Open;
+  R.Path = std::move(Path);
+  R.Flags = Flags;
+  R.Mode = Mode;
+  return R;
+}
+
+MetaRequest dmb::makeClose(FileHandle Fh) {
+  MetaRequest R;
+  R.Op = MetaOp::Close;
+  R.Fh = Fh;
+  return R;
+}
+
+MetaRequest dmb::makeWrite(FileHandle Fh, uint64_t Bytes) {
+  MetaRequest R;
+  R.Op = MetaOp::Write;
+  R.Fh = Fh;
+  R.Bytes = Bytes;
+  return R;
+}
+
+MetaRequest dmb::makeRead(FileHandle Fh, uint64_t Bytes) {
+  MetaRequest R;
+  R.Op = MetaOp::Read;
+  R.Fh = Fh;
+  R.Bytes = Bytes;
+  return R;
+}
+
+MetaRequest dmb::makeFsync(FileHandle Fh) {
+  MetaRequest R;
+  R.Op = MetaOp::Fsync;
+  R.Fh = Fh;
+  return R;
+}
+
+MetaRequest dmb::makeLock(FileHandle Fh, bool Exclusive) {
+  MetaRequest R;
+  R.Op = MetaOp::Lock;
+  R.Fh = Fh;
+  R.Flags = Exclusive ? 1 : 0;
+  return R;
+}
+
+MetaRequest dmb::makeUnlock(FileHandle Fh) {
+  MetaRequest R;
+  R.Op = MetaOp::Unlock;
+  R.Fh = Fh;
+  return R;
+}

@@ -1,0 +1,73 @@
+//===- dfs/RpcClientBase.h - Slot-limited RPC client base -------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for clients that issue RPCs over a bounded slot table
+/// (the sunrpc request-slot limit). The slot limit is what caps intra-node
+/// parallelism for protocol clients on large SMP machines (thesis \S 4.5):
+/// processes beyond the slot count queue inside the client.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_DFS_RPCCLIENTBASE_H
+#define DMETABENCH_DFS_RPCCLIENTBASE_H
+
+#include "dfs/ClientFs.h"
+#include "sim/Scheduler.h"
+#include <deque>
+#include <functional>
+
+namespace dmb {
+
+/// Base class managing RPC slots and the network round trip.
+class RpcClientBase : public ClientFs {
+protected:
+  RpcClientBase(Scheduler &Sched, unsigned Slots, SimDuration OneWayLatency)
+      : Sched(Sched), Slots(Slots ? Slots : 1), Latency(OneWayLatency) {}
+
+  /// Runs \p RpcFn once a slot is free. RpcFn must eventually call
+  /// slotDone() exactly once.
+  void withSlot(std::function<void()> RpcFn) {
+    if (InFlight < Slots) {
+      ++InFlight;
+      RpcFn();
+      return;
+    }
+    Pending.push_back(std::move(RpcFn));
+  }
+
+  /// Releases the slot taken by the current RPC and pumps the queue.
+  void slotDone() {
+    if (!Pending.empty()) {
+      std::function<void()> Next = std::move(Pending.front());
+      Pending.pop_front();
+      // The slot transfers to the queued request.
+      Sched.after(0, std::move(Next));
+      return;
+    }
+    --InFlight;
+  }
+
+  Scheduler &sched() { return Sched; }
+  SimDuration oneWayLatency() const { return Latency; }
+  void setOneWayLatency(SimDuration L) { Latency = L; }
+
+public:
+  /// Observability for tests.
+  unsigned inFlightRpcs() const { return InFlight; }
+  size_t queuedRpcs() const { return Pending.size(); }
+
+private:
+  Scheduler &Sched;
+  unsigned Slots;
+  SimDuration Latency;
+  unsigned InFlight = 0;
+  std::deque<std::function<void()>> Pending;
+};
+
+} // namespace dmb
+
+#endif // DMETABENCH_DFS_RPCCLIENTBASE_H

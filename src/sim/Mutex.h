@@ -1,0 +1,64 @@
+//===- sim/Mutex.h - Simulated mutex -----------------------------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A FIFO mutex with hold-until-release semantics, unlike Resource whose
+/// service time is fixed up front. Used for client-side serialization such
+/// as the CXFS metadata token a node must hold across a whole operation
+/// (thesis \S 2.5.2, \S 4.5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_SIM_MUTEX_H
+#define DMETABENCH_SIM_MUTEX_H
+
+#include "sim/Scheduler.h"
+#include <cassert>
+#include <deque>
+#include <functional>
+
+namespace dmb {
+
+/// FIFO simulated mutex. lock() fires its callback once the lock is held;
+/// the holder must call unlock() exactly once.
+class SimMutex {
+public:
+  explicit SimMutex(Scheduler &Sched) : Sched(Sched) {}
+
+  /// Requests the lock; \p Acquired runs (as a scheduled event) when held.
+  void lock(std::function<void()> Acquired) {
+    if (!Locked) {
+      Locked = true;
+      Sched.after(0, std::move(Acquired));
+      return;
+    }
+    Waiters.push_back(std::move(Acquired));
+  }
+
+  /// Releases the lock, waking the next waiter in FIFO order.
+  void unlock() {
+    assert(Locked && "unlock of unlocked SimMutex");
+    if (Waiters.empty()) {
+      Locked = false;
+      return;
+    }
+    std::function<void()> Next = std::move(Waiters.front());
+    Waiters.pop_front();
+    Sched.after(0, std::move(Next));
+  }
+
+  bool isLocked() const { return Locked; }
+  size_t waiterCount() const { return Waiters.size(); }
+
+private:
+  Scheduler &Sched;
+  bool Locked = false;
+  std::deque<std::function<void()>> Waiters;
+};
+
+} // namespace dmb
+
+#endif // DMETABENCH_SIM_MUTEX_H

@@ -1,0 +1,22 @@
+//===- sim/Network.cpp ----------------------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Network.h"
+
+using namespace dmb;
+
+SimDuration NetworkLink::transferTime(uint64_t NumBytes) const {
+  SimDuration Serialize =
+      static_cast<SimDuration>(static_cast<double>(NumBytes) / BytesPerSec *
+                               1e9);
+  return Latency + Serialize;
+}
+
+void NetworkLink::send(uint64_t NumBytes, std::function<void()> Deliver) {
+  ++Messages;
+  Bytes += NumBytes;
+  Sched.after(transferTime(NumBytes), std::move(Deliver));
+}

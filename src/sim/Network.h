@@ -1,0 +1,53 @@
+//===- sim/Network.h - Network latency/bandwidth model ----------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simple point-to-point message model: each transfer pays the link's
+/// one-way latency plus a size-proportional serialization delay. Thesis
+/// \S 4.6 sweeps exactly this latency to show how synchronous metadata RPCs
+/// degrade over WAN-like links.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_SIM_NETWORK_H
+#define DMETABENCH_SIM_NETWORK_H
+
+#include "sim/Scheduler.h"
+#include "sim/Time.h"
+#include <cstdint>
+#include <functional>
+
+namespace dmb {
+
+/// A unidirectional network path with fixed latency and bandwidth.
+class NetworkLink {
+public:
+  NetworkLink(Scheduler &Sched, SimDuration OneWayLatency,
+              double BytesPerSecond = 125e6 /* 1 GigE */)
+      : Sched(Sched), Latency(OneWayLatency), BytesPerSec(BytesPerSecond) {}
+
+  /// Delivers a message of \p Bytes after latency + serialization time.
+  void send(uint64_t Bytes, std::function<void()> Deliver);
+
+  /// Transfer duration without delivering anything (for composition).
+  SimDuration transferTime(uint64_t Bytes) const;
+
+  SimDuration oneWayLatency() const { return Latency; }
+  void setOneWayLatency(SimDuration L) { Latency = L; }
+  uint64_t messagesSent() const { return Messages; }
+  uint64_t bytesSent() const { return Bytes; }
+
+private:
+  Scheduler &Sched;
+  SimDuration Latency;
+  double BytesPerSec;
+  uint64_t Messages = 0;
+  uint64_t Bytes = 0;
+};
+
+} // namespace dmb
+
+#endif // DMETABENCH_SIM_NETWORK_H

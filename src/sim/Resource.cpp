@@ -1,0 +1,42 @@
+//===- sim/Resource.cpp ---------------------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Resource.h"
+
+using namespace dmb;
+
+void Resource::request(SimDuration Service, Completion Done) {
+  Pending P{Service, std::move(Done)};
+  if (Busy < NumServers) {
+    startService(std::move(P));
+    return;
+  }
+  Waiting.push_back(std::move(P));
+}
+
+void Resource::startService(Pending P) {
+  ++Busy;
+  SimDuration Actual =
+      static_cast<SimDuration>(static_cast<double>(P.Service) * Slowdown);
+  if (Actual < 0)
+    Actual = 0;
+  BusyTime += Actual;
+  Completion Done = std::move(P.Done);
+  Sched.after(Actual, [this, Done = std::move(Done)]() {
+    finishOne();
+    Done();
+  });
+}
+
+void Resource::finishOne() {
+  --Busy;
+  ++Completed;
+  if (!Waiting.empty()) {
+    Pending Next = std::move(Waiting.front());
+    Waiting.pop_front();
+    startService(std::move(Next));
+  }
+}

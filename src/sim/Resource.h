@@ -1,0 +1,75 @@
+//===- sim/Resource.h - FIFO multi-server queueing resource -----*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A k-server FIFO queue: the building block for server CPUs, disk heads and
+/// NVRAM log stages in the simulated file servers. Contention between
+/// parallel benchmark processes (thesis \S 3.2.2) arises from these queues.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_SIM_RESOURCE_H
+#define DMETABENCH_SIM_RESOURCE_H
+
+#include "sim/Scheduler.h"
+#include "sim/Time.h"
+#include <deque>
+#include <functional>
+#include <string>
+
+namespace dmb {
+
+/// FIFO queueing station with a fixed number of identical servers.
+///
+/// Requests specify a service duration; the completion callback fires once
+/// the request has waited for a free server and been serviced. An optional
+/// service-time multiplier models transient slowdowns (snapshot creation,
+/// consistency-point flushes).
+class Resource {
+public:
+  using Completion = std::function<void()>;
+
+  Resource(Scheduler &Sched, std::string Name, unsigned NumServers)
+      : Sched(Sched), Name(std::move(Name)),
+        NumServers(NumServers ? NumServers : 1) {}
+
+  /// Enqueues a request with the given nominal service time.
+  void request(SimDuration Service, Completion Done);
+
+  /// Multiplies the service time of newly *started* requests. Used by the
+  /// disturbance injectors; 1.0 is nominal.
+  void setSlowdown(double Factor) { Slowdown = Factor < 0 ? 0 : Factor; }
+  double slowdown() const { return Slowdown; }
+
+  /// Observability for tests and charts.
+  unsigned busyServers() const { return Busy; }
+  size_t queueLength() const { return Waiting.size(); }
+  uint64_t completedRequests() const { return Completed; }
+  SimDuration totalBusyTime() const { return BusyTime; }
+  const std::string &name() const { return Name; }
+
+private:
+  struct Pending {
+    SimDuration Service;
+    Completion Done;
+  };
+
+  void startService(Pending P);
+  void finishOne();
+
+  Scheduler &Sched;
+  std::string Name;
+  unsigned NumServers;
+  unsigned Busy = 0;
+  double Slowdown = 1.0;
+  uint64_t Completed = 0;
+  SimDuration BusyTime = 0;
+  std::deque<Pending> Waiting;
+};
+
+} // namespace dmb
+
+#endif // DMETABENCH_SIM_RESOURCE_H

@@ -1,0 +1,38 @@
+//===- sim/Scheduler.cpp --------------------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Scheduler.h"
+
+using namespace dmb;
+
+void Scheduler::at(SimTime When, Action Fn) {
+  assert(When >= Now && "cannot schedule into the past");
+  Queue.push(Event{When, NextSeq++, std::move(Fn)});
+}
+
+bool Scheduler::step() {
+  if (Queue.empty())
+    return false;
+  // Move the action out before popping; the action may schedule new events.
+  Event Ev = std::move(const_cast<Event &>(Queue.top()));
+  Queue.pop();
+  Now = Ev.When;
+  ++Executed;
+  Ev.Fn();
+  return true;
+}
+
+void Scheduler::run() {
+  while (step()) {
+  }
+}
+
+void Scheduler::runUntil(SimTime Deadline) {
+  while (!Queue.empty() && Queue.top().When <= Deadline)
+    step();
+  if (Now < Deadline)
+    Now = Deadline;
+}

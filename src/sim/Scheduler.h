@@ -1,0 +1,80 @@
+//===- sim/Scheduler.h - Discrete-event scheduler ----------------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The discrete-event scheduler every simulated component runs on. Events at
+/// equal timestamps fire in insertion order, which makes whole benchmark
+/// runs deterministic (DESIGN.md, key decision 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_SIM_SCHEDULER_H
+#define DMETABENCH_SIM_SCHEDULER_H
+
+#include "sim/Time.h"
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace dmb {
+
+/// Single-threaded event loop over simulated time.
+class Scheduler {
+public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time.
+  SimTime now() const { return Now; }
+
+  /// Schedules \p Fn to run at absolute time \p When (>= now()).
+  void at(SimTime When, Action Fn);
+
+  /// Schedules \p Fn to run \p Delay from now. Negative delays clamp to 0.
+  void after(SimDuration Delay, Action Fn) {
+    at(Now + (Delay < 0 ? 0 : Delay), std::move(Fn));
+  }
+
+  /// Runs events until the queue is empty.
+  void run();
+
+  /// Runs events with timestamps <= \p Deadline, then sets now() to
+  /// \p Deadline (if it advanced that far).
+  void runUntil(SimTime Deadline);
+
+  /// Executes the single earliest event. Returns false if none pending.
+  bool step();
+
+  /// Number of events waiting to fire.
+  size_t pendingEvents() const { return Queue.size(); }
+
+  /// Total events executed so far (for tests and stats).
+  uint64_t executedEvents() const { return Executed; }
+
+private:
+  struct Event {
+    SimTime When;
+    uint64_t Seq;
+    Action Fn;
+  };
+  struct Later {
+    bool operator()(const Event &A, const Event &B) const {
+      if (A.When != B.When)
+        return A.When > B.When;
+      return A.Seq > B.Seq;
+    }
+  };
+
+  SimTime Now = 0;
+  uint64_t NextSeq = 0;
+  uint64_t Executed = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> Queue;
+};
+
+} // namespace dmb
+
+#endif // DMETABENCH_SIM_SCHEDULER_H

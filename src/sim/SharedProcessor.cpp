@@ -1,0 +1,88 @@
+//===- sim/SharedProcessor.cpp --------------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/SharedProcessor.h"
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+using namespace dmb;
+
+// Work below this many core-seconds counts as finished; it absorbs the
+// floating-point error accumulated while advancing task progress.
+static constexpr double WorkEpsilon = 1e-12;
+
+double SharedProcessor::rateFor(const Task &T) const {
+  assert(TotalWeight > 0 && "rate query with no active tasks");
+  double Fair = static_cast<double>(NumCores) * T.Weight / TotalWeight;
+  return Fair > 1.0 ? 1.0 : Fair;
+}
+
+void SharedProcessor::advance() {
+  SimTime Now = Sched.now();
+  double Elapsed = toSeconds(Now - LastAdvance);
+  LastAdvance = Now;
+  if (Elapsed <= 0 || Tasks.empty())
+    return;
+  for (Task &T : Tasks) {
+    T.RemainingCoreSec -= Elapsed * rateFor(T);
+    if (T.RemainingCoreSec < 0)
+      T.RemainingCoreSec = 0;
+  }
+}
+
+void SharedProcessor::scheduleNext() {
+  ++Generation;
+  if (Tasks.empty())
+    return;
+  double Earliest = -1;
+  for (const Task &T : Tasks) {
+    double Eta = T.RemainingCoreSec / rateFor(T);
+    if (Earliest < 0 || Eta < Earliest)
+      Earliest = Eta;
+  }
+  SimDuration Delay = static_cast<SimDuration>(std::ceil(Earliest * 1e9));
+  uint64_t Gen = Generation;
+  Sched.after(Delay, [this, Gen]() { onTimer(Gen); });
+}
+
+void SharedProcessor::onTimer(uint64_t Gen) {
+  // A newer submit() or completion already rescheduled; ignore stale timers.
+  if (Gen != Generation)
+    return;
+  advance();
+  // Collect finished tasks first: their completions may resubmit.
+  std::vector<Completion> Finished;
+  for (auto It = Tasks.begin(); It != Tasks.end();) {
+    if (It->RemainingCoreSec <= WorkEpsilon) {
+      TotalWeight -= It->Weight;
+      Finished.push_back(std::move(It->Done));
+      It = Tasks.erase(It);
+      ++Completed;
+    } else {
+      ++It;
+    }
+  }
+  if (Tasks.empty())
+    TotalWeight = 0;
+  scheduleNext();
+  for (Completion &Done : Finished)
+    Done();
+}
+
+void SharedProcessor::submit(SimDuration Work, double Weight,
+                             Completion Done) {
+  assert(Weight > 0 && "task weight must be positive");
+  if (Work <= 0) {
+    // Zero-work tasks complete immediately without perturbing the queue.
+    Sched.after(0, std::move(Done));
+    return;
+  }
+  advance();
+  Tasks.push_back(Task{toSeconds(Work), Weight, std::move(Done)});
+  TotalWeight += Weight;
+  scheduleNext();
+}

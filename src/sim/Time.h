@@ -1,0 +1,47 @@
+//===- sim/Time.h - Simulated time ------------------------------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simulated time as signed 64-bit nanoseconds. DMetabench's time-interval
+/// logging (thesis \S 3.2.5) records progress on a 0.1 s grid; nanosecond
+/// resolution keeps queueing arithmetic exact at metadata-operation scales.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_SIM_TIME_H
+#define DMETABENCH_SIM_TIME_H
+
+#include <cstdint>
+
+namespace dmb {
+
+/// A point in simulated time, in nanoseconds since simulation start.
+using SimTime = int64_t;
+
+/// A duration in simulated time, in nanoseconds.
+using SimDuration = int64_t;
+
+/// Duration constructors.
+constexpr SimDuration nanoseconds(int64_t N) { return N; }
+constexpr SimDuration microseconds(int64_t N) { return N * 1000; }
+constexpr SimDuration milliseconds(int64_t N) { return N * 1000000; }
+constexpr SimDuration seconds(double S) {
+  return static_cast<SimDuration>(S * 1e9);
+}
+
+/// Converts a duration (or time point) to floating-point seconds.
+constexpr double toSeconds(SimDuration D) {
+  return static_cast<double>(D) / 1e9;
+}
+
+/// Converts a duration to floating-point milliseconds.
+constexpr double toMilliseconds(SimDuration D) {
+  return static_cast<double>(D) / 1e6;
+}
+
+} // namespace dmb
+
+#endif // DMETABENCH_SIM_TIME_H

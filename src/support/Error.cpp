@@ -1,0 +1,51 @@
+//===- support/Error.cpp --------------------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+using namespace dmb;
+
+const char *dmb::fsErrorName(FsError E) {
+  switch (E) {
+  case FsError::Ok:
+    return "OK";
+  case FsError::Exists:
+    return "EEXIST";
+  case FsError::NoEnt:
+    return "ENOENT";
+  case FsError::NotDir:
+    return "ENOTDIR";
+  case FsError::IsDir:
+    return "EISDIR";
+  case FsError::NotEmpty:
+    return "ENOTEMPTY";
+  case FsError::Access:
+    return "EACCES";
+  case FsError::Perm:
+    return "EPERM";
+  case FsError::XDev:
+    return "EXDEV";
+  case FsError::NameTooLong:
+    return "ENAMETOOLONG";
+  case FsError::NoSpace:
+    return "ENOSPC";
+  case FsError::BadFd:
+    return "EBADF";
+  case FsError::Invalid:
+    return "EINVAL";
+  case FsError::Loop:
+    return "ELOOP";
+  case FsError::Busy:
+    return "EBUSY";
+  case FsError::Stale:
+    return "ESTALE";
+  case FsError::NoAttr:
+    return "ENOATTR";
+  case FsError::NotSupported:
+    return "ENOTSUP";
+  }
+  return "UNKNOWN";
+}

@@ -1,0 +1,61 @@
+//===- support/Random.cpp -------------------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+#include <cmath>
+
+using namespace dmb;
+
+static uint64_t splitmix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+void Rng::reseed(uint64_t Seed) {
+  uint64_t X = Seed;
+  for (uint64_t &S : State)
+    S = splitmix64(X);
+}
+
+static inline uint64_t rotl(uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+uint64_t Rng::next() {
+  // xoshiro256** by Blackman & Vigna (public domain).
+  uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::exponential(double Mean) {
+  double U = uniform();
+  // Guard against log(0).
+  if (U <= 0.0)
+    U = 0x1.0p-53;
+  return -Mean * std::log(U);
+}
+
+double Rng::normal(double Mean, double Stddev) {
+  double U1 = uniform(), U2 = uniform();
+  if (U1 <= 0.0)
+    U1 = 0x1.0p-53;
+  double R = std::sqrt(-2.0 * std::log(U1));
+  return Mean + Stddev * R * std::cos(6.28318530717958647692 * U2);
+}

@@ -1,0 +1,54 @@
+//===- support/Random.h - Deterministic random numbers ----------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, seedable RNG (splitmix64 + xoshiro256**). Every experiment
+/// seeds one Rng so runs reproduce bit-for-bit (see DESIGN.md, key decision
+/// 4); std::mt19937 would work too, but this keeps distribution code local
+/// and implementation-stable across standard libraries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_SUPPORT_RANDOM_H
+#define DMETABENCH_SUPPORT_RANDOM_H
+
+#include <cstdint>
+
+namespace dmb {
+
+/// Deterministic 64-bit RNG with convenience distributions.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL) { reseed(Seed); }
+
+  /// Re-initializes state from \p Seed via splitmix64.
+  void reseed(uint64_t Seed);
+
+  /// Next raw 64-bit value.
+  uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [Lo, Hi).
+  double uniform(double Lo, double Hi) { return Lo + (Hi - Lo) * uniform(); }
+
+  /// Uniform integer in [0, N). N must be > 0.
+  uint64_t below(uint64_t N) { return next() % N; }
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double Mean);
+
+  /// Normal (Gaussian) value via Box-Muller.
+  double normal(double Mean, double Stddev);
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace dmb
+
+#endif // DMETABENCH_SUPPORT_RANDOM_H

@@ -1,0 +1,74 @@
+//===- support/TextTable.cpp ----------------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TextTable.h"
+#include <algorithm>
+#include <cctype>
+
+using namespace dmb;
+
+void TextTable::setHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+static bool looksNumeric(const std::string &Cell) {
+  if (Cell.empty())
+    return false;
+  for (char C : Cell)
+    if (!std::isdigit(static_cast<unsigned char>(C)) && C != '.' &&
+        C != '-' && C != '+' && C != 'e' && C != '%' && C != ',')
+      return false;
+  return true;
+}
+
+std::string TextTable::render() const {
+  std::vector<size_t> Widths;
+  auto Grow = [&](const std::vector<std::string> &Cells) {
+    if (Widths.size() < Cells.size())
+      Widths.resize(Cells.size(), 0);
+    for (size_t I = 0, E = Cells.size(); I != E; ++I)
+      Widths[I] = std::max(Widths[I], Cells[I].size());
+  };
+  if (!Header.empty())
+    Grow(Header);
+  for (const auto &Row : Rows)
+    Grow(Row);
+
+  auto Emit = [&](const std::vector<std::string> &Cells, std::string &Out) {
+    for (size_t I = 0, E = Cells.size(); I != E; ++I) {
+      size_t Pad = Widths[I] - Cells[I].size();
+      if (I != 0)
+        Out += "  ";
+      if (looksNumeric(Cells[I])) {
+        Out.append(Pad, ' ');
+        Out += Cells[I];
+      } else {
+        Out += Cells[I];
+        // Skip trailing spaces on the last column.
+        if (I + 1 != E)
+          Out.append(Pad, ' ');
+      }
+    }
+    Out += '\n';
+  };
+
+  std::string Out;
+  if (!Header.empty()) {
+    Emit(Header, Out);
+    size_t Total = 0;
+    for (size_t W : Widths)
+      Total += W;
+    Out.append(Total + 2 * (Widths.empty() ? 0 : Widths.size() - 1), '-');
+    Out += '\n';
+  }
+  for (const auto &Row : Rows)
+    Emit(Row, Out);
+  return Out;
+}

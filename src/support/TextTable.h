@@ -1,0 +1,42 @@
+//===- support/TextTable.h - Aligned text tables -----------------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders aligned text tables; bench binaries use this to print the rows of
+/// the paper's tables and figure series.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_SUPPORT_TEXTTABLE_H
+#define DMETABENCH_SUPPORT_TEXTTABLE_H
+
+#include <string>
+#include <vector>
+
+namespace dmb {
+
+/// Collects rows of cells and renders them with aligned columns.
+class TextTable {
+public:
+  /// Sets the header row.
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends a data row.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table; numeric-looking cells are right-aligned.
+  std::string render() const;
+
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace dmb
+
+#endif // DMETABENCH_SUPPORT_TEXTTABLE_H

@@ -1,0 +1,65 @@
+//===- workload/Disturbance.cpp -------------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Disturbance.h"
+
+using namespace dmb;
+
+CpuHog::CpuHog(Scheduler &Sched, SharedProcessor &Cpu, double Weight,
+               SimTime Start, SimTime End)
+    : Sched(Sched), Cpu(Cpu), Weight(Weight), End(End) {
+  Sched.at(Start, [this]() { pump(); });
+}
+
+void CpuHog::pump() {
+  if (Sched.now() >= End)
+    return;
+  // Re-submit CPU-bound work in small chunks so the hog can stop promptly
+  // at End. The chunk finishes in wall time chunk/(share), then we chain.
+  Cpu.submit(milliseconds(5), Weight, [this]() { pump(); });
+}
+
+SnapshotJob::SnapshotJob(Scheduler &Sched, FileServer &Server, SimTime Start,
+                         SimTime End, uint64_t Seed, SimDuration MeanGap,
+                         SimDuration MeanBurst, SimDuration MeanJitter)
+    : Sched(Sched), Server(Server), End(End), R(Seed), MeanGap(MeanGap),
+      MeanBurst(MeanBurst) {
+  Sched.at(Start, [this, MeanJitter, Seed]() {
+    this->Server.setServiceJitter(MeanJitter, Seed);
+    pump();
+  });
+}
+
+void SnapshotJob::pump() {
+  if (Sched.now() >= End) {
+    Server.setServiceJitter(0);
+    return;
+  }
+  SimDuration Burst = static_cast<SimDuration>(
+      R.exponential(static_cast<double>(MeanBurst)));
+  Server.injectWork(Burst);
+  SimDuration Gap =
+      static_cast<SimDuration>(R.exponential(static_cast<double>(MeanGap)));
+  Sched.after(Gap, [this]() { pump(); });
+}
+
+SequentialWriter::SequentialWriter(Scheduler &Sched, FileServer &Server,
+                                   SimTime Start, SimTime End,
+                                   SimDuration ChunkService,
+                                   SimDuration ChunkGap)
+    : Sched(Sched), Server(Server), End(End), ChunkService(ChunkService),
+      ChunkGap(ChunkGap) {
+  Sched.at(Start, [this]() { pump(); });
+}
+
+void SequentialWriter::pump() {
+  if (Sched.now() >= End)
+    return;
+  // Back-to-back chunks with a short gap: a steady stream that consumes a
+  // fixed share of server capacity.
+  Server.injectWork(ChunkService,
+                    [this]() { Sched.after(ChunkGap, [this]() { pump(); }); });
+}

@@ -1,0 +1,87 @@
+//===- workload/Disturbance.h - Disturbance injectors -----------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The disturbances used in the thesis's evaluation of time-interval
+/// logging (\S 4.2.3): a CPU hog on one node (Fig. 4.4, the `stress` tool),
+/// snapshot creation on the filer (Fig. 4.5), and heavy sequential write
+/// traffic (Fig. 4.7). Each reproduces the corresponding signature in the
+/// per-process performance COV.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_WORKLOAD_DISTURBANCE_H
+#define DMETABENCH_WORKLOAD_DISTURBANCE_H
+
+#include "dfs/FileServer.h"
+#include "sim/Scheduler.h"
+#include "sim/SharedProcessor.h"
+#include "support/Random.h"
+
+namespace dmb {
+
+/// Dozens of CPU-bound processes competing for a node's cores, like
+/// `stress` in \S 4.2.3. The hog runs as a heavy-weight processor-sharing
+/// task from Start to End.
+class CpuHog {
+public:
+  /// \p Weight is the equivalent number of default-priority CPU-bound
+  /// processes (e.g. 48 for "several dozens").
+  CpuHog(Scheduler &Sched, SharedProcessor &Cpu, double Weight,
+         SimTime Start, SimTime End);
+
+private:
+  void pump();
+
+  Scheduler &Sched;
+  SharedProcessor &Cpu;
+  double Weight;
+  SimTime End;
+};
+
+/// Snapshot creation on a file server: random bursts of internal work plus
+/// per-request copy-on-write jitter, producing the erratic per-process
+/// performance of Fig. 4.5.
+class SnapshotJob {
+public:
+  SnapshotJob(Scheduler &Sched, FileServer &Server, SimTime Start,
+              SimTime End, uint64_t Seed = 42,
+              SimDuration MeanGap = milliseconds(60),
+              SimDuration MeanBurst = milliseconds(12),
+              SimDuration MeanJitter = microseconds(150));
+
+private:
+  void pump();
+
+  Scheduler &Sched;
+  FileServer &Server;
+  SimTime End;
+  Rng R;
+  SimDuration MeanGap;
+  SimDuration MeanBurst;
+};
+
+/// A large sequential file write to the server: a steady stream of chunk
+/// work that slows every metadata client equally (Fig. 4.7).
+class SequentialWriter {
+public:
+  SequentialWriter(Scheduler &Sched, FileServer &Server, SimTime Start,
+                   SimTime End, SimDuration ChunkService = milliseconds(4),
+                   SimDuration ChunkGap = milliseconds(1));
+
+private:
+  void pump();
+
+  Scheduler &Sched;
+  FileServer &Server;
+  SimTime End;
+  SimDuration ChunkService;
+  SimDuration ChunkGap;
+};
+
+} // namespace dmb
+
+#endif // DMETABENCH_WORKLOAD_DISTURBANCE_H

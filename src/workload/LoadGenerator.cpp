@@ -1,0 +1,206 @@
+//===- workload/LoadGenerator.cpp -----------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/LoadGenerator.h"
+#include "support/Format.h"
+#include <algorithm>
+#include <memory>
+
+using namespace dmb;
+
+std::vector<MixEntry> dmb::laddisMix() {
+  return {
+      {MetaOp::Stat, 50.0},     // LOOKUP + GETATTR half
+      {MetaOp::Read, 22.0},     // I/O roughly one third...
+      {MetaOp::Write, 11.0},    // ...split 2:1 read:write
+      {MetaOp::Readdir, 6.0},   // the remaining sixth spread over
+      {MetaOp::Open, 6.0},      // directory and namespace operations
+      {MetaOp::Unlink, 5.0},
+  };
+}
+
+namespace {
+
+/// Shared mutable state of one run.
+struct RunState {
+  Scheduler &Sched;
+  ClientFs &Client;
+  LoadConfig Config;
+  Rng R;
+  std::vector<std::string> Files;
+  double TotalWeight = 0;
+  SimTime Deadline = 0;
+
+  LoadResult Result;
+  double LatencySumMs = 0;
+  uint64_t NextCreateId = 0;
+  uint64_t CompletedInWindow = 0;
+
+  RunState(Scheduler &S, ClientFs &C, const LoadConfig &Cfg)
+      : Sched(S), Client(C), Config(Cfg), R(Cfg.Seed) {
+    for (const MixEntry &E : Config.Mix)
+      TotalWeight += E.Weight;
+  }
+
+  MetaOp pickOp() {
+    double X = R.uniform() * TotalWeight;
+    for (const MixEntry &E : Config.Mix) {
+      if (X < E.Weight)
+        return E.Op;
+      X -= E.Weight;
+    }
+    return Config.Mix.back().Op;
+  }
+
+  const std::string &randomFile() { return Files[R.below(Files.size())]; }
+};
+
+/// Issues one mix operation and records its response time. Handle-based
+/// flavours are expressed as compound open/op/close requests; the recorded
+/// latency covers the full compound, like an SFS op class.
+void submitOne(std::shared_ptr<RunState> St) {
+  MetaOp Op = St->pickOp();
+  SimTime Start = St->Sched.now();
+  ++St->Result.Submitted;
+
+  auto Finish = [St, Start](const MetaReply &Reply) {
+    ++St->Result.Completed;
+    if (St->Sched.now() <= St->Deadline)
+      ++St->CompletedInWindow;
+    if (!Reply.ok())
+      ++St->Result.Failed;
+    double Ms = toMilliseconds(St->Sched.now() - Start);
+    St->LatencySumMs += Ms;
+    St->Result.MaxLatencyMs = std::max(St->Result.MaxLatencyMs, Ms);
+  };
+
+  switch (Op) {
+  case MetaOp::Stat:
+    St->Client.submit(makeStat(St->randomFile()),
+                      [Finish](MetaReply R) { Finish(R); });
+    break;
+  case MetaOp::Readdir:
+    St->Client.submit(makeReaddir(St->Config.WorkDir),
+                      [Finish](MetaReply R) { Finish(R); });
+    break;
+  case MetaOp::Read:
+  case MetaOp::Write: {
+    bool IsWrite = Op == MetaOp::Write;
+    uint32_t Flags = IsWrite ? OpenWrite : OpenRead;
+    St->Client.submit(
+        makeOpen(St->randomFile(), Flags),
+        [St, Finish, IsWrite](MetaReply O) {
+          if (!O.ok()) {
+            Finish(O);
+            return;
+          }
+          MetaRequest Io =
+              IsWrite ? makeWrite(O.Fh, 8192) : makeRead(O.Fh, 8192);
+          St->Client.submit(Io, [St, Finish, Fh = O.Fh](MetaReply) {
+            St->Client.submit(makeClose(Fh),
+                              [Finish](MetaReply C) { Finish(C); });
+          });
+        });
+    break;
+  }
+  case MetaOp::Open: // create a new file (and keep the set bounded)
+    St->Client.submit(
+        makeOpen(St->Config.WorkDir +
+                     format("/new%llu",
+                            (unsigned long long)St->NextCreateId++),
+                 OpenWrite | OpenCreate),
+        [St, Finish](MetaReply O) {
+          if (!O.ok()) {
+            Finish(O);
+            return;
+          }
+          St->Client.submit(makeClose(O.Fh),
+                            [Finish](MetaReply C) { Finish(C); });
+        });
+    break;
+  case MetaOp::Unlink: {
+    // Remove one of the extra created files when available; otherwise a
+    // stat stands in (the mix share is small).
+    if (St->NextCreateId > 0) {
+      uint64_t Id = St->R.below(St->NextCreateId);
+      St->Client.submit(
+          makeUnlink(St->Config.WorkDir +
+                     format("/new%llu", (unsigned long long)Id)),
+          [Finish](MetaReply R) {
+            MetaReply Adjusted = R;
+            // Deleting an already-deleted pick is not a server fault.
+            if (R.Err == FsError::NoEnt)
+              Adjusted.Err = FsError::Ok;
+            Finish(Adjusted);
+          });
+    } else {
+      St->Client.submit(makeStat(St->randomFile()),
+                        [Finish](MetaReply R) { Finish(R); });
+    }
+    break;
+  }
+  default:
+    St->Client.submit(makeStat(St->randomFile()),
+                      [Finish](MetaReply R) { Finish(R); });
+    break;
+  }
+}
+
+/// Open-loop arrival process: exponential gaps at the offered rate.
+void armNextArrival(std::shared_ptr<RunState> St) {
+  SimDuration Gap = static_cast<SimDuration>(
+      St->R.exponential(1e9 / St->Config.OfferedOpsPerSec));
+  St->Sched.after(Gap, [St]() {
+    if (St->Sched.now() >= St->Deadline)
+      return;
+    submitOne(St);
+    armNextArrival(St);
+  });
+}
+
+} // namespace
+
+LoadResult dmb::runOpenLoopLoad(Scheduler &Sched, ClientFs &Client,
+                                const LoadConfig &Config) {
+  auto St = std::make_shared<RunState>(Sched, Client, Config);
+
+  // Prepare the file population synchronously.
+  bool Ready = false;
+  Client.submit(makeMkdir(Config.WorkDir), [&Ready](MetaReply) {
+    Ready = true;
+  });
+  Sched.run();
+  (void)Ready;
+  for (unsigned I = 0; I < Config.FileSetSize; ++I) {
+    std::string Path = Config.WorkDir + format("/f%u", I);
+    MetaReply Open;
+    Client.submit(makeOpen(Path, OpenWrite | OpenCreate),
+                  [&Open](MetaReply R) { Open = std::move(R); });
+    Sched.run();
+    Client.submit(makeWrite(Open.Fh, 32768), [](MetaReply) {});
+    Client.submit(makeClose(Open.Fh), [](MetaReply) {});
+    Sched.run();
+    St->Files.push_back(Path);
+  }
+
+  // Drop whatever the preparation cached: SFS measures the server.
+  Client.dropCaches();
+
+  SimTime Start = Sched.now();
+  St->Deadline = Start + Config.Duration;
+  armNextArrival(St);
+  Sched.run(); // runs arrivals + drains all outstanding requests
+
+  LoadResult Out = St->Result;
+  // Throughput counts only completions inside the measurement window;
+  // at overload the drain after the deadline must not inflate it.
+  Out.AchievedOpsPerSec =
+      St->CompletedInWindow / toSeconds(Config.Duration);
+  Out.MeanLatencyMs = St->Result.Completed
+                          ? St->LatencySumMs / St->Result.Completed
+                          : 0;
+  return Out;
+}

@@ -1,0 +1,73 @@
+//===- workload/LoadGenerator.h - SPEC SFS-style load generator -*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An open-loop load generator in the style of LADDIS / SPEC SFS (thesis
+/// \S 3.1.2): it submits a pre-defined mix of metadata and I/O requests at
+/// a configured offered rate — regardless of completions — and records the
+/// response time of every request. Sweeping the offered rate reproduces
+/// the classic latency-vs-throughput curve of Fig. 3.1, including the
+/// saturation knee. Unlike DMetabench's closed-loop workers, this bypasses
+/// benchmark-process pacing, which is exactly what made SPEC SFS
+/// server-centric (\S 3.1.2: "the NFS client and file system layer is
+/// bypassed").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_WORKLOAD_LOADGENERATOR_H
+#define DMETABENCH_WORKLOAD_LOADGENERATOR_H
+
+#include "dfs/ClientFs.h"
+#include "sim/Scheduler.h"
+#include "support/Random.h"
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dmb {
+
+/// One entry of the operation mix.
+struct MixEntry {
+  MetaOp Op = MetaOp::Stat;
+  double Weight = 1.0; ///< relative share of the mix
+};
+
+/// The original LADDIS flavour: "half file name and attribute operations
+/// (LOOKUP and GETATTR), roughly one-third I/O-operations (READ and
+/// WRITE), and the remaining one-sixth spread among other operations."
+std::vector<MixEntry> laddisMix();
+
+/// Configuration of one load-generation run.
+struct LoadConfig {
+  double OfferedOpsPerSec = 1000;
+  SimDuration Duration = seconds(10.0);
+  std::vector<MixEntry> Mix = laddisMix();
+  /// Pre-created file population the mix operates on.
+  unsigned FileSetSize = 200;
+  std::string WorkDir = "/sfs";
+  uint64_t Seed = 1993; ///< LADDIS publication year
+};
+
+/// Results of a run.
+struct LoadResult {
+  uint64_t Submitted = 0;
+  uint64_t Completed = 0;
+  uint64_t Failed = 0;
+  double AchievedOpsPerSec = 0;
+  double MeanLatencyMs = 0;
+  double MaxLatencyMs = 0;
+};
+
+/// Runs an open-loop load against \p Client: prepares the file set, then
+/// submits mix operations with exponential inter-arrival times at the
+/// offered rate for the configured duration, and drains. Drives \p Sched
+/// to completion.
+LoadResult runOpenLoopLoad(Scheduler &Sched, ClientFs &Client,
+                           const LoadConfig &Config);
+
+} // namespace dmb
+
+#endif // DMETABENCH_WORKLOAD_LOADGENERATOR_H

@@ -1,0 +1,116 @@
+//===- workload/NamespaceGenerator.cpp ------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/NamespaceGenerator.h"
+#include "support/Format.h"
+#include "support/Random.h"
+#include <cmath>
+#include <deque>
+
+using namespace dmb;
+
+double NamespaceStats::cdfByCount(uint64_t Threshold) const {
+  if (Sizes.empty())
+    return 0;
+  uint64_t N = 0;
+  for (uint64_t S : Sizes)
+    if (S <= Threshold)
+      ++N;
+  return static_cast<double>(N) / Sizes.size();
+}
+
+double NamespaceStats::cdfByBytes(uint64_t Threshold) const {
+  if (TotalBytes == 0)
+    return 0;
+  uint64_t Bytes = 0;
+  for (uint64_t S : Sizes)
+    if (S <= Threshold)
+      Bytes += S;
+  return static_cast<double>(Bytes) / static_cast<double>(TotalBytes);
+}
+
+NamespaceStats dmb::populateNamespace(LocalFileSystem &Fs,
+                                      const NamespaceProfile &Profile,
+                                      const std::string &Root) {
+  Rng R(Profile.Seed);
+  NamespaceStats Stats;
+  OpCtx Ctx;
+  Ctx.Creds.Uid = 0; // generator runs as root
+
+  std::string Base = Root == "/" ? std::string() : Root;
+  std::string CurrentDir;
+  uint64_t InCurrentDir = 0;
+  uint64_t NextDirId = 0;
+
+  for (uint64_t I = 0; I < Profile.NumFiles; ++I) {
+    // Start a fresh directory when the geometric run ends.
+    bool NeedDir = CurrentDir.empty() ||
+                   (InCurrentDir > 0 &&
+                    R.uniform() < 1.0 / Profile.MeanFilesPerDir);
+    if (NeedDir) {
+      CurrentDir = Base + format("/dir%llu", (unsigned long long)NextDirId);
+      ++NextDirId;
+      if (failed(Fs.mkdir(Ctx, CurrentDir, 0755)))
+        break;
+      ++Stats.Directories;
+      InCurrentDir = 0;
+    }
+
+    // Lognormal file size with a floor of 0 (1-1.5% of files are empty in
+    // the study; model ~1%).
+    uint64_t Size = 0;
+    if (R.uniform() >= 0.01) {
+      double LogSize =
+          R.normal(Profile.LogNormalMu, Profile.LogNormalSigma);
+      Size = static_cast<uint64_t>(std::llround(std::exp(LogSize)));
+    }
+
+    std::string Path =
+        CurrentDir + format("/file%llu", (unsigned long long)I);
+    Result<FileHandle> Fh = Fs.open(Ctx, Path, OpenWrite | OpenCreate);
+    if (!Fh.ok())
+      break;
+    if (Size)
+      if (!Fs.write(Ctx, *Fh, Size).ok()) {
+        Fs.close(Ctx, *Fh);
+        break;
+      }
+    Fs.close(Ctx, *Fh);
+    ++InCurrentDir;
+    ++Stats.Files;
+    Stats.TotalBytes += Size;
+    Stats.Sizes.push_back(Size);
+  }
+  return Stats;
+}
+
+ScanResult dmb::scanNamespace(LocalFileSystem &Fs, const std::string &Root) {
+  ScanResult Out;
+  OpCtx Ctx;
+  Ctx.Creds.Uid = 0;
+
+  std::deque<std::string> Work;
+  Work.push_back(Root);
+  while (!Work.empty()) {
+    std::string Dir = std::move(Work.front());
+    Work.pop_front();
+    Result<std::vector<DirEntry>> Entries = Fs.readdir(Ctx, Dir);
+    if (!Entries.ok())
+      continue;
+    std::string Base = Dir == "/" ? std::string() : Dir;
+    for (const DirEntry &E : *Entries) {
+      if (E.Name == "." || E.Name == "..")
+        continue;
+      std::string Path = Base + "/" + E.Name;
+      if (Fs.lstat(Ctx, Path).ok())
+        ++Out.Objects;
+      if (E.Type == FileType::Directory)
+        Work.push_back(Path);
+    }
+  }
+  Out.Cost = Ctx.Cost;
+  return Out;
+}

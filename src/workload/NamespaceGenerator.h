@@ -1,0 +1,73 @@
+//===- workload/NamespaceGenerator.h - Synthetic namespaces ----*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates realistic synthetic namespaces following the findings of
+/// Agrawal et al. as discussed in thesis \S 2.8.2: heavy-tailed
+/// (lognormal) file sizes whose mean grows year over year, directory
+/// trees with geometric fan-out. Used to study how metadata volume and
+/// full-namespace scans scale with file counts (Figs. 2.8/2.9 and the
+/// "file system scans take progressively longer" conclusion).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_WORKLOAD_NAMESPACEGENERATOR_H
+#define DMETABENCH_WORKLOAD_NAMESPACEGENERATOR_H
+
+#include "fs/LocalFileSystem.h"
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dmb {
+
+/// Shape of a generated namespace.
+struct NamespaceProfile {
+  uint64_t NumFiles = 30000;
+  /// Mean files per directory; directories are created on demand to keep
+  /// this average.
+  double MeanFilesPerDir = 100;
+  /// Lognormal size parameters: exp(Mu) is the median size in bytes.
+  double LogNormalMu = 9.2; ///< median ~10 KB
+  double LogNormalSigma = 2.0;
+  uint64_t Seed = 2004;
+};
+
+/// Aggregate statistics of a generated namespace.
+struct NamespaceStats {
+  uint64_t Files = 0;
+  uint64_t Directories = 0;
+  uint64_t TotalBytes = 0;
+  std::vector<uint64_t> Sizes; ///< every generated file size
+
+  double meanFileSize() const {
+    return Files ? static_cast<double>(TotalBytes) / Files : 0;
+  }
+  /// Fraction of files with size <= Threshold.
+  double cdfByCount(uint64_t Threshold) const;
+  /// Fraction of total bytes residing in files with size <= Threshold.
+  double cdfByBytes(uint64_t Threshold) const;
+};
+
+/// Populates \p Fs under \p Root with a namespace shaped by \p Profile.
+/// Returns the statistics; the file system afterwards passes fsck.
+NamespaceStats populateNamespace(LocalFileSystem &Fs,
+                                 const NamespaceProfile &Profile,
+                                 const std::string &Root = "/");
+
+/// Result of a full recursive metadata scan (readdir + lstat of every
+/// object), as a backup/virus scanner performs it (\S 2.8.3).
+struct ScanResult {
+  uint64_t Objects = 0;
+  OpCost Cost;
+};
+
+/// Walks the whole tree under \p Root, stat-ing every entry.
+ScanResult scanNamespace(LocalFileSystem &Fs, const std::string &Root = "/");
+
+} // namespace dmb
+
+#endif // DMETABENCH_WORKLOAD_NAMESPACEGENERATOR_H

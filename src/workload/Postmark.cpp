@@ -1,0 +1,205 @@
+//===- workload/Postmark.cpp ----------------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Postmark.h"
+#include "core/StreamHelpers.h"
+#include "support/Format.h"
+#include "support/Random.h"
+#include <memory>
+#include <vector>
+
+using namespace dmb;
+
+namespace {
+
+/// Per-process Postmark state machine.
+class PostmarkInstance : public PluginInstance {
+public:
+  PostmarkInstance(const PluginContext &Ctx, const PostmarkConfig &Cfg)
+      : Ctx(Ctx), Cfg(Cfg), R(Cfg.Seed + Ctx.Ordinal), Own(ownDir(Ctx)) {}
+
+  std::unique_ptr<OpStream> prepare() override {
+    // Phase 1: create the file pool with random sizes.
+    struct State {
+      enum { MkOwn, Open, Write, Close, Done } Phase = MkOwn;
+      uint32_t Index = 0;
+      FileHandle Fh = InvalidHandle;
+    };
+    auto St = std::make_shared<State>();
+    return makeStream([this, St](const MetaReply &Last, StreamStep &Out) {
+      switch (St->Phase) {
+      case State::MkOwn:
+        Out.Req = makeMkdir(Own);
+        St->Phase = Cfg.InitialFiles ? State::Open : State::Done;
+        return true;
+      case State::Open:
+        Out.Req = makeOpen(filePath(St->Index), OpenWrite | OpenCreate);
+        St->Phase = State::Write;
+        return true;
+      case State::Write:
+        St->Fh = Last.Fh;
+        Out.Req = makeWrite(Last.Fh, randomSize());
+        St->Phase = State::Close;
+        return true;
+      case State::Close:
+        Out.Req = makeClose(St->Fh);
+        Pool.push_back(St->Index);
+        ++St->Index;
+        St->Phase =
+            St->Index < Cfg.InitialFiles ? State::Open : State::Done;
+        return true;
+      case State::Done:
+        return false;
+      }
+      return false;
+    });
+  }
+
+  std::unique_ptr<OpStream> bench() override {
+    NextId = Cfg.InitialFiles;
+    // Phase 2: the transaction mix. Each transaction is one logical op.
+    struct State {
+      uint64_t TxDone = 0;
+      int Kind = -1; // -1 = choose next; 0 create, 1 delete, 2 read, 3 append
+      int Step = 0;
+      FileHandle Fh = InvalidHandle;
+      uint32_t TargetId = 0;
+    };
+    auto St = std::make_shared<State>();
+    return makeStream([this, St](const MetaReply &Last, StreamStep &Out) {
+      if (St->TxDone >= Ctx.ProblemSize)
+        return false;
+      if (St->Kind < 0) {
+        St->Kind = static_cast<int>(R.below(4));
+        // Deleting/reading/appending needs a pool; fall back to create.
+        if (Pool.empty())
+          St->Kind = 0;
+        St->Step = 0;
+      }
+      switch (St->Kind) {
+      case 0: // create
+        switch (St->Step) {
+        case 0:
+          St->TargetId = NextId++;
+          Out.Req = makeOpen(filePath(St->TargetId),
+                             OpenWrite | OpenCreate);
+          St->Step = 1;
+          return true;
+        case 1:
+          St->Fh = Last.Fh;
+          Out.Req = makeWrite(Last.Fh, randomSize());
+          St->Step = 2;
+          return true;
+        default:
+          Out.Req = makeClose(St->Fh);
+          finishTx(Out, St->TxDone, St->Kind);
+          Pool.push_back(St->TargetId);
+          return true;
+        }
+      case 1: { // delete
+        size_t Idx = R.below(Pool.size());
+        uint32_t Id = Pool[Idx];
+        Pool[Idx] = Pool.back();
+        Pool.pop_back();
+        Out.Req = makeUnlink(filePath(Id));
+        finishTx(Out, St->TxDone, St->Kind);
+        return true;
+      }
+      case 2: // read
+        switch (St->Step) {
+        case 0:
+          St->TargetId = Pool[R.below(Pool.size())];
+          Out.Req = makeOpen(filePath(St->TargetId), OpenRead);
+          St->Step = 1;
+          return true;
+        case 1:
+          St->Fh = Last.Fh;
+          Out.Req = makeRead(Last.Fh, Cfg.ReadBytes);
+          St->Step = 2;
+          return true;
+        default:
+          Out.Req = makeClose(St->Fh);
+          finishTx(Out, St->TxDone, St->Kind);
+          return true;
+        }
+      default: // append
+        switch (St->Step) {
+        case 0:
+          St->TargetId = Pool[R.below(Pool.size())];
+          Out.Req = makeOpen(filePath(St->TargetId),
+                             OpenWrite | OpenAppend);
+          St->Step = 1;
+          return true;
+        case 1:
+          St->Fh = Last.Fh;
+          Out.Req = makeWrite(Last.Fh, Cfg.AppendBytes);
+          St->Step = 2;
+          return true;
+        default:
+          Out.Req = makeClose(St->Fh);
+          finishTx(Out, St->TxDone, St->Kind);
+          return true;
+        }
+      }
+    });
+  }
+
+  std::unique_ptr<OpStream> cleanup() override {
+    // Phase 3: remove the remaining pool and the directory.
+    auto Index = std::make_shared<size_t>(0);
+    auto RmdirDone = std::make_shared<bool>(false);
+    return makeStream(
+        [this, Index, RmdirDone](const MetaReply &, StreamStep &Out) {
+          if (*Index < Pool.size()) {
+            Out.Req = makeUnlink(filePath(Pool[*Index]));
+            ++*Index;
+            return true;
+          }
+          if (!*RmdirDone) {
+            *RmdirDone = true;
+            Out.Req = makeRmdir(Own);
+            return true;
+          }
+          return false;
+        });
+  }
+
+private:
+  std::string filePath(uint32_t Id) const {
+    return Own + format("/f%u", Id);
+  }
+
+  uint64_t randomSize() {
+    return Cfg.MinFileSize +
+           R.below(Cfg.MaxFileSize - Cfg.MinFileSize + 1);
+  }
+
+  /// Marks the final request of a transaction: reset the chooser state.
+  void finishTx(StreamStep &Out, uint64_t &TxDone, int &Kind) {
+    Out.CompletesOp = true;
+    ++TxDone;
+    Kind = -1;
+  }
+
+  PluginContext Ctx;
+  PostmarkConfig Cfg;
+  Rng R;
+  std::string Own;
+  std::vector<uint32_t> Pool;
+  uint32_t NextId = 0;
+};
+
+} // namespace
+
+std::unique_ptr<PluginInstance>
+PostmarkPlugin::makeInstance(const PluginContext &Ctx) {
+  return std::make_unique<PostmarkInstance>(Ctx, Config);
+}
+
+void dmb::registerPostmarkPlugin(PluginRegistry &Registry,
+                                 PostmarkConfig Config) {
+  Registry.add(std::make_unique<PostmarkPlugin>(Config));
+}

@@ -1,0 +1,58 @@
+//===- workload/Postmark.h - Postmark-style baseline benchmark -*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Postmark-like macro-benchmark (thesis \S 3.1.4): the baseline
+/// DMetabench improves upon. Postmark simulates a mail server in three
+/// phases — create a file pool, run a mix of create/read/append/delete
+/// transactions, remove everything — and compresses the outcome into a
+/// single transactions-per-second number. Implemented as a DMetabench
+/// plugin, it runs on every simulated file system; bench E23 contrasts its
+/// single-number output with time-interval logging (\S 3.2.5 "Result
+/// compression").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_WORKLOAD_POSTMARK_H
+#define DMETABENCH_WORKLOAD_POSTMARK_H
+
+#include "core/Plugin.h"
+#include <cstdint>
+
+namespace dmb {
+
+/// Postmark knobs (defaults follow the original tool's spirit).
+struct PostmarkConfig {
+  uint32_t InitialFiles = 500;    ///< pool created in the first phase
+  uint32_t MinFileSize = 512;     ///< bytes
+  uint32_t MaxFileSize = 16384;   ///< bytes
+  uint32_t ReadBytes = 4096;      ///< per read transaction
+  uint32_t AppendBytes = 1024;    ///< per append transaction
+  uint64_t Seed = 1990;           ///< transaction mix RNG seed
+};
+
+/// The Postmark plugin. ProblemSize is the number of transactions per
+/// process; one transaction = one logical operation.
+class PostmarkPlugin : public BenchmarkPlugin {
+public:
+  explicit PostmarkPlugin(PostmarkConfig Config = PostmarkConfig())
+      : Config(Config) {}
+
+  std::string name() const override { return "Postmark"; }
+  std::unique_ptr<PluginInstance>
+  makeInstance(const PluginContext &Ctx) override;
+
+private:
+  PostmarkConfig Config;
+};
+
+/// Registers the Postmark plugin into \p Registry.
+void registerPostmarkPlugin(PluginRegistry &Registry,
+                            PostmarkConfig Config = PostmarkConfig());
+
+} // namespace dmb
+
+#endif // DMETABENCH_WORKLOAD_POSTMARK_H

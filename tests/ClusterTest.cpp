@@ -1,0 +1,138 @@
+//===- tests/ClusterTest.cpp - Cluster runtime and placement tests --------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Verifies placement discovery and execution planning against the worked
+/// examples of the thesis: Table 3.2 (discovery), Table 3.3 (plan) and
+/// Fig. 3.9 (round-robin worker ordering with the master on the node with
+/// the most processes).
+///
+//===----------------------------------------------------------------------===//
+
+#include "cluster/Cluster.h"
+#include "cluster/Placement.h"
+#include "dfs/NfsFs.h"
+#include <gtest/gtest.h>
+
+using namespace dmb;
+
+namespace {
+
+/// The thesis's example: nine processes, three per node (Table 3.2).
+MpiEnvironment exampleEnv() { return MpiEnvironment::uniform(3, 3); }
+
+TEST(Placement, Table32Discovery) {
+  Placement P(exampleEnv());
+  // Process 0 is the master (first rank on the first node with the maximal
+  // process count).
+  EXPECT_EQ(0, P.masterRank());
+  const auto &ByNode = P.workersByNode();
+  ASSERT_EQ(3u, ByNode.size());
+  EXPECT_EQ((std::vector<int>{1, 2}), ByNode.at(0));
+  EXPECT_EQ((std::vector<int>{3, 4, 5}), ByNode.at(1));
+  EXPECT_EQ((std::vector<int>{6, 7, 8}), ByNode.at(2));
+  EXPECT_EQ(3u, P.maxPerNode());
+  EXPECT_EQ(3u, P.maxNodes());
+}
+
+TEST(Placement, Table33ExecutionPlan) {
+  Placement P(exampleEnv());
+  // 1 ppn on 1..3 nodes.
+  EXPECT_EQ((std::vector<int>{1}), *P.select(1, 1));
+  EXPECT_EQ((std::vector<int>{1, 3}), *P.select(2, 1));
+  EXPECT_EQ((std::vector<int>{1, 3, 6}), *P.select(3, 1));
+  // 2 ppn: node A has only 2 free workers; round-robin across nodes.
+  EXPECT_EQ((std::vector<int>{1, 2}), *P.select(1, 2));
+  EXPECT_EQ((std::vector<int>{1, 3, 2, 4}), *P.select(2, 2));
+  EXPECT_EQ((std::vector<int>{1, 3, 6, 2, 4, 7}), *P.select(3, 2));
+  // 3 ppn: only nodes B and C qualify (A lost a slot to the master).
+  EXPECT_EQ((std::vector<int>{3, 4, 5}), *P.select(1, 3));
+  EXPECT_EQ((std::vector<int>{3, 6, 4, 7, 5, 8}), *P.select(2, 3));
+  EXPECT_FALSE(P.select(3, 3).has_value());
+  // The full plan enumerates exactly the eight feasible rows of Table 3.3.
+  EXPECT_EQ(8u, P.plan().size());
+}
+
+TEST(Placement, Fig39MasterOnBiggestNodeAndRoundRobinOrder) {
+  // Seven processes on two nodes: A hosts ranks 0-2, B hosts ranks 3-6.
+  std::vector<unsigned> Layout = {0, 0, 0, 1, 1, 1, 1};
+  Placement P((MpiEnvironment(Layout)));
+  // B has four processes; its first rank (3) becomes the master.
+  EXPECT_EQ(3, P.masterRank());
+  // Worker order alternates A B A B A B (Fig. 3.9).
+  std::optional<std::vector<int>> Sel = P.select(2, 3);
+  ASSERT_TRUE(Sel.has_value());
+  EXPECT_EQ((std::vector<int>{0, 4, 1, 5, 2, 6}), *Sel);
+}
+
+TEST(Placement, StepParametersThinThePlan) {
+  // 16 nodes, 2 slots each (one node loses a slot to the master).
+  Placement P(MpiEnvironment::uniform(16, 2));
+  // Node step 5: nodes 1, 5, 10, 15 (\S 3.3.5).
+  std::vector<PlanEntry> Plan = P.plan(/*NodeStep=*/5, /*PpnStep=*/1);
+  std::vector<unsigned> NodeCounts;
+  for (const PlanEntry &E : Plan)
+    if (E.PerNode == 1)
+      NodeCounts.push_back(E.NumNodes);
+  EXPECT_EQ((std::vector<unsigned>{1, 5, 10, 15}), NodeCounts);
+}
+
+TEST(Placement, HeterogeneousLayout) {
+  // Mixed pool: node 0 has 1 slot, node 1 has 4, node 2 has 2.
+  std::vector<unsigned> Layout = {0, 1, 1, 1, 1, 2, 2};
+  Placement P((MpiEnvironment(Layout)));
+  // Node 1 hosts the master (most processes): rank 1.
+  EXPECT_EQ(1, P.masterRank());
+  EXPECT_EQ(3u, P.maxPerNode()); // node 1 keeps 3 workers
+  // 3 ppn fits only on node 1.
+  EXPECT_EQ((std::vector<int>{2, 3, 4}), *P.select(1, 3));
+  EXPECT_FALSE(P.select(2, 3).has_value());
+  // 1 ppn on 3 nodes uses the first free worker of each node.
+  EXPECT_EQ((std::vector<int>{0, 2, 5}), *P.select(3, 1));
+}
+
+TEST(Placement, SingleNodeSmpLayout) {
+  // One big SMP node: master plus N workers on node 0 (\S 4.5 setups).
+  Placement P(MpiEnvironment::uniform(1, 9));
+  EXPECT_EQ(0, P.masterRank());
+  EXPECT_EQ(8u, P.maxPerNode());
+  EXPECT_EQ(1u, P.maxNodes());
+  EXPECT_EQ(8u, P.select(1, 8)->size());
+  EXPECT_FALSE(P.select(2, 1).has_value());
+}
+
+TEST(Placement, UniformLayoutShape) {
+  MpiEnvironment Env = MpiEnvironment::uniform(4, 2);
+  EXPECT_EQ(8u, Env.size());
+  EXPECT_EQ(4u, Env.numNodes());
+  EXPECT_EQ(0u, Env.nodeOf(0));
+  EXPECT_EQ(0u, Env.nodeOf(1));
+  EXPECT_EQ(3u, Env.nodeOf(7));
+}
+
+TEST(Cluster, NodesHaveHostnamesAndCpus) {
+  Scheduler S;
+  Cluster C(S, 4, 8);
+  EXPECT_EQ(4u, C.numNodes());
+  EXPECT_EQ("lx64a000", C.node(0).hostname());
+  EXPECT_EQ("lx64a003", C.node(3).hostname());
+  EXPECT_EQ(8u, C.node(0).cpu().numCores());
+}
+
+TEST(Cluster, MountEverywhereGivesEachNodeItsOwnClient) {
+  Scheduler S;
+  Cluster C(S, 3, 4);
+  NfsFs Fs(S);
+  C.mountEverywhere(Fs);
+  ClientFs *A = C.node(0).mount("nfs");
+  ClientFs *B = C.node(1).mount("nfs");
+  ASSERT_NE(nullptr, A);
+  ASSERT_NE(nullptr, B);
+  EXPECT_NE(A, B) << "nodes must not share a client instance";
+  EXPECT_EQ(nullptr, C.node(0).mount("lustre"));
+}
+
+} // namespace

@@ -1,0 +1,414 @@
+//===- tests/ConsistencyTest.cpp - fsck, journal, locks, notifications ----===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the metadata-consistency machinery of thesis \S 2.7 (fsck-style
+/// checking, write-ahead journaling and crash recovery), the advisory
+/// file locks of \S 2.3.2 and the change notifications of \S 2.8.3.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dfs/Journal.h"
+#include "dmetabench/DMetabench.h"
+#include "support/Random.h"
+#include "workload/NamespaceGenerator.h"
+#include <gtest/gtest.h>
+
+using namespace dmb;
+
+namespace {
+
+OpCtx userCtx(SimTime Now = 0) {
+  OpCtx Ctx;
+  Ctx.Creds.Uid = 1000;
+  Ctx.Creds.Gid = 1000;
+  Ctx.Now = Now;
+  return Ctx;
+}
+
+FsError touch(LocalFileSystem &Fs, OpCtx &Ctx, const std::string &Path) {
+  Result<FileHandle> Fh = Fs.open(Ctx, Path, OpenWrite | OpenCreate);
+  if (!Fh.ok())
+    return Fh.error();
+  return Fs.close(Ctx, *Fh);
+}
+
+//===----------------------------------------------------------------------===//
+// fsck (§2.7.1)
+//===----------------------------------------------------------------------===//
+
+TEST(Fsck, FreshFileSystemIsClean) {
+  LocalFileSystem Fs;
+  LocalFileSystem::FsckReport R = Fs.fsck();
+  EXPECT_TRUE(R.clean()) << (R.Errors.empty() ? "" : R.Errors[0]);
+  EXPECT_EQ(1u, R.InodesChecked);
+  EXPECT_EQ(1u, R.DirectoriesChecked);
+}
+
+TEST(Fsck, PopulatedTreeIsClean) {
+  LocalFileSystem Fs;
+  OpCtx Ctx = userCtx();
+  ASSERT_EQ(FsError::Ok, Fs.mkdir(Ctx, "/a", 0755));
+  ASSERT_EQ(FsError::Ok, Fs.mkdir(Ctx, "/a/b", 0755));
+  ASSERT_EQ(FsError::Ok, touch(Fs, Ctx, "/a/b/f"));
+  ASSERT_EQ(FsError::Ok, Fs.link(Ctx, "/a/b/f", "/a/g"));
+  ASSERT_EQ(FsError::Ok, Fs.symlink(Ctx, "/a/b/f", "/lnk"));
+  LocalFileSystem::FsckReport R = Fs.fsck();
+  EXPECT_TRUE(R.clean()) << (R.Errors.empty() ? "" : R.Errors[0]);
+  EXPECT_EQ(5u, R.InodesChecked); // root, a, b, f, lnk
+  EXPECT_EQ(3u, R.DirectoriesChecked);
+}
+
+TEST(Fsck, DeferredUnlinkIsNotAnOrphan) {
+  LocalFileSystem Fs;
+  OpCtx Ctx = userCtx();
+  Result<FileHandle> Fh = Fs.open(Ctx, "/tmp", OpenWrite | OpenCreate);
+  ASSERT_TRUE(Fh.ok());
+  ASSERT_EQ(FsError::Ok, Fs.unlink(Ctx, "/tmp"));
+  EXPECT_TRUE(Fs.fsck().clean());
+  Fs.close(Ctx, *Fh);
+  EXPECT_TRUE(Fs.fsck().clean());
+}
+
+TEST(Fsck, CleanAfterRandomWorkload) {
+  LocalFileSystem Fs;
+  OpCtx Ctx = userCtx();
+  Rng R(4711);
+  std::vector<std::string> Dirs = {"/"};
+  std::vector<std::string> Files;
+  for (int Step = 0; Step < 3000; ++Step) {
+    switch (R.below(6)) {
+    case 0: {
+      std::string P = Dirs[R.below(Dirs.size())];
+      std::string D = (P == "/" ? "" : P) + "/d" + std::to_string(Step);
+      if (succeeded(Fs.mkdir(Ctx, D, 0755)))
+        Dirs.push_back(D);
+      break;
+    }
+    case 1: {
+      std::string P = Dirs[R.below(Dirs.size())];
+      std::string F = (P == "/" ? "" : P) + "/f" + std::to_string(Step);
+      if (succeeded(touch(Fs, Ctx, F)))
+        Files.push_back(F);
+      break;
+    }
+    case 2:
+      if (!Files.empty()) {
+        size_t I = R.below(Files.size());
+        if (succeeded(Fs.unlink(Ctx, Files[I])))
+          Files.erase(Files.begin() + static_cast<ptrdiff_t>(I));
+      }
+      break;
+    case 3:
+      if (!Files.empty()) {
+        size_t I = R.below(Files.size());
+        std::string To = "/r" + std::to_string(Step);
+        if (succeeded(Fs.rename(Ctx, Files[I], To)))
+          Files[I] = To;
+      }
+      break;
+    case 4:
+      if (!Files.empty()) {
+        std::string L = "/h" + std::to_string(Step);
+        if (succeeded(Fs.link(Ctx, Files[R.below(Files.size())], L)))
+          Files.push_back(L);
+      }
+      break;
+    case 5:
+      if (Dirs.size() > 1) {
+        size_t I = 1 + R.below(Dirs.size() - 1);
+        if (succeeded(Fs.rmdir(Ctx, Dirs[I])))
+          Dirs.erase(Dirs.begin() + static_cast<ptrdiff_t>(I));
+      }
+      break;
+    }
+  }
+  LocalFileSystem::FsckReport Report = Fs.fsck();
+  EXPECT_TRUE(Report.clean())
+      << (Report.Errors.empty() ? "" : Report.Errors[0]);
+}
+
+//===----------------------------------------------------------------------===//
+// Advisory locks (§2.3.2)
+//===----------------------------------------------------------------------===//
+
+class LockTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Ctx = userCtx();
+    ASSERT_EQ(FsError::Ok, touch(Fs, Ctx, "/f"));
+    Result<FileHandle> A = Fs.open(Ctx, "/f", OpenRead | OpenWrite);
+    Result<FileHandle> B = Fs.open(Ctx, "/f", OpenRead | OpenWrite);
+    ASSERT_TRUE(A.ok());
+    ASSERT_TRUE(B.ok());
+    FhA = *A;
+    FhB = *B;
+  }
+
+  LocalFileSystem Fs;
+  OpCtx Ctx;
+  FileHandle FhA = InvalidHandle, FhB = InvalidHandle;
+};
+
+TEST_F(LockTest, SharedReadersCoexist) {
+  EXPECT_EQ(FsError::Ok, Fs.lockFile(Ctx, FhA, /*Exclusive=*/false));
+  EXPECT_EQ(FsError::Ok, Fs.lockFile(Ctx, FhB, false));
+}
+
+TEST_F(LockTest, WriteLockIsExclusive) {
+  ASSERT_EQ(FsError::Ok, Fs.lockFile(Ctx, FhA, /*Exclusive=*/true));
+  EXPECT_EQ(FsError::Busy, Fs.lockFile(Ctx, FhB, true));
+  EXPECT_EQ(FsError::Busy, Fs.lockFile(Ctx, FhB, false));
+  ASSERT_EQ(FsError::Ok, Fs.unlockFile(Ctx, FhA));
+  EXPECT_EQ(FsError::Ok, Fs.lockFile(Ctx, FhB, true));
+}
+
+TEST_F(LockTest, ReadersBlockWriter) {
+  ASSERT_EQ(FsError::Ok, Fs.lockFile(Ctx, FhA, false));
+  EXPECT_EQ(FsError::Busy, Fs.lockFile(Ctx, FhB, true));
+}
+
+TEST_F(LockTest, UpgradeAndDowngrade) {
+  // A sole reader may upgrade to the write lock and back.
+  ASSERT_EQ(FsError::Ok, Fs.lockFile(Ctx, FhA, false));
+  EXPECT_EQ(FsError::Ok, Fs.lockFile(Ctx, FhA, true));
+  EXPECT_EQ(FsError::Busy, Fs.lockFile(Ctx, FhB, false));
+  EXPECT_EQ(FsError::Ok, Fs.lockFile(Ctx, FhA, false));
+  EXPECT_EQ(FsError::Ok, Fs.lockFile(Ctx, FhB, false));
+}
+
+TEST_F(LockTest, CloseReleasesLocks) {
+  ASSERT_EQ(FsError::Ok, Fs.lockFile(Ctx, FhA, true));
+  ASSERT_EQ(FsError::Ok, Fs.close(Ctx, FhA));
+  EXPECT_EQ(FsError::Ok, Fs.lockFile(Ctx, FhB, true));
+}
+
+TEST_F(LockTest, UnlockWithoutLockIsInvalid) {
+  EXPECT_EQ(FsError::Invalid, Fs.unlockFile(Ctx, FhA));
+  EXPECT_EQ(FsError::BadFd, Fs.lockFile(Ctx, 999999, true));
+}
+
+TEST(LockRpc, LocksWorkAcrossNfsClients) {
+  // Locks live on the server, so they coordinate different nodes.
+  Scheduler S;
+  NfsFs Fs(S);
+  std::unique_ptr<ClientFs> A = Fs.makeClient(0);
+  std::unique_ptr<ClientFs> B = Fs.makeClient(1);
+  auto Sync = [&S](ClientFs &C, MetaRequest Req) {
+    MetaReply Out;
+    C.submit(std::move(Req), [&Out](MetaReply R) { Out = std::move(R); });
+    S.runUntil(S.now() + seconds(1.0));
+    return Out;
+  };
+  MetaReply OA = Sync(*A, makeOpen("/f", OpenWrite | OpenCreate));
+  ASSERT_TRUE(OA.ok());
+  MetaReply OB = Sync(*B, makeOpen("/f", OpenRead));
+  ASSERT_TRUE(OB.ok());
+  EXPECT_EQ(FsError::Ok, Sync(*A, makeLock(OA.Fh, true)).Err);
+  EXPECT_EQ(FsError::Busy, Sync(*B, makeLock(OB.Fh, false)).Err);
+  EXPECT_EQ(FsError::Ok, Sync(*A, makeUnlock(OA.Fh)).Err);
+  EXPECT_EQ(FsError::Ok, Sync(*B, makeLock(OB.Fh, false)).Err);
+}
+
+//===----------------------------------------------------------------------===//
+// Journal and crash recovery (§2.7)
+//===----------------------------------------------------------------------===//
+
+TEST(Journal, JournalableOps) {
+  EXPECT_TRUE(MetadataJournal::isJournalable(makeMkdir("/d")));
+  EXPECT_TRUE(MetadataJournal::isJournalable(makeUnlink("/f")));
+  EXPECT_TRUE(MetadataJournal::isJournalable(
+      makeOpen("/f", OpenWrite | OpenCreate)));
+  EXPECT_FALSE(
+      MetadataJournal::isJournalable(makeOpen("/f", OpenRead)));
+  EXPECT_FALSE(MetadataJournal::isJournalable(makeWrite(1, 100)));
+  EXPECT_FALSE(MetadataJournal::isJournalable(makeStat("/f")));
+}
+
+TEST(Journal, ReplayRebuildsNamespace) {
+  Scheduler S;
+  FileServer Server(S, ServerConfig());
+  Server.addVolume("v");
+  Server.enableJournal();
+
+  auto Apply = [&](MetaRequest Req) {
+    MetaReply Out;
+    Server.process("v", Req, [&Out](MetaReply R) { Out = std::move(R); });
+    S.run(); // runs to completion: commits everything
+    return Out;
+  };
+  ASSERT_TRUE(Apply(makeMkdir("/a")).ok());
+  MetaReply O = Apply(makeOpen("/a/f", OpenWrite | OpenCreate));
+  ASSERT_TRUE(O.ok());
+  ASSERT_TRUE(Apply(makeClose(O.Fh)).ok());
+  ASSERT_TRUE(Apply(makeRename("/a/f", "/a/g")).ok());
+  ASSERT_TRUE(Apply(makeSymlink("/a/g", "/lnk")).ok());
+
+  uint64_t Lost = Server.crashAndRecover("v");
+  EXPECT_EQ(0u, Lost); // everything was committed
+  LocalFileSystem *Vol = Server.volume("v");
+  OpCtx Ctx = userCtx();
+  EXPECT_TRUE(Vol->stat(Ctx, "/a/g").ok());
+  EXPECT_EQ(FsError::NoEnt, Vol->stat(Ctx, "/a/f").error());
+  EXPECT_EQ(FileType::Symlink, Vol->lstat(Ctx, "/lnk")->Type);
+  EXPECT_TRUE(Vol->fsck().clean());
+}
+
+TEST(Journal, UncommittedOpsAreLostButFsStaysConsistent) {
+  Scheduler S;
+  ServerConfig Cfg;
+  Cfg.CommitLatency = milliseconds(10); // slow commits
+  FileServer Server(S, Cfg);
+  Server.addVolume("v");
+  Server.enableJournal();
+
+  // Commit /durable fully.
+  Server.process("v", makeMkdir("/durable"), [](MetaReply) {});
+  S.run();
+  // Issue /lost but crash before its service completes.
+  Server.process("v", makeMkdir("/lost"), [](MetaReply) {});
+  S.runUntil(S.now() + microseconds(1));
+  EXPECT_EQ(1u, Server.journal()->uncommittedCount("v"));
+
+  uint64_t Lost = Server.crashAndRecover("v");
+  EXPECT_EQ(1u, Lost);
+  LocalFileSystem *Vol = Server.volume("v");
+  OpCtx Ctx = userCtx();
+  EXPECT_TRUE(Vol->stat(Ctx, "/durable").ok());
+  EXPECT_EQ(FsError::NoEnt, Vol->stat(Ctx, "/lost").error());
+  EXPECT_TRUE(Vol->fsck().clean());
+  S.run(); // late commit callbacks must not resurrect discarded records
+  EXPECT_EQ(0u, Server.journal()->uncommittedCount("v"));
+}
+
+TEST(Journal, RecoveredVolumeKeepsWorking) {
+  Scheduler S;
+  FileServer Server(S, ServerConfig());
+  Server.addVolume("v");
+  Server.enableJournal();
+  Server.process("v", makeMkdir("/a"), [](MetaReply) {});
+  S.run();
+  Server.crashAndRecover("v");
+  MetaReply Out;
+  Server.process("v", makeMkdir("/a/b"), [&Out](MetaReply R) { Out = R; });
+  S.run();
+  EXPECT_TRUE(Out.ok());
+}
+
+TEST(Journal, CrashWithoutJournalIsRefused) {
+  Scheduler S;
+  FileServer Server(S, ServerConfig());
+  Server.addVolume("v");
+  EXPECT_EQ(~0ULL, Server.crashAndRecover("v"));
+  Server.enableJournal();
+  EXPECT_EQ(~0ULL, Server.crashAndRecover("missing"));
+}
+
+//===----------------------------------------------------------------------===//
+// Namespace generation and scanning (§2.8.2)
+//===----------------------------------------------------------------------===//
+
+TEST(Namespace, GeneratedTreeIsConsistent) {
+  LocalFileSystem Fs;
+  NamespaceProfile Profile;
+  Profile.NumFiles = 5000;
+  NamespaceStats Stats = populateNamespace(Fs, Profile);
+  EXPECT_EQ(5000u, Stats.Files);
+  EXPECT_GT(Stats.Directories, 10u);
+  EXPECT_EQ(5000u, Stats.Sizes.size());
+  EXPECT_TRUE(Fs.fsck().clean());
+}
+
+TEST(Namespace, SizesFollowLognormalShape) {
+  LocalFileSystem Fs;
+  NamespaceProfile Profile;
+  Profile.NumFiles = 20000;
+  Profile.LogNormalMu = 9.2; // median ~10 KB
+  Profile.LogNormalSigma = 2.0;
+  NamespaceStats Stats = populateNamespace(Fs, Profile);
+  // Median near exp(mu): roughly half the files below 10 KB.
+  double Below10K = Stats.cdfByCount(10000);
+  EXPECT_GT(Below10K, 0.4);
+  EXPECT_LT(Below10K, 0.6);
+  // Heavy tail: mean far above the median.
+  EXPECT_GT(Stats.meanFileSize(), 40000.0);
+  // Most bytes live in large files (Fig. 2.9's point).
+  EXPECT_LT(Stats.cdfByBytes(10000), 0.2);
+}
+
+TEST(Namespace, ScanVisitsEverything) {
+  LocalFileSystem Fs;
+  NamespaceProfile Profile;
+  Profile.NumFiles = 2000;
+  NamespaceStats Stats = populateNamespace(Fs, Profile);
+  ScanResult Result = scanNamespace(Fs);
+  EXPECT_EQ(Stats.Files + Stats.Directories, Result.Objects);
+  EXPECT_GT(Result.Cost.InodesTouched, Stats.Files);
+}
+
+TEST(Namespace, ScanCostGrowsWithFileCount) {
+  auto ScanCost = [](uint64_t Files) {
+    LocalFileSystem Fs;
+    NamespaceProfile Profile;
+    Profile.NumFiles = Files;
+    populateNamespace(Fs, Profile);
+    return scanNamespace(Fs).Cost.InodesTouched;
+  };
+  uint64_t Small = ScanCost(1000);
+  uint64_t Large = ScanCost(4000);
+  EXPECT_GT(Large, 3 * Small);
+  EXPECT_LT(Large, 5 * Small);
+}
+
+//===----------------------------------------------------------------------===//
+// Change notifications (§2.8.3)
+//===----------------------------------------------------------------------===//
+
+TEST(Notification, WatchersSeeMutationsOnly) {
+  Scheduler S;
+  FileServer Server(S, ServerConfig());
+  Server.addVolume("v");
+  std::vector<std::string> Seen;
+  Server.watchMutations(
+      [&Seen](const std::string &Volume, const MetaRequest &Req) {
+        Seen.push_back(Volume + ":" + metaOpName(Req.Op) + ":" + Req.Path);
+      });
+  Server.process("v", makeMkdir("/d"), [](MetaReply) {});
+  Server.process("v", makeStat("/d"), [](MetaReply) {});
+  Server.process("v", makeMkdir("/d"), [](MetaReply) {}); // EEXIST
+  Server.process("v", makeUnlink("/missing"), [](MetaReply) {}); // fails
+  S.run();
+  // Only the successful mutation notified; reads and failures do not.
+  ASSERT_EQ(1u, Seen.size());
+  EXPECT_EQ("v:mkdir:/d", Seen[0]);
+}
+
+TEST(Notification, IncrementalBackupPattern) {
+  // The §2.8.3 use case: a backup agent tracking changed paths instead of
+  // scanning the namespace.
+  Scheduler S;
+  NfsFs Fs(S);
+  std::set<std::string> ChangedPaths;
+  Fs.server().watchMutations(
+      [&ChangedPaths](const std::string &, const MetaRequest &Req) {
+        ChangedPaths.insert(Req.Path);
+      });
+  std::unique_ptr<ClientFs> C = Fs.makeClient(0);
+  auto Sync = [&S](ClientFs &Client, MetaRequest Req) {
+    Client.submit(std::move(Req), [](MetaReply) {});
+    S.runUntil(S.now() + seconds(1.0));
+  };
+  Sync(*C, makeMkdir("/data"));
+  MetaReply O;
+  C->submit(makeOpen("/data/f", OpenWrite | OpenCreate),
+            [&O](MetaReply R) { O = R; });
+  S.runUntil(S.now() + seconds(1.0));
+  Sync(*C, makeClose(O.Fh));
+  EXPECT_TRUE(ChangedPaths.count("/data"));
+  EXPECT_TRUE(ChangedPaths.count("/data/f"));
+}
+
+} // namespace

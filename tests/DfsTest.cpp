@@ -1,0 +1,555 @@
+//===- tests/DfsTest.cpp - Tests for the distributed FS models ------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantics tests for the six file system models: RPC flow, caching and
+/// coherence, namespace aggregation, EXDEV, write-back draining, token
+/// serialization and consistency points.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dfs/AfsFs.h"
+#include "dfs/CxfsFs.h"
+#include "dfs/GxFs.h"
+#include "dfs/LocalFsModel.h"
+#include "dfs/LustreFs.h"
+#include "dfs/NfsFs.h"
+#include <gtest/gtest.h>
+
+using namespace dmb;
+
+namespace {
+
+/// Submits \p Req and runs the simulation until the reply arrives.
+MetaReply runSync(Scheduler &S, ClientFs &C, MetaRequest Req) {
+  MetaReply Out;
+  bool Got = false;
+  C.submit(Req, [&](MetaReply R) {
+    Out = std::move(R);
+    Got = true;
+  });
+  S.run();
+  EXPECT_TRUE(Got) << "operation did not complete";
+  return Out;
+}
+
+/// Creates an empty file through the client (open/close).
+FsError touch(Scheduler &S, ClientFs &C, const std::string &Path) {
+  MetaReply R = runSync(S, C, makeOpen(Path, OpenWrite | OpenCreate));
+  if (!R.ok())
+    return R.Err;
+  return runSync(S, C, makeClose(R.Fh)).Err;
+}
+
+//===----------------------------------------------------------------------===//
+// NFS
+//===----------------------------------------------------------------------===//
+
+TEST(Nfs, CreateStatDelete) {
+  Scheduler S;
+  NfsFs Fs(S);
+  std::unique_ptr<ClientFs> C = Fs.makeClient(0);
+  ASSERT_EQ(FsError::Ok, runSync(S, *C, makeMkdir("/dir")).Err);
+  ASSERT_EQ(FsError::Ok, touch(S, *C, "/dir/f"));
+  MetaReply St = runSync(S, *C, makeStat("/dir/f"));
+  ASSERT_TRUE(St.ok());
+  EXPECT_EQ(FileType::Regular, St.A.Type);
+  EXPECT_EQ(FsError::Ok, runSync(S, *C, makeUnlink("/dir/f")).Err);
+  EXPECT_EQ(FsError::NoEnt, runSync(S, *C, makeStat("/dir/f")).Err);
+}
+
+TEST(Nfs, OperationsTakeSimulatedTime) {
+  Scheduler S;
+  NfsFs Fs(S);
+  std::unique_ptr<ClientFs> C = Fs.makeClient(0);
+  SimTime Before = S.now();
+  ASSERT_EQ(FsError::Ok, touch(S, *C, "/f"));
+  // At least two RPC round trips (open + close) must have elapsed.
+  EXPECT_GE(S.now() - Before, 4 * Fs.options().RpcOneWayLatency);
+}
+
+TEST(Nfs, StatServedFromAttrCacheAfterCreate) {
+  Scheduler S;
+  NfsFs Fs(S);
+  std::unique_ptr<ClientFs> C = Fs.makeClient(0);
+  ASSERT_EQ(FsError::Ok, touch(S, *C, "/f"));
+  uint64_t RpcsBefore = Fs.server().processedRequests();
+  ASSERT_TRUE(runSync(S, *C, makeStat("/f")).ok());
+  // Served locally: no new server request.
+  EXPECT_EQ(RpcsBefore, Fs.server().processedRequests());
+  // After dropping caches the stat becomes an RPC again (\S 3.4.3).
+  C->dropCaches();
+  ASSERT_TRUE(runSync(S, *C, makeStat("/f")).ok());
+  EXPECT_EQ(RpcsBefore + 1, Fs.server().processedRequests());
+}
+
+TEST(Nfs, AttrCacheExpiresAfterTtl) {
+  Scheduler S;
+  NfsOptions Opts;
+  Opts.AttrCacheTtl = seconds(3.0);
+  NfsFs Fs(S, Opts);
+  std::unique_ptr<ClientFs> C = Fs.makeClient(0);
+  ASSERT_EQ(FsError::Ok, touch(S, *C, "/f"));
+  S.runUntil(S.now() + seconds(10.0));
+  uint64_t RpcsBefore = Fs.server().processedRequests();
+  ASSERT_TRUE(runSync(S, *C, makeStat("/f")).ok());
+  EXPECT_EQ(RpcsBefore + 1, Fs.server().processedRequests());
+}
+
+TEST(Nfs, CrossNodeVisibility) {
+  Scheduler S;
+  NfsFs Fs(S);
+  std::unique_ptr<ClientFs> A = Fs.makeClient(0);
+  std::unique_ptr<ClientFs> B = Fs.makeClient(1);
+  ASSERT_EQ(FsError::Ok, touch(S, *A, "/shared"));
+  // Node B has a cold cache and fetches over the wire.
+  MetaReply St = runSync(S, *B, makeStat("/shared"));
+  ASSERT_TRUE(St.ok());
+  EXPECT_EQ(FileType::Regular, St.A.Type);
+}
+
+TEST(Nfs, UniqueNamesEnforcedAcrossNodes) {
+  Scheduler S;
+  NfsFs Fs(S);
+  std::unique_ptr<ClientFs> A = Fs.makeClient(0);
+  std::unique_ptr<ClientFs> B = Fs.makeClient(1);
+  ASSERT_EQ(FsError::Ok, runSync(S, *A, makeMkdir("/d")).Err);
+  EXPECT_EQ(FsError::Exists, runSync(S, *B, makeMkdir("/d")).Err);
+}
+
+TEST(Nfs, ConsistencyPointsFireUnderLoad) {
+  Scheduler S;
+  NfsOptions Opts;
+  // Tiny NVRAM so the test triggers CPs quickly.
+  Opts.Server.NvramCapacityBytes = 64 * 4096 * 2;
+  NfsFs Fs(S, Opts);
+  std::unique_ptr<ClientFs> C = Fs.makeClient(0);
+  for (int I = 0; I < 200; ++I)
+    ASSERT_EQ(FsError::Ok, touch(S, *C, "/f" + std::to_string(I)));
+  EXPECT_GT(Fs.server().consistencyPointCount(), 0u);
+}
+
+TEST(Nfs, TimerConsistencyPointWithoutPressure) {
+  Scheduler S;
+  NfsFs Fs(S);
+  std::unique_ptr<ClientFs> C = Fs.makeClient(0);
+  bool Created = false;
+  C->submit(makeOpen("/one", OpenWrite | OpenCreate),
+            [&](MetaReply R) {
+              ASSERT_TRUE(R.ok());
+              Created = true;
+            });
+  // Just after the create, NVRAM holds dirty log data and no CP ran yet.
+  S.runUntil(seconds(1.0));
+  ASSERT_TRUE(Created);
+  EXPECT_EQ(0u, Fs.server().consistencyPointCount());
+  EXPECT_GT(Fs.server().dirtyLogBytes(), 0u);
+  // The 10 s CP timer flushes the single dirty op (\S 4.2.3).
+  S.runUntil(seconds(11.0));
+  EXPECT_EQ(1u, Fs.server().consistencyPointCount());
+  EXPECT_EQ(0u, Fs.server().dirtyLogBytes());
+}
+
+TEST(Nfs, ParallelClientsShareServerFairly) {
+  Scheduler S;
+  NfsFs Fs(S);
+  std::unique_ptr<ClientFs> A = Fs.makeClient(0);
+  std::unique_ptr<ClientFs> B = Fs.makeClient(1);
+  int DoneA = 0, DoneB = 0;
+  std::function<void(int)> PumpA = [&](int I) {
+    if (I == 50)
+      return;
+    A->submit(makeOpen("/a" + std::to_string(I), OpenWrite | OpenCreate),
+              [&, I](MetaReply R) {
+                ASSERT_TRUE(R.ok());
+                A->submit(makeClose(R.Fh), [&, I](MetaReply) {
+                  ++DoneA;
+                  PumpA(I + 1);
+                });
+              });
+  };
+  std::function<void(int)> PumpB = [&](int I) {
+    if (I == 50)
+      return;
+    B->submit(makeOpen("/b" + std::to_string(I), OpenWrite | OpenCreate),
+              [&, I](MetaReply R) {
+                ASSERT_TRUE(R.ok());
+                B->submit(makeClose(R.Fh), [&, I](MetaReply) {
+                  ++DoneB;
+                  PumpB(I + 1);
+                });
+              });
+  };
+  PumpA(0);
+  PumpB(0);
+  S.run();
+  EXPECT_EQ(50, DoneA);
+  EXPECT_EQ(50, DoneB);
+}
+
+TEST(Nfs, RpcSlotTableBoundsConcurrency) {
+  Scheduler S;
+  NfsOptions Opts;
+  Opts.RpcSlotsPerClient = 4;
+  NfsFs Fs(S, Opts);
+  auto Client = Fs.makeClient(0);
+  auto *C = static_cast<NfsClient *>(Client.get());
+  int Done = 0;
+  // 32 concurrent requests from one node: at most 4 in flight at once.
+  for (int I = 0; I < 32; ++I)
+    C->submit(makeMkdir("/d" + std::to_string(I)),
+              [&](MetaReply R) {
+                ASSERT_TRUE(R.ok());
+                ++Done;
+              });
+  EXPECT_EQ(4u, C->inFlightRpcs());
+  EXPECT_EQ(28u, C->queuedRpcs());
+  S.run();
+  EXPECT_EQ(32, Done);
+  EXPECT_EQ(0u, C->queuedRpcs());
+}
+
+//===----------------------------------------------------------------------===//
+// Lustre
+//===----------------------------------------------------------------------===//
+
+TEST(Lustre, BasicOperations) {
+  Scheduler S;
+  LustreFs Fs(S);
+  std::unique_ptr<ClientFs> C = Fs.makeClient(0);
+  ASSERT_EQ(FsError::Ok, runSync(S, *C, makeMkdir("/work")).Err);
+  ASSERT_EQ(FsError::Ok, touch(S, *C, "/work/f"));
+  EXPECT_TRUE(runSync(S, *C, makeStat("/work/f")).ok());
+  EXPECT_EQ(FsError::Exists,
+            runSync(S, *C, makeOpen("/work/f",
+                                    OpenWrite | OpenCreate | OpenExcl))
+                .Err);
+}
+
+TEST(Lustre, WritebackAcksBeforeCommit) {
+  Scheduler S;
+  LustreOptions Opts;
+  Opts.WritebackMetadata = true;
+  LustreFs Fs(S, Opts);
+  auto Client = std::unique_ptr<ClientFs>(Fs.makeClient(0));
+  auto *C = static_cast<LustreClient *>(Client.get());
+
+  int Acked = 0;
+  for (int I = 0; I < 100; ++I)
+    C->submit(makeMkdir("/d" + std::to_string(I)),
+              [&](MetaReply R) {
+                ASSERT_TRUE(R.ok());
+                ++Acked;
+              });
+  // Drain only the local acks: run a slice of simulated time shorter than
+  // an RPC round trip but long enough for 100 local acks.
+  S.runUntil(milliseconds(2));
+  EXPECT_EQ(100, Acked);
+  EXPECT_GT(C->dirtyOps(), 0u) << "commits should still be in flight";
+  S.run();
+  EXPECT_EQ(0u, C->dirtyOps());
+}
+
+TEST(Lustre, WritebackPreservesSemantics) {
+  Scheduler S;
+  LustreOptions Opts;
+  Opts.WritebackMetadata = true;
+  LustreFs Fs(S, Opts);
+  std::unique_ptr<ClientFs> C = Fs.makeClient(0);
+  ASSERT_EQ(FsError::Ok, runSync(S, *C, makeMkdir("/d")).Err);
+  // Even from the write-back cache, name uniqueness holds immediately.
+  EXPECT_EQ(FsError::Exists, runSync(S, *C, makeMkdir("/d")).Err);
+}
+
+TEST(Lustre, FsyncWaitsForDirtyOps) {
+  Scheduler S;
+  LustreOptions Opts;
+  Opts.WritebackMetadata = true;
+  LustreFs Fs(S, Opts);
+  auto Client = std::unique_ptr<ClientFs>(Fs.makeClient(0));
+  auto *C = static_cast<LustreClient *>(Client.get());
+  for (int I = 0; I < 50; ++I)
+    C->submit(makeMkdir("/d" + std::to_string(I)), [](MetaReply) {});
+  bool Synced = false;
+  C->submit(makeFsync(InvalidHandle), [&](MetaReply R) {
+    EXPECT_TRUE(R.ok());
+    EXPECT_EQ(0u, C->dirtyOps());
+    Synced = true;
+  });
+  S.run();
+  EXPECT_TRUE(Synced);
+}
+
+TEST(Lustre, DirtyLimitThrottles) {
+  Scheduler S;
+  LustreOptions Opts;
+  Opts.WritebackMetadata = true;
+  Opts.MaxDirtyOps = 8;
+  LustreFs Fs(S, Opts);
+  auto Client = std::unique_ptr<ClientFs>(Fs.makeClient(0));
+  auto *C = static_cast<LustreClient *>(Client.get());
+  int Acked = 0;
+  for (int I = 0; I < 64; ++I)
+    C->submit(makeMkdir("/t" + std::to_string(I)),
+              [&](MetaReply R) {
+                ASSERT_TRUE(R.ok());
+                ++Acked;
+              });
+  S.runUntil(microseconds(50));
+  // Only up to the dirty limit is acked instantly; the rest waits for the
+  // MDS to drain.
+  EXPECT_LE(Acked, 8);
+  S.run();
+  EXPECT_EQ(64, Acked);
+}
+
+//===----------------------------------------------------------------------===//
+// AFS
+//===----------------------------------------------------------------------===//
+
+TEST(Afs, VolumesOnDifferentServers) {
+  Scheduler S;
+  AfsFs Cell(S);
+  Cell.setupUniform(/*NumServers=*/2, /*VolumesPerServer=*/1);
+  std::unique_ptr<ClientFs> C = Cell.makeClient(0);
+  ASSERT_EQ(FsError::Ok, touch(S, *C, "/vol0/f"));
+  ASSERT_EQ(FsError::Ok, touch(S, *C, "/vol1/f"));
+  EXPECT_TRUE(runSync(S, *C, makeStat("/vol0/f")).ok());
+  EXPECT_TRUE(runSync(S, *C, makeStat("/vol1/f")).ok());
+  // The two volumes are independent namespaces.
+  EXPECT_EQ(FsError::NoEnt, runSync(S, *C, makeStat("/vol0/g")).Err);
+}
+
+TEST(Afs, CrossVolumeRenameYieldsXdev) {
+  Scheduler S;
+  AfsFs Cell(S);
+  Cell.setupUniform(2, 1);
+  std::unique_ptr<ClientFs> C = Cell.makeClient(0);
+  ASSERT_EQ(FsError::Ok, touch(S, *C, "/vol0/f"));
+  EXPECT_EQ(FsError::XDev,
+            runSync(S, *C, makeRename("/vol0/f", "/vol1/f")).Err);
+  // Within one volume renames work.
+  EXPECT_EQ(FsError::Ok,
+            runSync(S, *C, makeRename("/vol0/f", "/vol0/g")).Err);
+}
+
+TEST(Afs, CallbackBreakInvalidatesOtherClients) {
+  Scheduler S;
+  AfsFs Cell(S);
+  std::unique_ptr<ClientFs> A = Cell.makeClient(0);
+  std::unique_ptr<ClientFs> B = Cell.makeClient(1);
+  ASSERT_EQ(FsError::Ok, touch(S, *A, "/f"));
+  // B caches the attributes (callback-based: no TTL).
+  ASSERT_TRUE(runSync(S, *B, makeStat("/f")).ok());
+  uint64_t Rpcs = Cell.server(0).processedRequests();
+  ASSERT_TRUE(runSync(S, *B, makeStat("/f")).ok());
+  EXPECT_EQ(Rpcs, Cell.server(0).processedRequests()) << "cache hit";
+  // A's chmod breaks B's callback; B's next stat goes to the server.
+  MetaRequest Chmod;
+  Chmod.Op = MetaOp::Chmod;
+  Chmod.Path = "/f";
+  Chmod.Mode = 0600;
+  ASSERT_EQ(FsError::Ok, runSync(S, *A, Chmod).Err);
+  uint64_t Rpcs2 = Cell.server(0).processedRequests();
+  ASSERT_TRUE(runSync(S, *B, makeStat("/f")).ok());
+  EXPECT_EQ(Rpcs2 + 1, Cell.server(0).processedRequests());
+}
+
+TEST(Afs, HandleOpsRouteToOwningVolume) {
+  Scheduler S;
+  AfsFs Cell(S);
+  Cell.setupUniform(2, 1);
+  std::unique_ptr<ClientFs> C = Cell.makeClient(0);
+  MetaReply O1 = runSync(S, *C, makeOpen("/vol0/a", OpenWrite | OpenCreate));
+  MetaReply O2 = runSync(S, *C, makeOpen("/vol1/b", OpenWrite | OpenCreate));
+  ASSERT_TRUE(O1.ok());
+  ASSERT_TRUE(O2.ok());
+  EXPECT_NE(O1.Fh, O2.Fh);
+  EXPECT_TRUE(runSync(S, *C, makeWrite(O1.Fh, 100)).ok());
+  EXPECT_TRUE(runSync(S, *C, makeWrite(O2.Fh, 200)).ok());
+  EXPECT_EQ(FsError::Ok, runSync(S, *C, makeClose(O1.Fh)).Err);
+  EXPECT_EQ(FsError::Ok, runSync(S, *C, makeClose(O2.Fh)).Err);
+  EXPECT_EQ(100u, runSync(S, *C, makeStat("/vol0/a")).A.Size);
+  EXPECT_EQ(200u, runSync(S, *C, makeStat("/vol1/b")).A.Size);
+  EXPECT_EQ(FsError::BadFd, runSync(S, *C, makeClose(O1.Fh)).Err);
+}
+
+//===----------------------------------------------------------------------===//
+// Ontap GX
+//===----------------------------------------------------------------------===//
+
+TEST(Gx, LocalAndForwardedVolumes) {
+  Scheduler S;
+  GxOptions Opts;
+  Opts.NumFilers = 4;
+  GxFs Fs(S, Opts);
+  Fs.setupUniformVolumes(4);
+  // Client on node 0 mounts via filer 0: /vol0 is local, /vol1 remote.
+  std::unique_ptr<ClientFs> C = Fs.makeClient(0);
+  SimTime T0 = S.now();
+  ASSERT_EQ(FsError::Ok, touch(S, *C, "/vol0/f"));
+  SimTime LocalTime = S.now() - T0;
+  T0 = S.now();
+  ASSERT_EQ(FsError::Ok, touch(S, *C, "/vol1/f"));
+  SimTime RemoteTime = S.now() - T0;
+  // Forwarding costs cluster hops + extra N-blade work (Fig. 4.3).
+  EXPECT_GT(RemoteTime, LocalTime);
+  // Both filers did real work.
+  EXPECT_GT(Fs.filer(0).processedRequests(), 0u);
+  EXPECT_GT(Fs.filer(1).processedRequests(), 0u);
+}
+
+TEST(Gx, SingleNamespaceAcrossFilers) {
+  Scheduler S;
+  GxFs Fs(S);
+  Fs.setupUniformVolumes(8);
+  std::unique_ptr<ClientFs> A = Fs.makeClient(0); // N-blade 0
+  std::unique_ptr<ClientFs> B = Fs.makeClient(3); // N-blade 3
+  ASSERT_EQ(FsError::Ok, touch(S, *A, "/vol5/f"));
+  // A different node via a different N-blade sees the same file.
+  EXPECT_TRUE(runSync(S, *B, makeStat("/vol5/f")).ok());
+}
+
+TEST(Gx, CrossVolumeRenameYieldsXdev) {
+  Scheduler S;
+  GxFs Fs(S);
+  Fs.setupUniformVolumes(2);
+  std::unique_ptr<ClientFs> C = Fs.makeClient(0);
+  ASSERT_EQ(FsError::Ok, touch(S, *C, "/vol0/f"));
+  EXPECT_EQ(FsError::XDev,
+            runSync(S, *C, makeRename("/vol0/f", "/vol1/f")).Err);
+}
+
+TEST(Gx, NbladeAssignmentRoundRobin) {
+  Scheduler S;
+  GxOptions Opts;
+  Opts.NumFilers = 4;
+  GxFs Fs(S, Opts);
+  auto C0 = Fs.makeClient(0);
+  auto C5 = Fs.makeClient(5);
+  EXPECT_EQ(0u, static_cast<GxClient *>(C0.get())->nbladeIndex());
+  EXPECT_EQ(1u, static_cast<GxClient *>(C5.get())->nbladeIndex());
+}
+
+//===----------------------------------------------------------------------===//
+// CXFS
+//===----------------------------------------------------------------------===//
+
+TEST(Cxfs, BasicOperations) {
+  Scheduler S;
+  CxfsFs Fs(S);
+  std::unique_ptr<ClientFs> C = Fs.makeClient(0);
+  ASSERT_EQ(FsError::Ok, runSync(S, *C, makeMkdir("/scratch")).Err);
+  ASSERT_EQ(FsError::Ok, touch(S, *C, "/scratch/f"));
+  EXPECT_TRUE(runSync(S, *C, makeStat("/scratch/f")).ok());
+}
+
+TEST(Cxfs, IntraNodeOperationsSerializeOnToken) {
+  Scheduler S;
+  CxfsFs Fs(S);
+  std::unique_ptr<ClientFs> C = Fs.makeClient(0);
+  // Submit two operations concurrently from the same node.
+  SimTime End1 = 0, End2 = 0;
+  C->submit(makeMkdir("/a"), [&](MetaReply R) {
+    ASSERT_TRUE(R.ok());
+    End1 = S.now();
+  });
+  C->submit(makeMkdir("/b"), [&](MetaReply R) {
+    ASSERT_TRUE(R.ok());
+    End2 = S.now();
+  });
+  S.run();
+  SimDuration OneOp = End1;
+  // The second op cannot overlap the first: it finishes roughly one full
+  // operation later (token serialization, \S 4.5.3).
+  EXPECT_GE(End2, End1 + OneOp / 2);
+}
+
+TEST(Cxfs, InterNodeOperationsOverlap) {
+  Scheduler S;
+  CxfsFs Fs(S);
+  std::unique_ptr<ClientFs> A = Fs.makeClient(0);
+  std::unique_ptr<ClientFs> B = Fs.makeClient(1);
+  SimTime EndA = 0, EndB = 0;
+  A->submit(makeMkdir("/a"), [&](MetaReply) { EndA = S.now(); });
+  B->submit(makeMkdir("/b"), [&](MetaReply) { EndB = S.now(); });
+  S.run();
+  // Two nodes' single ops overlap: both finish well before 2x one-op time.
+  SimDuration Slowest = EndA > EndB ? EndA : EndB;
+  SimDuration Fastest = EndA < EndB ? EndA : EndB;
+  EXPECT_LT(Slowest - Fastest, Fastest / 2);
+}
+
+//===----------------------------------------------------------------------===//
+// Local file system model
+//===----------------------------------------------------------------------===//
+
+TEST(LocalModel, NodesAreIndependent) {
+  Scheduler S;
+  LocalFsModel Fs(S);
+  std::unique_ptr<ClientFs> A = Fs.makeClient(0);
+  std::unique_ptr<ClientFs> B = Fs.makeClient(1);
+  ASSERT_EQ(FsError::Ok, touch(S, *A, "/f"));
+  // Node B's local file system does not contain node A's file.
+  EXPECT_EQ(FsError::NoEnt, runSync(S, *B, makeStat("/f")).Err);
+}
+
+TEST(LocalModel, MuchFasterThanNfs) {
+  Scheduler S;
+  LocalFsModel Local(S);
+  std::unique_ptr<ClientFs> LC = Local.makeClient(0);
+  SimTime T0 = S.now();
+  for (int I = 0; I < 100; ++I)
+    ASSERT_EQ(FsError::Ok, touch(S, *LC, "/f" + std::to_string(I)));
+  SimDuration LocalTime = S.now() - T0;
+
+  Scheduler S2;
+  NfsFs Nfs(S2);
+  std::unique_ptr<ClientFs> NC = Nfs.makeClient(0);
+  T0 = S2.now();
+  for (int I = 0; I < 100; ++I)
+    ASSERT_EQ(FsError::Ok, touch(S2, *NC, "/f" + std::to_string(I)));
+  SimDuration NfsTime = S2.now() - T0;
+  // Orders of magnitude, like Table 4.2's /dev/shm loop vs NFS.
+  EXPECT_GT(NfsTime, 10 * LocalTime);
+}
+
+//===----------------------------------------------------------------------===//
+// Mount table
+//===----------------------------------------------------------------------===//
+
+TEST(Mounts, LongestPrefixWins) {
+  MountTable T;
+  T.add("/", 0, "root");
+  T.add("/vol1", 1, "vol1");
+  T.add("/vol1/deep", 2, "deep");
+  std::string Rel;
+  const MountEntry *M = T.resolve("/vol1/deep/x/y", Rel);
+  ASSERT_NE(nullptr, M);
+  EXPECT_EQ(2u, M->ServerIndex);
+  EXPECT_EQ("/x/y", Rel);
+  M = T.resolve("/vol1/file", Rel);
+  EXPECT_EQ(1u, M->ServerIndex);
+  EXPECT_EQ("/file", Rel);
+  M = T.resolve("/elsewhere", Rel);
+  EXPECT_EQ(0u, M->ServerIndex);
+  EXPECT_EQ("/elsewhere", Rel);
+  // Prefix match only at component boundaries.
+  M = T.resolve("/vol12/x", Rel);
+  EXPECT_EQ(0u, M->ServerIndex);
+}
+
+TEST(Mounts, MountRootResolvesToVolumeRoot) {
+  MountTable T;
+  T.add("/vol1", 1, "vol1");
+  std::string Rel;
+  const MountEntry *M = T.resolve("/vol1", Rel);
+  ASSERT_NE(nullptr, M);
+  EXPECT_EQ("/", Rel);
+  EXPECT_EQ(nullptr, T.resolve("/other", Rel));
+}
+
+} // namespace

@@ -1,0 +1,84 @@
+//===- tests/LoadGenTest.cpp - Open-loop load generator tests -------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/LoadGenerator.h"
+#include "dfs/NfsFs.h"
+#include "cluster/Cluster.h"
+#include <gtest/gtest.h>
+
+using namespace dmb;
+
+namespace {
+
+LoadResult runAt(double OpsPerSec) {
+  Scheduler S;
+  NfsOptions Opts;
+  Opts.Server.EnableConsistencyPoints = false;
+  Opts.RpcSlotsPerClient = 256;
+  NfsFs Fs(S, Opts);
+  std::unique_ptr<ClientFs> C = Fs.makeClient(0);
+  LoadConfig Cfg;
+  Cfg.OfferedOpsPerSec = OpsPerSec;
+  Cfg.Duration = seconds(3.0);
+  Cfg.FileSetSize = 50;
+  return runOpenLoopLoad(S, *C, Cfg);
+}
+
+TEST(LoadGen, LaddisMixSharesSumSensibly) {
+  std::vector<MixEntry> Mix = laddisMix();
+  double NameAttr = 0, Io = 0, Total = 0;
+  for (const MixEntry &E : Mix) {
+    Total += E.Weight;
+    if (E.Op == MetaOp::Stat)
+      NameAttr += E.Weight;
+    if (E.Op == MetaOp::Read || E.Op == MetaOp::Write)
+      Io += E.Weight;
+  }
+  // "Half file name and attribute operations, roughly one-third I/O".
+  EXPECT_NEAR(0.5, NameAttr / Total, 0.05);
+  EXPECT_NEAR(0.33, Io / Total, 0.05);
+}
+
+TEST(LoadGen, LowLoadAchievesOfferedRate) {
+  LoadResult R = runAt(500);
+  EXPECT_NEAR(500.0, R.AchievedOpsPerSec, 75.0);
+  EXPECT_EQ(0u, R.Failed);
+  EXPECT_EQ(R.Submitted, R.Completed);
+  EXPECT_LT(R.MeanLatencyMs, 5.0);
+}
+
+TEST(LoadGen, OverloadSaturatesAndQueues) {
+  LoadResult Low = runAt(1000);
+  LoadResult Over = runAt(50000);
+  // Achieved throughput stalls below the offered rate...
+  EXPECT_LT(Over.AchievedOpsPerSec, 35000.0);
+  // ...and latency explodes relative to the uncontended case.
+  EXPECT_GT(Over.MeanLatencyMs, 20 * Low.MeanLatencyMs);
+  // Everything still completes eventually (the drain).
+  EXPECT_EQ(Over.Submitted, Over.Completed);
+}
+
+TEST(LoadGen, DeterministicForFixedSeed) {
+  LoadResult A = runAt(2000);
+  LoadResult B = runAt(2000);
+  EXPECT_EQ(A.Submitted, B.Submitted);
+  EXPECT_DOUBLE_EQ(A.MeanLatencyMs, B.MeanLatencyMs);
+}
+
+TEST(Cluster, HeterogeneousNodes) {
+  Scheduler S;
+  Cluster C(S, 2, 4);
+  ClusterNode &Big = C.addNode(64, "altix-part1");
+  EXPECT_EQ(3u, C.numNodes());
+  EXPECT_EQ(2u, Big.index());
+  EXPECT_EQ(64u, C.node(2).cpu().numCores());
+  EXPECT_EQ("altix-part1", C.node(2).hostname());
+  NfsFs Fs(S);
+  C.mountEverywhere(Fs);
+  EXPECT_NE(nullptr, C.node(2).mount("nfs"));
+}
+
+} // namespace

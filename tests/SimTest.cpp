@@ -1,0 +1,288 @@
+//===- tests/SimTest.cpp - Unit tests for src/sim --------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Mutex.h"
+#include "sim/Network.h"
+#include "sim/Resource.h"
+#include "sim/Scheduler.h"
+#include "sim/SharedProcessor.h"
+#include "sim/Time.h"
+#include <algorithm>
+#include <gtest/gtest.h>
+#include <vector>
+
+using namespace dmb;
+
+namespace {
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(1000, microseconds(1));
+  EXPECT_EQ(1000000, milliseconds(1));
+  EXPECT_EQ(1000000000, seconds(1.0));
+  EXPECT_DOUBLE_EQ(0.5, toSeconds(milliseconds(500)));
+  EXPECT_DOUBLE_EQ(2.5, toMilliseconds(microseconds(2500)));
+}
+
+TEST(Scheduler, RunsInTimeOrder) {
+  Scheduler S;
+  std::vector<int> Order;
+  S.at(milliseconds(30), [&] { Order.push_back(3); });
+  S.at(milliseconds(10), [&] { Order.push_back(1); });
+  S.at(milliseconds(20), [&] { Order.push_back(2); });
+  S.run();
+  EXPECT_EQ((std::vector<int>{1, 2, 3}), Order);
+  EXPECT_EQ(milliseconds(30), S.now());
+}
+
+TEST(Scheduler, TiesFireInInsertionOrder) {
+  Scheduler S;
+  std::vector<int> Order;
+  for (int I = 0; I < 10; ++I)
+    S.at(milliseconds(5), [&, I] { Order.push_back(I); });
+  S.run();
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(I, Order[I]);
+}
+
+TEST(Scheduler, EventsCanScheduleEvents) {
+  Scheduler S;
+  int Fired = 0;
+  S.after(milliseconds(1), [&] {
+    ++Fired;
+    S.after(milliseconds(1), [&] { ++Fired; });
+  });
+  S.run();
+  EXPECT_EQ(2, Fired);
+  EXPECT_EQ(milliseconds(2), S.now());
+}
+
+TEST(Scheduler, RunUntilStopsAndAdvancesClock) {
+  Scheduler S;
+  int Fired = 0;
+  S.at(milliseconds(10), [&] { ++Fired; });
+  S.at(milliseconds(30), [&] { ++Fired; });
+  S.runUntil(milliseconds(20));
+  EXPECT_EQ(1, Fired);
+  EXPECT_EQ(milliseconds(20), S.now());
+  EXPECT_EQ(1u, S.pendingEvents());
+  S.run();
+  EXPECT_EQ(2, Fired);
+}
+
+TEST(Resource, SingleServerSerializes) {
+  Scheduler S;
+  Resource R(S, "disk", 1);
+  std::vector<SimTime> Completions;
+  for (int I = 0; I < 3; ++I)
+    R.request(milliseconds(10), [&] { Completions.push_back(S.now()); });
+  S.run();
+  ASSERT_EQ(3u, Completions.size());
+  EXPECT_EQ(milliseconds(10), Completions[0]);
+  EXPECT_EQ(milliseconds(20), Completions[1]);
+  EXPECT_EQ(milliseconds(30), Completions[2]);
+  EXPECT_EQ(3u, R.completedRequests());
+}
+
+TEST(Resource, MultiServerRunsInParallel) {
+  Scheduler S;
+  Resource R(S, "cpu", 2);
+  std::vector<SimTime> Completions;
+  for (int I = 0; I < 4; ++I)
+    R.request(milliseconds(10), [&] { Completions.push_back(S.now()); });
+  S.run();
+  ASSERT_EQ(4u, Completions.size());
+  EXPECT_EQ(milliseconds(10), Completions[0]);
+  EXPECT_EQ(milliseconds(10), Completions[1]);
+  EXPECT_EQ(milliseconds(20), Completions[2]);
+  EXPECT_EQ(milliseconds(20), Completions[3]);
+}
+
+TEST(Resource, SlowdownStretchesService) {
+  Scheduler S;
+  Resource R(S, "disk", 1);
+  R.setSlowdown(3.0);
+  SimTime Done = 0;
+  R.request(milliseconds(10), [&] { Done = S.now(); });
+  S.run();
+  EXPECT_EQ(milliseconds(30), Done);
+}
+
+TEST(Resource, QueueLengthObservable) {
+  Scheduler S;
+  Resource R(S, "disk", 1);
+  for (int I = 0; I < 5; ++I)
+    R.request(milliseconds(10), [] {});
+  EXPECT_EQ(1u, R.busyServers());
+  EXPECT_EQ(4u, R.queueLength());
+  S.run();
+  EXPECT_EQ(0u, R.busyServers());
+  EXPECT_EQ(0u, R.queueLength());
+}
+
+TEST(Resource, BusyTimeAccounting) {
+  Scheduler S;
+  Resource R(S, "disk", 2);
+  for (int I = 0; I < 3; ++I)
+    R.request(milliseconds(5), [] {});
+  S.run();
+  EXPECT_EQ(milliseconds(15), R.totalBusyTime());
+}
+
+TEST(SharedProcessor, SingleTaskRunsAtFullCoreSpeed) {
+  Scheduler S;
+  SharedProcessor Cpu(S, 4);
+  SimTime Done = 0;
+  Cpu.submit(seconds(1.0), [&] { Done = S.now(); });
+  S.run();
+  // One task on a 4-core machine still runs at 1-core speed.
+  EXPECT_NEAR(1.0, toSeconds(Done), 1e-6);
+}
+
+TEST(SharedProcessor, TwoTasksOnTwoCoresDontInterfere) {
+  Scheduler S;
+  SharedProcessor Cpu(S, 2);
+  std::vector<SimTime> Done;
+  Cpu.submit(seconds(1.0), [&] { Done.push_back(S.now()); });
+  Cpu.submit(seconds(1.0), [&] { Done.push_back(S.now()); });
+  S.run();
+  ASSERT_EQ(2u, Done.size());
+  EXPECT_NEAR(1.0, toSeconds(Done[0]), 1e-6);
+  EXPECT_NEAR(1.0, toSeconds(Done[1]), 1e-6);
+}
+
+TEST(SharedProcessor, OvercommitSharesFairly) {
+  Scheduler S;
+  SharedProcessor Cpu(S, 1);
+  std::vector<SimTime> Done;
+  Cpu.submit(seconds(1.0), [&] { Done.push_back(S.now()); });
+  Cpu.submit(seconds(1.0), [&] { Done.push_back(S.now()); });
+  S.run();
+  // Two equal tasks sharing one core both finish at t=2s.
+  ASSERT_EQ(2u, Done.size());
+  EXPECT_NEAR(2.0, toSeconds(Done[0]), 1e-6);
+  EXPECT_NEAR(2.0, toSeconds(Done[1]), 1e-6);
+}
+
+TEST(SharedProcessor, WeightsBiasShare) {
+  Scheduler S;
+  SharedProcessor Cpu(S, 1);
+  SimTime HeavyDone = 0, LightDone = 0;
+  // Weight 3 vs 1: heavy gets 75% of the core.
+  Cpu.submit(seconds(0.75), 3.0, [&] { HeavyDone = S.now(); });
+  Cpu.submit(seconds(0.75), 1.0, [&] { LightDone = S.now(); });
+  S.run();
+  // Heavy finishes at t=1s (0.75 work / 0.75 rate); then light has
+  // 0.75 - 0.25 = 0.5 remaining and runs alone: done at 1.5s.
+  EXPECT_NEAR(1.0, toSeconds(HeavyDone), 1e-6);
+  EXPECT_NEAR(1.5, toSeconds(LightDone), 1e-6);
+}
+
+TEST(SharedProcessor, LateArrivalSlowsExisting) {
+  Scheduler S;
+  SharedProcessor Cpu(S, 1);
+  SimTime FirstDone = 0;
+  Cpu.submit(seconds(1.0), [&] { FirstDone = S.now(); });
+  S.at(seconds(0.5), [&] { Cpu.submit(seconds(1.0), [] {}); });
+  S.run();
+  // First task: 0.5s alone + 0.5s remaining at half speed = 1.5s total.
+  EXPECT_NEAR(1.5, toSeconds(FirstDone), 1e-6);
+}
+
+TEST(SharedProcessor, ZeroWorkCompletesImmediately) {
+  Scheduler S;
+  SharedProcessor Cpu(S, 1);
+  bool Fired = false;
+  Cpu.submit(0, [&] { Fired = true; });
+  S.run();
+  EXPECT_TRUE(Fired);
+  EXPECT_EQ(0, S.now());
+}
+
+TEST(SharedProcessor, ManyTasksAllComplete) {
+  Scheduler S;
+  SharedProcessor Cpu(S, 8);
+  int Done = 0;
+  for (int I = 0; I < 100; ++I)
+    Cpu.submit(milliseconds(10 + I), [&] { ++Done; });
+  S.run();
+  EXPECT_EQ(100, Done);
+  EXPECT_EQ(100u, Cpu.completedTasks());
+}
+
+TEST(Mutex, ImmediateAcquisitionWhenFree) {
+  Scheduler S;
+  SimMutex M(S);
+  bool Held = false;
+  M.lock([&] { Held = true; });
+  EXPECT_TRUE(M.isLocked());
+  S.run();
+  EXPECT_TRUE(Held);
+  M.unlock();
+  EXPECT_FALSE(M.isLocked());
+}
+
+TEST(Mutex, FifoWaiters) {
+  Scheduler S;
+  SimMutex M(S);
+  std::vector<int> Order;
+  M.lock([&] {
+    Order.push_back(0);
+    // Hold for 10ms, then release.
+    S.after(milliseconds(10), [&] { M.unlock(); });
+  });
+  for (int I = 1; I <= 3; ++I)
+    M.lock([&, I] {
+      Order.push_back(I);
+      M.unlock();
+    });
+  EXPECT_EQ(3u, M.waiterCount());
+  S.run();
+  EXPECT_EQ((std::vector<int>{0, 1, 2, 3}), Order);
+  EXPECT_FALSE(M.isLocked());
+}
+
+TEST(Mutex, SerializesCriticalSections) {
+  Scheduler S;
+  SimMutex M(S);
+  int Inside = 0, MaxInside = 0, Completed = 0;
+  for (int I = 0; I < 5; ++I)
+    M.lock([&] {
+      ++Inside;
+      MaxInside = std::max(MaxInside, Inside);
+      S.after(milliseconds(5), [&] {
+        --Inside;
+        ++Completed;
+        M.unlock();
+      });
+    });
+  S.run();
+  EXPECT_EQ(5, Completed);
+  EXPECT_EQ(1, MaxInside);
+  EXPECT_EQ(milliseconds(25), S.now());
+}
+
+TEST(Network, LatencyOnly) {
+  Scheduler S;
+  NetworkLink Link(S, microseconds(200));
+  SimTime Delivered = 0;
+  Link.send(0, [&] { Delivered = S.now(); });
+  S.run();
+  EXPECT_EQ(microseconds(200), Delivered);
+}
+
+TEST(Network, SerializationAddsToLatency) {
+  Scheduler S;
+  // 1 MB at 125 MB/s = 8 ms of serialization.
+  NetworkLink Link(S, milliseconds(1), 125e6);
+  SimTime Delivered = 0;
+  Link.send(1000000, [&] { Delivered = S.now(); });
+  S.run();
+  EXPECT_EQ(milliseconds(9), Delivered);
+  EXPECT_EQ(1u, Link.messagesSent());
+  EXPECT_EQ(1000000u, Link.bytesSent());
+}
+
+} // namespace
