@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_afs"
+  "../bench/bench_afs.pdb"
+  "CMakeFiles/bench_afs.dir/bench_afs.cpp.o"
+  "CMakeFiles/bench_afs.dir/bench_afs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_afs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_averaging"
+  "../bench/bench_averaging.pdb"
+  "CMakeFiles/bench_averaging.dir/bench_averaging.cpp.o"
+  "CMakeFiles/bench_averaging.dir/bench_averaging.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_averaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

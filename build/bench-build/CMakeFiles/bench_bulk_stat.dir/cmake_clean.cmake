@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_bulk_stat"
+  "../bench/bench_bulk_stat.pdb"
+  "CMakeFiles/bench_bulk_stat.dir/bench_bulk_stat.cpp.o"
+  "CMakeFiles/bench_bulk_stat.dir/bench_bulk_stat.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bulk_stat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

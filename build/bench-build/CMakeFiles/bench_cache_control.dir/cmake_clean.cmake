@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cache_control"
+  "../bench/bench_cache_control.pdb"
+  "CMakeFiles/bench_cache_control.dir/bench_cache_control.cpp.o"
+  "CMakeFiles/bench_cache_control.dir/bench_cache_control.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cache_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_dir_index_ablation.
+# This may be replaced when dependencies are built.

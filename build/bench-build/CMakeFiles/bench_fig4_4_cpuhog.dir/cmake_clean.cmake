@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_4_cpuhog"
+  "../bench/bench_fig4_4_cpuhog.pdb"
+  "CMakeFiles/bench_fig4_4_cpuhog.dir/bench_fig4_4_cpuhog.cpp.o"
+  "CMakeFiles/bench_fig4_4_cpuhog.dir/bench_fig4_4_cpuhog.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_4_cpuhog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

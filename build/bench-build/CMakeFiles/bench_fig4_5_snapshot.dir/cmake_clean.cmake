@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_5_snapshot"
+  "../bench/bench_fig4_5_snapshot.pdb"
+  "CMakeFiles/bench_fig4_5_snapshot.dir/bench_fig4_5_snapshot.cpp.o"
+  "CMakeFiles/bench_fig4_5_snapshot.dir/bench_fig4_5_snapshot.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_5_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_6_saturation"
+  "../bench/bench_fig4_6_saturation.pdb"
+  "CMakeFiles/bench_fig4_6_saturation.dir/bench_fig4_6_saturation.cpp.o"
+  "CMakeFiles/bench_fig4_6_saturation.dir/bench_fig4_6_saturation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_6_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_6_saturation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_7_writer"
+  "../bench/bench_fig4_7_writer.pdb"
+  "CMakeFiles/bench_fig4_7_writer.dir/bench_fig4_7_writer.cpp.o"
+  "CMakeFiles/bench_fig4_7_writer.dir/bench_fig4_7_writer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_7_writer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

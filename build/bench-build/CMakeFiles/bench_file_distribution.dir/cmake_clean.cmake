@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_file_distribution"
+  "../bench/bench_file_distribution.pdb"
+  "CMakeFiles/bench_file_distribution.dir/bench_file_distribution.cpp.o"
+  "CMakeFiles/bench_file_distribution.dir/bench_file_distribution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_file_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_gx_multinode"
+  "../bench/bench_gx_multinode.pdb"
+  "CMakeFiles/bench_gx_multinode.dir/bench_gx_multinode.cpp.o"
+  "CMakeFiles/bench_gx_multinode.dir/bench_gx_multinode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gx_multinode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_gx_single_client"
+  "../bench/bench_gx_single_client.pdb"
+  "CMakeFiles/bench_gx_single_client.dir/bench_gx_single_client.cpp.o"
+  "CMakeFiles/bench_gx_single_client.dir/bench_gx_single_client.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gx_single_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_gx_single_client.
+# This may be replaced when dependencies are built.

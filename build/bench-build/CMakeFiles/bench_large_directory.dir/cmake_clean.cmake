@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_large_directory"
+  "../bench/bench_large_directory.pdb"
+  "CMakeFiles/bench_large_directory.dir/bench_large_directory.cpp.o"
+  "CMakeFiles/bench_large_directory.dir/bench_large_directory.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_large_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_latfs"
+  "../bench/bench_latfs.pdb"
+  "CMakeFiles/bench_latfs.dir/bench_latfs.cpp.o"
+  "CMakeFiles/bench_latfs.dir/bench_latfs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

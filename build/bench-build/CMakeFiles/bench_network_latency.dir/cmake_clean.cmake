@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_network_latency"
+  "../bench/bench_network_latency.pdb"
+  "CMakeFiles/bench_network_latency.dir/bench_network_latency.cpp.o"
+  "CMakeFiles/bench_network_latency.dir/bench_network_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_network_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

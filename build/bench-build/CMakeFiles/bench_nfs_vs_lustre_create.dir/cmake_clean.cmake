@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_nfs_vs_lustre_create"
+  "../bench/bench_nfs_vs_lustre_create.pdb"
+  "CMakeFiles/bench_nfs_vs_lustre_create.dir/bench_nfs_vs_lustre_create.cpp.o"
+  "CMakeFiles/bench_nfs_vs_lustre_create.dir/bench_nfs_vs_lustre_create.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nfs_vs_lustre_create.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

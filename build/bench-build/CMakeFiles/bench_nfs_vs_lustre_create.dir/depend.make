@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_nfs_vs_lustre_create.
+# This may be replaced when dependencies are built.

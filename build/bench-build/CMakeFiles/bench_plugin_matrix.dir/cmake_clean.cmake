@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_plugin_matrix"
+  "../bench/bench_plugin_matrix.pdb"
+  "CMakeFiles/bench_plugin_matrix.dir/bench_plugin_matrix.cpp.o"
+  "CMakeFiles/bench_plugin_matrix.dir/bench_plugin_matrix.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plugin_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

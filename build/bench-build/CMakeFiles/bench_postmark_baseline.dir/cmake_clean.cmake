@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_postmark_baseline"
+  "../bench/bench_postmark_baseline.pdb"
+  "CMakeFiles/bench_postmark_baseline.dir/bench_postmark_baseline.cpp.o"
+  "CMakeFiles/bench_postmark_baseline.dir/bench_postmark_baseline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_postmark_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

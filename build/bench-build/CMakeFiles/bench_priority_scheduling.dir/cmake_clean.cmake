@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_priority_scheduling"
+  "../bench/bench_priority_scheduling.pdb"
+  "CMakeFiles/bench_priority_scheduling.dir/bench_priority_scheduling.cpp.o"
+  "CMakeFiles/bench_priority_scheduling.dir/bench_priority_scheduling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_priority_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

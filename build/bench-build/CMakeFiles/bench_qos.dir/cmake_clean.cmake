@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_qos"
+  "../bench/bench_qos.pdb"
+  "CMakeFiles/bench_qos.dir/bench_qos.cpp.o"
+  "CMakeFiles/bench_qos.dir/bench_qos.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

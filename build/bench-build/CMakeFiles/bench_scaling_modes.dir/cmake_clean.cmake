@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_scaling_modes"
+  "../bench/bench_scaling_modes.pdb"
+  "CMakeFiles/bench_scaling_modes.dir/bench_scaling_modes.cpp.o"
+  "CMakeFiles/bench_scaling_modes.dir/bench_scaling_modes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

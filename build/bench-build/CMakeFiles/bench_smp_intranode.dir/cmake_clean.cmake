@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_smp_intranode"
+  "../bench/bench_smp_intranode.pdb"
+  "CMakeFiles/bench_smp_intranode.dir/bench_smp_intranode.cpp.o"
+  "CMakeFiles/bench_smp_intranode.dir/bench_smp_intranode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smp_intranode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

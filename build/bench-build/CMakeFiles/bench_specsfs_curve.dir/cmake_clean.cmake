@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_specsfs_curve"
+  "../bench/bench_specsfs_curve.pdb"
+  "CMakeFiles/bench_specsfs_curve.dir/bench_specsfs_curve.cpp.o"
+  "CMakeFiles/bench_specsfs_curve.dir/bench_specsfs_curve.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_specsfs_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

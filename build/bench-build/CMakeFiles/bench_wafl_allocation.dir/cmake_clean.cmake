@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_wafl_allocation"
+  "../bench/bench_wafl_allocation.pdb"
+  "CMakeFiles/bench_wafl_allocation.dir/bench_wafl_allocation.cpp.o"
+  "CMakeFiles/bench_wafl_allocation.dir/bench_wafl_allocation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wafl_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_writeback_caching"
+  "../bench/bench_writeback_caching.pdb"
+  "CMakeFiles/bench_writeback_caching.dir/bench_writeback_caching.cpp.o"
+  "CMakeFiles/bench_writeback_caching.dir/bench_writeback_caching.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_writeback_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

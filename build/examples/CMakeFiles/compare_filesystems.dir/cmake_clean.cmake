@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_filesystems.dir/compare_filesystems.cpp.o"
+  "CMakeFiles/compare_filesystems.dir/compare_filesystems.cpp.o.d"
+  "compare_filesystems"
+  "compare_filesystems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_filesystems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_plugin.dir/custom_plugin.cpp.o"
+  "CMakeFiles/custom_plugin.dir/custom_plugin.cpp.o.d"
+  "custom_plugin"
+  "custom_plugin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_plugin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

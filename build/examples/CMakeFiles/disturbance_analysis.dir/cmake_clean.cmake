@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disturbance_analysis.dir/disturbance_analysis.cpp.o"
+  "CMakeFiles/disturbance_analysis.dir/disturbance_analysis.cpp.o.d"
+  "disturbance_analysis"
+  "disturbance_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disturbance_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

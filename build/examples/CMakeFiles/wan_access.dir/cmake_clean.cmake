@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_access.dir/wan_access.cpp.o"
+  "CMakeFiles/wan_access.dir/wan_access.cpp.o.d"
+  "wan_access"
+  "wan_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

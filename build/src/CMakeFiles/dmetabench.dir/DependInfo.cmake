@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Preprocess.cpp" "src/CMakeFiles/dmetabench.dir/analysis/Preprocess.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/analysis/Preprocess.cpp.o.d"
+  "/root/repo/src/chart/AsciiChart.cpp" "src/CMakeFiles/dmetabench.dir/chart/AsciiChart.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/chart/AsciiChart.cpp.o.d"
+  "/root/repo/src/chart/Charts.cpp" "src/CMakeFiles/dmetabench.dir/chart/Charts.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/chart/Charts.cpp.o.d"
+  "/root/repo/src/cluster/Cluster.cpp" "src/CMakeFiles/dmetabench.dir/cluster/Cluster.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/cluster/Cluster.cpp.o.d"
+  "/root/repo/src/cluster/Placement.cpp" "src/CMakeFiles/dmetabench.dir/cluster/Placement.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/cluster/Placement.cpp.o.d"
+  "/root/repo/src/core/EnvProfile.cpp" "src/CMakeFiles/dmetabench.dir/core/EnvProfile.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/core/EnvProfile.cpp.o.d"
+  "/root/repo/src/core/ExtensionPlugins.cpp" "src/CMakeFiles/dmetabench.dir/core/ExtensionPlugins.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/core/ExtensionPlugins.cpp.o.d"
+  "/root/repo/src/core/Master.cpp" "src/CMakeFiles/dmetabench.dir/core/Master.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/core/Master.cpp.o.d"
+  "/root/repo/src/core/Plugin.cpp" "src/CMakeFiles/dmetabench.dir/core/Plugin.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/core/Plugin.cpp.o.d"
+  "/root/repo/src/core/Plugins.cpp" "src/CMakeFiles/dmetabench.dir/core/Plugins.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/core/Plugins.cpp.o.d"
+  "/root/repo/src/core/Results.cpp" "src/CMakeFiles/dmetabench.dir/core/Results.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/core/Results.cpp.o.d"
+  "/root/repo/src/core/ResultsIO.cpp" "src/CMakeFiles/dmetabench.dir/core/ResultsIO.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/core/ResultsIO.cpp.o.d"
+  "/root/repo/src/core/Subtask.cpp" "src/CMakeFiles/dmetabench.dir/core/Subtask.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/core/Subtask.cpp.o.d"
+  "/root/repo/src/core/TimeLog.cpp" "src/CMakeFiles/dmetabench.dir/core/TimeLog.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/core/TimeLog.cpp.o.d"
+  "/root/repo/src/core/Worker.cpp" "src/CMakeFiles/dmetabench.dir/core/Worker.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/core/Worker.cpp.o.d"
+  "/root/repo/src/dfs/AfsFs.cpp" "src/CMakeFiles/dmetabench.dir/dfs/AfsFs.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/dfs/AfsFs.cpp.o.d"
+  "/root/repo/src/dfs/AttrCache.cpp" "src/CMakeFiles/dmetabench.dir/dfs/AttrCache.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/dfs/AttrCache.cpp.o.d"
+  "/root/repo/src/dfs/ClientFs.cpp" "src/CMakeFiles/dmetabench.dir/dfs/ClientFs.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/dfs/ClientFs.cpp.o.d"
+  "/root/repo/src/dfs/CxfsFs.cpp" "src/CMakeFiles/dmetabench.dir/dfs/CxfsFs.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/dfs/CxfsFs.cpp.o.d"
+  "/root/repo/src/dfs/DistributedFs.cpp" "src/CMakeFiles/dmetabench.dir/dfs/DistributedFs.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/dfs/DistributedFs.cpp.o.d"
+  "/root/repo/src/dfs/FileServer.cpp" "src/CMakeFiles/dmetabench.dir/dfs/FileServer.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/dfs/FileServer.cpp.o.d"
+  "/root/repo/src/dfs/GxFs.cpp" "src/CMakeFiles/dmetabench.dir/dfs/GxFs.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/dfs/GxFs.cpp.o.d"
+  "/root/repo/src/dfs/Journal.cpp" "src/CMakeFiles/dmetabench.dir/dfs/Journal.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/dfs/Journal.cpp.o.d"
+  "/root/repo/src/dfs/LocalFsModel.cpp" "src/CMakeFiles/dmetabench.dir/dfs/LocalFsModel.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/dfs/LocalFsModel.cpp.o.d"
+  "/root/repo/src/dfs/LustreFs.cpp" "src/CMakeFiles/dmetabench.dir/dfs/LustreFs.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/dfs/LustreFs.cpp.o.d"
+  "/root/repo/src/dfs/Message.cpp" "src/CMakeFiles/dmetabench.dir/dfs/Message.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/dfs/Message.cpp.o.d"
+  "/root/repo/src/dfs/MountTable.cpp" "src/CMakeFiles/dmetabench.dir/dfs/MountTable.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/dfs/MountTable.cpp.o.d"
+  "/root/repo/src/dfs/NfsFs.cpp" "src/CMakeFiles/dmetabench.dir/dfs/NfsFs.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/dfs/NfsFs.cpp.o.d"
+  "/root/repo/src/dfs/ReexportFs.cpp" "src/CMakeFiles/dmetabench.dir/dfs/ReexportFs.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/dfs/ReexportFs.cpp.o.d"
+  "/root/repo/src/fs/DirectoryIndex.cpp" "src/CMakeFiles/dmetabench.dir/fs/DirectoryIndex.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/fs/DirectoryIndex.cpp.o.d"
+  "/root/repo/src/fs/LocalFileSystem.cpp" "src/CMakeFiles/dmetabench.dir/fs/LocalFileSystem.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/fs/LocalFileSystem.cpp.o.d"
+  "/root/repo/src/sim/Network.cpp" "src/CMakeFiles/dmetabench.dir/sim/Network.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/sim/Network.cpp.o.d"
+  "/root/repo/src/sim/Resource.cpp" "src/CMakeFiles/dmetabench.dir/sim/Resource.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/sim/Resource.cpp.o.d"
+  "/root/repo/src/sim/Scheduler.cpp" "src/CMakeFiles/dmetabench.dir/sim/Scheduler.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/sim/Scheduler.cpp.o.d"
+  "/root/repo/src/sim/SharedProcessor.cpp" "src/CMakeFiles/dmetabench.dir/sim/SharedProcessor.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/sim/SharedProcessor.cpp.o.d"
+  "/root/repo/src/support/Error.cpp" "src/CMakeFiles/dmetabench.dir/support/Error.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/support/Error.cpp.o.d"
+  "/root/repo/src/support/Format.cpp" "src/CMakeFiles/dmetabench.dir/support/Format.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/support/Format.cpp.o.d"
+  "/root/repo/src/support/Random.cpp" "src/CMakeFiles/dmetabench.dir/support/Random.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/support/Random.cpp.o.d"
+  "/root/repo/src/support/TextTable.cpp" "src/CMakeFiles/dmetabench.dir/support/TextTable.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/support/TextTable.cpp.o.d"
+  "/root/repo/src/workload/Disturbance.cpp" "src/CMakeFiles/dmetabench.dir/workload/Disturbance.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/workload/Disturbance.cpp.o.d"
+  "/root/repo/src/workload/LoadGenerator.cpp" "src/CMakeFiles/dmetabench.dir/workload/LoadGenerator.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/workload/LoadGenerator.cpp.o.d"
+  "/root/repo/src/workload/NamespaceGenerator.cpp" "src/CMakeFiles/dmetabench.dir/workload/NamespaceGenerator.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/workload/NamespaceGenerator.cpp.o.d"
+  "/root/repo/src/workload/Postmark.cpp" "src/CMakeFiles/dmetabench.dir/workload/Postmark.cpp.o" "gcc" "src/CMakeFiles/dmetabench.dir/workload/Postmark.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

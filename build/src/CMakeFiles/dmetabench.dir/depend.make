@@ -1,0 +1,2 @@
+# Empty dependencies file for dmetabench.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,3 @@
+src/CMakeFiles/dmetabench.dir/support/Error.cpp.o: \
+ /root/repo/src/support/Error.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/support/Error.h

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chart_test.dir/ChartTest.cpp.o"
+  "CMakeFiles/chart_test.dir/ChartTest.cpp.o.d"
+  "chart_test"
+  "chart_test.pdb"
+  "chart_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_semantics_test.dir/DfsSemanticsTest.cpp.o"
+  "CMakeFiles/dfs_semantics_test.dir/DfsSemanticsTest.cpp.o.d"
+  "dfs_semantics_test"
+  "dfs_semantics_test.pdb"
+  "dfs_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

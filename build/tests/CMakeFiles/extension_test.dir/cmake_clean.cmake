@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_test.dir/ExtensionTest.cpp.o"
+  "CMakeFiles/extension_test.dir/ExtensionTest.cpp.o.d"
+  "extension_test"
+  "extension_test.pdb"
+  "extension_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

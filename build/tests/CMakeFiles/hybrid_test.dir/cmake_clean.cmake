@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_test.dir/HybridTest.cpp.o"
+  "CMakeFiles/hybrid_test.dir/HybridTest.cpp.o.d"
+  "hybrid_test"
+  "hybrid_test.pdb"
+  "hybrid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loadgen_test.dir/LoadGenTest.cpp.o"
+  "CMakeFiles/loadgen_test.dir/LoadGenTest.cpp.o.d"
+  "loadgen_test"
+  "loadgen_test.pdb"
+  "loadgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loadgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plugin_sweep_test.dir/PluginSweepTest.cpp.o"
+  "CMakeFiles/plugin_sweep_test.dir/PluginSweepTest.cpp.o.d"
+  "plugin_sweep_test"
+  "plugin_sweep_test.pdb"
+  "plugin_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plugin_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmetabench_cli.dir/dmetabench.cpp.o"
+  "CMakeFiles/dmetabench_cli.dir/dmetabench.cpp.o.d"
+  "dmetabench"
+  "dmetabench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmetabench_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
