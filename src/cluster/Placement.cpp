@@ -5,8 +5,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "cluster/Placement.h"
+#include "support/Assert.h"
 #include <algorithm>
-#include <cassert>
 
 using namespace dmb;
 
@@ -26,7 +26,7 @@ MpiEnvironment MpiEnvironment::uniform(unsigned Nodes, unsigned PerNode) {
 }
 
 Placement::Placement(const MpiEnvironment &Env) {
-  assert(Env.size() >= 2 && "need at least a master and one worker");
+  DMB_ASSERT(Env.size() >= 2, "need at least a master and one worker");
 
   // Count processes per node and find the node with the most; its first
   // rank becomes the master (\S 3.3.4).

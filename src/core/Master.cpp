@@ -7,8 +7,8 @@
 #include "core/Master.h"
 #include "core/EnvProfile.h"
 #include "core/Subtask.h"
+#include "support/Assert.h"
 #include "support/Format.h"
-#include <cassert>
 
 using namespace dmb;
 
@@ -30,7 +30,7 @@ std::string Master::workDirFor(const PlanEntry &Entry, const std::string &Op,
 SubtaskResult Master::runSubtask(const PlanEntry &Entry,
                                  const std::string &Operation) {
   BenchmarkPlugin *Plugin = PluginRegistry::global().get(Operation);
-  assert(Plugin && "unknown operation (not in the plugin registry)");
+  DMB_ASSERT(Plugin, "unknown operation (not in the plugin registry)");
 
   SubtaskSpec Spec;
   Spec.Operation = Operation;
@@ -49,7 +49,7 @@ SubtaskResult Master::runSubtask(const PlanEntry &Entry,
     W.Ordinal = I;
     W.Hostname = Node.hostname();
     W.Client = Node.mount(FsName);
-    assert(W.Client && "file system not mounted on node");
+    DMB_ASSERT(W.Client, "file system not mounted on node");
     W.Cpu = &Node.cpu();
     W.PerCallOverhead = Params.HarnessOverheadPerCall;
     Spec.Workers.push_back(std::move(W));
@@ -64,7 +64,7 @@ SubtaskResult Master::runSubtask(const PlanEntry &Entry,
     Finished = true;
   });
   C.scheduler().run();
-  assert(Finished && "subtask did not complete");
+  DMB_ASSERT(Finished, "subtask did not complete");
   return Result;
 }
 
@@ -78,6 +78,7 @@ ResultSet Master::run() {
   for (const PlanEntry &Entry : Plc.plan(Params.NodeStep, Params.PpnStep))
     for (const std::string &Op : Params.Operations)
       Results.Subtasks.push_back(runSubtask(Entry, Op));
+  Results.Diagnostics = C.scheduler().checkQuiescent().render();
   return Results;
 }
 
@@ -87,11 +88,11 @@ ResultSet Master::runCombination(unsigned Nodes, unsigned PerNode) {
   Results.EnvironmentProfile = EnvProfile::capture(C, FsName).render();
 
   std::optional<std::vector<int>> Sel = Plc.select(Nodes, PerNode);
-  assert(Sel && "infeasible nodes x per-node combination");
   if (!Sel)
-    return Results; // No such placement: nothing to run.
+    return Results; // No such placement: nothing to run (documented API).
   PlanEntry Entry{Nodes, PerNode, std::move(*Sel)};
   for (const std::string &Op : Params.Operations)
     Results.Subtasks.push_back(runSubtask(Entry, Op));
+  Results.Diagnostics = C.scheduler().checkQuiescent().render();
   return Results;
 }

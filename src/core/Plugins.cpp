@@ -15,7 +15,6 @@
 #include "core/Plugin.h"
 #include "core/StreamHelpers.h"
 #include "support/Format.h"
-#include <cassert>
 #include <functional>
 
 using namespace dmb;

@@ -63,6 +63,11 @@ struct SubtaskResult {
 struct ResultSet {
   std::string Label;
   std::string EnvironmentProfile;
+  /// Rendered SimDiagnostics quiescence report recorded after the run: a
+  /// clean run says so; leaked simulation state (held mutexes, stranded
+  /// waiters, lost completions) is itemized here rather than silently
+  /// skewing the measurements. Empty when the run never reached the check.
+  std::string Diagnostics;
   std::vector<SubtaskResult> Subtasks;
 
   /// Finds a subtask; nullptr when absent.

@@ -30,6 +30,8 @@ std::vector<std::string> dmb::resultSetFileNames(const ResultSet &Results) {
   }
   Names.push_back("summary.tsv");
   Names.push_back("environment.txt");
+  if (!Results.Diagnostics.empty())
+    Names.push_back("diagnostics.txt");
   return Names;
 }
 
@@ -70,5 +72,9 @@ bool dmb::writeResultSet(const ResultSet &Results, const std::string &Dir) {
   if (!writeFile(Root / "summary.tsv", Summary))
     return false;
   // The environment snapshot recorded with the run (\S 3.2.6).
-  return writeFile(Root / "environment.txt", Results.EnvironmentProfile);
+  if (!writeFile(Root / "environment.txt", Results.EnvironmentProfile))
+    return false;
+  // The end-of-run simulation quiescence report, when one was recorded.
+  return Results.Diagnostics.empty() ||
+         writeFile(Root / "diagnostics.txt", Results.Diagnostics);
 }

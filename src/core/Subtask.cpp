@@ -5,18 +5,18 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Subtask.h"
+#include "support/Assert.h"
 #include "support/Format.h"
-#include <cassert>
 #include <set>
 
 using namespace dmb;
 
 SubtaskRunner::SubtaskRunner(Scheduler &Sched, SubtaskSpec S)
     : Sched(Sched), Spec(std::move(S)) {
-  assert(Spec.Plugin && "subtask needs a plugin");
-  assert(!Spec.Workers.empty() && "subtask needs workers");
-  assert(Spec.Workers.size() == Spec.WorkDirs.size() &&
-         "one workdir per worker");
+  DMB_ASSERT(Spec.Plugin, "subtask needs a plugin");
+  DMB_ASSERT(!Spec.Workers.empty(), "subtask needs workers");
+  DMB_ASSERT(Spec.Workers.size() == Spec.WorkDirs.size(),
+             "one workdir per worker");
 }
 
 SubtaskRunner::~SubtaskRunner() = default;
@@ -79,14 +79,19 @@ void SubtaskRunner::ensureWorkDirs(std::function<void()> Then) {
 
   auto ThenPtr = std::make_shared<std::function<void()>>(std::move(Then));
   auto Step = std::make_shared<std::function<void()>>();
-  *Step = [Pending, ThenPtr, Step]() {
+  // The chain's continuations hold the only strong references; the step
+  // function itself captures weakly, or the chain would keep itself alive
+  // forever (shared_ptr cycle).
+  std::weak_ptr<std::function<void()>> WeakStep = Step;
+  *Step = [Pending, ThenPtr, WeakStep]() {
     if (Pending->empty()) {
       (*ThenPtr)();
       return;
     }
     auto [Client, Dir] = Pending->front();
     Pending->erase(Pending->begin());
-    Client->submit(makeMkdir(Dir), [Step](MetaReply) { (*Step)(); });
+    auto Next = WeakStep.lock();
+    Client->submit(makeMkdir(Dir), [Next](MetaReply) { (*Next)(); });
   };
   (*Step)();
 }
@@ -124,7 +129,7 @@ void SubtaskRunner::runPhaseAll(int PhaseIndex, std::function<void()> Then) {
       Stream = Instances[I]->cleanup();
       break;
     default:
-      assert(false && "invalid phase");
+      DMB_ASSERT(false, "invalid phase");
     }
     W.runPhase(std::move(Stream), /*Record=*/IsBench, Deadline,
                [this, &W, I, IsBench, PhaseIndex, ThenPtr]() {

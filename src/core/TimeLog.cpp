@@ -5,12 +5,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/TimeLog.h"
-#include <cassert>
+#include "support/Assert.h"
 
 using namespace dmb;
 
 void TimeLog::start(SimTime PhaseStart, SimDuration IntervalWidth) {
-  assert(IntervalWidth > 0 && "interval must be positive");
+  DMB_ASSERT(IntervalWidth > 0, "interval must be positive");
   Start = PhaseStart;
   Interval = IntervalWidth;
   Total = 0;
@@ -19,7 +19,7 @@ void TimeLog::start(SimTime PhaseStart, SimDuration IntervalWidth) {
 }
 
 void TimeLog::record(SimTime Now, uint64_t Count) {
-  assert(Now >= Start && "operation completed before phase start");
+  DMB_ASSERT(Now >= Start, "operation completed before phase start");
   size_t Index = static_cast<size_t>((Now - Start) / Interval);
   if (Buckets.size() <= Index)
     Buckets.resize(Index + 1, 0);

@@ -5,14 +5,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Worker.h"
-#include <cassert>
+#include "support/Assert.h"
 
 using namespace dmb;
 
 WorkerProcess::WorkerProcess(Scheduler &Sched, WorkerConfig C)
     : Sched(Sched), Config(std::move(C)) {
-  assert(Config.Client && "worker needs a file system client");
-  assert(Config.Cpu && "worker needs a node CPU");
+  DMB_ASSERT(Config.Client, "worker needs a file system client");
+  DMB_ASSERT(Config.Cpu, "worker needs a node CPU");
 }
 
 void WorkerProcess::runPhase(std::unique_ptr<OpStream> S, bool Rec,

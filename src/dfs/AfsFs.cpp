@@ -5,9 +5,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "dfs/AfsFs.h"
+#include "support/Assert.h"
 #include "support/Format.h"
 #include <algorithm>
-#include <cassert>
 
 using namespace dmb;
 
@@ -35,7 +35,10 @@ AfsFs::AfsFs(Scheduler &Sched, AfsOptions Opts)
   addVolume("/", 0);
 }
 
-AfsFs::~AfsFs() = default;
+AfsFs::~AfsFs() {
+  for (AfsClient *C : Clients)
+    C->cellDestroyed();
+}
 
 unsigned AfsFs::addServer(const std::string &Name) {
   ServerConfig C = Options.ServerDefaults;
@@ -45,7 +48,7 @@ unsigned AfsFs::addServer(const std::string &Name) {
 }
 
 void AfsFs::addVolume(const std::string &MountPrefix, unsigned ServerIndex) {
-  assert(ServerIndex < Servers.size() && "no such server");
+  DMB_ASSERT(ServerIndex < Servers.size(), "no such server");
   std::string VolumeName =
       MountPrefix == "/" ? std::string("root") : MountPrefix.substr(1);
   Servers[ServerIndex]->addVolume(VolumeName);
@@ -99,7 +102,10 @@ AfsClient::AfsClient(Scheduler &Sched, AfsFs &Cell, unsigned NodeIndex)
   Cell.registerClient(this);
 }
 
-AfsClient::~AfsClient() { Cell.unregisterClient(this); }
+AfsClient::~AfsClient() {
+  if (CellAlive)
+    Cell.unregisterClient(this);
+}
 
 std::string AfsClient::describe() const {
   return format("afs node=%u cell-servers=%u", NodeIndex,

@@ -50,7 +50,9 @@ ServerConfig makeAfsServerConfig(const std::string &Name = "afs-fs");
 
 /// The AFS cell: servers + VLDB + callback registry.
 ///
-/// The cell must outlive all clients created from it.
+/// The cell must stay alive while clients have requests in flight, but
+/// teardown order is otherwise free: a cell destroyed before its clients
+/// detaches them first (see AfsClient::cellDestroyed).
 class AfsFs final : public DistributedFs {
 public:
   AfsFs(Scheduler &Sched, AfsOptions Options = AfsOptions());
@@ -108,6 +110,11 @@ public:
   /// Invalidation entry point for callback breaks.
   void invalidatePath(const std::string &Path) { Cache.invalidate(Path); }
 
+  /// Called by ~AfsFs on clients that outlive the cell (e.g. when a
+  /// Cluster holding the clients is destroyed after the cell): the dying
+  /// destructor must not call back into it.
+  void cellDestroyed() { CellAlive = false; }
+
 private:
   struct HandleInfo {
     unsigned ServerIndex;
@@ -120,6 +127,7 @@ private:
   SimDuration vldbCost(const std::string &Volume);
 
   AfsFs &Cell;
+  bool CellAlive = true;
   unsigned NodeIndex;
   AttrCache Cache; ///< callback-based: no TTL
   std::set<std::string> KnownVolumes;

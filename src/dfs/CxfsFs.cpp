@@ -36,7 +36,7 @@ std::unique_ptr<ClientFs> CxfsFs::makeClient(unsigned NodeIndex) {
 CxfsClient::CxfsClient(Scheduler &Sched, FileServer &Mds,
                        const CxfsOptions &Opts, unsigned NodeIndex)
     : Sched(Sched), Mds(Mds), Options(Opts), NodeIndex(NodeIndex),
-      Token(Sched) {}
+      Token(Sched, "cxfs.metadata-token") {}
 
 std::string CxfsClient::describe() const {
   return format("cxfs node=%u mds=%s", NodeIndex,

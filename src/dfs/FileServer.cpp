@@ -5,8 +5,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "dfs/FileServer.h"
+#include "support/Assert.h"
 #include <algorithm>
-#include <cassert>
 
 using namespace dmb;
 
@@ -227,7 +227,7 @@ void FileServer::maybeStartConsistencyPoint() {
 }
 
 void FileServer::startConsistencyPoint() {
-  assert(!CpActive && "nested consistency point");
+  DMB_ASSERT(!CpActive, "nested consistency point");
   CpActive = true;
   ++CpCount;
   uint64_t Flushing = DirtyBytes;

@@ -6,8 +6,8 @@
 
 #include "dfs/GxFs.h"
 #include "dfs/NfsFs.h"
+#include "support/Assert.h"
 #include "support/Format.h"
-#include <cassert>
 
 using namespace dmb;
 
@@ -30,7 +30,7 @@ GxFs::GxFs(Scheduler &Sched, GxOptions Opts)
 }
 
 void GxFs::addVolume(const std::string &MountPrefix, unsigned FilerIndex) {
-  assert(FilerIndex < Filers.size() && "no such filer");
+  DMB_ASSERT(FilerIndex < Filers.size(), "no such filer");
   std::string VolumeName =
       MountPrefix == "/" ? std::string("root") : MountPrefix.substr(1);
   Filers[FilerIndex]->addVolume(VolumeName);

@@ -30,7 +30,7 @@ std::unique_ptr<ClientFs> LocalFsModel::makeClient(unsigned NodeIndex) {
 LocalClient::LocalClient(Scheduler &Sched, const LocalFsOptions &Opts,
                          unsigned NodeIndex)
     : Sched(Sched), Options(Opts), NodeIndex(NodeIndex), Fs(Opts.Volume),
-      Cpu(Sched, "localfs.kernel", Opts.KernelThreads), VfsLock(Sched) {}
+      Cpu(Sched, "localfs.kernel", Opts.KernelThreads), VfsLock(Sched, "localfs.vfs-lock") {}
 
 std::string LocalClient::describe() const {
   return format("localfs node=%u dir-index=%s", NodeIndex,

@@ -5,8 +5,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "fs/LocalFileSystem.h"
+#include "support/Assert.h"
 #include "support/Format.h"
-#include <cassert>
 #include <deque>
 #include <set>
 
@@ -54,7 +54,7 @@ LocalFileSystem::Inode *LocalFileSystem::getInode(InodeNum Ino) {
 const DirEntry *LocalFileSystem::dirLookup(Inode &Dir,
                                            const std::string &Name,
                                            OpCost &Cost) const {
-  assert(Dir.Dir && "dirLookup on non-directory");
+  DMB_ASSERT(Dir.Dir, "dirLookup on non-directory");
   return Dir.Dir->lookup(Name, Cost);
 }
 
@@ -117,7 +117,7 @@ auto LocalFileSystem::resolve(OpCtx &Ctx, const std::string &Path,
     bool IsLast = Work.empty();
 
     Inode *CurNode = getInode(Cur);
-    assert(CurNode && "dangling directory inode");
+    DMB_ASSERT(CurNode, "dangling directory inode");
     if (CurNode->A.Type != FileType::Directory)
       return FsError::NotDir;
     // The POSIX path-walk rule (\S 2.3.1): x-permission is required on every
@@ -149,7 +149,7 @@ auto LocalFileSystem::resolve(OpCtx &Ctx, const std::string &Path,
     }
 
     Inode *Found = getInode(Entry->Ino);
-    assert(Found && "directory entry references dead inode");
+    DMB_ASSERT(Found, "directory entry references dead inode");
 
     if (Found->A.Type == FileType::Symlink && (!IsLast || FollowLast)) {
       if (++SymlinkDepth > Config.MaxSymlinkDepth)
@@ -706,7 +706,7 @@ FsError LocalFileSystem::close(OpCtx &Ctx, FileHandle Fh) {
   InodeNum Ino = It->second.Ino;
   OpenFiles.erase(It);
   Inode *Node = getInode(Ino);
-  assert(Node && Node->OpenCount > 0 && "open count underflow");
+  DMB_ASSERT(Node && Node->OpenCount > 0, "open count underflow");
   --Node->OpenCount;
   // Process termination or close releases the handle's locks (\S 2.3.2).
   Node->ReadLockers.erase(Fh);

@@ -10,15 +10,22 @@
 /// as the CXFS metadata token a node must hold across a whole operation
 /// (thesis \S 2.5.2, \S 4.5).
 ///
+/// Misuse is fatal: double unlock and destruction while locked (or with
+/// waiters that would never wake) abort with a diagnostic. A mutex still
+/// held when the scheduler goes quiescent is reported — not aborted, since
+/// tests legitimately drive the scheduler in stages — through the
+/// SimDiagnostics quiescence report.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DMETABENCH_SIM_MUTEX_H
 #define DMETABENCH_SIM_MUTEX_H
 
 #include "sim/Scheduler.h"
-#include <cassert>
+#include "support/Assert.h"
 #include <deque>
 #include <functional>
+#include <string>
 
 namespace dmb {
 
@@ -26,7 +33,22 @@ namespace dmb {
 /// the holder must call unlock() exactly once.
 class SimMutex {
 public:
-  explicit SimMutex(Scheduler &Sched) : Sched(Sched) {}
+  explicit SimMutex(Scheduler &Sched, std::string Name = "mutex")
+      : Sched(Sched), Name(std::move(Name)) {
+    CheckId = Sched.addQuiescenceCheck([this](SimDiagnostics &D) {
+      report(D);
+    });
+  }
+
+  SimMutex(const SimMutex &) = delete;
+  SimMutex &operator=(const SimMutex &) = delete;
+
+  ~SimMutex() {
+    Sched.removeQuiescenceCheck(CheckId);
+    DMB_CHECK(!Locked, "SimMutex destroyed while still locked");
+    DMB_CHECK(Waiters.empty(),
+              "SimMutex destroyed with waiters that will never wake");
+  }
 
   /// Requests the lock; \p Acquired runs (as a scheduled event) when held.
   void lock(std::function<void()> Acquired) {
@@ -40,7 +62,7 @@ public:
 
   /// Releases the lock, waking the next waiter in FIFO order.
   void unlock() {
-    assert(Locked && "unlock of unlocked SimMutex");
+    DMB_CHECK(Locked, "unlock of unlocked SimMutex (double unlock?)");
     if (Waiters.empty()) {
       Locked = false;
       return;
@@ -52,9 +74,21 @@ public:
 
   bool isLocked() const { return Locked; }
   size_t waiterCount() const { return Waiters.size(); }
+  const std::string &name() const { return Name; }
 
 private:
+  void report(SimDiagnostics &D) const {
+    if (Locked)
+      D.addIssue("SimMutex " + Name, "still locked at quiescence");
+    if (!Waiters.empty())
+      D.addIssue("SimMutex " + Name,
+                 std::to_string(Waiters.size()) +
+                     " stranded waiter(s) at quiescence");
+  }
+
   Scheduler &Sched;
+  std::string Name;
+  uint64_t CheckId = 0;
   bool Locked = false;
   std::deque<std::function<void()>> Waiters;
 };

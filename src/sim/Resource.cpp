@@ -5,8 +5,31 @@
 //===----------------------------------------------------------------------===//
 
 #include "sim/Resource.h"
+#include "support/Format.h"
 
 using namespace dmb;
+
+Resource::Resource(Scheduler &Sched, std::string Name, unsigned NumServers)
+    : Sched(Sched), Name(std::move(Name)),
+      NumServers(NumServers ? NumServers : 1) {
+  CheckId = this->Sched.addQuiescenceCheck(
+      [this](SimDiagnostics &D) { report(D); });
+}
+
+Resource::~Resource() { Sched.removeQuiescenceCheck(CheckId); }
+
+void Resource::report(SimDiagnostics &D) const {
+  // A busy server at quiescence means its completion event vanished (the
+  // simulated analogue of a lost wakeup); queued requests likewise can
+  // never start once the event queue is empty.
+  if (Busy)
+    D.addIssue("Resource " + Name,
+               format("%u server(s) still busy at quiescence", Busy));
+  if (!Waiting.empty())
+    D.addIssue("Resource " + Name,
+               format("%zu queued request(s) that can never start",
+                      Waiting.size()));
+}
 
 void Resource::request(SimDuration Service, Completion Done) {
   Pending P{Service, std::move(Done)};

@@ -32,9 +32,10 @@ class Resource {
 public:
   using Completion = std::function<void()>;
 
-  Resource(Scheduler &Sched, std::string Name, unsigned NumServers)
-      : Sched(Sched), Name(std::move(Name)),
-        NumServers(NumServers ? NumServers : 1) {}
+  Resource(Scheduler &Sched, std::string Name, unsigned NumServers);
+  ~Resource();
+  Resource(const Resource &) = delete;
+  Resource &operator=(const Resource &) = delete;
 
   /// Enqueues a request with the given nominal service time.
   void request(SimDuration Service, Completion Done);
@@ -59,9 +60,11 @@ private:
 
   void startService(Pending P);
   void finishOne();
+  void report(SimDiagnostics &D) const;
 
   Scheduler &Sched;
   std::string Name;
+  uint64_t CheckId = 0;
   unsigned NumServers;
   unsigned Busy = 0;
   double Slowdown = 1.0;

@@ -5,17 +5,44 @@
 //===----------------------------------------------------------------------===//
 
 #include "sim/Scheduler.h"
+#include "support/Assert.h"
+#include <algorithm>
 
 using namespace dmb;
 
+// The scheduler whose clock/event ordinal DMB_ASSERT failures report.
+// Single-threaded simulation: the most recently constructed (or stepped)
+// scheduler is the active one.
+static Scheduler *ActiveScheduler = nullptr;
+
+static bool schedulerAssertContext(AssertSimContext &Ctx) {
+  if (!ActiveScheduler)
+    return false;
+  Ctx.TimeNs = ActiveScheduler->now();
+  Ctx.EventSeq = ActiveScheduler->executedEvents();
+  Ctx.PendingEvents = ActiveScheduler->pendingEvents();
+  return true;
+}
+
+Scheduler::Scheduler() {
+  ActiveScheduler = this;
+  setAssertSimContextProvider(&schedulerAssertContext);
+}
+
+Scheduler::~Scheduler() {
+  if (ActiveScheduler == this)
+    ActiveScheduler = nullptr;
+}
+
 void Scheduler::at(SimTime When, Action Fn) {
-  assert(When >= Now && "cannot schedule into the past");
+  DMB_ASSERT(When >= Now, "cannot schedule into the past");
   Queue.push(Event{When, NextSeq++, std::move(Fn)});
 }
 
 bool Scheduler::step() {
   if (Queue.empty())
     return false;
+  ActiveScheduler = this;
   // Move the action out before popping; the action may schedule new events.
   Event Ev = std::move(const_cast<Event &>(Queue.top()));
   Queue.pop();
@@ -28,6 +55,7 @@ bool Scheduler::step() {
 void Scheduler::run() {
   while (step()) {
   }
+  LastDiag = checkQuiescent();
 }
 
 void Scheduler::runUntil(SimTime Deadline) {
@@ -35,4 +63,27 @@ void Scheduler::runUntil(SimTime Deadline) {
     step();
   if (Now < Deadline)
     Now = Deadline;
+}
+
+uint64_t Scheduler::addQuiescenceCheck(QuiescenceCheck Fn) {
+  uint64_t Id = NextCheckId++;
+  QuiescenceChecks.emplace_back(Id, std::move(Fn));
+  return Id;
+}
+
+void Scheduler::removeQuiescenceCheck(uint64_t Id) {
+  QuiescenceChecks.erase(
+      std::remove_if(QuiescenceChecks.begin(), QuiescenceChecks.end(),
+                     [Id](const auto &Entry) { return Entry.first == Id; }),
+      QuiescenceChecks.end());
+}
+
+SimDiagnostics Scheduler::checkQuiescent() const {
+  SimDiagnostics Diag;
+  Diag.AtTime = Now;
+  Diag.EventsExecuted = Executed;
+  Diag.PendingEvents = Queue.size();
+  for (const auto &Entry : QuiescenceChecks)
+    Entry.second(Diag);
+  return Diag;
 }

@@ -9,13 +9,18 @@
 /// equal timestamps fire in insertion order, which makes whole benchmark
 /// runs deterministic (DESIGN.md, key decision 4).
 ///
+/// The scheduler is also the anchor of the runtime invariant checks: it
+/// feeds the simulated clock and event ordinal into DMB_ASSERT failure
+/// reports, and at quiescence (queue drained) it asks every registered
+/// primitive whether it leaked state — see SimDiagnostics.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DMETABENCH_SIM_SCHEDULER_H
 #define DMETABENCH_SIM_SCHEDULER_H
 
+#include "sim/SimDiagnostics.h"
 #include "sim/Time.h"
-#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -27,11 +32,20 @@ namespace dmb {
 class Scheduler {
 public:
   using Action = std::function<void()>;
+  /// Inspects one primitive's state at quiescence and reports leaks.
+  using QuiescenceCheck = std::function<void(SimDiagnostics &)>;
+
+  Scheduler();
+  ~Scheduler();
+  Scheduler(const Scheduler &) = delete;
+  Scheduler &operator=(const Scheduler &) = delete;
 
   /// Current simulated time.
   SimTime now() const { return Now; }
 
-  /// Schedules \p Fn to run at absolute time \p When (>= now()).
+  /// Schedules \p Fn to run at absolute time \p When. Scheduling into the
+  /// past would silently reorder history, so When < now() is a fatal
+  /// invariant violation (use after() for clamped relative delays).
   void at(SimTime When, Action Fn);
 
   /// Schedules \p Fn to run \p Delay from now. Negative delays clamp to 0.
@@ -39,7 +53,8 @@ public:
     at(Now + (Delay < 0 ? 0 : Delay), std::move(Fn));
   }
 
-  /// Runs events until the queue is empty.
+  /// Runs events until the queue is empty, then records a quiescence
+  /// report (see lastDiagnostics()).
   void run();
 
   /// Runs events with timestamps <= \p Deadline, then sets now() to
@@ -54,6 +69,21 @@ public:
 
   /// Total events executed so far (for tests and stats).
   uint64_t executedEvents() const { return Executed; }
+
+  /// Registers a primitive's quiescence check; returns a handle for
+  /// removeQuiescenceCheck(). Checks run in registration order.
+  uint64_t addQuiescenceCheck(QuiescenceCheck Fn);
+
+  /// Unregisters a check (primitives do this on destruction).
+  void removeQuiescenceCheck(uint64_t Id);
+
+  /// Runs every registered check and returns the collected report. Never
+  /// aborts: a locked mutex at quiescence is legal mid-scenario (tests
+  /// drive the scheduler in stages), so leaks are reported, not fatal.
+  SimDiagnostics checkQuiescent() const;
+
+  /// The report recorded by the most recent run().
+  const SimDiagnostics &lastDiagnostics() const { return LastDiag; }
 
 private:
   struct Event {
@@ -73,6 +103,9 @@ private:
   uint64_t NextSeq = 0;
   uint64_t Executed = 0;
   std::priority_queue<Event, std::vector<Event>, Later> Queue;
+  uint64_t NextCheckId = 0;
+  std::vector<std::pair<uint64_t, QuiescenceCheck>> QuiescenceChecks;
+  SimDiagnostics LastDiag;
 };
 
 } // namespace dmb

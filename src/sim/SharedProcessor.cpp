@@ -5,7 +5,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "sim/SharedProcessor.h"
-#include <cassert>
+#include "support/Assert.h"
+#include "support/Format.h"
 #include <cmath>
 #include <vector>
 
@@ -15,8 +16,22 @@ using namespace dmb;
 // floating-point error accumulated while advancing task progress.
 static constexpr double WorkEpsilon = 1e-12;
 
+SharedProcessor::SharedProcessor(Scheduler &Sched, unsigned NumCores)
+    : Sched(Sched), NumCores(NumCores ? NumCores : 1) {
+  CheckId = this->Sched.addQuiescenceCheck([this](SimDiagnostics &D) {
+    // Active tasks at quiescence have no completion timer left: the
+    // processor-sharing clockwork lost track of them.
+    if (!Tasks.empty())
+      D.addIssue("SharedProcessor",
+                 format("%zu task(s) still active at quiescence",
+                        Tasks.size()));
+  });
+}
+
+SharedProcessor::~SharedProcessor() { Sched.removeQuiescenceCheck(CheckId); }
+
 double SharedProcessor::rateFor(const Task &T) const {
-  assert(TotalWeight > 0 && "rate query with no active tasks");
+  DMB_ASSERT(TotalWeight > 0, "rate query with no active tasks");
   double Fair = static_cast<double>(NumCores) * T.Weight / TotalWeight;
   return Fair > 1.0 ? 1.0 : Fair;
 }
@@ -75,7 +90,7 @@ void SharedProcessor::onTimer(uint64_t Gen) {
 
 void SharedProcessor::submit(SimDuration Work, double Weight,
                              Completion Done) {
-  assert(Weight > 0 && "task weight must be positive");
+  DMB_ASSERT(Weight > 0, "task weight must be positive");
   if (Work <= 0) {
     // Zero-work tasks complete immediately without perturbing the queue.
     Sched.after(0, std::move(Done));

@@ -34,8 +34,10 @@ class SharedProcessor {
 public:
   using Completion = std::function<void()>;
 
-  SharedProcessor(Scheduler &Sched, unsigned NumCores)
-      : Sched(Sched), NumCores(NumCores ? NumCores : 1) {}
+  SharedProcessor(Scheduler &Sched, unsigned NumCores);
+  ~SharedProcessor();
+  SharedProcessor(const SharedProcessor &) = delete;
+  SharedProcessor &operator=(const SharedProcessor &) = delete;
 
   /// Submits a task needing \p Work core-time with scheduling weight
   /// \p Weight (1.0 = default priority). \p Done fires at completion.
@@ -71,6 +73,7 @@ private:
   void onTimer(uint64_t Gen);
 
   Scheduler &Sched;
+  uint64_t CheckId = 0;
   unsigned NumCores;
   std::list<Task> Tasks;
   double TotalWeight = 0;

@@ -1,0 +1,28 @@
+//===- sim/SimDiagnostics.cpp ---------------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/SimDiagnostics.h"
+#include "support/Format.h"
+
+using namespace dmb;
+
+void SimDiagnostics::addIssue(std::string Component, std::string Detail) {
+  Issues.push_back(Issue{std::move(Component), std::move(Detail)});
+}
+
+std::string SimDiagnostics::render() const {
+  std::string Header =
+      format("sim quiescence at t=%.6fs, %llu events executed, %zu pending",
+             toSeconds(AtTime),
+             static_cast<unsigned long long>(EventsExecuted), PendingEvents);
+  if (clean())
+    return Header + ": no issues\n";
+  std::string Out =
+      Header + format(": %zu issue(s)\n", Issues.size());
+  for (const Issue &I : Issues)
+    Out += format("  %s: %s\n", I.Component.c_str(), I.Detail.c_str());
+  return Out;
+}

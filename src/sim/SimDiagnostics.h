@@ -1,0 +1,53 @@
+//===- sim/SimDiagnostics.h - End-of-run invariant report -------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The report produced by Scheduler::checkQuiescent(): the simulated
+/// analogue of a race/leak detector. When the event queue drains, every
+/// registered primitive (SimMutex, Resource, SharedProcessor) inspects its
+/// own state and reports anything that should not outlive a run — a mutex
+/// still held, waiters that will never be woken, service in flight with no
+/// completion event. The Master attaches the rendered report to its
+/// ResultSet so a benchmark that leaked simulation state says so in its
+/// own output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_SIM_SIMDIAGNOSTICS_H
+#define DMETABENCH_SIM_SIMDIAGNOSTICS_H
+
+#include "sim/Time.h"
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dmb {
+
+/// Findings from one quiescence check of a Scheduler and its primitives.
+struct SimDiagnostics {
+  /// One leaked-state finding, e.g. {"SimMutex cxfs-token", "still locked"}.
+  struct Issue {
+    std::string Component;
+    std::string Detail;
+  };
+
+  SimTime AtTime = 0;          ///< Scheduler::now() when the check ran.
+  uint64_t EventsExecuted = 0; ///< Total events run up to the check.
+  size_t PendingEvents = 0;    ///< Events still queued (0 after run()).
+  std::vector<Issue> Issues;
+
+  /// True when no primitive reported leaked state.
+  bool clean() const { return Issues.empty(); }
+
+  void addIssue(std::string Component, std::string Detail);
+
+  /// Human-readable multi-line report (single line when clean).
+  std::string render() const;
+};
+
+} // namespace dmb
+
+#endif // DMETABENCH_SIM_SIMDIAGNOSTICS_H

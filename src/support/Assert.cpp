@@ -1,0 +1,33 @@
+//===- support/Assert.cpp -------------------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Assert.h"
+#include <cstdio>
+#include <cstdlib>
+
+using namespace dmb;
+
+static bool (*SimContextProvider)(AssertSimContext &) = nullptr;
+
+void dmb::setAssertSimContextProvider(bool (*Provider)(AssertSimContext &)) {
+  SimContextProvider = Provider;
+}
+
+void dmb::assertFail(const char *Kind, const char *Cond, const char *Msg,
+                     const char *File, int Line) {
+  std::fprintf(stderr, "dmetabench: %s:%d: DMB_%s failed: %s (%s)", File,
+               Line, Kind, Cond, Msg);
+  AssertSimContext Ctx;
+  if (SimContextProvider && SimContextProvider(Ctx))
+    std::fprintf(stderr,
+                 " [sim time %.9fs, after event #%llu, %llu pending]",
+                 static_cast<double>(Ctx.TimeNs) / 1e9,
+                 static_cast<unsigned long long>(Ctx.EventSeq),
+                 static_cast<unsigned long long>(Ctx.PendingEvents));
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}

@@ -1,0 +1,64 @@
+//===- support/Assert.h - Simulation-aware assertions -----------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// DMB_ASSERT / DMB_CHECK: the repo-wide replacements for raw assert().
+/// Unlike <cassert> they stay armed in every build type (determinism bugs
+/// caught in Debug only are determinism bugs shipped), and on failure they
+/// print the simulated clock and event sequence number alongside the usual
+/// file:line, so a violated invariant can be replayed: rerun the same seed
+/// and break on the reported event ordinal.
+///
+/// - DMB_ASSERT: internal invariants. Compiled out only when
+///   DMB_DISABLE_ASSERTS is defined (there is deliberately no CMake toggle
+///   for that; measuring with asserts off is an explicit, local decision).
+/// - DMB_CHECK: API-contract violations (double unlock, destroying a held
+///   mutex). Never compiled out.
+///
+/// The failure handler learns about simulated time through a provider hook
+/// installed by the sim layer (support cannot depend on sim); when no
+/// scheduler exists yet the context is simply omitted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_SUPPORT_ASSERT_H
+#define DMETABENCH_SUPPORT_ASSERT_H
+
+#include <cstdint>
+
+namespace dmb {
+
+/// Simulation state attached to assertion-failure reports.
+struct AssertSimContext {
+  int64_t TimeNs = 0;       ///< Scheduler::now() of the active scheduler.
+  uint64_t EventSeq = 0;    ///< Events executed so far (replay ordinal).
+  uint64_t PendingEvents = 0; ///< Events still queued at failure time.
+};
+
+/// Installs the provider queried by assertion failures. Returns false from
+/// \p Provider to signal "no simulation running". Pass nullptr to clear.
+void setAssertSimContextProvider(bool (*Provider)(AssertSimContext &));
+
+/// Prints the diagnostic (with sim context when available) and aborts.
+/// \p Kind is "ASSERT" or "CHECK"; \p Cond the stringified condition.
+[[noreturn]] void assertFail(const char *Kind, const char *Cond,
+                             const char *Msg, const char *File, int Line);
+
+} // namespace dmb
+
+#define DMB_CHECK(Cond, Msg)                                                   \
+  ((Cond) ? (void)0                                                           \
+          : ::dmb::assertFail("CHECK", #Cond, Msg, __FILE__, __LINE__))
+
+#ifdef DMB_DISABLE_ASSERTS
+#define DMB_ASSERT(Cond, Msg) ((void)0)
+#else
+#define DMB_ASSERT(Cond, Msg)                                                  \
+  ((Cond) ? (void)0                                                           \
+          : ::dmb::assertFail("ASSERT", #Cond, Msg, __FILE__, __LINE__))
+#endif
+
+#endif // DMETABENCH_SUPPORT_ASSERT_H

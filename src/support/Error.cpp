@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Error.h"
+#include <cstring>
 
 using namespace dmb;
 
@@ -48,4 +49,17 @@ const char *dmb::fsErrorName(FsError E) {
     return "ENOTSUP";
   }
   return "UNKNOWN";
+}
+
+bool dmb::fsErrorFromName(const char *Name, FsError &Out) {
+  // The name table above is the single source of truth; scanning it keeps
+  // this inverse from drifting when codes are added.
+  for (unsigned I = 0; I < NumFsErrors; ++I) {
+    FsError E = static_cast<FsError>(I);
+    if (std::strcmp(fsErrorName(E), Name) == 0) {
+      Out = E;
+      return true;
+    }
+  }
+  return false;
 }

@@ -38,8 +38,17 @@ enum class FsError {
   NotSupported ///< ENOTSUP: file system does not implement the operation.
 };
 
+/// Number of FsError values. Kept in sync with the enum above; both the
+/// dmeta-lint table-sync check and the exhaustive round-trip test in
+/// tests/SupportTest.cpp verify it.
+inline constexpr unsigned NumFsErrors = 18;
+
 /// Returns the canonical short name ("EEXIST", ...) for \p E.
 const char *fsErrorName(FsError E);
+
+/// Parses a canonical short name back into its code. Returns false when
+/// \p Name is not one of the fsErrorName() spellings.
+bool fsErrorFromName(const char *Name, FsError &Out);
 
 } // namespace dmb
 

@@ -14,8 +14,8 @@
 #ifndef DMETABENCH_SUPPORT_RESULT_H
 #define DMETABENCH_SUPPORT_RESULT_H
 
+#include "support/Assert.h"
 #include "support/Error.h"
-#include <cassert>
 #include <utility>
 #include <variant>
 
@@ -26,7 +26,7 @@ namespace dmb {
 template <typename T> class Result {
 public:
   /*implicit*/ Result(FsError E) : Storage(E) {
-    assert(E != FsError::Ok && "use a value for success");
+    DMB_ASSERT(E != FsError::Ok, "use a value for success");
   }
   /*implicit*/ Result(T Value) : Storage(std::move(Value)) {}
 
@@ -42,11 +42,11 @@ public:
   }
 
   T &get() {
-    assert(ok() && "accessing value of failed Result");
+    DMB_ASSERT(ok(), "accessing value of failed Result");
     return std::get<T>(Storage);
   }
   const T &get() const {
-    assert(ok() && "accessing value of failed Result");
+    DMB_ASSERT(ok(), "accessing value of failed Result");
     return std::get<T>(Storage);
   }
 

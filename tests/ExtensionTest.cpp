@@ -18,6 +18,7 @@
 #include <filesystem>
 #include <fstream>
 #include <gtest/gtest.h>
+#include <iterator>
 
 using namespace dmb;
 
@@ -273,6 +274,30 @@ TEST_F(ResultsIOTest, WritesAllFiles) {
   while (std::getline(Sum, Line))
     ++Lines;
   EXPECT_EQ(3, Lines);
+}
+
+TEST_F(ResultsIOTest, QuiescenceDiagnosticsRecordedAndWritten) {
+  Scheduler S;
+  Cluster C(S, 2, 4);
+  NfsFs Fs(S);
+  C.mountEverywhere(Fs);
+  BenchParams P;
+  P.Operations = {"MakeFiles"};
+  P.ProblemSize = 10;
+  Master M(C, MpiEnvironment::uniform(2, 2), "nfs", P);
+  ResultSet Res = M.runCombination(2, 1);
+
+  // A clean run attaches a clean quiescence report...
+  ASSERT_FALSE(Res.Diagnostics.empty());
+  EXPECT_NE(std::string::npos, Res.Diagnostics.find("no issues"));
+
+  // ...which is persisted alongside the protocol files.
+  ASSERT_TRUE(writeResultSet(Res, Dir.string()));
+  EXPECT_TRUE(std::filesystem::exists(Dir / "diagnostics.txt"));
+  std::ifstream In(Dir / "diagnostics.txt");
+  std::string Contents((std::istreambuf_iterator<char>(In)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(Res.Diagnostics, Contents);
 }
 
 TEST_F(ResultsIOTest, EnvironmentProfileRecorded) {

@@ -1,0 +1,248 @@
+//===- tests/LintTest.cpp - Unit tests for tools/dmeta-lint ---------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/LintEngine.h"
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+
+using namespace dmb::lint;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::vector<Violation> lintOne(const std::string &RelPath,
+                               const std::string &Content) {
+  std::vector<Violation> Out;
+  lintContent(RelPath, Content, Out);
+  return Out;
+}
+
+bool hasRule(const std::vector<Violation> &Vs, const std::string &Rule) {
+  for (const Violation &V : Vs)
+    if (V.Rule == Rule)
+      return true;
+  return false;
+}
+
+/// Fixture that materialises a throwaway repo tree for lintTree().
+class LintTreeTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Root = fs::temp_directory_path() /
+           ("dmeta-lint-test-" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "-" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(Root);
+    fs::create_directories(Root);
+  }
+  void TearDown() override { fs::remove_all(Root); }
+
+  void write(const std::string &Rel, const std::string &Content) {
+    fs::path P = Root / Rel;
+    fs::create_directories(P.parent_path());
+    std::ofstream(P) << Content;
+  }
+
+  std::vector<Violation> lint(size_t *Files = nullptr) {
+    return lintTree(Root.string(), Files);
+  }
+
+  fs::path Root;
+};
+
+// The acceptance criterion for the linter: a host-clock call injected into
+// simulation code is caught.
+TEST_F(LintTreeTest, WallClockInjectedIntoSimIsCaught) {
+  write("src/sim/Clock.cpp",
+        "#include <chrono>\n"
+        "long nowNs() {\n"
+        "  return std::chrono::steady_clock::now().time_since_epoch()"
+        ".count();\n"
+        "}\n");
+  size_t Files = 0;
+  std::vector<Violation> Vs = lint(&Files);
+  EXPECT_EQ(1u, Files);
+  ASSERT_EQ(1u, Vs.size());
+  EXPECT_EQ("src/sim/Clock.cpp", Vs[0].File);
+  EXPECT_EQ(3, Vs[0].Line);
+  EXPECT_EQ("wall-clock", Vs[0].Rule);
+  EXPECT_NE(std::string::npos, Vs[0].Message.find("std::chrono"));
+  EXPECT_NE(std::string::npos,
+            renderViolation(Vs[0]).find("src/sim/Clock.cpp:3: [wall-clock]"));
+}
+
+TEST_F(LintTreeTest, GettimeofdayAndTimeCallsAreCaught) {
+  write("src/dfs/Probe.cpp", "void f() { gettimeofday(&tv, 0); }\n");
+  write("src/cluster/Seed.cpp", "long g() { return time(0); }\n");
+  std::vector<Violation> Vs = lint();
+  ASSERT_EQ(2u, Vs.size());
+  EXPECT_EQ("wall-clock", Vs[0].Rule);
+  EXPECT_EQ("wall-clock", Vs[1].Rule);
+}
+
+TEST_F(LintTreeTest, WallClockAllowedOutsideDeterministicScope) {
+  // src/analysis post-processes results on the host; the host clock is
+  // legal there (and in src/support etc.).
+  write("src/analysis/Stamp.cpp",
+        "#include <chrono>\n"
+        "auto t() { return std::chrono::system_clock::now(); }\n");
+  EXPECT_TRUE(lint().empty());
+}
+
+TEST_F(LintTreeTest, UnseededRandomnessInTestsIsCaught) {
+  write("tests/Flaky.cpp",
+        "#include <random>\n"
+        "int pick() { std::random_device rd; return rd(); }\n");
+  std::vector<Violation> Vs = lint();
+  ASSERT_EQ(1u, Vs.size());
+  EXPECT_EQ("randomness", Vs[0].Rule);
+  EXPECT_EQ(2, Vs[0].Line);
+}
+
+TEST_F(LintTreeTest, RawAssertAndCassertInSrcAreCaught) {
+  write("src/fs/Tree.cpp",
+        "#include <cassert>\n"
+        "void f(int n) { assert(n > 0); }\n");
+  std::vector<Violation> Vs = lint();
+  ASSERT_EQ(2u, Vs.size());
+  EXPECT_EQ("raw-assert", Vs[0].Rule);
+  EXPECT_EQ(1, Vs[0].Line);
+  EXPECT_EQ("raw-assert", Vs[1].Rule);
+  EXPECT_EQ(2, Vs[1].Line);
+}
+
+TEST_F(LintTreeTest, AssertInTestsIsFine) {
+  // gtest's own machinery may assert; the raw-assert rule is src/-only.
+  write("tests/Foo.cpp", "void f(int n) { assert(n > 0); }\n");
+  EXPECT_TRUE(lint().empty());
+}
+
+TEST_F(LintTreeTest, WrongHeaderGuardIsCaught) {
+  write("src/sim/Queue.h",
+        "#ifndef QUEUE_H\n"
+        "#define QUEUE_H\n"
+        "#endif\n");
+  std::vector<Violation> Vs = lint();
+  ASSERT_EQ(1u, Vs.size());
+  EXPECT_EQ("header-guard", Vs[0].Rule);
+  EXPECT_NE(std::string::npos,
+            Vs[0].Message.find("DMETABENCH_SIM_QUEUE_H"));
+}
+
+TEST_F(LintTreeTest, CorrectGuardsPassIncludingBenchAndUmbrella) {
+  write("src/sim/Queue.h",
+        "#ifndef DMETABENCH_SIM_QUEUE_H\n"
+        "#define DMETABENCH_SIM_QUEUE_H\n"
+        "#endif\n");
+  write("bench/BenchUtil.h",
+        "#ifndef DMETABENCH_BENCH_BENCHUTIL_H\n"
+        "#define DMETABENCH_BENCH_BENCHUTIL_H\n"
+        "#endif\n");
+  write("src/dmetabench/DMetabench.h",
+        "#ifndef DMETABENCH_DMETABENCH_H\n"
+        "#define DMETABENCH_DMETABENCH_H\n"
+        "#endif\n");
+  size_t Files = 0;
+  EXPECT_TRUE(lint(&Files).empty());
+  EXPECT_EQ(3u, Files);
+}
+
+TEST_F(LintTreeTest, DefineMustImmediatelyFollowIfndef) {
+  write("src/sim/Queue.h",
+        "#ifndef DMETABENCH_SIM_QUEUE_H\n"
+        "#include <vector>\n"
+        "#define DMETABENCH_SIM_QUEUE_H\n"
+        "#endif\n");
+  std::vector<Violation> Vs = lint();
+  ASSERT_EQ(1u, Vs.size());
+  EXPECT_EQ("header-guard", Vs[0].Rule);
+  EXPECT_EQ(2, Vs[0].Line);
+}
+
+TEST_F(LintTreeTest, AllowCommentSuppressesFinding) {
+  write("src/sim/Clock.cpp",
+        "long f() { return time(0); } "
+        "// dmeta-lint: allow(wall-clock) boot stamp only\n");
+  EXPECT_TRUE(lint().empty());
+}
+
+TEST_F(LintTreeTest, StringLiteralsAndCommentsDoNotTrip) {
+  write("src/sim/Doc.cpp",
+        "// Never call std::rand or time() in sim code.\n"
+        "const char *Hint = \"replace std::chrono::steady_clock::now()\";\n"
+        "/* block comments are not stripped, but strings are */\n");
+  EXPECT_TRUE(lint().empty());
+}
+
+TEST_F(LintTreeTest, BareTokenMatchingAvoidsFalsePositives) {
+  write("src/sim/Run.cpp",
+        "void runtime(int x);\n"
+        "void f() { runtime(3); static_assert(1 + 1 == 2); }\n"
+        "void g(bool B) { DMB_ASSERT(B, \"must hold\"); }\n");
+  EXPECT_TRUE(lint().empty());
+}
+
+TEST(LintContent, MultipleRulesOnOneFile) {
+  std::vector<Violation> Vs = lintOne("src/sim/Bad.cpp",
+                                      "#include <cassert>\n"
+                                      "int f() { return rand(); }\n");
+  EXPECT_TRUE(hasRule(Vs, "raw-assert"));
+  EXPECT_TRUE(hasRule(Vs, "randomness"));
+}
+
+TEST(LintErrorTable, InSyncTablePasses) {
+  std::string H = "enum class FsError {\n  Ok,\n  NoEnt,\n};\n"
+                  "inline constexpr unsigned NumFsErrors = 2;\n";
+  std::string Cpp = "switch (E) {\n"
+                    "case FsError::Ok: return \"OK\";\n"
+                    "case FsError::NoEnt: return \"ENOENT\";\n"
+                    "}\n";
+  std::vector<Violation> Vs;
+  lintErrorTable(H, Cpp, Vs);
+  EXPECT_TRUE(Vs.empty());
+}
+
+TEST(LintErrorTable, DriftIsCaught) {
+  // Enum grew a member but neither the count nor the name table followed.
+  std::string H = "enum class FsError {\n  Ok,\n  NoEnt,\n  Stale,\n};\n"
+                  "inline constexpr unsigned NumFsErrors = 2;\n";
+  std::string Cpp = "switch (E) {\n"
+                    "case FsError::Ok: return \"OK\";\n"
+                    "case FsError::NoEnt: return \"ENOENT\";\n"
+                    "}\n";
+  std::vector<Violation> Vs;
+  lintErrorTable(H, Cpp, Vs);
+  ASSERT_FALSE(Vs.empty());
+  for (const Violation &V : Vs)
+    EXPECT_EQ("error-table", V.Rule);
+}
+
+TEST(LintErrorTable, DuplicateNameIsCaught) {
+  std::string H = "enum class FsError {\n  Ok,\n  NoEnt,\n};\n"
+                  "inline constexpr unsigned NumFsErrors = 2;\n";
+  std::string Cpp = "switch (E) {\n"
+                    "case FsError::Ok: return \"OK\";\n"
+                    "case FsError::NoEnt: return \"OK\";\n"
+                    "}\n";
+  std::vector<Violation> Vs;
+  lintErrorTable(H, Cpp, Vs);
+  EXPECT_TRUE(hasRule(Vs, "error-table"));
+}
+
+// The shipped tree must be clean — the same check `ctest` runs via the
+// dmeta_lint binary, here exercised through the library.
+TEST(LintRealTree, SourceTreeIsClean) {
+  size_t Files = 0;
+  std::vector<Violation> Vs = lintTree(DMB_SOURCE_ROOT, &Files);
+  EXPECT_GT(Files, 100u);
+  for (const Violation &V : Vs)
+    ADD_FAILURE() << renderViolation(V);
+}
+
+} // namespace

@@ -273,6 +273,106 @@ TEST(Network, LatencyOnly) {
   EXPECT_EQ(microseconds(200), Delivered);
 }
 
+TEST(Scheduler, AfterWithNegativeDelayClampsToNow) {
+  Scheduler S;
+  S.after(milliseconds(10), [] {});
+  S.run();
+  SimTime Fired = -1;
+  S.after(milliseconds(-5), [&] { Fired = S.now(); });
+  S.run();
+  EXPECT_EQ(milliseconds(10), Fired);
+}
+
+TEST(SchedulerDeathTest, SchedulingIntoThePastAborts) {
+  Scheduler S;
+  S.after(milliseconds(10), [] {});
+  S.run();
+  // The failure report carries the simulated clock and event ordinal so
+  // the violation can be replayed.
+  EXPECT_DEATH(S.at(milliseconds(5), [] {}),
+               "cannot schedule into the past.*sim time");
+}
+
+TEST(Scheduler, RunRecordsCleanDiagnostics) {
+  Scheduler S;
+  S.after(milliseconds(1), [] {});
+  S.run();
+  EXPECT_TRUE(S.lastDiagnostics().clean());
+  EXPECT_NE(std::string::npos,
+            S.lastDiagnostics().render().find("no issues"));
+  EXPECT_EQ(1u, S.lastDiagnostics().EventsExecuted);
+}
+
+TEST(Scheduler, QuiescenceReportsHeldMutexAndStrandedWaiters) {
+  Scheduler S;
+  SimMutex M(S, "cxfs-token");
+  M.lock([] {});
+  M.lock([] {}); // Second acquirer queues behind the (never-released) hold.
+  S.run();
+  const SimDiagnostics &D = S.lastDiagnostics();
+  ASSERT_FALSE(D.clean());
+  EXPECT_EQ(2u, D.Issues.size());
+  std::string Report = D.render();
+  EXPECT_NE(std::string::npos, Report.find("cxfs-token"));
+  EXPECT_NE(std::string::npos, Report.find("still locked"));
+  EXPECT_NE(std::string::npos, Report.find("stranded waiter"));
+  // Drain properly so the destruction checks pass.
+  M.unlock();
+  S.run();
+  M.unlock();
+  EXPECT_TRUE(S.checkQuiescent().clean());
+}
+
+TEST(Resource, QuiescenceReportsInFlightWork) {
+  Scheduler S;
+  Resource R(S, "disk", 1);
+  for (int I = 0; I < 3; ++I)
+    R.request(milliseconds(10), [] {});
+  // Truncate the run mid-service: one request on the server, two queued.
+  S.runUntil(milliseconds(5));
+  SimDiagnostics D = S.checkQuiescent();
+  ASSERT_EQ(2u, D.Issues.size());
+  std::string Report = D.render();
+  EXPECT_NE(std::string::npos, Report.find("disk"));
+  EXPECT_NE(std::string::npos, Report.find("busy"));
+  EXPECT_EQ(1u, D.PendingEvents);
+  S.run();
+  EXPECT_TRUE(S.lastDiagnostics().clean());
+}
+
+TEST(SharedProcessor, QuiescenceReportsActiveTasks) {
+  Scheduler S;
+  SharedProcessor Cpu(S, 1);
+  Cpu.submit(seconds(1.0), [] {});
+  S.runUntil(milliseconds(100));
+  SimDiagnostics D = S.checkQuiescent();
+  ASSERT_FALSE(D.clean());
+  EXPECT_NE(std::string::npos, D.render().find("task(s) still active"));
+  S.run();
+  EXPECT_TRUE(S.lastDiagnostics().clean());
+}
+
+TEST(MutexDeathTest, DoubleUnlockAborts) {
+  Scheduler S;
+  SimMutex M(S);
+  M.lock([] {});
+  S.run();
+  M.unlock();
+  EXPECT_DEATH(M.unlock(), "double unlock");
+}
+
+TEST(MutexDeathTest, DestroyWhileLockedAborts) {
+  EXPECT_DEATH(
+      {
+        Scheduler S;
+        SimMutex M(S, "leaked");
+        M.lock([] {});
+        S.run();
+        // M goes out of scope still locked.
+      },
+      "destroyed while still locked");
+}
+
 TEST(Network, SerializationAddsToLatency) {
   Scheduler S;
   // 1 MB at 125 MB/s = 8 ms of serialization.

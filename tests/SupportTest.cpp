@@ -25,6 +25,26 @@ TEST(Error, NamesAreCanonical) {
   EXPECT_STREQ("ESTALE", fsErrorName(FsError::Stale));
 }
 
+TEST(Error, ExhaustiveNameRoundTrip) {
+  // Runtime twin of dmeta-lint's error-table sync check: every code has a
+  // distinct canonical name that parses back to the same code.
+  std::set<std::string> Seen;
+  for (unsigned I = 0; I < NumFsErrors; ++I) {
+    FsError E = static_cast<FsError>(I);
+    const char *Name = fsErrorName(E);
+    EXPECT_STRNE("UNKNOWN", Name) << "code " << I;
+    EXPECT_TRUE(Seen.insert(Name).second) << "duplicate name " << Name;
+    FsError Back = FsError::Ok;
+    ASSERT_TRUE(fsErrorFromName(Name, Back)) << Name;
+    EXPECT_EQ(E, Back) << Name;
+  }
+  EXPECT_EQ(NumFsErrors, Seen.size());
+  FsError Out = FsError::Ok;
+  EXPECT_FALSE(fsErrorFromName("ENOSYS", Out));
+  EXPECT_FALSE(fsErrorFromName("", Out));
+  EXPECT_FALSE(fsErrorFromName("eexist", Out));
+}
+
 TEST(Result, HoldsValue) {
   Result<int> R = 42;
   ASSERT_TRUE(R.ok());

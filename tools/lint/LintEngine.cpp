@@ -1,0 +1,429 @@
+//===- tools/lint/LintEngine.cpp ------------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/LintEngine.h"
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+
+using namespace dmb;
+using namespace dmb::lint;
+
+namespace {
+
+bool isIdentChar(char C) {
+  return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+         (C >= '0' && C <= '9') || C == '_';
+}
+
+bool startsWith(const std::string &S, const char *Prefix) {
+  return S.rfind(Prefix, 0) == 0;
+}
+
+bool endsWith(const std::string &S, const char *Suffix) {
+  std::string Suf(Suffix);
+  return S.size() >= Suf.size() &&
+         S.compare(S.size() - Suf.size(), Suf.size(), Suf) == 0;
+}
+
+/// Blanks out double-quoted string literal contents and strips // comments
+/// so fixture strings and prose cannot trip the token rules. Not aware of
+/// raw strings or block comments; repo style avoids both around banned
+/// tokens.
+std::string sanitizeLine(const std::string &Line) {
+  std::string Out;
+  Out.reserve(Line.size());
+  bool InString = false;
+  bool InChar = false;
+  for (size_t I = 0; I < Line.size(); ++I) {
+    char C = Line[I];
+    if (InString) {
+      if (C == '\\' && I + 1 < Line.size()) {
+        ++I;
+        continue;
+      }
+      if (C == '"') {
+        InString = false;
+        Out += '"';
+      }
+      continue;
+    }
+    if (InChar) {
+      if (C == '\\' && I + 1 < Line.size()) {
+        ++I;
+        continue;
+      }
+      if (C == '\'')
+        InChar = false;
+      continue;
+    }
+    if (C == '"') {
+      InString = true;
+      Out += '"';
+      continue;
+    }
+    if (C == '\'') {
+      InChar = true;
+      continue;
+    }
+    if (C == '/' && I + 1 < Line.size() && Line[I + 1] == '/')
+      break; // Rest of the line is a comment.
+    Out += C;
+  }
+  return Out;
+}
+
+/// True when \p Token occurs in \p Line with no identifier character
+/// immediately before it (so "time(" does not match "runtime(").
+bool hasBareToken(const std::string &Line, const std::string &Token) {
+  size_t Pos = 0;
+  while ((Pos = Line.find(Token, Pos)) != std::string::npos) {
+    if (Pos == 0 || !isIdentChar(Line[Pos - 1]))
+      return true;
+    Pos += 1;
+  }
+  return false;
+}
+
+struct Pattern {
+  const char *Text;
+  bool Bare; ///< Require a non-identifier character before the match.
+};
+
+const Pattern WallClockPatterns[] = {
+    {"std::chrono", false},   {"gettimeofday", false},
+    {"clock_gettime", false}, {"time(", true},
+};
+
+const Pattern RandomnessPatterns[] = {
+    {"std::rand", false}, {"random_device", false}, {"mt19937", false},
+    {"drand48", false},   {"srand(", true},         {"rand(", true},
+};
+
+bool matchesAny(const std::string &Line, const Pattern *Patterns, size_t N,
+                const char *&Hit) {
+  for (size_t I = 0; I < N; ++I) {
+    const Pattern &P = Patterns[I];
+    bool Found = P.Bare ? hasBareToken(Line, P.Text)
+                        : Line.find(P.Text) != std::string::npos;
+    if (Found) {
+      Hit = P.Text;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> splitLines(const std::string &Content) {
+  std::vector<std::string> Lines;
+  std::string Cur;
+  for (char C : Content) {
+    if (C == '\n') {
+      Lines.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur += C;
+    }
+  }
+  if (!Cur.empty())
+    Lines.push_back(Cur);
+  return Lines;
+}
+
+bool allowed(const std::string &RawLine, const char *Rule) {
+  return RawLine.find(std::string("dmeta-lint: allow(") + Rule + ")") !=
+         std::string::npos;
+}
+
+/// Directories whose code must not read host time or stdlib randomness:
+/// the simulation substrate plus everything whose output is compared
+/// against recorded experiment results.
+bool inDeterministicScope(const std::string &RelPath) {
+  return startsWith(RelPath, "src/sim/") || startsWith(RelPath, "src/dfs/") ||
+         startsWith(RelPath, "src/cluster/") ||
+         startsWith(RelPath, "tests/") || startsWith(RelPath, "bench/");
+}
+
+/// Expected include-guard macro: DMETABENCH_<DIR>_<FILE>_H. The "src"
+/// prefix is dropped, and an umbrella directory matching the project name
+/// (src/dmetabench/DMetabench.h) is not repeated.
+std::string expectedGuard(const std::string &RelPath) {
+  std::string Stem = RelPath.substr(0, RelPath.size() - 2); // drop ".h"
+  std::vector<std::string> Parts;
+  std::string Cur;
+  for (char C : Stem) {
+    if (C == '/') {
+      Parts.push_back(Cur);
+      Cur.clear();
+    } else {
+      char U = (C >= 'a' && C <= 'z') ? static_cast<char>(C - 'a' + 'A') : C;
+      Cur += isIdentChar(U) ? U : '_';
+    }
+  }
+  Parts.push_back(Cur);
+  size_t First = 0;
+  if (!Parts.empty() && Parts[First] == "SRC")
+    ++First;
+  if (First < Parts.size() && Parts[First] == "DMETABENCH")
+    ++First;
+  std::string Guard = "DMETABENCH";
+  for (size_t I = First; I < Parts.size(); ++I)
+    Guard += "_" + Parts[I];
+  return Guard + "_H";
+}
+
+void checkHeaderGuard(const std::string &RelPath,
+                      const std::vector<std::string> &Lines,
+                      std::vector<Violation> &Out) {
+  std::string Expected = expectedGuard(RelPath);
+  for (size_t I = 0; I < Lines.size(); ++I) {
+    const std::string &L = Lines[I];
+    if (!startsWith(L, "#ifndef "))
+      continue;
+    std::string Guard = L.substr(8);
+    while (!Guard.empty() && (Guard.back() == ' ' || Guard.back() == '\r'))
+      Guard.pop_back();
+    if (Guard != Expected)
+      Out.push_back({RelPath, static_cast<int>(I + 1), "header-guard",
+                     "guard '" + Guard + "' should be '" + Expected + "'"});
+    else if (I + 1 >= Lines.size() ||
+             Lines[I + 1] != "#define " + Expected)
+      Out.push_back({RelPath, static_cast<int>(I + 2), "header-guard",
+                     "'#define " + Expected + "' must follow the #ifndef"});
+    return;
+  }
+  Out.push_back(
+      {RelPath, 0, "header-guard", "missing '#ifndef " + Expected + "'"});
+}
+
+std::vector<std::string> parseEnumMembers(const std::string &ErrorH) {
+  std::vector<std::string> Members;
+  bool InEnum = false;
+  for (const std::string &Raw : splitLines(ErrorH)) {
+    std::string L = sanitizeLine(Raw);
+    if (!InEnum) {
+      if (L.find("enum class FsError") != std::string::npos)
+        InEnum = true;
+      continue;
+    }
+    if (L.find("};") != std::string::npos)
+      break;
+    size_t I = 0;
+    while (I < L.size() && (L[I] == ' ' || L[I] == '\t'))
+      ++I;
+    size_t Start = I;
+    while (I < L.size() && isIdentChar(L[I]))
+      ++I;
+    if (I > Start)
+      Members.push_back(L.substr(Start, I - Start));
+  }
+  return Members;
+}
+
+} // namespace
+
+void dmb::lint::lintContent(const std::string &RelPath,
+                            const std::string &Content,
+                            std::vector<Violation> &Out) {
+  std::vector<std::string> Lines = splitLines(Content);
+
+  if ((startsWith(RelPath, "src/") || startsWith(RelPath, "bench/")) &&
+      endsWith(RelPath, ".h"))
+    checkHeaderGuard(RelPath, Lines, Out);
+
+  bool Deterministic = inDeterministicScope(RelPath);
+  bool InSrc = startsWith(RelPath, "src/");
+
+  for (size_t I = 0; I < Lines.size(); ++I) {
+    const std::string &Raw = Lines[I];
+    std::string L = sanitizeLine(Raw);
+    int LineNo = static_cast<int>(I + 1);
+    const char *Hit = nullptr;
+
+    if (Deterministic) {
+      if (!allowed(Raw, "wall-clock") &&
+          matchesAny(L, WallClockPatterns, std::size(WallClockPatterns),
+                     Hit))
+        Out.push_back({RelPath, LineNo, "wall-clock",
+                       std::string("host clock call '") + Hit +
+                           "' in deterministic code; use Scheduler::now() "
+                           "/ SimTime"});
+      if (!allowed(Raw, "randomness") &&
+          matchesAny(L, RandomnessPatterns, std::size(RandomnessPatterns),
+                     Hit))
+        Out.push_back({RelPath, LineNo, "randomness",
+                       std::string("unseeded randomness '") + Hit +
+                           "' in deterministic code; use support/Random"});
+    }
+
+    if (InSrc && !allowed(Raw, "raw-assert")) {
+      if (hasBareToken(L, "assert("))
+        Out.push_back({RelPath, LineNo, "raw-assert",
+                       "raw assert() vanishes in release builds; use "
+                       "DMB_ASSERT / DMB_CHECK (support/Assert.h)"});
+      else if (L.find("#include <cassert>") != std::string::npos)
+        Out.push_back({RelPath, LineNo, "raw-assert",
+                       "<cassert> include; use support/Assert.h"});
+    }
+  }
+}
+
+void dmb::lint::lintErrorTable(const std::string &ErrorH,
+                               const std::string &ErrorCpp,
+                               std::vector<Violation> &Out) {
+  const char *HPath = "src/support/Error.h";
+  const char *CppPath = "src/support/Error.cpp";
+
+  std::vector<std::string> Members = parseEnumMembers(ErrorH);
+  if (Members.empty()) {
+    Out.push_back({HPath, 0, "error-table", "enum class FsError not found"});
+    return;
+  }
+
+  // Declared count, if present.
+  size_t DeclaredCount = 0;
+  bool HaveCount = false;
+  for (const std::string &Raw : splitLines(ErrorH)) {
+    std::string L = sanitizeLine(Raw);
+    size_t Pos = L.find("NumFsErrors = ");
+    if (Pos == std::string::npos)
+      continue;
+    DeclaredCount = std::strtoul(L.c_str() + Pos + 14, nullptr, 10);
+    HaveCount = true;
+    break;
+  }
+  if (!HaveCount)
+    Out.push_back({HPath, 0, "error-table", "NumFsErrors constant missing"});
+  else if (DeclaredCount != Members.size())
+    Out.push_back({HPath, 0, "error-table",
+                   "NumFsErrors is " + std::to_string(DeclaredCount) +
+                       " but the enum has " +
+                       std::to_string(Members.size()) + " members"});
+
+  // case FsError::X: ... return "NAME"; pairs from the name table.
+  std::vector<std::pair<std::string, std::string>> Cases;
+  std::vector<std::string> CppLines = splitLines(ErrorCpp);
+  for (size_t I = 0; I < CppLines.size(); ++I) {
+    std::string L = sanitizeLine(CppLines[I]);
+    size_t Pos = L.find("case FsError::");
+    if (Pos == std::string::npos)
+      continue;
+    size_t Start = Pos + 14;
+    size_t End = Start;
+    while (End < L.size() && isIdentChar(L[End]))
+      ++End;
+    std::string Member = L.substr(Start, End - Start);
+    // The returned literal sits on this or one of the next two lines; the
+    // sanitizer blanks literal contents, so read the raw text here.
+    std::string Name;
+    for (size_t J = I; J < CppLines.size() && J < I + 3; ++J) {
+      const std::string &RawJ = CppLines[J];
+      size_t R = RawJ.find("return \"");
+      if (R == std::string::npos)
+        continue;
+      size_t NStart = R + 8;
+      size_t NEnd = RawJ.find('"', NStart);
+      if (NEnd != std::string::npos)
+        Name = RawJ.substr(NStart, NEnd - NStart);
+      break;
+    }
+    Cases.emplace_back(Member, Name);
+  }
+
+  for (const std::string &M : Members) {
+    size_t Count = 0;
+    for (const auto &C : Cases)
+      if (C.first == M)
+        ++Count;
+    if (Count == 0)
+      Out.push_back({CppPath, 0, "error-table",
+                     "fsErrorName has no case for FsError::" + M});
+    else if (Count > 1)
+      Out.push_back({CppPath, 0, "error-table",
+                     "fsErrorName has duplicate cases for FsError::" + M});
+  }
+  for (const auto &C : Cases) {
+    if (std::find(Members.begin(), Members.end(), C.first) == Members.end())
+      Out.push_back({CppPath, 0, "error-table",
+                     "fsErrorName handles unknown member FsError::" +
+                         C.first});
+    if (C.second.empty())
+      Out.push_back({CppPath, 0, "error-table",
+                     "case FsError::" + C.first +
+                         " does not return a name literal"});
+  }
+  for (size_t I = 0; I < Cases.size(); ++I)
+    for (size_t J = I + 1; J < Cases.size(); ++J)
+      if (!Cases[I].second.empty() && Cases[I].second == Cases[J].second)
+        Out.push_back({CppPath, 0, "error-table",
+                       "duplicate error name '" + Cases[I].second + "'"});
+}
+
+std::vector<Violation> dmb::lint::lintTree(const std::string &Root,
+                                           size_t *FilesChecked) {
+  namespace fs = std::filesystem;
+  std::vector<Violation> Out;
+  size_t Checked = 0;
+
+  std::vector<std::string> RelPaths;
+  for (const char *Top : {"src", "tests", "bench"}) {
+    fs::path Dir = fs::path(Root) / Top;
+    std::error_code Ec;
+    if (!fs::is_directory(Dir, Ec))
+      continue;
+    for (auto It = fs::recursive_directory_iterator(Dir, Ec);
+         !Ec && It != fs::recursive_directory_iterator(); ++It) {
+      if (!It->is_regular_file())
+        continue;
+      std::string Ext = It->path().extension().string();
+      if (Ext != ".h" && Ext != ".cpp" && Ext != ".cc")
+        continue;
+      RelPaths.push_back(
+          fs::relative(It->path(), fs::path(Root), Ec).generic_string());
+    }
+  }
+  std::sort(RelPaths.begin(), RelPaths.end());
+
+  auto ReadFile = [&](const fs::path &P, std::string &Content) {
+    std::ifstream In(P, std::ios::binary);
+    if (!In)
+      return false;
+    std::ostringstream Ss;
+    Ss << In.rdbuf();
+    Content = Ss.str();
+    return true;
+  };
+
+  for (const std::string &Rel : RelPaths) {
+    std::string Content;
+    if (!ReadFile(fs::path(Root) / Rel, Content)) {
+      Out.push_back({Rel, 0, "io", "cannot read file"});
+      continue;
+    }
+    ++Checked;
+    lintContent(Rel, Content, Out);
+  }
+
+  // Cross-file error-table check, when the pair exists in this tree.
+  std::string ErrH, ErrCpp;
+  if (ReadFile(fs::path(Root) / "src/support/Error.h", ErrH) &&
+      ReadFile(fs::path(Root) / "src/support/Error.cpp", ErrCpp))
+    lintErrorTable(ErrH, ErrCpp, Out);
+
+  if (FilesChecked)
+    *FilesChecked = Checked;
+  return Out;
+}
+
+std::string dmb::lint::renderViolation(const Violation &V) {
+  std::string Loc = V.File;
+  if (V.Line > 0)
+    Loc += ":" + std::to_string(V.Line);
+  return Loc + ": [" + V.Rule + "] " + V.Message;
+}

@@ -1,0 +1,75 @@
+//===- tools/lint/LintEngine.h - Repo invariant linter ----------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engine behind tools/dmeta-lint: machine-checks the invariants that
+/// keep benchmark runs bit-for-bit deterministic (DESIGN.md, key decision
+/// 4) and the failure reports replayable.
+///
+/// Rules:
+///  - wall-clock:   no std::chrono / time() / gettimeofday / clock_gettime
+///                  in simulation code (src/sim, src/dfs, src/cluster) or
+///                  in tests/ and bench/ — simulated components read
+///                  Scheduler::now(), nothing reads the host clock.
+///  - randomness:   no std::rand / srand / random_device / mt19937 /
+///                  drand48 in the same scopes — all randomness flows
+///                  through the seeded support/Random Rng.
+///  - raw-assert:   no assert() or <cassert> anywhere under src/ — use
+///                  DMB_ASSERT / DMB_CHECK (support/Assert.h), which stay
+///                  armed in release builds and report sim time.
+///  - header-guard: headers under src/ and bench/ use the canonical
+///                  DMETABENCH_<DIR>_<FILE>_H guard spelling.
+///  - error-table:  the FsError enum, its NumFsErrors count and the
+///                  fsErrorName() case table stay in sync with unique
+///                  names.
+///
+/// A finding on a line containing "dmeta-lint: allow(<rule>)" is
+/// suppressed — the escape hatch for the rare legitimate exception.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_TOOLS_LINT_LINTENGINE_H
+#define DMETABENCH_TOOLS_LINT_LINTENGINE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dmb {
+namespace lint {
+
+/// One rule violation at a specific source line (Line is 1-based; 0 for
+/// whole-file findings such as a missing header guard).
+struct Violation {
+  std::string File; ///< Path as reported (repo-relative when from lintTree).
+  int Line = 0;
+  std::string Rule;
+  std::string Message;
+};
+
+/// Lints one file's \p Content as if it lived at repo-relative \p RelPath
+/// (forward slashes). Appends findings to \p Out.
+void lintContent(const std::string &RelPath, const std::string &Content,
+                 std::vector<Violation> &Out);
+
+/// Cross-file check of src/support/Error.{h,cpp}: enum members vs
+/// NumFsErrors vs the fsErrorName() case table.
+void lintErrorTable(const std::string &ErrorH, const std::string &ErrorCpp,
+                    std::vector<Violation> &Out);
+
+/// Walks src/, tests/ and bench/ under \p Root, lints every .h/.cpp file
+/// (deterministic order) plus the error table. \p FilesChecked, when
+/// non-null, receives the number of files scanned.
+std::vector<Violation> lintTree(const std::string &Root,
+                                size_t *FilesChecked = nullptr);
+
+/// "file:line: [rule] message" for diagnostics output.
+std::string renderViolation(const Violation &V);
+
+} // namespace lint
+} // namespace dmb
+
+#endif // DMETABENCH_TOOLS_LINT_LINTENGINE_H

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+#===------------------------------------------------------------------------===#
+#
+# Pre-merge gate for the DMetabench tree. Runs, in order:
+#
+#   1. a plain RelWithDebInfo build of everything,
+#   2. dmeta-lint over the source tree,
+#   3. the full ctest suite,
+#   4. (optionally) the same suite rebuilt under sanitizers.
+#
+# Exits nonzero on the first failure. Usage:
+#
+#   tools/run_checks.sh [--sanitize[=address,undefined]] [-j N]
+#
+# or DMB_CHECK_SANITIZE=address,undefined tools/run_checks.sh. Run it from
+# anywhere; paths are resolved relative to the repo root.
+#
+#===------------------------------------------------------------------------===#
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+SANITIZE="${DMB_CHECK_SANITIZE:-}"
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --sanitize) SANITIZE="address,undefined" ;;
+    --sanitize=*) SANITIZE="${1#--sanitize=}" ;;
+    -j) JOBS="$2"; shift ;;
+    -j*) JOBS="${1#-j}" ;;
+    -h|--help)
+      sed -n '2,17p' "$0"; exit 0 ;;
+    *) echo "run_checks.sh: unknown argument '$1'" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+step() { echo; echo "== $* =="; }
+
+step "configure + build (build/)"
+cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
+cmake --build "$ROOT/build" -j "$JOBS"
+
+step "dmeta-lint"
+"$ROOT/build/tools/dmeta-lint" --root "$ROOT"
+
+step "ctest"
+ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
+
+if [ -n "$SANITIZE" ]; then
+  step "sanitizer build (build-sanitize/, DMB_SANITIZE=$SANITIZE)"
+  cmake -B "$ROOT/build-sanitize" -S "$ROOT" \
+        -DDMB_SANITIZE="$SANITIZE" >/dev/null
+  cmake --build "$ROOT/build-sanitize" -j "$JOBS"
+
+  step "ctest under sanitizers"
+  ctest --test-dir "$ROOT/build-sanitize" --output-on-failure -j "$JOBS"
+fi
+
+echo
+echo "run_checks.sh: all checks passed"
