@@ -1,0 +1,159 @@
+//===- bench/bench_trace_breakdown.cpp - E27: §4.6 attribution ------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Uses the operation trace layer to *attribute* the network-latency
+/// slowdown of \S 4.6: rerunning the E13 single-stream NFS MakeFiles
+/// sweep at LAN and WAN latency, the per-op span breakdown must show the
+/// added time living in the RPC/network span — not in server service time,
+/// which is latency-independent. Also demonstrates that attaching the
+/// trace sink changes no measured number (identical interval TSV with
+/// tracing on and off) and prints the filer's queue-depth/utilization
+/// series resampled onto the interval grid.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace dmbbench;
+
+namespace {
+
+struct TracedRun {
+  double Rate = 0;          ///< stonewall ops/s
+  std::string IntervalTsv;  ///< Listing 3.4 rows, for the determinism check
+  uint64_t Count = 0;       ///< delivered traced ops
+  SpanBreakdown Mean;       ///< mean per-op hop breakdown (all op types)
+  std::vector<OpLatencyStats> Stats;
+  std::vector<ResourceMetricsRow> ServerMetrics;
+};
+
+TracedRun runAt(double OneWayMs, bool Trace) {
+  Scheduler S;
+  OpTraceSink Sink;
+  if (Trace)
+    S.setTraceSink(&Sink);
+  Cluster C(S, 1, 16);
+  NfsOptions Opts;
+  Opts.RpcOneWayLatency = static_cast<SimDuration>(OneWayMs * 1e6);
+  Opts.Server.EnableConsistencyPoints = false;
+  NfsFs Nfs(S, Opts);
+  if (Trace)
+    Nfs.server().cpu().enableMetrics();
+  C.mountEverywhere(Nfs);
+
+  BenchParams P;
+  P.Operations = {"MakeFiles"};
+  P.TimeLimit = seconds(10.0);
+  P.ProblemSize = 5000;
+  ResultSet Res = runCombo(C, "nfs", P, 1, 1);
+
+  TracedRun R;
+  R.Rate = rateOf(Res);
+  const SubtaskResult &Sub = Res.Subtasks.at(0);
+  R.IntervalTsv = intervalSummaryTsv(Sub);
+  if (!Trace)
+    return R;
+
+  R.Stats = traceStats(Sink);
+  for (const OpLatencyStats &St : R.Stats) {
+    double N = static_cast<double>(St.Count);
+    R.Count += St.Count;
+    R.Mean.ClientQueue += St.Mean.ClientQueue * N;
+    R.Mean.Network += St.Mean.Network * N;
+    R.Mean.ServerQueue += St.Mean.ServerQueue * N;
+    R.Mean.Service += St.Mean.Service * N;
+  }
+  if (R.Count > 0) {
+    double N = static_cast<double>(R.Count);
+    R.Mean.ClientQueue /= N;
+    R.Mean.Network /= N;
+    R.Mean.ServerQueue /= N;
+    R.Mean.Service /= N;
+  }
+  R.ServerMetrics = resampleResourceMetrics(
+      Nfs.server().cpu().metricsSamples(), Nfs.server().cpu().numServers(),
+      toSeconds(Sub.BenchStart), toSeconds(Sub.Interval),
+      Sub.numIntervals());
+  return R;
+}
+
+std::string us(double Sec) { return format("%.1f", Sec * 1e6); }
+
+} // namespace
+
+int main() {
+  banner("E27 bench_trace_breakdown", "thesis §4.6 + trace layer",
+         "Attributes the WAN-latency slowdown of single-stream NFS "
+         "metadata ops to the\nRPC/network span using per-op trace "
+         "records.");
+
+  const double LowMs = 0.05, HighMs = 5.0;
+  TracedRun Low = runAt(LowMs, /*Trace=*/true);
+  TracedRun High = runAt(HighMs, /*Trace=*/true);
+
+  TextTable T;
+  T.setHeader({"one-way", "ops/s", "traced ops", "client-q [us]",
+               "network [us]", "server-q [us]", "service [us]",
+               "total [us]"});
+  auto AddRow = [&](double Ms, const TracedRun &R) {
+    T.addRow({format("%.2f ms", Ms), ops(R.Rate),
+              format("%llu", (unsigned long long)R.Count),
+              us(R.Mean.ClientQueue), us(R.Mean.Network),
+              us(R.Mean.ServerQueue), us(R.Mean.Service),
+              us(R.Mean.total())});
+  };
+  AddRow(LowMs, Low);
+  AddRow(HighMs, High);
+  printTable(T);
+
+  // The attribution claim: >= 90 % of the added per-op latency sits in the
+  // network span, and the service span barely moves.
+  double DeltaTotal = High.Mean.total() - Low.Mean.total();
+  double DeltaNetwork = High.Mean.Network - Low.Mean.Network;
+  double DeltaService = High.Mean.Service - Low.Mean.Service;
+  double NetworkShare = DeltaTotal > 0 ? 100.0 * DeltaNetwork / DeltaTotal
+                                       : 0;
+  std::printf("Added per-op latency LAN -> WAN: %s us, of which network "
+              "span: %s us (%.1f%%),\nservice span: %s us.\n",
+              us(DeltaTotal).c_str(), us(DeltaNetwork).c_str(),
+              NetworkShare, us(DeltaService).c_str());
+  std::printf("attribution check (>= 90%% network): %s\n\n",
+              NetworkShare >= 90.0 ? "PASS" : "FAIL");
+
+  std::printf("%s\n",
+              renderLatencyBreakdownChart(
+                  High.Stats, format("mean latency breakdown at %.2f ms "
+                                     "one-way (nfs, 1 proc)",
+                                     HighMs))
+                  .c_str());
+
+  // Server-side interval metrics of the WAN run: a single synchronous
+  // stream leaves the filer CPU almost idle — the client is waiting on the
+  // wire, not on the server.
+  std::printf("filer CPU, first intervals of the %.2f ms run:\n", HighMs);
+  TextTable M;
+  M.setHeader({"time [s]", "queue depth", "utilization"});
+  for (size_t I = 0; I < High.ServerMetrics.size() && I < 5; ++I)
+    M.addRow({format("%.1f", High.ServerMetrics[I].TimeSec),
+              format("%.1f", High.ServerMetrics[I].QueueDepth),
+              format("%.3f", High.ServerMetrics[I].Utilization)});
+  printTable(M);
+
+  // Tracing must be observation-only: the measured numbers are bit-for-bit
+  // identical with the sink attached and without.
+  bool Identical =
+      runAt(LowMs, /*Trace=*/false).IntervalTsv == Low.IntervalTsv &&
+      runAt(HighMs, /*Trace=*/false).IntervalTsv == High.IntervalTsv;
+  std::printf("determinism check (tracing on == off): %s\n",
+              Identical ? "PASS" : "FAIL");
+
+  std::printf("\nExpected shape: at WAN latency each synchronous create "
+              "spends its life on the\nwire (two sequential RPCs per "
+              "create, §4.6); the filer stays nearly idle, so\nthe "
+              "slowdown is attributable to the network span alone.\n");
+  return NetworkShare >= 90.0 && Identical ? 0 : 1;
+}

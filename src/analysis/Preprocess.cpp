@@ -84,7 +84,11 @@ double dmb::averageForFixedOps(const SubtaskResult &R, uint64_t Ops) {
         Cumulative += P.OpsPerInterval[I];
     if (Cumulative >= Ops) {
       double T = static_cast<double>(I + 1) * toSeconds(R.Interval);
-      return static_cast<double>(Cumulative) / T;
+      // Listing 3.5 semantics: the average covers the *first Ops
+      // operations*, so the numerator is the target, not everything the
+      // crossing interval happened to complete — crediting the whole
+      // interval would inflate the strong-scaling average.
+      return static_cast<double>(Ops) / T;
     }
   }
   return 0; // Never reached (Listing 3.5 prints 0 in this case).

@@ -55,8 +55,9 @@ SubtaskSummary summarize(const SubtaskResult &R);
 double stonewallAverage(const SubtaskResult &R);
 
 /// "Strong scaling" average (\S 3.2.5 "Time-based logging and scaling"):
-/// throughput up to the first boundary where at least \p Ops operations
-/// had completed in total; 0 when never reached.
+/// throughput of the first \p Ops operations, i.e. Ops divided by the
+/// first interval boundary at which the cumulative total reached \p Ops;
+/// 0 when never reached.
 double averageForFixedOps(const SubtaskResult &R, uint64_t Ops);
 
 /// Global wall-clock average: total ops / slowest process time.

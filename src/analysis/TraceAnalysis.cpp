@@ -1,0 +1,225 @@
+//===- analysis/TraceAnalysis.cpp -----------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/TraceAnalysis.h"
+#include "support/Format.h"
+#include "support/TextTable.h"
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+using namespace dmb;
+
+/// Length of the span [A, B] in seconds; 0 when either endpoint is unset
+/// or the order is inverted (write-back models deliver replies before the
+/// server finishes, making ServiceEnd -> Deliver an empty reply hop).
+static double spanSec(SimTime A, SimTime B) {
+  if (A == TraceUnset || B == TraceUnset || B < A)
+    return 0;
+  return toSeconds(B - A);
+}
+
+SpanBreakdown dmb::spanBreakdown(const OpTraceRecord &R) {
+  SimTime Submit = R.at(TracePoint::Submit);
+  SimTime NetOut = R.at(TracePoint::NetOut);
+  SimTime QueueEnter = R.at(TracePoint::QueueEnter);
+  SimTime ServiceStart = R.at(TracePoint::ServiceStart);
+  SimTime ServiceEnd = R.at(TracePoint::ServiceEnd);
+  SimTime Deliver = R.at(TracePoint::Deliver);
+
+  SpanBreakdown B;
+  B.ClientQueue = spanSec(Submit, NetOut);
+  B.Network = spanSec(NetOut, QueueEnter) + spanSec(ServiceEnd, Deliver);
+  B.ServerQueue = spanSec(QueueEnter, ServiceStart);
+  B.Service = spanSec(ServiceStart, ServiceEnd);
+  return B;
+}
+
+std::vector<OpLatencyStats> dmb::traceStats(const OpTraceSink &Sink) {
+  // Group delivered records by operation name (map: deterministic order).
+  struct Group {
+    std::vector<double> Totals;
+    SpanBreakdown Sum;
+  };
+  std::map<std::string, Group> Groups;
+  for (const OpTraceRecord &R : Sink.records()) {
+    if (!R.delivered())
+      continue;
+    Group &G = Groups[R.Op];
+    G.Totals.push_back(
+        spanSec(R.at(TracePoint::Submit), R.at(TracePoint::Deliver)));
+    SpanBreakdown B = spanBreakdown(R);
+    G.Sum.ClientQueue += B.ClientQueue;
+    G.Sum.Network += B.Network;
+    G.Sum.ServerQueue += B.ServerQueue;
+    G.Sum.Service += B.Service;
+  }
+
+  auto Percentile = [](const std::vector<double> &Sorted, double Q) {
+    size_t Idx = static_cast<size_t>(
+        std::ceil(Q * static_cast<double>(Sorted.size())));
+    if (Idx > 0)
+      --Idx;
+    return Sorted[std::min(Idx, Sorted.size() - 1)];
+  };
+
+  std::vector<OpLatencyStats> Out;
+  for (auto &[Op, G] : Groups) {
+    std::sort(G.Totals.begin(), G.Totals.end());
+    double N = static_cast<double>(G.Totals.size());
+    OpLatencyStats S;
+    S.Op = Op;
+    S.Count = G.Totals.size();
+    double Sum = 0;
+    for (double T : G.Totals)
+      Sum += T;
+    S.MeanSec = Sum / N;
+    S.P50Sec = Percentile(G.Totals, 0.50);
+    S.P95Sec = Percentile(G.Totals, 0.95);
+    S.P99Sec = Percentile(G.Totals, 0.99);
+    S.MaxSec = G.Totals.back();
+    S.Mean.ClientQueue = G.Sum.ClientQueue / N;
+    S.Mean.Network = G.Sum.Network / N;
+    S.Mean.ServerQueue = G.Sum.ServerQueue / N;
+    S.Mean.Service = G.Sum.Service / N;
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}
+
+/// Formats a duration with a unit fitting its magnitude.
+static std::string fmtSec(double Sec) {
+  if (Sec < 1e-3)
+    return format("%.1fus", Sec * 1e6);
+  if (Sec < 1.0)
+    return format("%.2fms", Sec * 1e3);
+  return format("%.3fs", Sec);
+}
+
+std::string dmb::renderLatencyHistogram(const OpTraceSink &Sink,
+                                        const std::string &Op) {
+  // Log-scale buckets: [0, 1us), [1, 2us), [2, 4us), ... doubling up.
+  constexpr size_t NumBuckets = 32;
+  uint64_t Counts[NumBuckets] = {};
+  uint64_t Total = 0;
+  for (const OpTraceRecord &R : Sink.records()) {
+    if (!R.delivered() || (!Op.empty() && Op != R.Op))
+      continue;
+    double Us =
+        spanSec(R.at(TracePoint::Submit), R.at(TracePoint::Deliver)) * 1e6;
+    size_t B = 0;
+    for (double Edge = 1.0; B + 1 < NumBuckets && Us >= Edge; Edge *= 2)
+      ++B;
+    ++Counts[B];
+    ++Total;
+  }
+
+  std::string Title = Op.empty() ? std::string("all operations") : Op;
+  if (Total == 0)
+    return format("latency histogram (%s): no delivered operations\n",
+                  Title.c_str());
+
+  size_t Lo = 0, Hi = NumBuckets - 1;
+  while (Lo < Hi && Counts[Lo] == 0)
+    ++Lo;
+  while (Hi > Lo && Counts[Hi] == 0)
+    --Hi;
+  uint64_t Peak = 0;
+  for (size_t B = Lo; B <= Hi; ++B)
+    Peak = std::max(Peak, Counts[B]);
+
+  std::string Out = format("latency histogram (%s), %llu ops:\n",
+                           Title.c_str(), (unsigned long long)Total);
+  for (size_t B = Lo; B <= Hi; ++B) {
+    double LoEdge = B == 0 ? 0 : std::ldexp(1.0, static_cast<int>(B) - 1);
+    double HiEdge = std::ldexp(1.0, static_cast<int>(B));
+    unsigned Bar = static_cast<unsigned>(
+        std::round(40.0 * static_cast<double>(Counts[B]) /
+                   static_cast<double>(Peak)));
+    if (Counts[B] > 0 && Bar == 0)
+      Bar = 1;
+    Out += format("  [%9s, %9s) %-40s %llu\n",
+                  fmtSec(LoEdge * 1e-6).c_str(),
+                  fmtSec(HiEdge * 1e-6).c_str(),
+                  std::string(Bar, '#').c_str(),
+                  (unsigned long long)Counts[B]);
+  }
+  return Out;
+}
+
+std::string dmb::renderTraceReport(const OpTraceSink &Sink) {
+  std::vector<OpLatencyStats> Stats = traceStats(Sink);
+  if (Stats.empty())
+    return "trace: no delivered operations recorded\n";
+
+  TextTable T;
+  T.setHeader({"operation", "count", "mean", "p50", "p95", "p99", "max",
+               "client-q", "network", "server-q", "service"});
+  for (const OpLatencyStats &S : Stats)
+    T.addRow({S.Op, format("%llu", (unsigned long long)S.Count),
+              fmtSec(S.MeanSec), fmtSec(S.P50Sec), fmtSec(S.P95Sec),
+              fmtSec(S.P99Sec), fmtSec(S.MaxSec),
+              fmtSec(S.Mean.ClientQueue), fmtSec(S.Mean.Network),
+              fmtSec(S.Mean.ServerQueue), fmtSec(S.Mean.Service)});
+
+  std::string Out = T.render();
+  Out += "\n";
+  for (const OpLatencyStats &S : Stats)
+    Out += renderLatencyHistogram(Sink, S.Op);
+  return Out;
+}
+
+std::vector<ResourceMetricsRow> dmb::resampleResourceMetrics(
+    const std::vector<Resource::MetricsSample> &Samples, unsigned NumServers,
+    double StartSec, double IntervalSec, size_t NumIntervals) {
+  std::vector<ResourceMetricsRow> Rows;
+  if (IntervalSec <= 0 || NumIntervals == 0)
+    return Rows;
+  if (NumServers == 0)
+    NumServers = 1;
+
+  SimTime Pos = seconds(StartSec);
+  SimDuration Interval = seconds(IntervalSec);
+  uint32_t Busy = 0, Queue = 0;
+  size_t Cur = 0;
+  // State at the grid start: the last transition at or before it.
+  while (Cur < Samples.size() && Samples[Cur].When <= Pos) {
+    Busy = Samples[Cur].Busy;
+    Queue = Samples[Cur].QueueLen;
+    ++Cur;
+  }
+
+  for (size_t K = 0; K < NumIntervals; ++K) {
+    SimTime End = seconds(StartSec) + static_cast<SimTime>(K + 1) * Interval;
+    double BusyIntegral = 0;
+    while (Cur < Samples.size() && Samples[Cur].When < End) {
+      BusyIntegral += toSeconds(Samples[Cur].When - Pos) * Busy;
+      Pos = Samples[Cur].When;
+      Busy = Samples[Cur].Busy;
+      Queue = Samples[Cur].QueueLen;
+      ++Cur;
+    }
+    BusyIntegral += toSeconds(End - Pos) * Busy;
+    Pos = End;
+
+    ResourceMetricsRow Row;
+    Row.TimeSec = static_cast<double>(K + 1) * IntervalSec;
+    Row.QueueDepth = Queue;
+    Row.Utilization =
+        BusyIntegral / (IntervalSec * static_cast<double>(NumServers));
+    Rows.push_back(Row);
+  }
+  return Rows;
+}
+
+std::string
+dmb::resourceMetricsTsv(const std::vector<ResourceMetricsRow> &Rows) {
+  std::string Out = "time_s\tqueue_depth\tutilization\n";
+  for (const ResourceMetricsRow &Row : Rows)
+    Out += format("%.1f\t%.1f\t%.3f\n", Row.TimeSec, Row.QueueDepth,
+                  Row.Utilization);
+  return Out;
+}

@@ -1,0 +1,90 @@
+//===- analysis/TraceAnalysis.h - Span/latency analysis ----------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns the raw span records of sim/Trace.h into per-operation latency
+/// statistics: exact percentiles (p50/p95/p99/max) over end-to-end
+/// latency, a log-scale latency histogram, and the mean time spent in each
+/// hop (client slot queue, network, server queue, service). Also resamples
+/// a Resource's queue-state transition log onto the benchmark's interval
+/// grid — the server-side counterpart of the 0.1 s supervisor log of
+/// thesis \S 3.2.5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_ANALYSIS_TRACEANALYSIS_H
+#define DMETABENCH_ANALYSIS_TRACEANALYSIS_H
+
+#include "sim/Resource.h"
+#include "sim/Trace.h"
+#include <string>
+#include <vector>
+
+namespace dmb {
+
+/// Mean seconds an operation type spent in each hop. Spans whose boundary
+/// stamps were never recorded (e.g. a cache hit that never left the
+/// client) contribute 0 to that hop.
+struct SpanBreakdown {
+  double ClientQueue = 0; ///< Submit -> NetOut: waiting for an RPC slot
+  double Network = 0;     ///< NetOut -> QueueEnter plus ServiceEnd -> Deliver
+  double ServerQueue = 0; ///< QueueEnter -> ServiceStart: CPU queue wait
+  double Service = 0;     ///< ServiceStart -> ServiceEnd
+
+  double total() const {
+    return ClientQueue + Network + ServerQueue + Service;
+  }
+};
+
+/// Latency statistics of one operation type over all delivered records.
+struct OpLatencyStats {
+  std::string Op;
+  uint64_t Count = 0;
+  double MeanSec = 0;
+  double P50Sec = 0;
+  double P95Sec = 0;
+  double P99Sec = 0;
+  double MaxSec = 0;
+  SpanBreakdown Mean; ///< mean per-hop breakdown
+};
+
+/// Per-op statistics over every delivered record, sorted by op name.
+std::vector<OpLatencyStats> traceStats(const OpTraceSink &Sink);
+
+/// The per-hop breakdown of a single record (seconds; unset spans are 0).
+SpanBreakdown spanBreakdown(const OpTraceRecord &R);
+
+/// Renders a log-scale latency histogram (powers-of-two microsecond
+/// buckets) of every delivered record of \p Op; all ops when \p Op is
+/// empty.
+std::string renderLatencyHistogram(const OpTraceSink &Sink,
+                                   const std::string &Op = std::string());
+
+/// Renders the full trace report: the per-op stats table (count, mean,
+/// p50/p95/p99/max, span breakdown) followed by one histogram per op.
+std::string renderTraceReport(const OpTraceSink &Sink);
+
+/// One interval-grid row of a server resource's metrics series.
+struct ResourceMetricsRow {
+  double TimeSec = 0;     ///< interval boundary (end of the interval)
+  double QueueDepth = 0;  ///< queue length at the boundary
+  double Utilization = 0; ///< busy-server time integral / (interval * k)
+};
+
+/// Resamples a Resource transition log onto a fixed interval grid from
+/// time \p StartSec, producing \p NumIntervals rows. \p NumServers scales
+/// utilization to [0, 1].
+std::vector<ResourceMetricsRow>
+resampleResourceMetrics(const std::vector<Resource::MetricsSample> &Samples,
+                        unsigned NumServers, double StartSec,
+                        double IntervalSec, size_t NumIntervals);
+
+/// TSV (time_s, queue_depth, utilization) of the resampled series.
+std::string resourceMetricsTsv(const std::vector<ResourceMetricsRow> &Rows);
+
+} // namespace dmb
+
+#endif // DMETABENCH_ANALYSIS_TRACEANALYSIS_H

@@ -7,6 +7,8 @@
 #include "chart/Charts.h"
 #include "analysis/Preprocess.h"
 #include "support/Format.h"
+#include <algorithm>
+#include <cmath>
 
 using namespace dmb;
 
@@ -85,4 +87,50 @@ dmb::renderNodeScalingChart(const std::vector<ScalingInput> &In,
   Opt.XLabel = "number of nodes";
   Opt.YLabel = "total ops/s";
   return renderAsciiChart(scalingSeries(In, /*XIsNodes=*/true), Opt);
+}
+
+std::string
+dmb::renderLatencyBreakdownChart(const std::vector<OpLatencyStats> &Stats,
+                                 const std::string &Title) {
+  std::string Out = Title + "\n";
+  if (Stats.empty())
+    return Out + "  (no trace records)\n";
+
+  double MaxMean = 0;
+  size_t MaxName = 0;
+  for (const OpLatencyStats &S : Stats) {
+    MaxMean = std::max(MaxMean, S.Mean.total());
+    MaxName = std::max(MaxName, S.Op.size());
+  }
+  if (MaxMean <= 0)
+    return Out + "  (all spans empty)\n";
+
+  constexpr unsigned Width = 60;
+  auto Cells = [&](double Sec) {
+    return static_cast<unsigned>(std::round(Width * Sec / MaxMean));
+  };
+  for (const OpLatencyStats &S : Stats) {
+    std::string Bar;
+    Bar.append(Cells(S.Mean.ClientQueue), 'c');
+    Bar.append(Cells(S.Mean.Network), 'n');
+    Bar.append(Cells(S.Mean.ServerQueue), 'q');
+    Bar.append(Cells(S.Mean.Service), 's');
+    Out += format("  %-*s |%-*s| %.3f ms\n", (int)MaxName, S.Op.c_str(),
+                  (int)Width, Bar.c_str(), S.Mean.total() * 1e3);
+  }
+  Out += "  legend: c = client queue, n = network, q = server queue, "
+         "s = service\n";
+  return Out;
+}
+
+std::string
+dmb::latencyBreakdownTsv(const std::vector<OpLatencyStats> &Stats) {
+  std::string Out =
+      "op\tcount\tmean_s\tclient_queue_s\tnetwork_s\tserver_queue_s\t"
+      "service_s\n";
+  for (const OpLatencyStats &S : Stats)
+    Out += format("%s\t%llu\t%.9f\t%.9f\t%.9f\t%.9f\t%.9f\n", S.Op.c_str(),
+                  (unsigned long long)S.Count, S.MeanSec, S.Mean.ClientQueue,
+                  S.Mean.Network, S.Mean.ServerQueue, S.Mean.Service);
+  return Out;
 }

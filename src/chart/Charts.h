@@ -10,6 +10,9 @@
 ///      total throughput vs. time — Fig. 3.11),
 ///   2. performance vs. number of processes (Fig. 3.12),
 ///   3. performance vs. number of nodes (Fig. 3.13).
+/// plus a latency-breakdown chart built on the op trace layer: a stacked
+/// bar per operation type splitting mean latency into client-queue,
+/// network, server-queue and service spans.
 /// Rendered as ASCII plus gnuplot-ready TSV.
 ///
 //===----------------------------------------------------------------------===//
@@ -17,6 +20,7 @@
 #ifndef DMETABENCH_CHART_CHARTS_H
 #define DMETABENCH_CHART_CHARTS_H
 
+#include "analysis/TraceAnalysis.h"
 #include "chart/AsciiChart.h"
 #include "core/Results.h"
 #include <string>
@@ -50,6 +54,17 @@ std::string renderNodeScalingChart(const std::vector<ScalingInput> &In,
 /// The underlying series (stonewall average vs. x) for custom rendering.
 std::vector<ChartSeries>
 scalingSeries(const std::vector<ScalingInput> &In, bool XIsNodes);
+
+/// Renders the latency-breakdown chart: one horizontal stacked bar per
+/// operation type showing the mean time spent in each hop (client slot
+/// queue, network, server queue, service), scaled to the slowest op.
+std::string
+renderLatencyBreakdownChart(const std::vector<OpLatencyStats> &Stats,
+                            const std::string &Title);
+
+/// TSV backing the latency-breakdown chart: op, count, mean latency and
+/// the four mean hop spans in seconds.
+std::string latencyBreakdownTsv(const std::vector<OpLatencyStats> &Stats);
 
 } // namespace dmb
 

@@ -5,12 +5,20 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Master.h"
+#include "analysis/TraceAnalysis.h"
 #include "core/EnvProfile.h"
 #include "core/Subtask.h"
 #include "support/Assert.h"
 #include "support/Format.h"
 
 using namespace dmb;
+
+/// Records the per-op latency report into \p Results when the run's
+/// scheduler had an OpTraceSink attached.
+static void captureTraceSummary(Scheduler &Sched, ResultSet &Results) {
+  if (const OpTraceSink *Sink = Sched.traceSink())
+    Results.TraceSummary = renderTraceReport(*Sink);
+}
 
 Master::Master(Cluster &Cl, const MpiEnvironment &Environment,
                std::string Fs, BenchParams P)
@@ -79,6 +87,7 @@ ResultSet Master::run() {
     for (const std::string &Op : Params.Operations)
       Results.Subtasks.push_back(runSubtask(Entry, Op));
   Results.Diagnostics = C.scheduler().checkQuiescent().render();
+  captureTraceSummary(C.scheduler(), Results);
   return Results;
 }
 
@@ -94,5 +103,6 @@ ResultSet Master::runCombination(unsigned Nodes, unsigned PerNode) {
   for (const std::string &Op : Params.Operations)
     Results.Subtasks.push_back(runSubtask(Entry, Op));
   Results.Diagnostics = C.scheduler().checkQuiescent().render();
+  captureTraceSummary(C.scheduler(), Results);
   return Results;
 }

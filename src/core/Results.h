@@ -68,6 +68,9 @@ struct ResultSet {
   /// waiters, lost completions) is itemized here rather than silently
   /// skewing the measurements. Empty when the run never reached the check.
   std::string Diagnostics;
+  /// Rendered per-op latency trace report (analysis/TraceAnalysis.h) when
+  /// the run was executed with an OpTraceSink attached. Empty otherwise.
+  std::string TraceSummary;
   std::vector<SubtaskResult> Subtasks;
 
   /// Finds a subtask; nullptr when absent.

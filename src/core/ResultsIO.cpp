@@ -32,6 +32,8 @@ std::vector<std::string> dmb::resultSetFileNames(const ResultSet &Results) {
   Names.push_back("environment.txt");
   if (!Results.Diagnostics.empty())
     Names.push_back("diagnostics.txt");
+  if (!Results.TraceSummary.empty())
+    Names.push_back("trace.txt");
   return Names;
 }
 
@@ -75,6 +77,10 @@ bool dmb::writeResultSet(const ResultSet &Results, const std::string &Dir) {
   if (!writeFile(Root / "environment.txt", Results.EnvironmentProfile))
     return false;
   // The end-of-run simulation quiescence report, when one was recorded.
-  return Results.Diagnostics.empty() ||
-         writeFile(Root / "diagnostics.txt", Results.Diagnostics);
+  if (!Results.Diagnostics.empty() &&
+      !writeFile(Root / "diagnostics.txt", Results.Diagnostics))
+    return false;
+  // The op latency trace report, when the run was traced.
+  return Results.TraceSummary.empty() ||
+         writeFile(Root / "trace.txt", Results.TraceSummary);
 }

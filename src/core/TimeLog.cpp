@@ -27,7 +27,12 @@ void TimeLog::record(SimTime Now, uint64_t Count) {
   Total += Count;
 }
 
-void TimeLog::finish(SimTime Now) { FinishOffset = Now - Start; }
+void TimeLog::finish(SimTime Now) {
+  // A finish before the phase start would wrap into a negative offset and
+  // poison every stonewall / wall-clock average computed from it.
+  DMB_ASSERT(Now >= Start, "phase finished before it started");
+  FinishOffset = Now - Start;
+}
 
 uint64_t TimeLog::cumulativeAt(size_t Index) const {
   uint64_t Sum = 0;

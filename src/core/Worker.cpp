@@ -62,8 +62,13 @@ void WorkerProcess::step() {
   Config.Cpu->submit(
       Config.PerCallOverhead, Config.CpuWeight,
       [this, Req = std::move(Req), Completes, OpCount]() {
-        Config.Client->submit(Req, [this, Completes,
+        // Bench-phase calls open a span record (no-op without a sink on
+        // the scheduler); the id rides the event graph to every hop.
+        uint64_t Trace =
+            Record ? Sched.traceBegin(metaOpName(Req.Op)) : 0;
+        Config.Client->submit(Req, [this, Trace, Completes,
                                     OpCount](MetaReply Reply) {
+          Sched.traceFinish(Trace);
           if (!Reply.ok())
             ++Failures;
           if (Record && Completes)

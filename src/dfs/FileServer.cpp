@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "dfs/FileServer.h"
+#include "sim/Trace.h"
 #include "support/Assert.h"
 #include <algorithm>
 
@@ -248,6 +249,9 @@ void FileServer::startConsistencyPoint() {
 MetaReply FileServer::processEager(const std::string &Volume,
                                    const MetaRequest &Req,
                                    std::function<void()> Committed) {
+  // Request arrival at the server: from here until the CPU picks it up the
+  // operation is queueing, not being serviced.
+  Sched.traceStamp(TracePoint::QueueEnter);
   LocalFileSystem *Vol = volume(Volume);
   if (!Vol) {
     // Unknown volume: the distributed-handle equivalent of ESTALE.

@@ -17,6 +17,7 @@
 
 #include "dfs/ClientFs.h"
 #include "sim/Scheduler.h"
+#include "sim/Trace.h"
 #include <deque>
 #include <functional>
 
@@ -29,23 +30,31 @@ protected:
       : Sched(Sched), Slots(Slots ? Slots : 1), Latency(OneWayLatency) {}
 
   /// Runs \p RpcFn once a slot is free. RpcFn must eventually call
-  /// slotDone() exactly once.
+  /// slotDone() exactly once. The slot grant is the operation's NetOut
+  /// hop: the request leaves the client once it holds an RPC slot.
   void withSlot(std::function<void()> RpcFn) {
     if (InFlight < Slots) {
       ++InFlight;
+      Sched.traceStamp(TracePoint::NetOut);
       RpcFn();
       return;
     }
-    Pending.push_back(std::move(RpcFn));
+    Pending.push_back({std::move(RpcFn), Sched.activeTrace()});
   }
 
   /// Releases the slot taken by the current RPC and pumps the queue.
   void slotDone() {
     if (!Pending.empty()) {
-      std::function<void()> Next = std::move(Pending.front());
+      PendingRpc Next = std::move(Pending.front());
       Pending.pop_front();
-      // The slot transfers to the queued request.
-      Sched.after(0, std::move(Next));
+      // The slot transfers to the queued request, which belongs to a
+      // different operation than the one whose completion freed the slot.
+      uint64_t Prev = Sched.swapActiveTrace(Next.Trace);
+      Sched.after(0, [this, Fn = std::move(Next.Fn)]() {
+        Sched.traceStamp(TracePoint::NetOut);
+        Fn();
+      });
+      Sched.swapActiveTrace(Prev);
       return;
     }
     --InFlight;
@@ -61,11 +70,16 @@ public:
   size_t queuedRpcs() const { return Pending.size(); }
 
 private:
+  struct PendingRpc {
+    std::function<void()> Fn;
+    uint64_t Trace = 0; ///< trace id of the queued operation
+  };
+
   Scheduler &Sched;
   unsigned Slots;
   SimDuration Latency;
   unsigned InFlight = 0;
-  std::deque<std::function<void()>> Pending;
+  std::deque<PendingRpc> Pending;
 };
 
 } // namespace dmb

@@ -38,7 +38,11 @@
 
 // Analysis and charts (thesis \S 3.3.9 / \S 3.3.10).
 #include "analysis/Preprocess.h"
+#include "analysis/TraceAnalysis.h"
 #include "chart/Charts.h"
+
+// Operation-level span tracing.
+#include "sim/Trace.h"
 
 // Disturbance injectors (thesis \S 4.2.3).
 #include "workload/Disturbance.h"

@@ -57,7 +57,7 @@ public:
       Sched.after(0, std::move(Acquired));
       return;
     }
-    Waiters.push_back(std::move(Acquired));
+    Waiters.push_back({std::move(Acquired), Sched.activeTrace()});
   }
 
   /// Releases the lock, waking the next waiter in FIFO order.
@@ -67,9 +67,12 @@ public:
       Locked = false;
       return;
     }
-    std::function<void()> Next = std::move(Waiters.front());
+    Waiter Next = std::move(Waiters.front());
     Waiters.pop_front();
-    Sched.after(0, std::move(Next));
+    // The wakeup belongs to the waiter's operation, not the unlocker's.
+    uint64_t Prev = Sched.swapActiveTrace(Next.Trace);
+    Sched.after(0, std::move(Next.Acquired));
+    Sched.swapActiveTrace(Prev);
   }
 
   bool isLocked() const { return Locked; }
@@ -86,11 +89,16 @@ private:
                      " stranded waiter(s) at quiescence");
   }
 
+  struct Waiter {
+    std::function<void()> Acquired;
+    uint64_t Trace = 0; ///< trace id of the waiting operation
+  };
+
   Scheduler &Sched;
   std::string Name;
   uint64_t CheckId = 0;
   bool Locked = false;
-  std::deque<std::function<void()>> Waiters;
+  std::deque<Waiter> Waiters;
 };
 
 } // namespace dmb

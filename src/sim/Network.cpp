@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "sim/Network.h"
+#include "sim/Trace.h"
 
 using namespace dmb;
 
@@ -18,5 +19,8 @@ SimDuration NetworkLink::transferTime(uint64_t NumBytes) const {
 void NetworkLink::send(uint64_t NumBytes, std::function<void()> Deliver) {
   ++Messages;
   Bytes += NumBytes;
+  // The message leaving the sender is the active operation's NetOut hop;
+  // the delivery event inherits the trace id through the scheduler.
+  Sched.traceStamp(TracePoint::NetOut);
   Sched.after(transferTime(NumBytes), std::move(Deliver));
 }

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "sim/Resource.h"
+#include "sim/Trace.h"
 #include "support/Format.h"
 
 using namespace dmb;
@@ -32,12 +33,13 @@ void Resource::report(SimDiagnostics &D) const {
 }
 
 void Resource::request(SimDuration Service, Completion Done) {
-  Pending P{Service, std::move(Done)};
+  Pending P{Service, std::move(Done), Sched.activeTrace()};
   if (Busy < NumServers) {
     startService(std::move(P));
     return;
   }
   Waiting.push_back(std::move(P));
+  sampleState();
 }
 
 void Resource::startService(Pending P) {
@@ -48,10 +50,17 @@ void Resource::startService(Pending P) {
     Actual = 0;
   BusyTime += Actual;
   Completion Done = std::move(P.Done);
-  Sched.after(Actual, [this, Done = std::move(Done)]() {
+  Sched.traceStampOn(P.Trace, TracePoint::ServiceStart);
+  sampleState();
+  // The completion event belongs to the serviced operation, not to
+  // whichever operation's completion freed this server.
+  uint64_t Prev = Sched.swapActiveTrace(P.Trace);
+  Sched.after(Actual, [this, Trace = P.Trace, Done = std::move(Done)]() {
+    Sched.traceStampOn(Trace, TracePoint::ServiceEnd);
     finishOne();
     Done();
   });
+  Sched.swapActiveTrace(Prev);
 }
 
 void Resource::finishOne() {
@@ -61,5 +70,25 @@ void Resource::finishOne() {
     Pending Next = std::move(Waiting.front());
     Waiting.pop_front();
     startService(std::move(Next));
+  } else {
+    sampleState();
   }
+}
+
+void Resource::enableMetrics() {
+  Metrics = true;
+  Samples.clear();
+  sampleState();
+}
+
+void Resource::sampleState() {
+  if (!Metrics)
+    return;
+  MetricsSample S{Sched.now(), static_cast<uint32_t>(Waiting.size()), Busy};
+  // Coalesce same-instant transitions: only the final state at a given
+  // simulated time is observable.
+  if (!Samples.empty() && Samples.back().When == S.When)
+    Samples.back() = S;
+  else
+    Samples.push_back(S);
 }

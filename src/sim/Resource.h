@@ -16,9 +16,11 @@
 
 #include "sim/Scheduler.h"
 #include "sim/Time.h"
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <string>
+#include <vector>
 
 namespace dmb {
 
@@ -31,6 +33,16 @@ namespace dmb {
 class Resource {
 public:
   using Completion = std::function<void()>;
+
+  /// One queue-state transition, recorded when metrics are enabled: the
+  /// piecewise-constant (queue length, busy servers) state from \p When
+  /// until the next sample. Analysis resamples these onto the interval
+  /// grid (TraceAnalysis::resampleResourceMetrics).
+  struct MetricsSample {
+    SimTime When = 0;
+    uint32_t QueueLen = 0;
+    uint32_t Busy = 0;
+  };
 
   Resource(Scheduler &Sched, std::string Name, unsigned NumServers);
   ~Resource();
@@ -51,16 +63,27 @@ public:
   uint64_t completedRequests() const { return Completed; }
   SimDuration totalBusyTime() const { return BusyTime; }
   const std::string &name() const { return Name; }
+  unsigned numServers() const { return NumServers; }
+
+  /// Starts recording queue-depth/utilization transitions (server metrics
+  /// time series). Purely observational: no events, no timing change.
+  void enableMetrics();
+  bool metricsEnabled() const { return Metrics; }
+  const std::vector<MetricsSample> &metricsSamples() const {
+    return Samples;
+  }
 
 private:
   struct Pending {
     SimDuration Service;
     Completion Done;
+    uint64_t Trace = 0; ///< trace id of the requesting operation
   };
 
   void startService(Pending P);
   void finishOne();
   void report(SimDiagnostics &D) const;
+  void sampleState();
 
   Scheduler &Sched;
   std::string Name;
@@ -71,6 +94,8 @@ private:
   uint64_t Completed = 0;
   SimDuration BusyTime = 0;
   std::deque<Pending> Waiting;
+  bool Metrics = false;
+  std::vector<MetricsSample> Samples;
 };
 
 } // namespace dmb

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "sim/Scheduler.h"
+#include "sim/Trace.h"
 #include "support/Assert.h"
 #include <algorithm>
 
@@ -36,7 +37,7 @@ Scheduler::~Scheduler() {
 
 void Scheduler::at(SimTime When, Action Fn) {
   DMB_ASSERT(When >= Now, "cannot schedule into the past");
-  Queue.push(Event{When, NextSeq++, std::move(Fn)});
+  Queue.push(Event{When, NextSeq++, ActiveTrace, std::move(Fn)});
 }
 
 bool Scheduler::step() {
@@ -48,7 +49,11 @@ bool Scheduler::step() {
   Queue.pop();
   Now = Ev.When;
   ++Executed;
+  // Events run in the trace context of the operation that scheduled them,
+  // so causal chains inherit the operation id across hops.
+  ActiveTrace = Ev.Trace;
   Ev.Fn();
+  ActiveTrace = 0;
   return true;
 }
 
@@ -59,10 +64,43 @@ void Scheduler::run() {
 }
 
 void Scheduler::runUntil(SimTime Deadline) {
+  // Pin the assert context even when no event fires before the deadline:
+  // with two schedulers interleaving, failure reports must name the one
+  // being driven, not whichever stepped last.
+  ActiveScheduler = this;
   while (!Queue.empty() && Queue.top().When <= Deadline)
     step();
   if (Now < Deadline)
     Now = Deadline;
+  // A drained queue is quiescence, exactly as in run(): record the report
+  // instead of leaving lastDiagnostics() stale.
+  if (Queue.empty())
+    LastDiag = checkQuiescent();
+}
+
+uint64_t Scheduler::traceBegin(const char *Op) {
+  if (!Trace)
+    return 0;
+  ActiveTrace = Trace->beginOp(Op, Now);
+  return ActiveTrace;
+}
+
+void Scheduler::traceStamp(TracePoint P) {
+  if (Trace)
+    Trace->stamp(ActiveTrace, P, Now);
+}
+
+void Scheduler::traceStampOn(uint64_t Id, TracePoint P) {
+  if (Trace)
+    Trace->stamp(Id, P, Now);
+}
+
+void Scheduler::traceFinish(uint64_t Id) {
+  if (!Trace)
+    return;
+  Trace->finishOp(Id, Now);
+  if (ActiveTrace == Id)
+    ActiveTrace = 0;
 }
 
 uint64_t Scheduler::addQuiescenceCheck(QuiescenceCheck Fn) {

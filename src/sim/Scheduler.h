@@ -28,6 +28,9 @@
 
 namespace dmb {
 
+class OpTraceSink;
+enum class TracePoint : uint8_t;
+
 /// Single-threaded event loop over simulated time.
 class Scheduler {
 public:
@@ -82,13 +85,59 @@ public:
   /// drive the scheduler in stages), so leaks are reported, not fatal.
   SimDiagnostics checkQuiescent() const;
 
-  /// The report recorded by the most recent run().
+  /// The report recorded by the most recent run() (or a runUntil() that
+  /// drained the queue).
   const SimDiagnostics &lastDiagnostics() const { return LastDiag; }
+
+  /// \name Operation tracing (sim/Trace.h)
+  ///
+  /// The scheduler is the single clock source for trace records, and it
+  /// propagates the "current operation" through the event graph: at()
+  /// captures the active trace id into the new event, and step() restores
+  /// it while the event runs. Components whose internal queues decouple
+  /// scheduling context from causality (Resource, RPC slots, mutex
+  /// waiters) carry the id alongside each queued item and swap it back in
+  /// with swapActiveTrace() when they resume the work.
+  ///
+  /// All calls are no-ops (and traceBegin returns 0) without a sink.
+  /// Recording never schedules events, so tracing cannot perturb timing.
+  /// @{
+
+  /// Attaches \p Sink (nullptr detaches). Not owned.
+  void setTraceSink(OpTraceSink *Sink) { Trace = Sink; }
+  OpTraceSink *traceSink() const { return Trace; }
+
+  /// Opens a record for one operation named \p Op (a static string),
+  /// stamps its Submit point at now() and makes it the active trace.
+  uint64_t traceBegin(const char *Op);
+
+  /// Stamps \p P at now() for the active trace.
+  void traceStamp(TracePoint P);
+
+  /// Stamps \p P at now() for the explicit record \p Id.
+  void traceStampOn(uint64_t Id, TracePoint P);
+
+  /// Stamps reply delivery for \p Id and deactivates it if active.
+  void traceFinish(uint64_t Id);
+
+  /// The operation the currently running event belongs to (0 = none).
+  uint64_t activeTrace() const { return ActiveTrace; }
+
+  /// Replaces the active trace id, returning the previous one. Callers
+  /// restore the previous id once the events they schedule on behalf of
+  /// \p Id have been created.
+  uint64_t swapActiveTrace(uint64_t Id) {
+    uint64_t Prev = ActiveTrace;
+    ActiveTrace = Id;
+    return Prev;
+  }
+  /// @}
 
 private:
   struct Event {
     SimTime When;
     uint64_t Seq;
+    uint64_t Trace;
     Action Fn;
   };
   struct Later {
@@ -102,6 +151,8 @@ private:
   SimTime Now = 0;
   uint64_t NextSeq = 0;
   uint64_t Executed = 0;
+  OpTraceSink *Trace = nullptr;
+  uint64_t ActiveTrace = 0;
   std::priority_queue<Event, std::vector<Event>, Later> Queue;
   uint64_t NextCheckId = 0;
   std::vector<std::pair<uint64_t, QuiescenceCheck>> QuiescenceChecks;

@@ -70,11 +70,11 @@ void SharedProcessor::onTimer(uint64_t Gen) {
     return;
   advance();
   // Collect finished tasks first: their completions may resubmit.
-  std::vector<Completion> Finished;
+  std::vector<std::pair<Completion, uint64_t>> Finished;
   for (auto It = Tasks.begin(); It != Tasks.end();) {
     if (It->RemainingCoreSec <= WorkEpsilon) {
       TotalWeight -= It->Weight;
-      Finished.push_back(std::move(It->Done));
+      Finished.emplace_back(std::move(It->Done), It->Trace);
       It = Tasks.erase(It);
       ++Completed;
     } else {
@@ -84,8 +84,13 @@ void SharedProcessor::onTimer(uint64_t Gen) {
   if (Tasks.empty())
     TotalWeight = 0;
   scheduleNext();
-  for (Completion &Done : Finished)
+  // One timer event may complete several tasks belonging to different
+  // operations: run each completion in its own trace context.
+  for (auto &[Done, Trace] : Finished) {
+    uint64_t Prev = Sched.swapActiveTrace(Trace);
     Done();
+    Sched.swapActiveTrace(Prev);
+  }
 }
 
 void SharedProcessor::submit(SimDuration Work, double Weight,
@@ -97,7 +102,8 @@ void SharedProcessor::submit(SimDuration Work, double Weight,
     return;
   }
   advance();
-  Tasks.push_back(Task{toSeconds(Work), Weight, std::move(Done)});
+  Tasks.push_back(
+      Task{toSeconds(Work), Weight, std::move(Done), Sched.activeTrace()});
   TotalWeight += Weight;
   scheduleNext();
 }

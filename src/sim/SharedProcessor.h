@@ -61,6 +61,7 @@ private:
     double RemainingCoreSec;
     double Weight;
     Completion Done;
+    uint64_t Trace = 0; ///< trace id of the submitting operation
   };
 
   /// Advances all tasks to now() at their current rates.

@@ -1,0 +1,37 @@
+//===- sim/Trace.cpp ------------------------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Trace.h"
+
+using namespace dmb;
+
+uint64_t OpTraceSink::beginOp(const char *Op, SimTime Now) {
+  OpTraceRecord R;
+  R.Id = Records.size() + 1; // Ids are 1-based indexes into Records.
+  R.Op = Op;
+  R.At[static_cast<size_t>(TracePoint::Submit)] = Now;
+  Records.push_back(R);
+  return R.Id;
+}
+
+void OpTraceSink::stamp(uint64_t Id, TracePoint P, SimTime Now) {
+  if (Id == 0 || Id > Records.size())
+    return;
+  OpTraceRecord &R = Records[Id - 1];
+  size_t I = static_cast<size_t>(P);
+  bool LastWins =
+      P == TracePoint::ServiceStart || P == TracePoint::ServiceEnd;
+  if (R.At[I] == TraceUnset || LastWins)
+    R.At[I] = Now;
+}
+
+size_t OpTraceSink::liveOps() const {
+  size_t Live = 0;
+  for (const OpTraceRecord &R : Records)
+    if (!R.delivered())
+      ++Live;
+  return Live;
+}

@@ -83,11 +83,31 @@ TEST(Analysis, FixedOpsAverages) {
   SubtaskResult R = twoProcResult();
   // 30 ops reached at the 0.1 s boundary.
   EXPECT_DOUBLE_EQ(300.0, averageForFixedOps(R, 30));
-  EXPECT_DOUBLE_EQ(300.0, averageForFixedOps(R, 25));
+  // Target 25 also crosses at 0.1 s, but the average covers the first 25
+  // ops only: 25/0.1, not the 30 the interval happened to complete.
+  EXPECT_DOUBLE_EQ(250.0, averageForFixedOps(R, 25));
   // 40 ops reached at 0.2 s.
   EXPECT_DOUBLE_EQ(200.0, averageForFixedOps(R, 40));
   // Never reached: Listing 3.5 prints 0.
   EXPECT_DOUBLE_EQ(0.0, averageForFixedOps(R, 50));
+}
+
+TEST(Analysis, FixedOpsAverageClampsToTarget) {
+  // Fig. 3.4 data (\S 3.2.5): totals per unit are 19, 45, 70, 85, 90. A
+  // fixed-ops target of 60 crosses at the third boundary, so the strong
+  // scaling average is 60/3 = 20 ops/unit — crediting everything the
+  // crossing interval completed (70/3 = 23.3) would overstate it.
+  SubtaskResult R;
+  R.Operation = "Example";
+  R.NumNodes = 3;
+  R.PerNode = 1;
+  R.Interval = seconds(1.0);
+  R.Processes.push_back(makeTrace(0, {5, 8, 5, 7, 5}, seconds(5.0)));
+  R.Processes.push_back(makeTrace(1, {8, 10, 12}, seconds(3.0)));
+  R.Processes.push_back(makeTrace(2, {6, 8, 8, 8}, seconds(4.0)));
+  EXPECT_NEAR(20.0, averageForFixedOps(R, 60), 1e-9);
+  // A target falling exactly on a boundary total divides evenly.
+  EXPECT_NEAR(45.0 / 2.0, averageForFixedOps(R, 45), 1e-9);
 }
 
 TEST(Analysis, SummaryBundle) {
@@ -125,6 +145,43 @@ TEST(Analysis, Figure34WorkedExample) {
   EXPECT_EQ(70u, Rows[2].TotalOps);
   EXPECT_EQ(85u, Rows[3].TotalOps);
   EXPECT_EQ(90u, Rows[4].TotalOps);
+}
+
+TEST(Analysis, StonewallExactBoundaryFinishDoesNotShiftUp) {
+  // A process finishing *exactly* on an interval boundary stonewalls at
+  // that boundary; rounding it into the next interval would silently mix
+  // in post-stonewall ops.
+  SubtaskResult R;
+  R.Operation = "MakeFiles";
+  R.NumNodes = 2;
+  R.PerNode = 1;
+  R.Interval = milliseconds(100);
+  R.Processes.push_back(makeTrace(0, {20}, milliseconds(100)));
+  R.Processes.push_back(makeTrace(1, {10, 10}, milliseconds(200)));
+  SubtaskSummary S = summarize(R);
+  EXPECT_DOUBLE_EQ(0.1, S.StonewallSec); // not 0.2
+  EXPECT_DOUBLE_EQ(300.0, stonewallAverage(R));
+}
+
+TEST(Analysis, StonewallWorkedExample) {
+  // The worked stonewall number of \S 3.3.2: with 0.1 s intervals, the
+  // faster process finishes exactly at 1.0 s with 22,191 ops completed in
+  // total across processes — the stonewall average is exactly 22,191.0
+  // ops/s, pinned here as a bit-exact value.
+  SubtaskResult R;
+  R.Operation = "MakeFiles";
+  R.NumNodes = 2;
+  R.PerNode = 1;
+  R.Interval = milliseconds(100);
+  std::vector<uint64_t> P0(10, 1110);
+  P0[9] = 1106; // sums to 11,096
+  std::vector<uint64_t> P1(15, 1110);
+  P1[9] = 1105; // first ten sum to 11,095
+  for (size_t I = 10; I < P1.size(); ++I)
+    P1[I] = 500; // the slower process keeps going to 1.5 s
+  R.Processes.push_back(makeTrace(0, std::move(P0), seconds(1.0)));
+  R.Processes.push_back(makeTrace(1, std::move(P1), seconds(1.5)));
+  EXPECT_DOUBLE_EQ(22191.0, stonewallAverage(R));
 }
 
 TEST(Analysis, SingleProcessHasNoCov) {

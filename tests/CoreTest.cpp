@@ -298,4 +298,13 @@ TEST(Core, TimeLogBucketsAndCumulative) {
   EXPECT_EQ(milliseconds(300), Log.finishOffset());
 }
 
+TEST(CoreDeathTest, TimeLogFinishBeforeStartAborts) {
+  // A finish stamp before the phase start would wrap into a negative
+  // FinishOffset and poison every stonewall / wall-clock average.
+  TimeLog Log;
+  Log.start(seconds(2.0), milliseconds(100));
+  EXPECT_DEATH(Log.finish(seconds(1.0)),
+               "phase finished before it started");
+}
+
 } // namespace

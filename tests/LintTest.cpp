@@ -105,6 +105,52 @@ TEST_F(LintTreeTest, UnseededRandomnessInTestsIsCaught) {
   EXPECT_EQ(2, Vs[0].Line);
 }
 
+TEST_F(LintTreeTest, DirectSinkStampInDfsIsCaught) {
+  // A component stamping the sink directly bypasses the owning
+  // scheduler's clock — the trace-clock rule catches it.
+  write("src/dfs/Probe.cpp",
+        "void f(dmb::OpTraceSink &S, uint64_t Id) {\n"
+        "  S.stamp(Id, dmb::TracePoint::NetOut, 0);\n"
+        "}\n");
+  std::vector<Violation> Vs = lint();
+  ASSERT_EQ(1u, Vs.size());
+  EXPECT_EQ("trace-clock", Vs[0].Rule);
+  EXPECT_EQ(2, Vs[0].Line);
+  EXPECT_NE(std::string::npos, Vs[0].Message.find("traceStamp"));
+}
+
+TEST(LintContent, TraceClockScopeAndExemptions) {
+  // The sink and the scheduler implement the recording; they are exempt.
+  EXPECT_TRUE(
+      lintOne("src/sim/Trace.cpp", "void f() { R.stamp(1, P, Now); }\n")
+          .empty());
+  EXPECT_TRUE(lintOne("src/sim/Scheduler.cpp",
+                      "void g() { Trace->stamp(Id, P, Now); }\n")
+                  .empty());
+  // The Scheduler facade calls are the sanctioned spelling everywhere:
+  // traceStamp( does not contain a bare "stamp(" token.
+  EXPECT_TRUE(lintOne("src/dfs/NfsFs.cpp",
+                      "void h() { Sched.traceStamp(P); }\n")
+                  .empty());
+  // beginOp/finishOp are banned in scope too.
+  EXPECT_TRUE(hasRule(lintOne("src/sim/Resource.cpp",
+                              "void f() { Sink.beginOp(\"x\", 0); }\n"),
+                      "trace-clock"));
+  EXPECT_TRUE(hasRule(lintOne("src/dfs/FileServer.cpp",
+                              "void f() { Sink.finishOp(1, 0); }\n"),
+                      "trace-clock"));
+  // Outside src/sim and src/dfs the rule does not apply.
+  EXPECT_FALSE(hasRule(lintOne("src/analysis/T.cpp",
+                               "void f() { Sink.stamp(1, P, 0); }\n"),
+                       "trace-clock"));
+  // The suppression escape hatch works.
+  EXPECT_TRUE(
+      lintOne("src/dfs/X.cpp",
+              "void f() { S.stamp(1, P, 0); } // dmeta-lint: allow("
+              "trace-clock)\n")
+          .empty());
+}
+
 TEST_F(LintTreeTest, RawAssertAndCassertInSrcAreCaught) {
   write("src/fs/Tree.cpp",
         "#include <cassert>\n"

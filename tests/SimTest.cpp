@@ -303,6 +303,46 @@ TEST(Scheduler, RunRecordsCleanDiagnostics) {
   EXPECT_EQ(1u, S.lastDiagnostics().EventsExecuted);
 }
 
+TEST(Scheduler, RunUntilRecordsDiagnosticsOnDrain) {
+  // runUntil() that drains the queue reaches quiescence exactly as run()
+  // does, so lastDiagnostics() must reflect this run — not a stale report
+  // from an earlier one.
+  Scheduler S;
+  S.after(milliseconds(1), [] {});
+  S.run();
+  EXPECT_EQ(1u, S.lastDiagnostics().EventsExecuted);
+  S.after(milliseconds(1), [] {});
+  S.after(milliseconds(2), [] {});
+  S.runUntil(milliseconds(10)); // Drains both events.
+  EXPECT_TRUE(S.lastDiagnostics().clean());
+  EXPECT_EQ(3u, S.lastDiagnostics().EventsExecuted);
+}
+
+TEST(Scheduler, RunUntilKeepsDiagnosticsWhileEventsRemain) {
+  Scheduler S;
+  S.after(milliseconds(1), [] {});
+  S.run();
+  S.after(milliseconds(20), [] {});
+  S.runUntil(milliseconds(10)); // Deadline hit with one event pending.
+  // Not quiescent: the previous complete run's report stays in place.
+  EXPECT_EQ(1u, S.lastDiagnostics().EventsExecuted);
+  S.run();
+  EXPECT_EQ(2u, S.lastDiagnostics().EventsExecuted);
+}
+
+TEST(SchedulerDeathTest, RunUntilPinsAssertContextAcrossSchedulers) {
+  // Two schedulers: after B merely advances its clock with runUntil (no
+  // event fires), a failed assert must still report *B*'s clock, not
+  // A's — the regression was runUntil leaving ActiveScheduler stale.
+  Scheduler A, B;
+  A.after(milliseconds(1), [] {});
+  A.run(); // A owns the assert context now.
+  B.after(seconds(2.0), [] {});
+  B.runUntil(seconds(1.0)); // No event fires; B must take over.
+  EXPECT_DEATH(B.at(milliseconds(5), [] {}),
+               "sim time 1\\.000000000s");
+}
+
 TEST(Scheduler, QuiescenceReportsHeldMutexAndStrandedWaiters) {
   Scheduler S;
   SimMutex M(S, "cxfs-token");

@@ -1,0 +1,408 @@
+//===- tests/TraceTest.cpp - Operation trace layer tests ------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The operation trace and server-metrics layer: sink semantics, trace-id
+/// propagation through the scheduler and the queueing primitives, span
+/// causality on a live NFS run, the no-perturbation guarantee (tracing
+/// changes no measured number), and the span/percentile analysis on top.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/TraceAnalysis.h"
+#include "core/ResultsIO.h"
+#include "dmetabench/DMetabench.h"
+#include "sim/Mutex.h"
+#include <gtest/gtest.h>
+
+using namespace dmb;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// OpTraceSink semantics
+//===----------------------------------------------------------------------===//
+
+TEST(TraceSink, BeginStampFinishRoundTrip) {
+  OpTraceSink Sink;
+  uint64_t Id = Sink.beginOp("create", milliseconds(1));
+  EXPECT_EQ(1u, Id); // Ids are 1-based record indices.
+  Sink.stamp(Id, TracePoint::NetOut, milliseconds(2));
+  Sink.finishOp(Id, milliseconds(5));
+
+  ASSERT_EQ(1u, Sink.records().size());
+  const OpTraceRecord &R = Sink.records()[0];
+  EXPECT_STREQ("create", R.Op);
+  EXPECT_EQ(milliseconds(1), R.at(TracePoint::Submit));
+  EXPECT_EQ(milliseconds(2), R.at(TracePoint::NetOut));
+  EXPECT_EQ(milliseconds(5), R.at(TracePoint::Deliver));
+  EXPECT_FALSE(R.has(TracePoint::ServiceStart));
+  EXPECT_TRUE(R.delivered());
+  EXPECT_EQ(0u, Sink.liveOps());
+}
+
+TEST(TraceSink, FirstStampWinsExceptServicePoints) {
+  OpTraceSink Sink;
+  uint64_t Id = Sink.beginOp("open", 0);
+  Sink.stamp(Id, TracePoint::NetOut, milliseconds(1));
+  Sink.stamp(Id, TracePoint::NetOut, milliseconds(9)); // Ignored.
+  // ServiceStart/ServiceEnd are last-wins: a request forwarded between
+  // servers (GX indirect volumes) is in service until the last hop ends.
+  Sink.stamp(Id, TracePoint::ServiceStart, milliseconds(2));
+  Sink.stamp(Id, TracePoint::ServiceStart, milliseconds(3));
+  Sink.stamp(Id, TracePoint::ServiceEnd, milliseconds(4));
+  Sink.stamp(Id, TracePoint::ServiceEnd, milliseconds(6));
+
+  const OpTraceRecord &R = Sink.records()[0];
+  EXPECT_EQ(milliseconds(1), R.at(TracePoint::NetOut));
+  EXPECT_EQ(milliseconds(3), R.at(TracePoint::ServiceStart));
+  EXPECT_EQ(milliseconds(6), R.at(TracePoint::ServiceEnd));
+}
+
+TEST(TraceSink, UnknownIdsAreIgnored) {
+  OpTraceSink Sink;
+  Sink.stamp(0, TracePoint::NetOut, milliseconds(1));  // Untraced op.
+  Sink.stamp(42, TracePoint::NetOut, milliseconds(1)); // Out of range.
+  Sink.finishOp(0, milliseconds(2));
+  EXPECT_TRUE(Sink.records().empty());
+}
+
+TEST(TraceSink, LateStampsAfterDeliveryStillLand) {
+  // Write-back models ack the client before the server commits: the
+  // ServiceEnd stamp arrives after Deliver and must still be recorded.
+  OpTraceSink Sink;
+  uint64_t Id = Sink.beginOp("mkdir", 0);
+  Sink.finishOp(Id, milliseconds(1));
+  EXPECT_EQ(0u, Sink.liveOps());
+  Sink.stamp(Id, TracePoint::ServiceEnd, milliseconds(7));
+  EXPECT_EQ(milliseconds(7),
+            Sink.records()[0].at(TracePoint::ServiceEnd));
+}
+
+TEST(TraceSink, LiveOpsCountsUndelivered) {
+  OpTraceSink Sink;
+  uint64_t A = Sink.beginOp("a", 0);
+  Sink.beginOp("b", 0);
+  EXPECT_EQ(2u, Sink.liveOps());
+  Sink.finishOp(A, milliseconds(1));
+  EXPECT_EQ(1u, Sink.liveOps());
+  Sink.clear();
+  EXPECT_TRUE(Sink.records().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Trace-id propagation through the scheduler and primitives
+//===----------------------------------------------------------------------===//
+
+TEST(TraceScheduler, DisabledTracingIsANoOp) {
+  Scheduler S;
+  EXPECT_EQ(nullptr, S.traceSink());
+  EXPECT_EQ(0u, S.traceBegin("create"));
+  S.traceStamp(TracePoint::NetOut); // Must not crash.
+  S.traceFinish(0);
+  EXPECT_EQ(0u, S.activeTrace());
+}
+
+TEST(TraceScheduler, AmbientIdFlowsThroughScheduledEvents) {
+  Scheduler S;
+  OpTraceSink Sink;
+  S.setTraceSink(&Sink);
+
+  uint64_t Id = S.traceBegin("create");
+  EXPECT_EQ(Id, S.activeTrace());
+  // The chain of events spawned by this operation keeps its id without
+  // any explicit forwarding.
+  S.after(milliseconds(1), [&] {
+    EXPECT_EQ(Id, S.activeTrace());
+    S.traceStamp(TracePoint::NetOut);
+    S.after(milliseconds(1), [&] {
+      S.traceStamp(TracePoint::QueueEnter);
+      S.traceFinish(S.activeTrace());
+    });
+  });
+  // An unrelated event scheduled outside any operation has no id.
+  S.swapActiveTrace(0);
+  S.at(milliseconds(5), [&] { EXPECT_EQ(0u, S.activeTrace()); });
+  S.run();
+
+  const OpTraceRecord &R = Sink.records()[0];
+  EXPECT_EQ(milliseconds(1), R.at(TracePoint::NetOut));
+  EXPECT_EQ(milliseconds(2), R.at(TracePoint::QueueEnter));
+  EXPECT_EQ(milliseconds(2), R.at(TracePoint::Deliver));
+  EXPECT_EQ(0u, S.activeTrace()); // Reset after every event.
+}
+
+TEST(TraceResource, QueuedRequestKeepsItsOperationId) {
+  Scheduler S;
+  OpTraceSink Sink;
+  S.setTraceSink(&Sink);
+  Resource Disk(S, "disk", 1);
+
+  uint64_t A = S.traceBegin("a");
+  Disk.request(milliseconds(10), [&] { S.traceFinish(A); });
+  uint64_t B = S.traceBegin("b"); // Queues behind A on the single server.
+  Disk.request(milliseconds(10), [&] { S.traceFinish(B); });
+  S.swapActiveTrace(0);
+  S.run();
+
+  const OpTraceRecord &Ra = Sink.records()[0];
+  const OpTraceRecord &Rb = Sink.records()[1];
+  EXPECT_EQ(0, Ra.at(TracePoint::ServiceStart));
+  EXPECT_EQ(milliseconds(10), Ra.at(TracePoint::ServiceEnd));
+  // B's service spans stamp onto B's record even though the resource
+  // resumed it long after the submitting event finished.
+  EXPECT_EQ(milliseconds(10), Rb.at(TracePoint::ServiceStart));
+  EXPECT_EQ(milliseconds(20), Rb.at(TracePoint::ServiceEnd));
+  EXPECT_EQ(milliseconds(20), Rb.at(TracePoint::Deliver));
+}
+
+TEST(TraceMutex, WakeupRunsUnderTheWaitersId) {
+  Scheduler S;
+  OpTraceSink Sink;
+  S.setTraceSink(&Sink);
+  SimMutex M(S, "token");
+
+  S.traceBegin("holder");
+  M.lock([&] {
+    S.traceStamp(TracePoint::QueueEnter); // Record 1.
+    M.unlock();
+  });
+  S.traceBegin("waiter");
+  M.lock([&] {
+    S.traceStamp(TracePoint::NetOut); // Must land on record 2.
+    M.unlock();
+  });
+  S.swapActiveTrace(0);
+  S.run();
+
+  EXPECT_TRUE(Sink.records()[0].has(TracePoint::QueueEnter));
+  EXPECT_FALSE(Sink.records()[0].has(TracePoint::NetOut));
+  EXPECT_TRUE(Sink.records()[1].has(TracePoint::NetOut));
+  EXPECT_FALSE(Sink.records()[1].has(TracePoint::QueueEnter));
+}
+
+//===----------------------------------------------------------------------===//
+// Server metrics transition log
+//===----------------------------------------------------------------------===//
+
+TEST(TraceMetrics, ResourceRecordsQueueTransitions) {
+  Scheduler S;
+  Resource Disk(S, "disk", 1);
+  EXPECT_FALSE(Disk.metricsEnabled());
+  Disk.enableMetrics();
+  ASSERT_FALSE(Disk.metricsSamples().empty()); // Initial idle sample.
+
+  Disk.request(milliseconds(10), [] {});
+  Disk.request(milliseconds(10), [] {}); // Queues.
+  S.run();
+
+  const std::vector<Resource::MetricsSample> &Samples =
+      Disk.metricsSamples();
+  // Times never decrease, and the log ends idle.
+  for (size_t I = 1; I < Samples.size(); ++I)
+    EXPECT_LE(Samples[I - 1].When, Samples[I].When);
+  EXPECT_EQ(0u, Samples.back().Busy);
+  EXPECT_EQ(0u, Samples.back().QueueLen);
+  // Some sample saw the queued request.
+  bool SawQueue = false;
+  for (const Resource::MetricsSample &Smp : Samples)
+    SawQueue = SawQueue || Smp.QueueLen > 0;
+  EXPECT_TRUE(SawQueue);
+}
+
+TEST(TraceMetrics, ResampleIntegratesPiecewiseState) {
+  // Hand-built transition log of a 1-server resource: busy from 0 to
+  // 15 ms, idle after. On a 10 ms grid the first interval is fully busy
+  // and the second is half busy.
+  std::vector<Resource::MetricsSample> Log;
+  Log.push_back({0, 1, 1});                // One queued, one in service.
+  Log.push_back({milliseconds(10), 0, 1}); // Queue drained.
+  Log.push_back({milliseconds(15), 0, 0}); // Idle.
+
+  std::vector<ResourceMetricsRow> Rows =
+      resampleResourceMetrics(Log, 1, 0.0, 0.01, 2);
+  ASSERT_EQ(2u, Rows.size());
+  EXPECT_NEAR(1.0, Rows[0].Utilization, 1e-12);
+  EXPECT_NEAR(0.5, Rows[1].Utilization, 1e-12);
+  EXPECT_DOUBLE_EQ(0.0, Rows[1].QueueDepth);
+
+  std::string Tsv = resourceMetricsTsv(Rows);
+  EXPECT_NE(std::string::npos, Tsv.find("time_s\tqueue_depth"));
+  EXPECT_NE(std::string::npos, Tsv.find("0.500"));
+}
+
+//===----------------------------------------------------------------------===//
+// Live NFS runs: causality, client queueing, no perturbation
+//===----------------------------------------------------------------------===//
+
+ResultSet runNfsMakeFiles(OpTraceSink *Sink) {
+  Scheduler S;
+  if (Sink)
+    S.setTraceSink(Sink);
+  Cluster C(S, 2, 4);
+  NfsFs Fs(S);
+  C.mountEverywhere(Fs);
+  BenchParams P;
+  P.Operations = {"MakeFiles"};
+  P.ProblemSize = 200;
+  MpiEnvironment Env = MpiEnvironment::uniform(2, 2);
+  Master M(C, Env, "nfs", P);
+  return M.runCombination(2, 1);
+}
+
+TEST(TraceIntegration, NfsSpansAreCausallyOrdered) {
+  OpTraceSink Sink;
+  ResultSet Res = runNfsMakeFiles(&Sink);
+  ASSERT_FALSE(Sink.records().empty());
+  EXPECT_EQ(0u, Sink.liveOps());
+
+  for (const OpTraceRecord &R : Sink.records()) {
+    ASSERT_TRUE(R.delivered());
+    // NFS metadata ops are synchronous RPCs: all six points, in order.
+    for (TracePoint P :
+         {TracePoint::NetOut, TracePoint::QueueEnter,
+          TracePoint::ServiceStart, TracePoint::ServiceEnd})
+      ASSERT_TRUE(R.has(P));
+    EXPECT_LE(R.at(TracePoint::Submit), R.at(TracePoint::NetOut));
+    EXPECT_LT(R.at(TracePoint::NetOut), R.at(TracePoint::QueueEnter));
+    EXPECT_LE(R.at(TracePoint::QueueEnter),
+              R.at(TracePoint::ServiceStart));
+    EXPECT_LE(R.at(TracePoint::ServiceStart),
+              R.at(TracePoint::ServiceEnd));
+    EXPECT_LT(R.at(TracePoint::ServiceEnd), R.at(TracePoint::Deliver));
+    // The one-way wire latency is strictly positive on this model.
+    EXPECT_GT(spanBreakdown(R).Network, 0.0);
+  }
+
+  // The run's result set carries the rendered report, and the result-file
+  // manifest gains trace.txt next to diagnostics.txt.
+  EXPECT_NE(std::string::npos, Res.TraceSummary.find("operation"));
+  std::vector<std::string> Names = resultSetFileNames(Res);
+  EXPECT_NE(Names.end(),
+            std::find(Names.begin(), Names.end(), "trace.txt"));
+}
+
+TEST(TraceIntegration, TracingDoesNotPerturbMeasurement) {
+  OpTraceSink Sink;
+  ResultSet Traced = runNfsMakeFiles(&Sink);
+  ResultSet Plain = runNfsMakeFiles(nullptr);
+
+  // Bit-identical interval series and an identical event count in the
+  // quiescence diagnostics: attaching the sink changed nothing.
+  ASSERT_EQ(Plain.Subtasks.size(), Traced.Subtasks.size());
+  EXPECT_EQ(intervalSummaryTsv(Plain.Subtasks[0]),
+            intervalSummaryTsv(Traced.Subtasks[0]));
+  EXPECT_EQ(Plain.Diagnostics, Traced.Diagnostics);
+  EXPECT_EQ(stonewallAverage(Plain.Subtasks[0]),
+            stonewallAverage(Traced.Subtasks[0]));
+  EXPECT_TRUE(Plain.TraceSummary.empty());
+  EXPECT_FALSE(Traced.TraceSummary.empty());
+}
+
+TEST(TraceIntegration, ExhaustedRpcSlotsShowAsClientQueueSpan) {
+  Scheduler S;
+  OpTraceSink Sink;
+  S.setTraceSink(&Sink);
+  NfsOptions O;
+  O.RpcSlotsPerClient = 1; // Force the second RPC to wait for the slot.
+  NfsFs Fs(S, O);
+  std::unique_ptr<ClientFs> C = Fs.makeClient(0);
+
+  uint64_t A = S.traceBegin("open");
+  C->submit(makeOpen("/a", OpenWrite | OpenCreate),
+            [&](MetaReply) { S.traceFinish(A); });
+  uint64_t B = S.traceBegin("open");
+  C->submit(makeOpen("/b", OpenWrite | OpenCreate),
+            [&](MetaReply) { S.traceFinish(B); });
+  S.swapActiveTrace(0);
+  S.run();
+
+  SpanBreakdown First = spanBreakdown(Sink.records()[0]);
+  SpanBreakdown Second = spanBreakdown(Sink.records()[1]);
+  EXPECT_DOUBLE_EQ(0.0, First.ClientQueue); // Got the slot immediately.
+  EXPECT_GT(Second.ClientQueue, 0.0);       // Waited for A's round trip.
+}
+
+//===----------------------------------------------------------------------===//
+// Analysis on top of the records
+//===----------------------------------------------------------------------===//
+
+TEST(TraceAnalysisStats, ExactPercentilesAndMean) {
+  OpTraceSink Sink;
+  for (int I = 1; I <= 100; ++I) {
+    uint64_t Id = Sink.beginOp("create", 0);
+    Sink.finishOp(Id, milliseconds(I));
+  }
+  // Undelivered records are excluded.
+  Sink.beginOp("create", 0);
+
+  std::vector<OpLatencyStats> Stats = traceStats(Sink);
+  ASSERT_EQ(1u, Stats.size());
+  EXPECT_EQ("create", Stats[0].Op);
+  EXPECT_EQ(100u, Stats[0].Count);
+  EXPECT_NEAR(0.0505, Stats[0].MeanSec, 1e-12);
+  EXPECT_NEAR(0.050, Stats[0].P50Sec, 1e-12);
+  EXPECT_NEAR(0.095, Stats[0].P95Sec, 1e-12);
+  EXPECT_NEAR(0.099, Stats[0].P99Sec, 1e-12);
+  EXPECT_NEAR(0.100, Stats[0].MaxSec, 1e-12);
+
+  std::string Histogram = renderLatencyHistogram(Sink, "create");
+  EXPECT_NE(std::string::npos,
+            Histogram.find("latency histogram (create), 100 ops"));
+  std::string Report = renderTraceReport(Sink);
+  EXPECT_NE(std::string::npos, Report.find("create"));
+  EXPECT_NE(std::string::npos, Report.find("p99"));
+}
+
+TEST(TraceAnalysisStats, SpanBreakdownClampsAndSkipsUnset) {
+  OpTraceRecord R;
+  R.At[static_cast<size_t>(TracePoint::Submit)] = 0;
+  R.At[static_cast<size_t>(TracePoint::NetOut)] = milliseconds(1);
+  R.At[static_cast<size_t>(TracePoint::QueueEnter)] = milliseconds(3);
+  R.At[static_cast<size_t>(TracePoint::ServiceStart)] = milliseconds(4);
+  // Write-back: delivered before service ended; the inverted reply hop
+  // contributes 0, not a negative span.
+  R.At[static_cast<size_t>(TracePoint::Deliver)] = milliseconds(5);
+  R.At[static_cast<size_t>(TracePoint::ServiceEnd)] = milliseconds(9);
+
+  SpanBreakdown B = spanBreakdown(R);
+  EXPECT_NEAR(0.001, B.ClientQueue, 1e-12);
+  EXPECT_NEAR(0.002, B.Network, 1e-12); // Request hop only.
+  EXPECT_NEAR(0.001, B.ServerQueue, 1e-12);
+  EXPECT_NEAR(0.005, B.Service, 1e-12);
+
+  // A cache hit that never left the client: everything except the total
+  // is zero.
+  OpTraceRecord Hit;
+  Hit.At[static_cast<size_t>(TracePoint::Submit)] = 0;
+  Hit.At[static_cast<size_t>(TracePoint::Deliver)] = microseconds(2);
+  SpanBreakdown HB = spanBreakdown(Hit);
+  EXPECT_DOUBLE_EQ(0.0, HB.total());
+}
+
+TEST(TraceAnalysisStats, LatencyBreakdownChartRenders) {
+  OpTraceSink Sink;
+  uint64_t Id = Sink.beginOp("stat", 0);
+  Sink.stamp(Id, TracePoint::NetOut, microseconds(10));
+  Sink.stamp(Id, TracePoint::QueueEnter, microseconds(110));
+  Sink.stamp(Id, TracePoint::ServiceStart, microseconds(150));
+  Sink.stamp(Id, TracePoint::ServiceEnd, microseconds(250));
+  Sink.finishOp(Id, microseconds(350));
+
+  std::vector<OpLatencyStats> Stats = traceStats(Sink);
+  std::string Chart = renderLatencyBreakdownChart(Stats, "breakdown");
+  EXPECT_NE(std::string::npos, Chart.find("breakdown"));
+  EXPECT_NE(std::string::npos, Chart.find("stat"));
+  EXPECT_NE(std::string::npos, Chart.find("legend"));
+  // The 350 us mean shows up in the row label.
+  EXPECT_NE(std::string::npos, Chart.find("0.350 ms"));
+
+  std::string Tsv = latencyBreakdownTsv(Stats);
+  EXPECT_NE(std::string::npos, Tsv.find("op\tcount\tmean_s"));
+  EXPECT_NE(std::string::npos, Tsv.find("stat"));
+}
+
+} // namespace

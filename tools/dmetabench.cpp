@@ -17,6 +17,11 @@
 /// Runs the full execution plan, prints Listing 3.5-style summaries and a
 /// chart, and writes the result files of \S 3.3.9 to --outdir.
 ///
+/// The "trace" verb (dmetabench trace [options]) runs the same plan with
+/// an operation trace sink attached and additionally prints the per-op
+/// latency report (p50/p95/p99/max plus the span breakdown) and the
+/// latency-breakdown chart; --outdir then also receives trace.txt.
+///
 //===----------------------------------------------------------------------===//
 
 #include "core/ResultsIO.h"
@@ -47,7 +52,9 @@ struct CliOptions {
 
 void usage() {
   std::fputs(
-      "usage: dmetabench [options]\n"
+      "usage: dmetabench [trace] [options]\n"
+      "  trace                record per-operation span traces and print\n"
+      "                       the latency report and breakdown chart\n"
       "  --np N               total MPI slots (default 9)\n"
       "  --nodes N            cluster nodes (default 3)\n"
       "  --cores N            cores per node (default 8)\n"
@@ -198,8 +205,10 @@ std::unique_ptr<DistributedFs> makeFs(Scheduler &S, const CliOptions &Opt) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  // The optional "trace" verb comes before the flags.
+  bool Trace = Argc > 1 && !std::strcmp(Argv[1], "trace");
   CliOptions Opt;
-  if (!parseArgs(Argc, Argv, Opt))
+  if (!parseArgs(Trace ? Argc - 1 : Argc, Trace ? Argv + 1 : Argv, Opt))
     return 1;
   if (Opt.Extensions)
     registerExtensionPlugins(PluginRegistry::global());
@@ -213,6 +222,9 @@ int main(int Argc, char **Argv) {
     }
 
   Scheduler S;
+  OpTraceSink Sink;
+  if (Trace)
+    S.setTraceSink(&Sink);
   Cluster C(S, Opt.Nodes, Opt.Cores);
   std::unique_ptr<DistributedFs> Fs = makeFs(S, Opt);
   if (!Fs) {
@@ -245,6 +257,14 @@ int main(int Argc, char **Argv) {
               format("%.0f", Sum.StonewallOpsPerSec)});
   }
   std::fputs(T.render().c_str(), stdout);
+
+  if (Trace) {
+    std::printf("\n%s", Results.TraceSummary.c_str());
+    std::printf("\n%s", renderLatencyBreakdownChart(
+                            traceStats(Sink),
+                            "mean latency breakdown on " + Fs->name())
+                            .c_str());
+  }
 
   if (Opt.Chart) {
     for (const std::string &Op : Opt.Params.Operations) {

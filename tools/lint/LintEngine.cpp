@@ -106,6 +106,12 @@ const Pattern RandomnessPatterns[] = {
     {"drand48", false},   {"srand(", true},         {"rand(", true},
 };
 
+const Pattern TraceSinkPatterns[] = {
+    {"beginOp(", true},
+    {"finishOp(", true},
+    {"stamp(", true},
+};
+
 bool matchesAny(const std::string &Line, const Pattern *Patterns, size_t N,
                 const char *&Hit) {
   for (size_t I = 0; I < N; ++I) {
@@ -148,6 +154,19 @@ bool inDeterministicScope(const std::string &RelPath) {
   return startsWith(RelPath, "src/sim/") || startsWith(RelPath, "src/dfs/") ||
          startsWith(RelPath, "src/cluster/") ||
          startsWith(RelPath, "tests/") || startsWith(RelPath, "bench/");
+}
+
+/// Simulation directories whose trace recording must go through the
+/// owning Scheduler so every timestamp reads the simulated clock.
+bool inTraceClockScope(const std::string &RelPath) {
+  return startsWith(RelPath, "src/sim/") || startsWith(RelPath, "src/dfs/");
+}
+
+/// Files allowed to touch an OpTraceSink directly: the sink itself and
+/// the Scheduler, which owns the clock the stamps must come from.
+bool traceClockExempt(const std::string &RelPath) {
+  return startsWith(RelPath, "src/sim/Trace.") ||
+         startsWith(RelPath, "src/sim/Scheduler.");
 }
 
 /// Expected include-guard macro: DMETABENCH_<DIR>_<FILE>_H. The "src"
@@ -239,6 +258,7 @@ void dmb::lint::lintContent(const std::string &RelPath,
 
   bool Deterministic = inDeterministicScope(RelPath);
   bool InSrc = startsWith(RelPath, "src/");
+  bool TraceScope = inTraceClockScope(RelPath) && !traceClockExempt(RelPath);
 
   for (size_t I = 0; I < Lines.size(); ++I) {
     const std::string &Raw = Lines[I];
@@ -261,6 +281,14 @@ void dmb::lint::lintContent(const std::string &RelPath,
                        std::string("unseeded randomness '") + Hit +
                            "' in deterministic code; use support/Random"});
     }
+
+    if (TraceScope && !allowed(Raw, "trace-clock") &&
+        matchesAny(L, TraceSinkPatterns, std::size(TraceSinkPatterns), Hit))
+      Out.push_back({RelPath, LineNo, "trace-clock",
+                     std::string("direct OpTraceSink call '") + Hit +
+                         "' outside the scheduler; use "
+                         "Scheduler::traceBegin()/traceStamp() so stamps "
+                         "read the owning clock"});
 
     if (InSrc && !allowed(Raw, "raw-assert")) {
       if (hasBareToken(L, "assert("))

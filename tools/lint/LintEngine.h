@@ -25,6 +25,11 @@
 ///  - error-table:  the FsError enum, its NumFsErrors count and the
 ///                  fsErrorName() case table stay in sync with unique
 ///                  names.
+///  - trace-clock:  no direct OpTraceSink calls (beginOp / stamp /
+///                  finishOp) in src/sim or src/dfs outside sim/Trace.*
+///                  and sim/Scheduler.* — components record trace points
+///                  via Scheduler::traceBegin()/traceStamp(), so every
+///                  timestamp reads the owning scheduler's clock.
 ///
 /// A finding on a line containing "dmeta-lint: allow(<rule>)" is
 /// suppressed — the escape hatch for the rare legitimate exception.

@@ -6,7 +6,9 @@
 #   1. a plain RelWithDebInfo build of everything,
 #   2. dmeta-lint over the source tree,
 #   3. the full ctest suite,
-#   4. (optionally) the same suite rebuilt under sanitizers.
+#   4. the trace tests rebuilt under ASan+UBSan (always — the trace layer
+#      threads ids through every queue and must stay memory-clean),
+#   5. (optionally) the full suite rebuilt under sanitizers.
 #
 # Exits nonzero on the first failure. Usage:
 #
@@ -56,6 +58,16 @@ if [ -n "$SANITIZE" ]; then
 
   step "ctest under sanitizers"
   ctest --test-dir "$ROOT/build-sanitize" --output-on-failure -j "$JOBS"
+else
+  # Even without --sanitize, the trace tests always run under ASan+UBSan:
+  # the trace layer threads ids through every internal queue, exactly the
+  # kind of plumbing where lifetime bugs hide.
+  step "trace tests under ASan+UBSan (build-sanitize/)"
+  cmake -B "$ROOT/build-sanitize" -S "$ROOT" \
+        -DDMB_SANITIZE="address,undefined" >/dev/null
+  cmake --build "$ROOT/build-sanitize" -j "$JOBS" --target trace_test
+  ctest --test-dir "$ROOT/build-sanitize" --output-on-failure -j "$JOBS" \
+        -R '^Trace'
 fi
 
 echo
