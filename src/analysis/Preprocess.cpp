@@ -137,3 +137,43 @@ std::string dmb::intervalSummaryTsv(const SubtaskResult &R) {
                   Row.PerProcStddev, Row.PerProcCov);
   return Out;
 }
+
+std::string dmb::canonicalResultText(const ResultSet &R) {
+  std::string Out;
+  for (const SubtaskResult &S : R.Subtasks) {
+    Out += format("== %s %s nodes=%u perNode=%u ==\n", S.Operation.c_str(),
+                  S.FileSystem.c_str(), S.NumNodes, S.PerNode);
+    // Per-process timelines as a *sorted multiset*, without rank or
+    // hostname: which rank draws which queue position at a same-timestamp
+    // tie is exactly what schedule perturbation permutes, so per-rank
+    // identity is legitimately schedule-dependent. The simulation's real
+    // invariant is that the set of timelines (and every aggregate built
+    // from it) does not change.
+    std::vector<std::string> ProcLines;
+    for (const ProcessTrace &P : S.Processes) {
+      std::string Line =
+          format("proc\tops=%llu\tfailed=%llu\tfinish=%.6f\t",
+                 (unsigned long long)P.TotalOps,
+                 (unsigned long long)P.FailedRequests,
+                 toSeconds(P.FinishOffset));
+      uint64_t Cum = 0;
+      for (uint64_t N : P.OpsPerInterval) {
+        Cum += N;
+        Line += format("%llu,", (unsigned long long)Cum);
+      }
+      ProcLines.push_back(std::move(Line));
+    }
+    std::sort(ProcLines.begin(), ProcLines.end());
+    for (const std::string &Line : ProcLines)
+      Out += Line + "\n";
+    Out += intervalSummaryTsv(S);
+    SubtaskSummary Sum = summarize(S);
+    Out += format("total_ops\t%llu\n",
+                  (unsigned long long)Sum.TotalOps);
+    Out += format("wallclock\t%.6f\t%.3f\n", Sum.WallClockSec,
+                  Sum.WallClockOpsPerSec);
+    Out += format("stonewall\t%.6f\t%.3f\n", Sum.StonewallSec,
+                  Sum.StonewallOpsPerSec);
+  }
+  return Out;
+}

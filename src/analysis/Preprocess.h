@@ -66,6 +66,17 @@ double wallClockAverage(const SubtaskResult &R);
 /// Renders the rows as a Listing 3.4-style TSV.
 std::string intervalSummaryTsv(const SubtaskResult &R);
 
+/// Canonical text rendering of a whole ResultSet for schedule-invariance
+/// checks (sim/ScheduleVerify.h): per subtask the per-process timelines
+/// as a sorted multiset (rank and hostname elided — queue positions at
+/// same-timestamp ties decide which rank gets which timeline, and those
+/// ties are exactly what schedule perturbation permutes), the Listing 3.4
+/// interval summary and the Listing 3.5 averages. The rendering
+/// deliberately excludes ResultSet::Diagnostics — it embeds scheduler
+/// bookkeeping (executed-event counts) that may legitimately vary between
+/// equivalent schedules — and anything seed-dependent.
+std::string canonicalResultText(const ResultSet &R);
+
 } // namespace dmb
 
 #endif // DMETABENCH_ANALYSIS_PREPROCESS_H

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Worker.h"
+#include "sim/HappensBefore.h"
 #include "support/Assert.h"
 
 using namespace dmb;
@@ -68,13 +69,21 @@ void WorkerProcess::step() {
             Record ? Sched.traceBegin(metaOpName(Req.Op)) : 0;
         Config.Client->submit(Req, [this, Trace, Completes,
                                     OpCount](MetaReply Reply) {
-          Sched.traceFinish(Trace);
-          if (!Reply.ok())
+          // Bookkeeping runs before traceFinish deactivates the trace so
+          // the happens-before hooks see the operation as their context;
+          // nothing here stamps or schedules, so timing is unaffected.
+          if (!Reply.ok()) {
             ++Failures;
-          if (Record && Completes)
+            DMB_HB_WRITE(Sched, Failures, "WorkerProcess.Failures");
+          }
+          if (Record && Completes) {
             Log.record(Sched.now(), OpCount);
+            DMB_HB_WRITE(Sched, Log, "WorkerProcess.TimeLog");
+          }
           AtOpBoundary = Completes;
           LastReply = std::move(Reply);
+          DMB_HB_WRITE(Sched, LastReply, "WorkerProcess.LastReply");
+          Sched.traceFinish(Trace);
           step();
         });
       });

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "dfs/FileServer.h"
+#include "sim/HappensBefore.h"
 #include "sim/Trace.h"
 #include "support/Assert.h"
 #include <algorithm>
@@ -203,6 +204,7 @@ void FileServer::noteMutation(const MetaRequest &Req) {
   if (!Mutates)
     return;
   DirtyBytes += Config.LogBytesPerMutation;
+  DMB_HB_WRITE(Sched, DirtyBytes, "FileServer.DirtyBytes");
   if (Config.EnableConsistencyPoints)
     maybeStartConsistencyPoint();
   else
@@ -299,6 +301,7 @@ MetaReply FileServer::processEager(const std::string &Volume,
   }
 
   ++Processed;
+  DMB_HB_WRITE(Sched, Processed, "FileServer.Processed");
 
   // Admission control (\S 5.4): a rate-limited tenant's requests wait for
   // their admission slot before consuming server CPU. The state change

@@ -16,6 +16,8 @@
 #define DMETABENCH_DFS_RPCCLIENTBASE_H
 
 #include "dfs/ClientFs.h"
+#include "sim/HappensBefore.h"
+#include "sim/LockOrder.h"
 #include "sim/Scheduler.h"
 #include "sim/Trace.h"
 #include <deque>
@@ -33,20 +35,35 @@ protected:
   /// slotDone() exactly once. The slot grant is the operation's NetOut
   /// hop: the request leaves the client once it holds an RPC slot.
   void withSlot(std::function<void()> RpcFn) {
+    uint64_t Ctx = Sched.activeTrace();
+    if (LockOrderGraph *G = Sched.lockOrder())
+      G->onRequest(this, "RpcSlots", Ctx, Sched.now());
     if (InFlight < Slots) {
       ++InFlight;
+      DMB_HB_WRITE(Sched, InFlight, "RpcClientBase.InFlight");
+      if (LockOrderGraph *G = Sched.lockOrder())
+        G->onGranted(this, Ctx);
       Sched.traceStamp(TracePoint::NetOut);
       RpcFn();
       return;
     }
-    Pending.push_back({std::move(RpcFn), Sched.activeTrace()});
+    Pending.push_back({std::move(RpcFn), Ctx});
   }
 
   /// Releases the slot taken by the current RPC and pumps the queue.
   void slotDone() {
+    uint64_t Ctx = Sched.activeTrace();
+    if (LockOrderGraph *G = Sched.lockOrder())
+      G->onReleased(this, Ctx);
     if (!Pending.empty()) {
       PendingRpc Next = std::move(Pending.front());
       Pending.pop_front();
+      // The freed slot is handed to the queued request: everything the
+      // finishing operation did happens-before the queued one resumes.
+      if (HBTracker *T = Sched.happensBefore())
+        T->syncEdge(Ctx, Next.Trace);
+      if (LockOrderGraph *G = Sched.lockOrder())
+        G->onGranted(this, Next.Trace);
       // The slot transfers to the queued request, which belongs to a
       // different operation than the one whose completion freed the slot.
       uint64_t Prev = Sched.swapActiveTrace(Next.Trace);
@@ -58,6 +75,7 @@ protected:
       return;
     }
     --InFlight;
+    DMB_HB_WRITE(Sched, InFlight, "RpcClientBase.InFlight");
   }
 
   Scheduler &sched() { return Sched; }

@@ -42,6 +42,9 @@
 #include "chart/Charts.h"
 
 // Operation-level span tracing.
+#include "sim/HappensBefore.h"
+#include "sim/LockOrder.h"
+#include "sim/ScheduleVerify.h"
 #include "sim/Trace.h"
 
 // Disturbance injectors (thesis \S 4.2.3).

@@ -1,0 +1,94 @@
+//===- sim/HappensBefore.cpp ----------------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/HappensBefore.h"
+#include "sim/SimDiagnostics.h"
+#include "support/Format.h"
+#include <algorithm>
+
+using namespace dmb;
+
+uint64_t HBTracker::tick(uint64_t Ctx) { return ++Clocks[Ctx][Ctx]; }
+
+bool HBTracker::knows(uint64_t Ctx, uint64_t Other, uint64_t Tick) const {
+  auto CIt = Clocks.find(Ctx);
+  if (CIt == Clocks.end())
+    return false;
+  auto OIt = CIt->second.find(Other);
+  return OIt != CIt->second.end() && OIt->second >= Tick;
+}
+
+void HBTracker::beginContext(uint64_t Ctx, uint64_t Parent) {
+  if (Ctx == 0)
+    return;
+  if (Parent != 0 && Parent != Ctx)
+    Clocks[Ctx] = Clocks[Parent]; // inherit everything the parent knows
+  tick(Ctx);
+}
+
+void HBTracker::advance(uint64_t Ctx) {
+  if (Ctx != 0)
+    tick(Ctx);
+}
+
+void HBTracker::syncEdge(uint64_t From, uint64_t To) {
+  if (From == 0 || To == 0 || From == To)
+    return;
+  Clock &Dst = Clocks[To];
+  for (const auto &[Id, Tick] : Clocks[From])
+    Dst[Id] = std::max(Dst[Id], Tick);
+}
+
+void HBTracker::flag(const ObjState &O, uint64_t CtxA, bool WriteA,
+                     uint64_t CtxB, bool WriteB, SimTime Now) {
+  const void *Obj = &O;
+  uint64_t Lo = std::min(CtxA, CtxB), Hi = std::max(CtxA, CtxB);
+  if (std::count(SeenPairs.begin(), SeenPairs.end(),
+                 std::tuple(Obj, Lo, Hi)))
+    return;
+  SeenPairs.emplace_back(Obj, Lo, Hi);
+  Findings.push_back(Finding{O.Name, CtxA, CtxB, Now, WriteA, WriteB});
+}
+
+void HBTracker::onAccess(const void *Obj, const char *Name, bool Write,
+                         uint64_t Ctx, SimTime Now) {
+  if (Ctx == 0)
+    return;
+  ObjState &O = Objects[Obj];
+  if (O.Name.empty())
+    O.Name = Name;
+  for (const auto &[Other, A] : O.ByCtx) {
+    if (Other == Ctx)
+      continue;
+    // Writes conflict with everything; reads only with writes. And only a
+    // same-sim-time conflict can be schedule-dependent: across distinct
+    // timestamps the event queue itself is the ordering.
+    if (A.WriteAt == Now && !knows(Ctx, Other, A.WriteTick))
+      flag(O, Other, /*WriteA=*/true, Ctx, Write, Now);
+    else if (Write && A.ReadAt == Now && !knows(Ctx, Other, A.ReadTick))
+      flag(O, Other, /*WriteA=*/false, Ctx, Write, Now);
+  }
+  uint64_t T = tick(Ctx);
+  Access &Mine = O.ByCtx[Ctx];
+  if (Write) {
+    Mine.WriteTick = T;
+    Mine.WriteAt = Now;
+  } else {
+    Mine.ReadTick = T;
+    Mine.ReadAt = Now;
+  }
+}
+
+void HBTracker::report(SimDiagnostics &D) const {
+  for (const Finding &F : Findings)
+    D.addIssue("happens-before",
+               format("unsynchronized %s/%s of %s at t=%.6fs by trace ids "
+                      "%llu and %llu",
+                      F.WriteA ? "write" : "read", F.WriteB ? "write" : "read",
+                      F.Location.c_str(), toSeconds(F.At),
+                      static_cast<unsigned long long>(F.CtxA),
+                      static_cast<unsigned long long>(F.CtxB)));
+}

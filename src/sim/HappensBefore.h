@@ -1,0 +1,118 @@
+//===- sim/HappensBefore.h - Vector-clock race detection ---------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A happens-before tracker for the simulated runtime. Contexts are the
+/// PR 2 trace ids (one per in-flight operation); each carries a vector
+/// clock that ticks at every event boundary (Scheduler::step) and joins at
+/// synchronization points: operation begin (child inherits parent),
+/// SimMutex handoff, Resource grant after queueing, SharedProcessor
+/// completion and RPC slot handoff.
+///
+/// The race rule is specific to discrete-event simulation: accesses at
+/// *different* sim times are ordered by the clock itself — the scheduler
+/// always fires the earlier timestamp first, and schedule perturbation
+/// only permutes ties. A data race (result depending on the schedule) is
+/// therefore only possible between two conflicting accesses at the *same*
+/// sim time whose contexts are not ordered by happens-before. That is
+/// exactly what onAccess() flags.
+///
+/// Shared state is annotated with DMB_HB_READ / DMB_HB_WRITE, which cost
+/// one null-pointer check when tracking is off. Accesses from untraced
+/// contexts (id 0) are skipped — like the lock-order analyzer, the
+/// tracker needs an attached OpTraceSink to tell operations apart.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_SIM_HAPPENSBEFORE_H
+#define DMETABENCH_SIM_HAPPENSBEFORE_H
+
+#include "sim/Time.h"
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace dmb {
+
+class SimDiagnostics;
+
+/// Vector-clock happens-before tracker over trace-id contexts.
+class HBTracker {
+public:
+  /// One unsynchronized same-time access pair.
+  struct Finding {
+    std::string Location; ///< annotated object name
+    uint64_t CtxA = 0, CtxB = 0;
+    SimTime At = 0;
+    bool WriteA = false, WriteB = false;
+  };
+
+  /// Context \p Ctx begins inside \p Parent's event (0 = no parent):
+  /// everything the parent has done happens-before the child.
+  void beginContext(uint64_t Ctx, uint64_t Parent);
+
+  /// Event boundary tick for \p Ctx (called by Scheduler::step).
+  void advance(uint64_t Ctx);
+
+  /// Synchronization edge: everything \p From has done happens-before
+  /// everything \p To does next (mutex handoff, queue grant, slot grant).
+  void syncEdge(uint64_t From, uint64_t To);
+
+  /// A read (Write=false) or write (Write=true) of the object at \p Obj,
+  /// annotated \p Name, from context \p Ctx at sim time \p Now.
+  void onAccess(const void *Obj, const char *Name, bool Write, uint64_t Ctx,
+                SimTime Now);
+
+  const std::vector<Finding> &findings() const { return Findings; }
+
+  /// Appends one issue per finding to \p D.
+  void report(SimDiagnostics &D) const;
+
+private:
+  /// Sparse vector clock: context id → last observed tick.
+  using Clock = std::map<uint64_t, uint64_t>;
+  /// Last access to an object from one context.
+  struct Access {
+    uint64_t ReadTick = 0, WriteTick = 0;
+    SimTime ReadAt = -1, WriteAt = -1;
+  };
+  struct ObjState {
+    std::string Name;
+    std::map<uint64_t, Access> ByCtx;
+  };
+
+  uint64_t tick(uint64_t Ctx);
+  bool knows(uint64_t Ctx, uint64_t Other, uint64_t Tick) const;
+  void flag(const ObjState &O, uint64_t CtxA, bool WriteA, uint64_t CtxB,
+            bool WriteB, SimTime Now);
+
+  std::map<uint64_t, Clock> Clocks;
+  std::map<const void *, ObjState> Objects;
+  std::vector<Finding> Findings;
+  std::vector<std::tuple<const void *, uint64_t, uint64_t>> SeenPairs;
+};
+
+/// Annotation hooks for shared simulation state. \p Sched is a Scheduler
+/// (or reference); no-ops unless enableHappensBeforeTracking() ran.
+#define DMB_HB_READ(Sched, Obj, Name)                                          \
+  do {                                                                         \
+    if (::dmb::HBTracker *HbT_ = (Sched).happensBefore())                      \
+      HbT_->onAccess(&(Obj), Name, /*Write=*/false, (Sched).activeTrace(),     \
+                     (Sched).now());                                           \
+  } while (false)
+
+#define DMB_HB_WRITE(Sched, Obj, Name)                                         \
+  do {                                                                         \
+    if (::dmb::HBTracker *HbT_ = (Sched).happensBefore())                      \
+      HbT_->onAccess(&(Obj), Name, /*Write=*/true, (Sched).activeTrace(),      \
+                     (Sched).now());                                           \
+  } while (false)
+
+} // namespace dmb
+
+#endif // DMETABENCH_SIM_HAPPENSBEFORE_H

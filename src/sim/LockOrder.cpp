@@ -1,0 +1,117 @@
+//===- sim/LockOrder.cpp --------------------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/LockOrder.h"
+#include "sim/SimDiagnostics.h"
+#include "support/Format.h"
+#include <algorithm>
+
+using namespace dmb;
+
+unsigned LockOrderGraph::intern(const void *Obj, const std::string &Name) {
+  auto It = Ids.find(Obj);
+  if (It != Ids.end())
+    return It->second;
+  unsigned Id = static_cast<unsigned>(Nodes.size());
+  Nodes.push_back(Node{Name, {}});
+  Ids.emplace(Obj, Id);
+  return Id;
+}
+
+void LockOrderGraph::onRequest(const void *Obj, const std::string &Name,
+                               uint64_t Ctx, SimTime Now) {
+  if (Ctx == 0)
+    return; // untraced context: no identity to key the held set by
+  unsigned To = intern(Obj, Name);
+  auto HeldIt = Held.find(Ctx);
+  if (HeldIt == Held.end())
+    return;
+  // One edge per distinct held node; re-sightings keep the first stamp so
+  // reports name the acquisition that established the order.
+  std::vector<unsigned> Seen;
+  for (unsigned From : HeldIt->second) {
+    if (From == To || std::count(Seen.begin(), Seen.end(), From))
+      continue;
+    Seen.push_back(From);
+    auto [EdgeIt, Inserted] =
+        Nodes[From].Out.emplace(To, EdgeInfo{Now, Ctx});
+    if (!Inserted)
+      continue;
+    // New edge From → To: a cycle through it must contain a To → … → From
+    // path that existed before, so one reachability probe suffices.
+    std::vector<unsigned> Path{To};
+    if (findPath(To, From, Path)) {
+      Path.push_back(To);
+      recordCycle(Path);
+    }
+  }
+}
+
+void LockOrderGraph::onGranted(const void *Obj, uint64_t Ctx) {
+  if (Ctx == 0)
+    return;
+  Held[Ctx].push_back(intern(Obj, ""));
+}
+
+void LockOrderGraph::onReleased(const void *Obj, uint64_t Ctx) {
+  if (Ctx == 0)
+    return;
+  auto It = Ids.find(Obj);
+  auto HeldIt = Held.find(Ctx);
+  if (It == Ids.end() || HeldIt == Held.end())
+    return;
+  std::vector<unsigned> &H = HeldIt->second;
+  auto Pos = std::find(H.begin(), H.end(), It->second);
+  if (Pos != H.end())
+    H.erase(Pos);
+  if (H.empty())
+    Held.erase(HeldIt);
+}
+
+bool LockOrderGraph::findPath(unsigned From, unsigned To,
+                              std::vector<unsigned> &Path) const {
+  for (const auto &[Next, Info] : Nodes[From].Out) {
+    (void)Info;
+    if (std::count(Path.begin(), Path.end(), Next))
+      continue;
+    Path.push_back(Next);
+    if (Next == To || findPath(Next, To, Path))
+      return true;
+    Path.pop_back();
+  }
+  return false;
+}
+
+void LockOrderGraph::recordCycle(const std::vector<unsigned> &Nodes_) {
+  // Canonical key: the sorted set of participating nodes. Reordering the
+  // same conflict (or discovering it through a different edge) is not a
+  // new finding.
+  std::vector<unsigned> Key(Nodes_.begin(), Nodes_.end() - 1);
+  std::sort(Key.begin(), Key.end());
+  if (std::count(SeenCycleKeys.begin(), SeenCycleKeys.end(), Key))
+    return;
+  SeenCycleKeys.push_back(Key);
+
+  std::vector<std::string> Arrows, Edges;
+  for (size_t I = 0; I + 1 < Nodes_.size(); ++I) {
+    unsigned From = Nodes_[I], To = Nodes_[I + 1];
+    Arrows.push_back(Nodes[From].Name);
+    const EdgeInfo &E = Nodes[From].Out.at(To);
+    Edges.push_back(format("%s -> %s first at t=%.6fs by trace id %llu",
+                           Nodes[From].Name.c_str(), Nodes[To].Name.c_str(),
+                           toSeconds(E.FirstAt),
+                           static_cast<unsigned long long>(E.FirstCtx)));
+  }
+  Arrows.push_back(Nodes[Nodes_.back()].Name);
+  Cycles.push_back(Cycle{Nodes_, format("potential deadlock: %s [%s]",
+                                        join(Arrows, " -> ").c_str(),
+                                        join(Edges, "; ").c_str())});
+}
+
+void LockOrderGraph::report(SimDiagnostics &D) const {
+  for (const Cycle &C : Cycles)
+    D.addIssue("lock-order", C.Detail);
+}

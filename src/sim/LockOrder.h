@@ -1,0 +1,94 @@
+//===- sim/LockOrder.h - Dynamic lock-order deadlock analyzer ----*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dynamic lock-order graph over the simulated synchronization
+/// primitives (SimMutex, Resource, SharedProcessor, RPC slot queues).
+/// Every acquisition made while the requesting operation already holds
+/// another primitive adds a directed edge held → requested; a cycle in
+/// that graph is a *potential* deadlock — two operations could block each
+/// other under some legal schedule — even when the observed schedule
+/// happened not to deadlock.
+///
+/// "Who holds what" is keyed by the PR 2 trace id: the operation id is
+/// the closest thing the simulation has to a thread. Acquisitions from
+/// untraced contexts (id 0, e.g. warm-up phases without a trace sink)
+/// carry no identity and are skipped, so meaningful analysis requires an
+/// attached OpTraceSink. Enable via Scheduler::enableLockOrderAnalysis();
+/// findings are reported through the quiescence-check channel and land in
+/// diagnostics.txt alongside the leak checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_SIM_LOCKORDER_H
+#define DMETABENCH_SIM_LOCKORDER_H
+
+#include "sim/Time.h"
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dmb {
+
+class SimDiagnostics;
+
+/// Collects acquisition order between sync primitives and detects cycles
+/// incrementally (a check runs only when a new edge appears).
+class LockOrderGraph {
+public:
+  /// One confirmed lock-order cycle, rendered for diagnostics.
+  struct Cycle {
+    std::vector<unsigned> Nodes; ///< node ids along the cycle (first repeated)
+    std::string Detail;          ///< human-readable edge-by-edge report
+  };
+
+  /// The requesting side of an acquisition: \p Obj identifies the
+  /// primitive, \p Name labels it in reports, \p Ctx is the trace id of
+  /// the requesting operation. Call before the primitive decides whether
+  /// to grant or queue the request.
+  void onRequest(const void *Obj, const std::string &Name, uint64_t Ctx,
+                 SimTime Now);
+
+  /// The primitive granted the acquisition to \p Ctx (immediately or after
+  /// queueing); \p Obj joins the context's held set.
+  void onGranted(const void *Obj, uint64_t Ctx);
+
+  /// \p Ctx released \p Obj (one instance, for counted primitives).
+  void onReleased(const void *Obj, uint64_t Ctx);
+
+  /// Unique cycles found so far, in discovery order.
+  const std::vector<Cycle> &cycles() const { return Cycles; }
+
+  /// Appends one issue per unique cycle to \p D.
+  void report(SimDiagnostics &D) const;
+
+private:
+  struct EdgeInfo {
+    SimTime FirstAt = 0;   ///< sim time of the acquisition that added it
+    uint64_t FirstCtx = 0; ///< trace id of the requesting operation
+  };
+  struct Node {
+    std::string Name;
+    std::map<unsigned, EdgeInfo> Out; ///< successor node id → first sighting
+  };
+
+  unsigned intern(const void *Obj, const std::string &Name);
+  bool findPath(unsigned From, unsigned To, std::vector<unsigned> &Path) const;
+  void recordCycle(const std::vector<unsigned> &Nodes);
+
+  std::map<const void *, unsigned> Ids;
+  std::vector<Node> Nodes;
+  /// Trace id → multiset of held node ids (a context can hold several
+  /// instances of a counted primitive, hence a vector, not a set).
+  std::map<uint64_t, std::vector<unsigned>> Held;
+  std::vector<Cycle> Cycles;
+  std::vector<std::vector<unsigned>> SeenCycleKeys;
+};
+
+} // namespace dmb
+
+#endif // DMETABENCH_SIM_LOCKORDER_H

@@ -21,6 +21,8 @@
 #ifndef DMETABENCH_SIM_MUTEX_H
 #define DMETABENCH_SIM_MUTEX_H
 
+#include "sim/HappensBefore.h"
+#include "sim/LockOrder.h"
 #include "sim/Scheduler.h"
 #include "support/Assert.h"
 #include <deque>
@@ -52,23 +54,39 @@ public:
 
   /// Requests the lock; \p Acquired runs (as a scheduled event) when held.
   void lock(std::function<void()> Acquired) {
+    uint64_t Ctx = Sched.activeTrace();
+    if (LockOrderGraph *G = Sched.lockOrder())
+      G->onRequest(this, "SimMutex " + Name, Ctx, Sched.now());
     if (!Locked) {
       Locked = true;
+      HolderTrace = Ctx;
+      if (LockOrderGraph *G = Sched.lockOrder())
+        G->onGranted(this, Ctx);
       Sched.after(0, std::move(Acquired));
       return;
     }
-    Waiters.push_back({std::move(Acquired), Sched.activeTrace()});
+    Waiters.push_back({std::move(Acquired), Ctx});
   }
 
   /// Releases the lock, waking the next waiter in FIFO order.
   void unlock() {
     DMB_CHECK(Locked, "unlock of unlocked SimMutex (double unlock?)");
+    if (LockOrderGraph *G = Sched.lockOrder())
+      G->onReleased(this, HolderTrace);
     if (Waiters.empty()) {
       Locked = false;
+      HolderTrace = 0;
       return;
     }
     Waiter Next = std::move(Waiters.front());
     Waiters.pop_front();
+    // Everything the holder did happens-before everything the queued
+    // waiter does once woken: a real synchronization edge.
+    if (HBTracker *T = Sched.happensBefore())
+      T->syncEdge(HolderTrace, Next.Trace);
+    if (LockOrderGraph *G = Sched.lockOrder())
+      G->onGranted(this, Next.Trace);
+    HolderTrace = Next.Trace;
     // The wakeup belongs to the waiter's operation, not the unlocker's.
     uint64_t Prev = Sched.swapActiveTrace(Next.Trace);
     Sched.after(0, std::move(Next.Acquired));
@@ -98,6 +116,7 @@ private:
   std::string Name;
   uint64_t CheckId = 0;
   bool Locked = false;
+  uint64_t HolderTrace = 0; ///< trace id of the current holder (0 = none)
   std::deque<Waiter> Waiters;
 };
 

@@ -5,6 +5,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "sim/Resource.h"
+#include "sim/HappensBefore.h"
+#include "sim/LockOrder.h"
 #include "sim/Trace.h"
 #include "support/Format.h"
 
@@ -34,6 +36,8 @@ void Resource::report(SimDiagnostics &D) const {
 
 void Resource::request(SimDuration Service, Completion Done) {
   Pending P{Service, std::move(Done), Sched.activeTrace()};
+  if (LockOrderGraph *G = Sched.lockOrder())
+    G->onRequest(this, "Resource " + Name, P.Trace, Sched.now());
   if (Busy < NumServers) {
     startService(std::move(P));
     return;
@@ -51,24 +55,32 @@ void Resource::startService(Pending P) {
   BusyTime += Actual;
   Completion Done = std::move(P.Done);
   Sched.traceStampOn(P.Trace, TracePoint::ServiceStart);
+  if (LockOrderGraph *G = Sched.lockOrder())
+    G->onGranted(this, P.Trace);
   sampleState();
   // The completion event belongs to the serviced operation, not to
   // whichever operation's completion freed this server.
   uint64_t Prev = Sched.swapActiveTrace(P.Trace);
   Sched.after(Actual, [this, Trace = P.Trace, Done = std::move(Done)]() {
     Sched.traceStampOn(Trace, TracePoint::ServiceEnd);
-    finishOne();
+    if (LockOrderGraph *G = Sched.lockOrder())
+      G->onReleased(this, Trace);
+    finishOne(Trace);
     Done();
   });
   Sched.swapActiveTrace(Prev);
 }
 
-void Resource::finishOne() {
+void Resource::finishOne(uint64_t FinishedTrace) {
   --Busy;
   ++Completed;
   if (!Waiting.empty()) {
     Pending Next = std::move(Waiting.front());
     Waiting.pop_front();
+    // The server freed by FinishedTrace now serves Next: a real
+    // synchronization edge between the two operations.
+    if (HBTracker *T = Sched.happensBefore())
+      T->syncEdge(FinishedTrace, Next.Trace);
     startService(std::move(Next));
   } else {
     sampleState();

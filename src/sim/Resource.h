@@ -81,7 +81,7 @@ private:
   };
 
   void startService(Pending P);
-  void finishOne();
+  void finishOne(uint64_t FinishedTrace);
   void report(SimDiagnostics &D) const;
   void sampleState();
 

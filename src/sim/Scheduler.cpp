@@ -5,6 +5,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "sim/Scheduler.h"
+#include "sim/HappensBefore.h"
+#include "sim/LockOrder.h"
 #include "sim/Trace.h"
 #include "support/Assert.h"
 #include <algorithm>
@@ -35,9 +37,27 @@ Scheduler::~Scheduler() {
     ActiveScheduler = nullptr;
 }
 
+// splitmix64 finalizer: cheap, well-mixed, and fully determined by the
+// (Seed, Seq) pair, so a given seed always yields the same permutation.
+static uint64_t mixTieKey(uint64_t Seed, uint64_t Seq) {
+  uint64_t X = Seq + Seed * 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
 void Scheduler::at(SimTime When, Action Fn) {
   DMB_ASSERT(When >= Now, "cannot schedule into the past");
-  Queue.push(Event{When, NextSeq++, ActiveTrace, std::move(Fn)});
+  uint64_t Seq = NextSeq++;
+  uint64_t Key = PerturbSeed ? mixTieKey(PerturbSeed, Seq) : Seq;
+  Queue.push(Event{When, Key, Seq, ActiveTrace, std::move(Fn)});
+}
+
+void Scheduler::enableSchedulePerturbation(uint64_t Seed) {
+  DMB_CHECK(NextSeq == 0 && Queue.empty(),
+            "schedule perturbation must be enabled before any event is "
+            "scheduled");
+  PerturbSeed = Seed;
 }
 
 bool Scheduler::step() {
@@ -49,9 +69,13 @@ bool Scheduler::step() {
   Queue.pop();
   Now = Ev.When;
   ++Executed;
+  if (Journal)
+    JournalLog.push_back(JournalEntry{Ev.When, Ev.Seq, Ev.Trace});
   // Events run in the trace context of the operation that scheduled them,
   // so causal chains inherit the operation id across hops.
   ActiveTrace = Ev.Trace;
+  if (HB)
+    HB->advance(ActiveTrace);
   Ev.Fn();
   ActiveTrace = 0;
   return true;
@@ -81,7 +105,12 @@ void Scheduler::runUntil(SimTime Deadline) {
 uint64_t Scheduler::traceBegin(const char *Op) {
   if (!Trace)
     return 0;
+  uint64_t Parent = ActiveTrace;
   ActiveTrace = Trace->beginOp(Op, Now);
+  // The new operation starts inside its parent's event, so everything the
+  // parent did so far happens-before everything the child will do.
+  if (HB)
+    HB->beginContext(ActiveTrace, Parent);
   return ActiveTrace;
 }
 
@@ -101,6 +130,22 @@ void Scheduler::traceFinish(uint64_t Id) {
   Trace->finishOp(Id, Now);
   if (ActiveTrace == Id)
     ActiveTrace = 0;
+}
+
+void Scheduler::enableLockOrderAnalysis() {
+  if (LockGraph)
+    return;
+  LockGraph = std::make_unique<LockOrderGraph>();
+  LockOrderGraph *G = LockGraph.get();
+  addQuiescenceCheck([G](SimDiagnostics &D) { G->report(D); });
+}
+
+void Scheduler::enableHappensBeforeTracking() {
+  if (HB)
+    return;
+  HB = std::make_unique<HBTracker>();
+  HBTracker *T = HB.get();
+  addQuiescenceCheck([T](SimDiagnostics &D) { T->report(D); });
 }
 
 uint64_t Scheduler::addQuiescenceCheck(QuiescenceCheck Fn) {

@@ -14,6 +14,15 @@
 /// reports, and at quiescence (queue drained) it asks every registered
 /// primitive whether it leaked state — see SimDiagnostics.
 ///
+/// Three opt-in concurrency analyzers hang off the scheduler (DESIGN.md,
+/// "Concurrency correctness"): a seeded tie-break perturbation that
+/// permutes same-timestamp event order (any such permutation is a legal
+/// schedule, because an event scheduled *by* a running event only enters
+/// the queue after its cause executed), a lock-order graph fed by every
+/// SimMutex/Resource/SharedProcessor/RPC-slot acquisition, and a
+/// happens-before tracker driven by vector clocks at event boundaries.
+/// All three are off by default and cost one null-pointer check when off.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DMETABENCH_SIM_SCHEDULER_H
@@ -23,6 +32,7 @@
 #include "sim/Time.h"
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -30,6 +40,8 @@ namespace dmb {
 
 class OpTraceSink;
 enum class TracePoint : uint8_t;
+class LockOrderGraph;
+class HBTracker;
 
 /// Single-threaded event loop over simulated time.
 class Scheduler {
@@ -133,9 +145,54 @@ public:
   }
   /// @}
 
+  /// \name Schedule perturbation (sim/ScheduleVerify.h)
+  ///
+  /// With perturbation enabled, same-timestamp ties are broken by a seeded
+  /// pseudo-random key instead of insertion order. Seed 0 is the identity
+  /// permutation: the tie key *is* the insertion ordinal, so behavior is
+  /// bit-identical to the default scheduler. The seed never leaks into
+  /// results or diagnostics, only into tie order.
+  /// @{
+
+  /// Selects the tie-break policy. Must be called before any event is
+  /// scheduled (enabling mid-run would re-key only future events and make
+  /// the schedule depend on the enable point).
+  void enableSchedulePerturbation(uint64_t Seed);
+
+  /// True once enableSchedulePerturbation() ran with a nonzero seed.
+  bool perturbingSchedules() const { return PerturbSeed != 0; }
+
+  /// One executed event, as recorded by the journal: the fire time, the
+  /// insertion ordinal and the trace context it ran under. Two runs of the
+  /// same scenario executed the same schedule iff their journals match.
+  struct JournalEntry {
+    SimTime When = 0;
+    uint64_t Seq = 0;
+    uint64_t Trace = 0;
+    bool operator==(const JournalEntry &) const = default;
+  };
+
+  /// Starts recording every executed event (for schedule comparison).
+  void enableEventJournal() { Journal = true; }
+  const std::vector<JournalEntry> &eventJournal() const { return JournalLog; }
+  /// @}
+
+  /// \name Concurrency analyzers (sim/LockOrder.h, sim/HappensBefore.h)
+  ///
+  /// Both are owned by the scheduler so the sync primitives can feed them
+  /// without extra wiring, and both register quiescence checks so their
+  /// findings land in the standard diagnostics channel. Null when off.
+  /// @{
+  void enableLockOrderAnalysis();
+  LockOrderGraph *lockOrder() const { return LockGraph.get(); }
+  void enableHappensBeforeTracking();
+  HBTracker *happensBefore() const { return HB.get(); }
+  /// @}
+
 private:
   struct Event {
     SimTime When;
+    uint64_t TieKey; ///< equals Seq unless perturbation re-keyed the tie
     uint64_t Seq;
     uint64_t Trace;
     Action Fn;
@@ -144,6 +201,8 @@ private:
     bool operator()(const Event &A, const Event &B) const {
       if (A.When != B.When)
         return A.When > B.When;
+      if (A.TieKey != B.TieKey)
+        return A.TieKey > B.TieKey;
       return A.Seq > B.Seq;
     }
   };
@@ -157,6 +216,11 @@ private:
   uint64_t NextCheckId = 0;
   std::vector<std::pair<uint64_t, QuiescenceCheck>> QuiescenceChecks;
   SimDiagnostics LastDiag;
+  uint64_t PerturbSeed = 0;
+  bool Journal = false;
+  std::vector<JournalEntry> JournalLog;
+  std::unique_ptr<LockOrderGraph> LockGraph;
+  std::unique_ptr<HBTracker> HB;
 };
 
 } // namespace dmb

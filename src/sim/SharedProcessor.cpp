@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "sim/SharedProcessor.h"
+#include "sim/LockOrder.h"
 #include "support/Assert.h"
 #include "support/Format.h"
 #include <cmath>
@@ -87,6 +88,8 @@ void SharedProcessor::onTimer(uint64_t Gen) {
   // One timer event may complete several tasks belonging to different
   // operations: run each completion in its own trace context.
   for (auto &[Done, Trace] : Finished) {
+    if (LockOrderGraph *G = Sched.lockOrder())
+      G->onReleased(this, Trace);
     uint64_t Prev = Sched.swapActiveTrace(Trace);
     Done();
     Sched.swapActiveTrace(Prev);
@@ -102,8 +105,14 @@ void SharedProcessor::submit(SimDuration Work, double Weight,
     return;
   }
   advance();
-  Tasks.push_back(
-      Task{toSeconds(Work), Weight, std::move(Done), Sched.activeTrace()});
+  uint64_t Ctx = Sched.activeTrace();
+  // Processor sharing admits every task at once, so the "acquisition" is
+  // granted at submit and held until completion.
+  if (LockOrderGraph *G = Sched.lockOrder()) {
+    G->onRequest(this, "SharedProcessor", Ctx, Sched.now());
+    G->onGranted(this, Ctx);
+  }
+  Tasks.push_back(Task{toSeconds(Work), Weight, std::move(Done), Ctx});
   TotalWeight += Weight;
   scheduleNext();
 }

@@ -222,8 +222,39 @@ TEST_F(LintTreeTest, StringLiteralsAndCommentsDoNotTrip) {
   write("src/sim/Doc.cpp",
         "// Never call std::rand or time() in sim code.\n"
         "const char *Hint = \"replace std::chrono::steady_clock::now()\";\n"
-        "/* block comments are not stripped, but strings are */\n");
+        "/* block comments are stripped too, like strings */\n");
   EXPECT_TRUE(lint().empty());
+}
+
+TEST_F(LintTreeTest, MultiLineBlockCommentsDoNotTrip) {
+  // The sanitizer carries block-comment state across lines: a banned
+  // token on an interior comment line must not fire, while real code
+  // after the closing */ must still be scanned.
+  write("src/sim/Doc.cpp",
+        "/* Design note:\n"
+        "   early prototypes read std::chrono and called time(0) here;\n"
+        "   the scheduler clock replaced them. */\n"
+        "long f();\n"
+        "/* inline */ long g() { return time(0); }\n");
+  std::vector<Violation> Vs = lint();
+  ASSERT_EQ(1u, Vs.size());
+  EXPECT_EQ("wall-clock", Vs[0].Rule);
+  EXPECT_EQ(5, Vs[0].Line);
+}
+
+TEST_F(LintTreeTest, RawStringLiteralsDoNotTrip) {
+  // R"(...)" contents are literal data even across lines, and a
+  // custom-delimiter raw string may contain an embedded )" sequence.
+  write("src/sim/Fixture.cpp",
+        "const char *Tsv = R\"(header\n"
+        "std::rand gettimeofday time(0)\n"
+        ")\";\n"
+        "const char *Odd = R\"x(contains )\" and mt19937)x\";\n"
+        "long g() { return time(0); }\n");
+  std::vector<Violation> Vs = lint();
+  ASSERT_EQ(1u, Vs.size());
+  EXPECT_EQ("wall-clock", Vs[0].Rule);
+  EXPECT_EQ(5, Vs[0].Line);
 }
 
 TEST_F(LintTreeTest, BareTokenMatchingAvoidsFalsePositives) {
@@ -232,6 +263,116 @@ TEST_F(LintTreeTest, BareTokenMatchingAvoidsFalsePositives) {
         "void f() { runtime(3); static_assert(1 + 1 == 2); }\n"
         "void g(bool B) { DMB_ASSERT(B, \"must hold\"); }\n");
   EXPECT_TRUE(lint().empty());
+}
+
+TEST_F(LintTreeTest, ToolsTreeIsWalkedAndLinted) {
+  // tools/ is in scope for wall-clock, raw-assert and header-guard: the
+  // CLI drives simulations whose results must replay bit-for-bit.
+  write("tools/probe/Probe.cpp",
+        "#include <cassert>\n"
+        "long f() { return time(0); }\n");
+  write("tools/probe/Probe.h",
+        "#ifndef PROBE_H\n"
+        "#define PROBE_H\n"
+        "#endif\n");
+  size_t Files = 0;
+  std::vector<Violation> Vs = lint(&Files);
+  EXPECT_EQ(2u, Files);
+  EXPECT_TRUE(hasRule(Vs, "raw-assert"));
+  EXPECT_TRUE(hasRule(Vs, "wall-clock"));
+  EXPECT_TRUE(hasRule(Vs, "header-guard"));
+  for (const Violation &V : Vs) {
+    if (V.Rule == "header-guard") {
+      EXPECT_NE(std::string::npos,
+                V.Message.find("DMETABENCH_TOOLS_PROBE_PROBE_H"));
+    }
+  }
+}
+
+TEST(LintContent, EventRefCaptureRule) {
+  // A [&] lambda handed to the scheduler outlives its frame — caught in
+  // src/ and tools/.
+  EXPECT_TRUE(hasRule(lintOne("src/sim/Retry.cpp",
+                              "void f() { S.after(5, [&]() { go(); }); }\n"),
+                      "event-ref-capture"));
+  EXPECT_TRUE(hasRule(lintOne("tools/Cli.cpp",
+                              "void f() { S.at(T, [&, N]() { run(N); }); }\n"),
+                      "event-ref-capture"));
+  // Capturing this or explicit by-value captures are the sanctioned
+  // spellings.
+  EXPECT_FALSE(hasRule(
+      lintOne("src/sim/Retry.cpp",
+              "void f() { S.after(5, [this]() { step(); }); }\n"),
+      "event-ref-capture"));
+  EXPECT_FALSE(hasRule(
+      lintOne("src/sim/Retry.cpp",
+              "void f() { S.after(5, [N]() { run(N); }); }\n"),
+      "event-ref-capture"));
+  // A [&] before the call (e.g. an unrelated lambda argument earlier on
+  // the line) only counts when it follows the at(/after( token.
+  EXPECT_FALSE(hasRule(
+      lintOne("src/sim/Retry.cpp",
+              "void f() { sort(B, E, [&](int A, int Z) { return A < Z; }); }"
+              "\n"),
+      "event-ref-capture"));
+  // tests/ and bench/ run the scheduler from the capturing frame itself.
+  EXPECT_FALSE(hasRule(lintOne("tests/SimTest.cpp",
+                               "TEST(S, T) { S.after(5, [&]() { ++N; }); }\n"),
+                       "event-ref-capture"));
+  EXPECT_FALSE(hasRule(lintOne("bench/Bench.cpp",
+                               "void f() { S.at(T, [&]() { ++N; }); }\n"),
+                       "event-ref-capture"));
+  // The escape hatch names the rule.
+  EXPECT_FALSE(hasRule(
+      lintOne("src/sim/Retry.cpp",
+              "void f() { S.after(5, [&]() { go(); }); } "
+              "// dmeta-lint: allow(event-ref-capture) frame outlives S\n"),
+      "event-ref-capture"));
+}
+
+TEST(LintContent, RaiiGuardRule) {
+  // Manual lock()/unlock() in a file using a host mutex is caught...
+  std::vector<Violation> Vs =
+      lintOne("src/support/Pool.cpp",
+              "std::mutex M;\n"
+              "void f() { M.lock(); work(); M.unlock(); }\n");
+  EXPECT_TRUE(hasRule(Vs, "raii-guard"));
+  EXPECT_TRUE(hasRule(lintOne("src/support/Pool.cpp",
+                              "pthread_mutex_t M;\n"
+                              "void f() { pthread_mutex_lock(&M); }\n"),
+                      "raii-guard"));
+  // ...but RAII guards over the same mutex are the sanctioned spelling.
+  EXPECT_FALSE(hasRule(
+      lintOne("src/support/Pool.cpp",
+              "std::mutex M;\n"
+              "void f() { std::lock_guard<std::mutex> G(M); work(); }\n"),
+      "raii-guard"));
+  // SimMutex has a scheduler-driven lock()/unlock() protocol that RAII
+  // cannot express; files without a host mutex type are out of scope.
+  EXPECT_FALSE(hasRule(
+      lintOne("src/dfs/Locking.cpp",
+              "void f(dmb::SimMutex &M) { M.lock(Ctx); M.unlock(); }\n"),
+      "raii-guard"));
+  // The escape hatch works here too.
+  EXPECT_FALSE(hasRule(
+      lintOne("src/support/Pool.cpp",
+              "std::mutex M;\n"
+              "void f() { M.lock(); } // dmeta-lint: allow(raii-guard)\n"),
+      "raii-guard"));
+}
+
+TEST(LintContent, AllowHatchIsRuleSpecific) {
+  // An allow() naming a different rule must not suppress the finding,
+  // and one allow() does not blanket the whole line's other findings.
+  std::vector<Violation> Vs = lintOne(
+      "src/sim/Clock.cpp",
+      "long f() { return time(0); } // dmeta-lint: allow(randomness)\n");
+  EXPECT_TRUE(hasRule(Vs, "wall-clock"));
+  Vs = lintOne("src/sim/Clock.cpp",
+               "long f() { srand(1); return time(0); } "
+               "// dmeta-lint: allow(wall-clock)\n");
+  EXPECT_FALSE(hasRule(Vs, "wall-clock"));
+  EXPECT_TRUE(hasRule(Vs, "randomness"));
 }
 
 TEST(LintContent, MultipleRulesOnOneFile) {

@@ -45,6 +45,19 @@ TEST(Error, ExhaustiveNameRoundTrip) {
   EXPECT_FALSE(fsErrorFromName("eexist", Out));
 }
 
+TEST(Error, FromNameRejectsUnknownNames) {
+  // A failed lookup must reject near-misses exactly and leave the
+  // out-parameter untouched, so callers can trust it after a false return.
+  FsError Out = FsError::Stale;
+  EXPECT_FALSE(fsErrorFromName("UNKNOWN", Out)); // fallback render, not a name
+  EXPECT_FALSE(fsErrorFromName("ENOEN", Out));   // prefix of ENOENT
+  EXPECT_FALSE(fsErrorFromName("ENOENTX", Out)); // trailing garbage
+  EXPECT_FALSE(fsErrorFromName("ENOENT ", Out)); // trailing whitespace
+  EXPECT_FALSE(fsErrorFromName(" ENOENT", Out)); // leading whitespace
+  EXPECT_FALSE(fsErrorFromName("Ok", Out));      // enum spelling, not the name
+  EXPECT_EQ(FsError::Stale, Out);
+}
+
 TEST(Result, HoldsValue) {
   Result<int> R = 42;
   ASSERT_TRUE(R.ok());

@@ -22,6 +22,11 @@
 /// latency report (p50/p95/p99/max plus the span breakdown) and the
 /// latency-breakdown chart; --outdir then also receives trace.txt.
 ///
+/// The "verify-schedules" verb (dmetabench verify-schedules [--schedules N]
+/// [--seed S]) reruns built-in tier-1 scenarios under N permuted
+/// same-timestamp schedules (sim/ScheduleVerify.h) and fails if any
+/// rerun's interval TSVs or summaries differ from the default schedule.
+///
 //===----------------------------------------------------------------------===//
 
 #include "core/ResultsIO.h"
@@ -52,9 +57,13 @@ struct CliOptions {
 
 void usage() {
   std::fputs(
-      "usage: dmetabench [trace] [options]\n"
+      "usage: dmetabench [trace|verify-schedules] [options]\n"
       "  trace                record per-operation span traces and print\n"
       "                       the latency report and breakdown chart\n"
+      "  verify-schedules     rerun built-in tier-1 scenarios under\n"
+      "                       permuted same-timestamp schedules and check\n"
+      "                       bit-identical results (options: --schedules N\n"
+      "                       [default 8], --seed S [default 1])\n"
       "  --np N               total MPI slots (default 9)\n"
       "  --nodes N            cluster nodes (default 3)\n"
       "  --cores N            cores per node (default 8)\n"
@@ -202,9 +211,77 @@ std::unique_ptr<DistributedFs> makeFs(Scheduler &S, const CliOptions &Opt) {
   return nullptr;
 }
 
+/// One built-in scenario for the verify-schedules verb: a small tier-1
+/// benchmark combination rendered through canonicalResultText().
+ScheduleScenario makeVerifyScenario(std::string Name, std::string FsName,
+                                    std::vector<std::string> Ops,
+                                    uint64_t ProblemSize, unsigned Nodes,
+                                    unsigned Ppn) {
+  ScheduleScenario Sc;
+  Sc.Name = std::move(Name);
+  Sc.Run = [FsName = std::move(FsName), Ops = std::move(Ops), ProblemSize,
+            Nodes, Ppn](Scheduler &S) {
+    Cluster C(S, Nodes, 4);
+    CliOptions Opt;
+    Opt.Fs = FsName;
+    std::unique_ptr<DistributedFs> Fs = makeFs(S, Opt);
+    C.mountEverywhere(*Fs);
+    BenchParams P;
+    P.Operations = Ops;
+    P.ProblemSize = ProblemSize;
+    P.TimeLimit = seconds(2.0);
+    // One extra rank per node: rank 0 becomes the master (§3.3.4) and is
+    // not placeable as a worker.
+    MpiEnvironment Env = MpiEnvironment::uniform(Nodes, Ppn + 1);
+    Master M(C, Env, Fs->name(), P);
+    ResultSet Res = M.runCombination(Nodes, Ppn);
+    return canonicalResultText(Res);
+  };
+  return Sc;
+}
+
+int runVerifySchedules(int Argc, char **Argv) {
+  ScheduleVerifyOptions Opt;
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (!std::strcmp(Arg, "--help") || !std::strcmp(Arg, "-h")) {
+      usage();
+      return 0;
+    }
+    if (!std::strcmp(Arg, "--schedules") && I + 1 < Argc) {
+      Opt.Schedules = std::strtoul(Argv[++I], nullptr, 10);
+    } else if (!std::strcmp(Arg, "--seed") && I + 1 < Argc) {
+      Opt.BaseSeed = std::strtoull(Argv[++I], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "error: unknown verify-schedules option %s\n",
+                   Arg);
+      usage();
+      return 2;
+    }
+  }
+  // The tier-1 scenarios of tests/IntegrationTest.cpp in miniature: the
+  // protocol-mediated baseline and the writeback variant whose consistency
+  // points add background timer traffic.
+  std::vector<ScheduleScenario> Scenarios;
+  Scenarios.push_back(makeVerifyScenario("nfs-makefiles-statfiles", "nfs",
+                                         {"MakeFiles", "StatFiles"}, 300, 2,
+                                         2));
+  Scenarios.push_back(makeVerifyScenario("lustre-makefiles", "lustre",
+                                         {"MakeFiles"}, 300, 2, 2));
+  bool AllOk = true;
+  for (const ScheduleScenario &Sc : Scenarios) {
+    ScheduleVerifyResult R = verifySchedules(Sc, Opt);
+    std::printf("verify-schedules: %s\n", R.Report.c_str());
+    AllOk = AllOk && R.passed();
+  }
+  return AllOk ? 0 : 1;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
+  if (Argc > 1 && !std::strcmp(Argv[1], "verify-schedules"))
+    return runVerifySchedules(Argc - 1, Argv + 1);
   // The optional "trace" verb comes before the flags.
   bool Trace = Argc > 1 && !std::strcmp(Argv[1], "trace");
   CliOptions Opt;

@@ -32,63 +32,128 @@ bool endsWith(const std::string &S, const char *Suffix) {
          S.compare(S.size() - Suf.size(), Suf.size(), Suf) == 0;
 }
 
-/// Blanks out double-quoted string literal contents and strips // comments
-/// so fixture strings and prose cannot trip the token rules. Not aware of
-/// raw strings or block comments; repo style avoids both around banned
-/// tokens.
-std::string sanitizeLine(const std::string &Line) {
-  std::string Out;
-  Out.reserve(Line.size());
-  bool InString = false;
-  bool InChar = false;
-  for (size_t I = 0; I < Line.size(); ++I) {
-    char C = Line[I];
-    if (InString) {
-      if (C == '\\' && I + 1 < Line.size()) {
-        ++I;
+/// Blanks out string/char literal contents and strips comments so fixture
+/// strings and prose cannot trip the token rules. Block comments and raw
+/// string literals span lines, so the sanitizer carries state from one
+/// line to the next; feed a whole file through one instance (sanitizeLines)
+/// rather than constructing a fresh one per line.
+class Sanitizer {
+public:
+  std::string line(const std::string &Line) {
+    std::string Out;
+    Out.reserve(Line.size());
+    size_t I = 0;
+    while (I < Line.size()) {
+      if (InBlockComment) {
+        size_t End = Line.find("*/", I);
+        if (End == std::string::npos)
+          return Out; // Rest of the line is comment.
+        InBlockComment = false;
+        I = End + 2;
         continue;
+      }
+      if (InRawString) {
+        size_t End = Line.find(RawTerminator, I);
+        if (End == std::string::npos)
+          return Out; // Still inside the raw string.
+        InRawString = false;
+        Out += '"'; // Closing marker, mirroring the plain-string case.
+        I = End + RawTerminator.size();
+        continue;
+      }
+      char C = Line[I];
+      if (C == 'R' && I + 1 < Line.size() && Line[I + 1] == '"' &&
+          (I == 0 || !isIdentChar(Line[I - 1]))) {
+        // R"delim( ... )delim" — the contents are literal until the
+        // matching )delim" terminator, possibly lines later.
+        size_t Paren = Line.find('(', I + 2);
+        if (Paren != std::string::npos) {
+          RawTerminator = ")" + Line.substr(I + 2, Paren - (I + 2)) + "\"";
+          InRawString = true;
+          Out += '"';
+          I = Paren + 1;
+          continue;
+        }
       }
       if (C == '"') {
-        InString = false;
         Out += '"';
-      }
-      continue;
-    }
-    if (InChar) {
-      if (C == '\\' && I + 1 < Line.size()) {
         ++I;
+        while (I < Line.size()) {
+          if (Line[I] == '\\') {
+            I += 2;
+            continue;
+          }
+          if (Line[I] == '"') {
+            Out += '"';
+            ++I;
+            break;
+          }
+          ++I;
+        }
+        continue; // Plain strings cannot span lines.
+      }
+      if (C == '\'') {
+        ++I;
+        while (I < Line.size()) {
+          if (Line[I] == '\\') {
+            I += 2;
+            continue;
+          }
+          if (Line[I] == '\'') {
+            ++I;
+            break;
+          }
+          ++I;
+        }
         continue;
       }
-      if (C == '\'')
-        InChar = false;
-      continue;
+      if (C == '/' && I + 1 < Line.size()) {
+        if (Line[I + 1] == '/')
+          return Out; // Rest of the line is a comment.
+        if (Line[I + 1] == '*') {
+          InBlockComment = true;
+          I += 2;
+          continue;
+        }
+      }
+      Out += C;
+      ++I;
     }
-    if (C == '"') {
-      InString = true;
-      Out += '"';
-      continue;
-    }
-    if (C == '\'') {
-      InChar = true;
-      continue;
-    }
-    if (C == '/' && I + 1 < Line.size() && Line[I + 1] == '/')
-      break; // Rest of the line is a comment.
-    Out += C;
+    return Out;
   }
+
+private:
+  bool InBlockComment = false;
+  bool InRawString = false;
+  std::string RawTerminator;
+};
+
+/// Sanitizes a whole file, carrying block-comment / raw-string state
+/// across lines.
+std::vector<std::string> sanitizeLines(const std::vector<std::string> &Lines) {
+  Sanitizer S;
+  std::vector<std::string> Out;
+  Out.reserve(Lines.size());
+  for (const std::string &L : Lines)
+    Out.push_back(S.line(L));
   return Out;
 }
 
-/// True when \p Token occurs in \p Line with no identifier character
-/// immediately before it (so "time(" does not match "runtime(").
-bool hasBareToken(const std::string &Line, const std::string &Token) {
+/// Position of the first occurrence of \p Token in \p Line with no
+/// identifier character immediately before it (so "time(" does not match
+/// "runtime("); npos when absent.
+size_t bareTokenPos(const std::string &Line, const std::string &Token) {
   size_t Pos = 0;
   while ((Pos = Line.find(Token, Pos)) != std::string::npos) {
     if (Pos == 0 || !isIdentChar(Line[Pos - 1]))
-      return true;
+      return Pos;
     Pos += 1;
   }
-  return false;
+  return std::string::npos;
+}
+
+bool hasBareToken(const std::string &Line, const std::string &Token) {
+  return bareTokenPos(Line, Token) != std::string::npos;
 }
 
 struct Pattern {
@@ -149,11 +214,21 @@ bool allowed(const std::string &RawLine, const char *Rule) {
 
 /// Directories whose code must not read host time or stdlib randomness:
 /// the simulation substrate plus everything whose output is compared
-/// against recorded experiment results.
+/// against recorded experiment results. tools/ counts too — the CLI and
+/// the linter drive simulations whose results must replay bit-for-bit.
 bool inDeterministicScope(const std::string &RelPath) {
   return startsWith(RelPath, "src/sim/") || startsWith(RelPath, "src/dfs/") ||
          startsWith(RelPath, "src/cluster/") ||
-         startsWith(RelPath, "tests/") || startsWith(RelPath, "bench/");
+         startsWith(RelPath, "tests/") || startsWith(RelPath, "bench/") ||
+         startsWith(RelPath, "tools/");
+}
+
+/// Directories where scheduled-event callbacks outlive the frame that
+/// created them, so a default by-reference lambda capture is a
+/// use-after-return waiting to happen. tests/ and bench/ are exempt:
+/// there the enclosing frame runs the scheduler to completion itself.
+bool inEventCaptureScope(const std::string &RelPath) {
+  return startsWith(RelPath, "src/") || startsWith(RelPath, "tools/");
 }
 
 /// Simulation directories whose trace recording must go through the
@@ -224,8 +299,7 @@ void checkHeaderGuard(const std::string &RelPath,
 std::vector<std::string> parseEnumMembers(const std::string &ErrorH) {
   std::vector<std::string> Members;
   bool InEnum = false;
-  for (const std::string &Raw : splitLines(ErrorH)) {
-    std::string L = sanitizeLine(Raw);
+  for (const std::string &L : sanitizeLines(splitLines(ErrorH))) {
     if (!InEnum) {
       if (L.find("enum class FsError") != std::string::npos)
         InEnum = true;
@@ -251,18 +325,36 @@ void dmb::lint::lintContent(const std::string &RelPath,
                             const std::string &Content,
                             std::vector<Violation> &Out) {
   std::vector<std::string> Lines = splitLines(Content);
+  std::vector<std::string> Sanitized = sanitizeLines(Lines);
 
-  if ((startsWith(RelPath, "src/") || startsWith(RelPath, "bench/")) &&
+  if ((startsWith(RelPath, "src/") || startsWith(RelPath, "bench/") ||
+       startsWith(RelPath, "tools/")) &&
       endsWith(RelPath, ".h"))
     checkHeaderGuard(RelPath, Lines, Out);
 
   bool Deterministic = inDeterministicScope(RelPath);
-  bool InSrc = startsWith(RelPath, "src/");
+  bool AssertScope =
+      startsWith(RelPath, "src/") || startsWith(RelPath, "tools/");
+  bool EventCaptureScope = inEventCaptureScope(RelPath);
   bool TraceScope = inTraceClockScope(RelPath) && !traceClockExempt(RelPath);
+
+  // The raii-guard rule only fires in files that use a host-thread mutex
+  // at all; SimMutex and friends have their own lock()/unlock() protocol
+  // driven by the scheduler, which RAII cannot express.
+  bool UsesHostMutex = false;
+  for (const std::string &L : Sanitized)
+    if (L.find("std::mutex") != std::string::npos ||
+        L.find("std::recursive_mutex") != std::string::npos ||
+        L.find("std::timed_mutex") != std::string::npos ||
+        L.find("std::shared_mutex") != std::string::npos ||
+        L.find("pthread_mutex") != std::string::npos) {
+      UsesHostMutex = true;
+      break;
+    }
 
   for (size_t I = 0; I < Lines.size(); ++I) {
     const std::string &Raw = Lines[I];
-    std::string L = sanitizeLine(Raw);
+    const std::string &L = Sanitized[I];
     int LineNo = static_cast<int>(I + 1);
     const char *Hit = nullptr;
 
@@ -290,7 +382,7 @@ void dmb::lint::lintContent(const std::string &RelPath,
                          "Scheduler::traceBegin()/traceStamp() so stamps "
                          "read the owning clock"});
 
-    if (InSrc && !allowed(Raw, "raw-assert")) {
+    if (AssertScope && !allowed(Raw, "raw-assert")) {
       if (hasBareToken(L, "assert("))
         Out.push_back({RelPath, LineNo, "raw-assert",
                        "raw assert() vanishes in release builds; use "
@@ -299,6 +391,33 @@ void dmb::lint::lintContent(const std::string &RelPath,
         Out.push_back({RelPath, LineNo, "raw-assert",
                        "<cassert> include; use support/Assert.h"});
     }
+
+    if (EventCaptureScope && !allowed(Raw, "event-ref-capture")) {
+      size_t CallPos = std::min(bareTokenPos(L, "at("),
+                                bareTokenPos(L, "after("));
+      size_t Cap = CallPos == std::string::npos
+                       ? std::string::npos
+                       : L.find("[&", CallPos);
+      if (Cap != std::string::npos && Cap + 2 < L.size() &&
+          (L[Cap + 2] == ']' || L[Cap + 2] == ','))
+        Out.push_back({RelPath, LineNo, "event-ref-capture",
+                       "event callback captures locals by reference; the "
+                       "scheduler may fire it after the enclosing frame is "
+                       "gone — capture by value or capture 'this'"});
+    }
+
+    if (UsesHostMutex && !allowed(Raw, "raii-guard") &&
+        (L.find(".lock()") != std::string::npos ||
+         L.find("->lock()") != std::string::npos ||
+         L.find(".unlock()") != std::string::npos ||
+         L.find("->unlock()") != std::string::npos ||
+         hasBareToken(L, "pthread_mutex_lock(") ||
+         hasBareToken(L, "pthread_mutex_unlock(")))
+      Out.push_back({RelPath, LineNo, "raii-guard",
+                     "manual lock()/unlock() in a file using a host mutex; "
+                     "pair acquisitions through std::lock_guard / "
+                     "std::scoped_lock so early returns and exceptions "
+                     "cannot leak the lock"});
   }
 }
 
@@ -317,8 +436,7 @@ void dmb::lint::lintErrorTable(const std::string &ErrorH,
   // Declared count, if present.
   size_t DeclaredCount = 0;
   bool HaveCount = false;
-  for (const std::string &Raw : splitLines(ErrorH)) {
-    std::string L = sanitizeLine(Raw);
+  for (const std::string &L : sanitizeLines(splitLines(ErrorH))) {
     size_t Pos = L.find("NumFsErrors = ");
     if (Pos == std::string::npos)
       continue;
@@ -337,8 +455,9 @@ void dmb::lint::lintErrorTable(const std::string &ErrorH,
   // case FsError::X: ... return "NAME"; pairs from the name table.
   std::vector<std::pair<std::string, std::string>> Cases;
   std::vector<std::string> CppLines = splitLines(ErrorCpp);
+  std::vector<std::string> CppSanitized = sanitizeLines(CppLines);
   for (size_t I = 0; I < CppLines.size(); ++I) {
-    std::string L = sanitizeLine(CppLines[I]);
+    const std::string &L = CppSanitized[I];
     size_t Pos = L.find("case FsError::");
     if (Pos == std::string::npos)
       continue;
@@ -400,7 +519,7 @@ std::vector<Violation> dmb::lint::lintTree(const std::string &Root,
   size_t Checked = 0;
 
   std::vector<std::string> RelPaths;
-  for (const char *Top : {"src", "tests", "bench"}) {
+  for (const char *Top : {"src", "tests", "bench", "tools"}) {
     fs::path Dir = fs::path(Root) / Top;
     std::error_code Ec;
     if (!fs::is_directory(Dir, Ec))

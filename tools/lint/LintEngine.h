@@ -12,16 +12,16 @@
 /// Rules:
 ///  - wall-clock:   no std::chrono / time() / gettimeofday / clock_gettime
 ///                  in simulation code (src/sim, src/dfs, src/cluster) or
-///                  in tests/ and bench/ — simulated components read
-///                  Scheduler::now(), nothing reads the host clock.
+///                  in tests/, bench/ and tools/ — simulated components
+///                  read Scheduler::now(), nothing reads the host clock.
 ///  - randomness:   no std::rand / srand / random_device / mt19937 /
 ///                  drand48 in the same scopes — all randomness flows
 ///                  through the seeded support/Random Rng.
-///  - raw-assert:   no assert() or <cassert> anywhere under src/ — use
+///  - raw-assert:   no assert() or <cassert> under src/ or tools/ — use
 ///                  DMB_ASSERT / DMB_CHECK (support/Assert.h), which stay
 ///                  armed in release builds and report sim time.
-///  - header-guard: headers under src/ and bench/ use the canonical
-///                  DMETABENCH_<DIR>_<FILE>_H guard spelling.
+///  - header-guard: headers under src/, bench/ and tools/ use the
+///                  canonical DMETABENCH_<DIR>_<FILE>_H guard spelling.
 ///  - error-table:  the FsError enum, its NumFsErrors count and the
 ///                  fsErrorName() case table stay in sync with unique
 ///                  names.
@@ -30,9 +30,22 @@
 ///                  and sim/Scheduler.* — components record trace points
 ///                  via Scheduler::traceBegin()/traceStamp(), so every
 ///                  timestamp reads the owning scheduler's clock.
+///  - event-ref-capture: no default by-reference lambda capture ([&] or
+///                  [&, ...]) passed to Scheduler::at()/after() in src/
+///                  or tools/ — the callback outlives the enclosing
+///                  frame. tests/ and bench/ are exempt; there the frame
+///                  that captures also runs the scheduler to completion.
+///  - raii-guard:   in files using a host-thread mutex (std::mutex and
+///                  friends, pthread_mutex_t), no manual lock()/unlock()
+///                  calls — acquisitions go through std::lock_guard /
+///                  std::scoped_lock. SimMutex is exempt: its
+///                  scheduler-driven protocol cannot be a scoped guard.
 ///
-/// A finding on a line containing "dmeta-lint: allow(<rule>)" is
-/// suppressed — the escape hatch for the rare legitimate exception.
+/// Comments (including multi-line block comments) and string literal
+/// contents (including raw strings) are stripped before token matching,
+/// so prose and fixtures cannot trip the rules. A finding on a line
+/// containing "dmeta-lint: allow(<rule>)" is suppressed — the escape
+/// hatch for the rare legitimate exception.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -65,9 +78,9 @@ void lintContent(const std::string &RelPath, const std::string &Content,
 void lintErrorTable(const std::string &ErrorH, const std::string &ErrorCpp,
                     std::vector<Violation> &Out);
 
-/// Walks src/, tests/ and bench/ under \p Root, lints every .h/.cpp file
-/// (deterministic order) plus the error table. \p FilesChecked, when
-/// non-null, receives the number of files scanned.
+/// Walks src/, tests/, bench/ and tools/ under \p Root, lints every
+/// .h/.cpp file (deterministic order) plus the error table.
+/// \p FilesChecked, when non-null, receives the number of files scanned.
 std::vector<Violation> lintTree(const std::string &Root,
                                 size_t *FilesChecked = nullptr);
 

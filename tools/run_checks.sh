@@ -6,9 +6,10 @@
 #   1. a plain RelWithDebInfo build of everything,
 #   2. dmeta-lint over the source tree,
 #   3. the full ctest suite,
-#   4. the trace tests rebuilt under ASan+UBSan (always — the trace layer
+#   4. a verify-schedules smoke pass (3 permuted schedules per scenario),
+#   5. the trace tests rebuilt under ASan+UBSan (always — the trace layer
 #      threads ids through every queue and must stay memory-clean),
-#   5. (optionally) the full suite rebuilt under sanitizers.
+#   6. (optionally) the full suite rebuilt under sanitizers.
 #
 # Exits nonzero on the first failure. Usage:
 #
@@ -49,6 +50,9 @@ step "dmeta-lint"
 
 step "ctest"
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
+
+step "verify-schedules smoke (3 permuted schedules)"
+"$ROOT/build/tools/dmetabench" verify-schedules --schedules 3
 
 if [ -n "$SANITIZE" ]; then
   step "sanitizer build (build-sanitize/, DMB_SANITIZE=$SANITIZE)"
