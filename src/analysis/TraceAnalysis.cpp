@@ -9,7 +9,6 @@
 #include "support/TextTable.h"
 #include <algorithm>
 #include <cmath>
-#include <map>
 
 using namespace dmb;
 
@@ -38,17 +37,30 @@ SpanBreakdown dmb::spanBreakdown(const OpTraceRecord &R) {
   return B;
 }
 
+double dmb::percentileSorted(const std::vector<double> &Sorted, double Q) {
+  // An empty sample has no percentiles; 0 keeps report maths total-safe
+  // (indexing would read past the end: size()-1 wraps to SIZE_MAX).
+  if (Sorted.empty())
+    return 0;
+  size_t Idx = static_cast<size_t>(
+      std::ceil(Q * static_cast<double>(Sorted.size())));
+  if (Idx > 0)
+    --Idx;
+  return Sorted[std::min(Idx, Sorted.size() - 1)];
+}
+
 std::vector<OpLatencyStats> dmb::traceStats(const OpTraceSink &Sink) {
-  // Group delivered records by operation name (map: deterministic order).
+  // Group delivered records by the sink's interned op id — a vector index,
+  // not a per-record string hash/compare.
   struct Group {
     std::vector<double> Totals;
     SpanBreakdown Sum;
   };
-  std::map<std::string, Group> Groups;
+  std::vector<Group> Groups(Sink.opCount());
   for (const OpTraceRecord &R : Sink.records()) {
     if (!R.delivered())
       continue;
-    Group &G = Groups[R.Op];
+    Group &G = Groups[R.OpId];
     G.Totals.push_back(
         spanSec(R.at(TracePoint::Submit), R.at(TracePoint::Deliver)));
     SpanBreakdown B = spanBreakdown(R);
@@ -58,28 +70,31 @@ std::vector<OpLatencyStats> dmb::traceStats(const OpTraceSink &Sink) {
     G.Sum.Service += B.Service;
   }
 
-  auto Percentile = [](const std::vector<double> &Sorted, double Q) {
-    size_t Idx = static_cast<size_t>(
-        std::ceil(Q * static_cast<double>(Sorted.size())));
-    if (Idx > 0)
-      --Idx;
-    return Sorted[std::min(Idx, Sorted.size() - 1)];
-  };
+  // Report rows stay sorted by op name, as when grouping used a std::map.
+  std::vector<uint32_t> Order(Groups.size());
+  for (uint32_t Id = 0; Id < Order.size(); ++Id)
+    Order[Id] = Id;
+  std::sort(Order.begin(), Order.end(), [&Sink](uint32_t A, uint32_t B) {
+    return Sink.opName(A) < Sink.opName(B);
+  });
 
   std::vector<OpLatencyStats> Out;
-  for (auto &[Op, G] : Groups) {
+  for (uint32_t Id : Order) {
+    Group &G = Groups[Id];
+    if (G.Totals.empty())
+      continue; // Op seen, but nothing delivered.
     std::sort(G.Totals.begin(), G.Totals.end());
     double N = static_cast<double>(G.Totals.size());
     OpLatencyStats S;
-    S.Op = Op;
+    S.Op = Sink.opName(Id);
     S.Count = G.Totals.size();
     double Sum = 0;
     for (double T : G.Totals)
       Sum += T;
     S.MeanSec = Sum / N;
-    S.P50Sec = Percentile(G.Totals, 0.50);
-    S.P95Sec = Percentile(G.Totals, 0.95);
-    S.P99Sec = Percentile(G.Totals, 0.99);
+    S.P50Sec = percentileSorted(G.Totals, 0.50);
+    S.P95Sec = percentileSorted(G.Totals, 0.95);
+    S.P99Sec = percentileSorted(G.Totals, 0.99);
     S.MaxSec = G.Totals.back();
     S.Mean.ClientQueue = G.Sum.ClientQueue / N;
     S.Mean.Network = G.Sum.Network / N;
@@ -105,8 +120,11 @@ std::string dmb::renderLatencyHistogram(const OpTraceSink &Sink,
   constexpr size_t NumBuckets = 32;
   uint64_t Counts[NumBuckets] = {};
   uint64_t Total = 0;
+  // Resolve the name filter to an interned id once; None (op never seen)
+  // matches nothing and falls through to the empty-report message.
+  uint32_t FilterId = Op.empty() ? Interner::None : Sink.opId(Op);
   for (const OpTraceRecord &R : Sink.records()) {
-    if (!R.delivered() || (!Op.empty() && Op != R.Op))
+    if (!R.delivered() || (!Op.empty() && R.OpId != FilterId))
       continue;
     double Us =
         spanSec(R.at(TracePoint::Submit), R.at(TracePoint::Deliver)) * 1e6;

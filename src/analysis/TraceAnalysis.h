@@ -54,6 +54,10 @@ struct OpLatencyStats {
 /// Per-op statistics over every delivered record, sorted by op name.
 std::vector<OpLatencyStats> traceStats(const OpTraceSink &Sink);
 
+/// The \p Q quantile (0..1] of an ascending-sorted sample by the
+/// nearest-rank method; 0 for an empty sample.
+double percentileSorted(const std::vector<double> &Sorted, double Q);
+
 /// The per-hop breakdown of a single record (seconds; unset spans are 0).
 SpanBreakdown spanBreakdown(const OpTraceRecord &R);
 

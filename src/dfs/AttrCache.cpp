@@ -18,7 +18,10 @@ std::optional<Attr> AttrCache::lookup(const std::string &Path, SimTime Now) {
     ++Misses;
     return std::nullopt;
   }
-  if (Ttl > 0 && Now - It->second.InsertedAt > Ttl) {
+  // An entry is valid strictly within the TTL window: at age == Ttl the
+  // attributes are already stale (acregmax semantics), so the boundary
+  // lookup must revalidate, not hit.
+  if (Ttl > 0 && Now - It->second.InsertedAt >= Ttl) {
     Entries.erase(It);
     ++Misses;
     return std::nullopt;

@@ -35,7 +35,8 @@ std::unique_ptr<ClientFs> CxfsFs::makeClient(unsigned NodeIndex) {
 
 CxfsClient::CxfsClient(Scheduler &Sched, FileServer &Mds,
                        const CxfsOptions &Opts, unsigned NodeIndex)
-    : Sched(Sched), Mds(Mds), Options(Opts), NodeIndex(NodeIndex),
+    : Sched(Sched), Mds(Mds), VolId(Mds.volumeId(CxfsFs::VolumeName)),
+      Options(Opts), NodeIndex(NodeIndex),
       Token(Sched, "cxfs.metadata-token") {}
 
 std::string CxfsClient::describe() const {
@@ -51,7 +52,7 @@ void CxfsClient::submit(const MetaRequest &Req, Callback Done) {
     Sched.after(Options.TokenOverhead + Options.RpcOneWayLatency,
                 [this, Req, Done = std::move(Done)]() mutable {
                   Mds.process(
-                      CxfsFs::VolumeName, Req,
+                      VolId, Req,
                       [this, Done = std::move(Done)](MetaReply Reply) {
                         Sched.after(Options.RpcOneWayLatency,
                                     [this, Done = std::move(Done),

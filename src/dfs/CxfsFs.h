@@ -68,6 +68,7 @@ public:
 private:
   Scheduler &Sched;
   FileServer &Mds;
+  uint32_t VolId; ///< interned VolumeName, resolved once at mount
   CxfsOptions Options;
   unsigned NodeIndex;
   SimMutex Token; ///< node-wide metadata token

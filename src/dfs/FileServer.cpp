@@ -22,30 +22,36 @@ LocalFileSystem &FileServer::addVolume(const std::string &Name) {
 
 LocalFileSystem &FileServer::addVolume(const std::string &Name,
                                        FsConfig VolConfig) {
+  uint32_t Id = volumeId(Name);
+  if (Id >= Volumes.size())
+    Volumes.resize(Id + 1);
   auto Vol = std::make_unique<LocalFileSystem>(VolConfig);
   LocalFileSystem &Ref = *Vol;
-  Volumes[Name] = std::move(Vol);
+  Volumes[Id] = std::move(Vol);
   return Ref;
 }
 
 LocalFileSystem *FileServer::volume(const std::string &Name) {
-  auto It = Volumes.find(Name);
-  return It == Volumes.end() ? nullptr : It->second.get();
+  uint32_t Id = VolumeIds.find(Name);
+  return Id == Interner::None ? nullptr : volume(Id);
 }
 
 std::unique_ptr<LocalFileSystem>
 FileServer::removeVolume(const std::string &Name) {
-  auto It = Volumes.find(Name);
-  if (It == Volumes.end())
+  uint32_t Id = VolumeIds.find(Name);
+  if (Id == Interner::None || Id >= Volumes.size())
     return nullptr;
-  std::unique_ptr<LocalFileSystem> Vol = std::move(It->second);
-  Volumes.erase(It);
-  return Vol;
+  // The slot (and the id) stay: requests routed here now find a detached
+  // volume and answer ESTALE, exactly as with the old map erase.
+  return std::move(Volumes[Id]);
 }
 
 void FileServer::adoptVolume(const std::string &Name,
                              std::unique_ptr<LocalFileSystem> Vol) {
-  Volumes[Name] = std::move(Vol);
+  uint32_t Id = volumeId(Name);
+  if (Id >= Volumes.size())
+    Volumes.resize(Id + 1);
+  Volumes[Id] = std::move(Vol);
 }
 
 MetaReply FileServer::execute(LocalFileSystem &Vol, const MetaRequest &Req,
@@ -251,12 +257,22 @@ void FileServer::startConsistencyPoint() {
 MetaReply FileServer::processEager(const std::string &Volume,
                                    const MetaRequest &Req,
                                    std::function<void()> Committed) {
+  return processEager(volumeId(Volume), Req, std::move(Committed));
+}
+
+MetaReply FileServer::processEager(uint32_t VolId, const MetaRequest &Req,
+                                   std::function<void()> Committed) {
   // Request arrival at the server: from here until the CPU picks it up the
   // operation is queueing, not being serviced.
   Sched.traceStamp(TracePoint::QueueEnter);
-  LocalFileSystem *Vol = volume(Volume);
+  LocalFileSystem *Vol = volume(VolId);
   if (!Vol) {
-    // Unknown volume: the distributed-handle equivalent of ESTALE.
+    // Unknown volume: the distributed-handle equivalent of ESTALE. The
+    // request is rejected at arrival without touching the CPU, so its
+    // service span is empty — stamp it closed rather than leaving a
+    // record that entered the queue and never came out.
+    Sched.traceStamp(TracePoint::ServiceStart);
+    Sched.traceStamp(TracePoint::ServiceEnd);
     Sched.after(0, std::move(Committed));
     MetaReply Reply;
     Reply.Err = FsError::Stale;
@@ -267,7 +283,11 @@ MetaReply FileServer::processEager(const std::string &Volume,
   // service order and state changes serialize exactly as on a real server.
   OpCost Cost;
   MetaReply Reply = execute(*Vol, Req, Sched.now(), Cost);
-  noteMutation(Req);
+  // Only successful mutations dirty the NVRAM log: a failed create writes
+  // nothing back, so it must not grow the dirty set or drag the next
+  // consistency point forward.
+  if (Reply.ok())
+    noteMutation(Req);
 
   SimDuration Service = Config.Costs.serviceTime(Cost);
   bool Mutates = isMutation(Req.Op) ||
@@ -275,12 +295,15 @@ MetaReply FileServer::processEager(const std::string &Volume,
   if (Mutates || Req.Op == MetaOp::Fsync)
     Service += Config.CommitLatency;
 
-  if (Reply.ok() && Mutates) {
+  if (Reply.ok() && Mutates && (Journal || !Watchers.empty())) {
+    // Journal and watcher interfaces speak names; resolving the id here
+    // keeps the string off the hot path above.
+    const std::string &VolName = VolumeIds.name(VolId);
     // Asynchronous metadata logging (\S 2.7.1): append now, durable when
     // the server finishes the operation.
     if (Journal) {
       if (std::optional<uint64_t> Seq =
-              Journal->append(Volume, Req, Sched.now())) {
+              Journal->append(VolName, Req, Sched.now())) {
         Committed = [this, Seq = *Seq,
                      Inner = std::move(Committed)]() {
           Journal->commit(Seq);
@@ -290,7 +313,7 @@ MetaReply FileServer::processEager(const std::string &Volume,
     }
     // Change notification (\S 2.8.3).
     for (const auto &W : Watchers)
-      W(Volume, Req);
+      W(VolName, Req);
   }
   if (JitterMean > 0) {
     // Mostly small per-request extras with an occasional heavy hit.
@@ -306,11 +329,9 @@ MetaReply FileServer::processEager(const std::string &Volume,
   // Admission control (\S 5.4): a rate-limited tenant's requests wait for
   // their admission slot before consuming server CPU. The state change
   // already happened in arrival order; only time is shaped.
-  auto LimitIt = TenantLimits.find(Req.Creds.Uid);
-  if (LimitIt != TenantLimits.end()) {
-    RateLimit &Limit = LimitIt->second;
-    SimTime Admit = std::max(Sched.now(), Limit.NextAdmission);
-    Limit.NextAdmission = Admit + Limit.Period;
+  if (RateLimit *Limit = tenantLimit(Req.Creds.Uid)) {
+    SimTime Admit = std::max(Sched.now(), Limit->NextAdmission);
+    Limit->NextAdmission = Admit + Limit->Period;
     Sched.at(Admit, [this, Service, Committed = std::move(Committed)]() {
       Cpu.request(Service, std::move(Committed));
     });
@@ -329,16 +350,16 @@ void FileServer::enableJournal() {
 uint64_t FileServer::crashAndRecover(const std::string &Volume) {
   if (!Journal)
     return ~0ULL;
-  auto It = Volumes.find(Volume);
-  if (It == Volumes.end())
+  LocalFileSystem *Vol = volume(Volume);
+  if (!Vol)
     return ~0ULL;
   // The crash loses everything not yet durable; recovery replays the
   // committed log into a fresh store (\S 2.7.1: redo of the change log).
   uint64_t Lost = Journal->discardUncommitted(Volume);
-  FsConfig VolConfig = It->second->config();
+  FsConfig VolConfig = Vol->config();
   auto Fresh = std::make_unique<LocalFileSystem>(VolConfig);
   Journal->replay(Volume, *Fresh);
-  It->second = std::move(Fresh);
+  Volumes[VolumeIds.find(Volume)] = std::move(Fresh);
   return Lost;
 }
 
@@ -349,19 +370,28 @@ void FileServer::watchMutations(
 
 void FileServer::setTenantRateLimit(uint32_t Uid, double OpsPerSec) {
   if (OpsPerSec <= 0) {
-    TenantLimits.erase(Uid);
+    std::erase_if(TenantLimits,
+                  [Uid](const RateLimit &L) { return L.Uid == Uid; });
     return;
   }
-  RateLimit Limit;
-  Limit.Period = static_cast<SimDuration>(1e9 / OpsPerSec);
-  Limit.NextAdmission = Sched.now();
-  TenantLimits[Uid] = Limit;
+  SimDuration Period = static_cast<SimDuration>(1e9 / OpsPerSec);
+  if (RateLimit *Limit = tenantLimit(Uid)) {
+    Limit->Period = Period;
+    Limit->NextAdmission = Sched.now();
+    return;
+  }
+  TenantLimits.push_back(RateLimit{Uid, Period, Sched.now()});
 }
 
 void FileServer::process(const std::string &Volume, const MetaRequest &Req,
                          Callback Done) {
+  process(volumeId(Volume), Req, std::move(Done));
+}
+
+void FileServer::process(uint32_t VolId, const MetaRequest &Req,
+                         Callback Done) {
   auto Holder = std::make_shared<MetaReply>();
-  *Holder = processEager(Volume, Req, [Done = std::move(Done), Holder]() {
+  *Holder = processEager(VolId, Req, [Done = std::move(Done), Holder]() {
     Done(*Holder);
   });
 }

@@ -21,11 +21,12 @@
 #include "fs/LocalFileSystem.h"
 #include "sim/Resource.h"
 #include "sim/Scheduler.h"
+#include "support/Interner.h"
 #include "support/Random.h"
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 
 namespace dmb {
 
@@ -65,6 +66,29 @@ public:
   /// Looks up a volume; nullptr when absent.
   LocalFileSystem *volume(const std::string &Name);
 
+  /// \name Interned volume routing
+  ///
+  /// Volume routing sits on the request hot path, so names are interned
+  /// into dense ids at registration and requests route through an
+  /// id-indexed vector — no string hashing or tree walk per request. Ids
+  /// are stable for the server's lifetime (surviving removeVolume /
+  /// adoptVolume moves), so clients resolve the id once at mount and pass
+  /// it to process()/processEager() afterwards. The string overloads
+  /// remain and simply resolve the id per call.
+  /// @{
+
+  /// The dense id for \p Name, interning it if never seen. Never fails.
+  uint32_t volumeId(std::string_view Name) { return VolumeIds.intern(Name); }
+  /// The name behind an id previously returned by volumeId().
+  const std::string &volumeName(uint32_t VolId) const {
+    return VolumeIds.name(VolId);
+  }
+  /// Looks up a volume by id; nullptr when never added or detached.
+  LocalFileSystem *volume(uint32_t VolId) {
+    return VolId < Volumes.size() ? Volumes[VolId].get() : nullptr;
+  }
+  /// @}
+
   /// \name Volume mobility (\S 2.5.1: volumes move between servers)
   /// @{
   /// Detaches a volume (requests for it then return ESTALE here).
@@ -74,8 +98,11 @@ public:
                    std::unique_ptr<LocalFileSystem> Vol);
   /// @}
 
-  /// Processes \p Req against \p Volume. The reply callback fires after CPU
-  /// queueing + service (+ commit latency for mutations).
+  /// Processes \p Req against the volume \p VolId (from volumeId()). The
+  /// reply callback fires after CPU queueing + service (+ commit latency
+  /// for mutations).
+  void process(uint32_t VolId, const MetaRequest &Req, Callback Done);
+  /// String-keyed convenience overload of the above.
   void process(const std::string &Volume, const MetaRequest &Req,
                Callback Done);
 
@@ -84,6 +111,9 @@ public:
   /// asynchronously; \p Committed fires when the server has finished the
   /// work. This models clients that ack metadata from their cache before
   /// the server commits (Lustre, \S 2.6.4 / \S 4.8).
+  MetaReply processEager(uint32_t VolId, const MetaRequest &Req,
+                         std::function<void()> Committed);
+  /// String-keyed convenience overload of the above.
   MetaReply processEager(const std::string &Volume, const MetaRequest &Req,
                          std::function<void()> Committed);
 
@@ -148,7 +178,9 @@ private:
   Scheduler &Sched;
   ServerConfig Config;
   Resource Cpu;
-  std::map<std::string, std::unique_ptr<LocalFileSystem>> Volumes;
+  Interner VolumeIds; ///< volume name -> dense id (ids stable for life)
+  std::vector<std::unique_ptr<LocalFileSystem>> Volumes; ///< by volume id;
+                                                         ///< null = detached
   uint64_t Processed = 0;
 
   // Consistency-point state.
@@ -161,12 +193,21 @@ private:
   SimDuration JitterMean = 0;
   Rng JitterRng;
 
-  // Per-tenant admission control (\S 5.4).
+  // Per-tenant admission control (\S 5.4). A handful of tenants at most,
+  // checked on every request: a flat vector with a linear scan (and an
+  // empty() fast path) beats a tree of heap nodes.
   struct RateLimit {
+    uint32_t Uid = 0;
     SimDuration Period = 0;
     SimTime NextAdmission = 0;
   };
-  std::map<uint32_t, RateLimit> TenantLimits;
+  std::vector<RateLimit> TenantLimits;
+  RateLimit *tenantLimit(uint32_t Uid) {
+    for (RateLimit &L : TenantLimits)
+      if (L.Uid == Uid)
+        return &L;
+    return nullptr;
+  }
 
   // Journaling (\S 2.7) and change notification (\S 2.8.3).
   std::unique_ptr<MetadataJournal> Journal;

@@ -40,8 +40,8 @@ std::unique_ptr<ClientFs> LustreFs::makeClient(unsigned NodeIndex) {
 LustreClient::LustreClient(Scheduler &Sched, FileServer &Mds,
                            const LustreOptions &Opts, unsigned NodeIndex)
     : RpcClientBase(Sched, Opts.RpcSlotsPerClient, Opts.RpcOneWayLatency),
-      Mds(Mds), Options(Opts), NodeIndex(NodeIndex),
-      Cache(Opts.AttrCacheTtl) {}
+      Mds(Mds), VolId(Mds.volumeId(LustreFs::VolumeName)), Options(Opts),
+      NodeIndex(NodeIndex), Cache(Opts.AttrCacheTtl) {}
 
 std::string LustreClient::describe() const {
   return format("lustre node=%u mds=%s writeback=%d", NodeIndex,
@@ -60,7 +60,7 @@ void LustreClient::rpc(const MetaRequest &Req, Callback Done) {
   withSlot([this, Req, Extra, Done = std::move(Done)]() mutable {
     sched().after(oneWayLatency() + Extra, [this, Req,
                                             Done = std::move(Done)]() {
-      Mds.process(LustreFs::VolumeName, Req,
+      Mds.process(VolId, Req,
                   [this, Req, Done = std::move(Done)](MetaReply Reply) {
                     sched().after(oneWayLatency(),
                                   [this, Req, Done = std::move(Done),
@@ -105,11 +105,10 @@ void LustreClient::submitWriteback(const MetaRequest &Req, Callback Done) {
   // The state change happens now (the MDS will see operations in exactly
   // this order); the reply is served from the client cache while the MDS
   // commit drains in the background.
-  MetaReply Reply =
-      Mds.processEager(LustreFs::VolumeName, Req, [this]() {
-        --DirtyOps;
-        drainStalled();
-      });
+  MetaReply Reply = Mds.processEager(VolId, Req, [this]() {
+    --DirtyOps;
+    drainStalled();
+  });
   sched().after(Options.LocalAckCost,
                 [Done = std::move(Done), Reply = std::move(Reply)]() {
                   Done(Reply);

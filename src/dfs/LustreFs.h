@@ -91,6 +91,7 @@ private:
   void drainStalled();
 
   FileServer &Mds;
+  uint32_t VolId; ///< interned VolumeName, resolved once at mount
   LustreOptions Options;
   unsigned NodeIndex;
   AttrCache Cache;

@@ -49,8 +49,8 @@ std::unique_ptr<ClientFs> NfsFs::makeClient(unsigned NodeIndex) {
 NfsClient::NfsClient(Scheduler &Sched, FileServer &Server,
                      const NfsOptions &Opts, unsigned NodeIndex)
     : RpcClientBase(Sched, Opts.RpcSlotsPerClient, Opts.RpcOneWayLatency),
-      Server(Server), Options(Opts), NodeIndex(NodeIndex),
-      Cache(Opts.AttrCacheTtl) {}
+      Server(Server), VolId(Server.volumeId(NfsFs::VolumeName)),
+      Options(Opts), NodeIndex(NodeIndex), Cache(Opts.AttrCacheTtl) {}
 
 std::string NfsClient::describe() const {
   return format("nfs3 node=%u server=%s", NodeIndex,
@@ -101,7 +101,7 @@ void NfsClient::postProcess(const MetaRequest &Req, const MetaReply &Reply) {
 void NfsClient::rpc(const MetaRequest &Req, Callback Done) {
   withSlot([this, Req, Done = std::move(Done)]() mutable {
     sched().after(oneWayLatency(), [this, Req, Done = std::move(Done)]() {
-      Server.process(NfsFs::VolumeName, Req,
+      Server.process(VolId, Req,
                      [this, Req, Done = std::move(Done)](MetaReply Reply) {
                        sched().after(oneWayLatency(),
                                      [this, Req, Done = std::move(Done),

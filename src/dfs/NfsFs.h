@@ -81,6 +81,7 @@ private:
   void postProcess(const MetaRequest &Req, const MetaReply &Reply);
 
   FileServer &Server;
+  uint32_t VolId; ///< interned VolumeName, resolved once at mount
   NfsOptions Options;
   unsigned NodeIndex;
   AttrCache Cache;

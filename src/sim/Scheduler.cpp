@@ -37,46 +37,75 @@ Scheduler::~Scheduler() {
     ActiveScheduler = nullptr;
 }
 
-// splitmix64 finalizer: cheap, well-mixed, and fully determined by the
-// (Seed, Seq) pair, so a given seed always yields the same permutation.
-static uint64_t mixTieKey(uint64_t Seed, uint64_t Seq) {
-  uint64_t X = Seq + Seed * 0x9e3779b97f4a7c15ULL;
-  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
-  return X ^ (X >> 31);
-}
-
-void Scheduler::at(SimTime When, Action Fn) {
-  DMB_ASSERT(When >= Now, "cannot schedule into the past");
-  uint64_t Seq = NextSeq++;
-  uint64_t Key = PerturbSeed ? mixTieKey(PerturbSeed, Seq) : Seq;
-  Queue.push(Event{When, Key, Seq, ActiveTrace, std::move(Fn)});
+// Floyd's bottom-up 4-ary sift-down. The displaced last leaf almost
+// always belongs back near the bottom, so instead of comparing it at
+// every level (a data-dependent branch per level), the hole walks straight
+// down through the smallest children — selected with conditional moves on
+// single-scalar keys — and the leaf then sifts up, usually zero levels.
+Scheduler::QueueEntry Scheduler::heapPop() {
+  QueueEntry Top = Heap.front();
+  QueueEntry Last = Heap.back();
+  Heap.pop_back();
+  size_t N = Heap.size();
+  if (N == 0)
+    return Top;
+  size_t I = 0, C;
+  while ((C = 4 * I + 1) + 4 <= N) {
+    size_t M01 = C + static_cast<size_t>(Heap[C + 1].Key < Heap[C].Key);
+    size_t M23 =
+        C + 2 + static_cast<size_t>(Heap[C + 3].Key < Heap[C + 2].Key);
+    size_t Min = Heap[M23].Key < Heap[M01].Key ? M23 : M01;
+    Heap[I] = Heap[Min];
+    I = Min;
+  }
+  if (C < N) {
+    // Partial group: only ever the deepest level (its children would lie
+    // past N).
+    size_t Min = C;
+    for (size_t K = C + 1; K < N; ++K)
+      if (Heap[K].Key < Heap[Min].Key)
+        Min = K;
+    Heap[I] = Heap[Min];
+    I = Min;
+  }
+  while (I > 0) {
+    size_t Parent = (I - 1) >> 2;
+    if (!(Last.Key < Heap[Parent].Key))
+      break;
+    Heap[I] = Heap[Parent];
+    I = Parent;
+  }
+  Heap[I] = Last;
+  return Top;
 }
 
 void Scheduler::enableSchedulePerturbation(uint64_t Seed) {
-  DMB_CHECK(NextSeq == 0 && Queue.empty(),
+  DMB_CHECK(NextSeq == 0 && Heap.empty(),
             "schedule perturbation must be enabled before any event is "
             "scheduled");
   PerturbSeed = Seed;
 }
 
 bool Scheduler::step() {
-  if (Queue.empty())
+  if (Heap.empty())
     return false;
   ActiveScheduler = this;
-  // Move the action out before popping; the action may schedule new events.
-  Event Ev = std::move(const_cast<Event &>(Queue.top()));
-  Queue.pop();
-  Now = Ev.When;
+  QueueEntry E = heapPop();
+  // Move the action out and recycle the slot before running: the action
+  // may schedule new events, growing Pool/Heap under our feet.
+  Action Fn = std::move(Pool[E.Slot].Fn);
+  uint64_t EvTrace = Pool[E.Slot].Trace;
+  FreeSlots.push_back(E.Slot);
+  Now = keyWhen(E);
   ++Executed;
   if (Journal)
-    JournalLog.push_back(JournalEntry{Ev.When, Ev.Seq, Ev.Trace});
+    JournalLog.push_back(JournalEntry{Now, E.Seq, EvTrace});
   // Events run in the trace context of the operation that scheduled them,
   // so causal chains inherit the operation id across hops.
-  ActiveTrace = Ev.Trace;
+  ActiveTrace = EvTrace;
   if (HB)
     HB->advance(ActiveTrace);
-  Ev.Fn();
+  Fn();
   ActiveTrace = 0;
   return true;
 }
@@ -92,13 +121,13 @@ void Scheduler::runUntil(SimTime Deadline) {
   // with two schedulers interleaving, failure reports must name the one
   // being driven, not whichever stepped last.
   ActiveScheduler = this;
-  while (!Queue.empty() && Queue.top().When <= Deadline)
+  while (!Heap.empty() && keyWhen(Heap.front()) <= Deadline)
     step();
   if (Now < Deadline)
     Now = Deadline;
   // A drained queue is quiescence, exactly as in run(): record the report
   // instead of leaving lastDiagnostics() stale.
-  if (Queue.empty())
+  if (Heap.empty())
     LastDiag = checkQuiescent();
 }
 
@@ -165,7 +194,7 @@ SimDiagnostics Scheduler::checkQuiescent() const {
   SimDiagnostics Diag;
   Diag.AtTime = Now;
   Diag.EventsExecuted = Executed;
-  Diag.PendingEvents = Queue.size();
+  Diag.PendingEvents = Heap.size();
   for (const auto &Entry : QuiescenceChecks)
     Entry.second(Diag);
   return Diag;

@@ -28,12 +28,13 @@
 #ifndef DMETABENCH_SIM_SCHEDULER_H
 #define DMETABENCH_SIM_SCHEDULER_H
 
+#include "sim/InplaceFunction.h"
 #include "sim/SimDiagnostics.h"
 #include "sim/Time.h"
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
+#include <utility>
 #include <vector>
 
 namespace dmb {
@@ -44,9 +45,17 @@ class LockOrderGraph;
 class HBTracker;
 
 /// Single-threaded event loop over simulated time.
+///
+/// The hot path is allocation-free at steady state: actions live in a
+/// 64-byte small-buffer callback (sim/InplaceFunction.h), events are
+/// pooled and recycled through a free list, and the pending queue is a
+/// 4-ary heap of 32-byte (time, tie-key, seq, slot) entries — so pushing
+/// and popping never moves callback storage around.
 class Scheduler {
 public:
-  using Action = std::function<void()>;
+  /// Move-only SBO callback: captures up to 64 bytes stay inline;
+  /// larger closures fall back to a heap box.
+  using Action = InplaceFunction<void(), 64>;
   /// Inspects one primitive's state at quiescence and reports leaks.
   using QuiescenceCheck = std::function<void(SimDiagnostics &)>;
 
@@ -61,11 +70,23 @@ public:
   /// Schedules \p Fn to run at absolute time \p When. Scheduling into the
   /// past would silently reorder history, so When < now() is a fatal
   /// invariant violation (use after() for clamped relative delays).
-  void at(SimTime When, Action Fn);
+  ///
+  /// Takes the callable by forwarding reference and constructs it directly
+  /// in a pooled event slot: the closure is built exactly once, with no
+  /// intermediate Action temporary and no relocation on the way in.
+  template <typename F> void at(SimTime When, F &&Fn) {
+    DMB_ASSERT(When >= Now, "cannot schedule into the past");
+    uint32_t Slot = acquireSlot();
+    Pool[Slot].Trace = ActiveTrace;
+    Pool[Slot].Fn.emplace(std::forward<F>(Fn));
+    uint64_t Seq = NextSeq++;
+    uint64_t Tie = PerturbSeed ? mixTieKey(PerturbSeed, Seq) : Seq;
+    heapPush(QueueEntry{orderKey(When, Tie), Seq, Slot});
+  }
 
   /// Schedules \p Fn to run \p Delay from now. Negative delays clamp to 0.
-  void after(SimDuration Delay, Action Fn) {
-    at(Now + (Delay < 0 ? 0 : Delay), std::move(Fn));
+  template <typename F> void after(SimDuration Delay, F &&Fn) {
+    at(Now + (Delay < 0 ? 0 : Delay), std::forward<F>(Fn));
   }
 
   /// Runs events until the queue is empty, then records a quiescence
@@ -80,7 +101,12 @@ public:
   bool step();
 
   /// Number of events waiting to fire.
-  size_t pendingEvents() const { return Queue.size(); }
+  size_t pendingEvents() const { return Heap.size(); }
+
+  /// Capacity of the event pool (high-water mark of pending events).
+  /// Steady-state stepping allocates only when the pending set grows past
+  /// every previous peak; tests pin this.
+  size_t eventPoolCapacity() const { return Pool.size(); }
 
   /// Total events executed so far (for tests and stats).
   uint64_t executedEvents() const { return Executed; }
@@ -190,29 +216,89 @@ public:
   /// @}
 
 private:
+  /// Pooled event payload: the callback plus the trace context it runs
+  /// under. Slots are recycled through FreeSlots, so the pool stops
+  /// growing once the pending set reaches its high-water mark.
   struct Event {
-    SimTime When;
-    uint64_t TieKey; ///< equals Seq unless perturbation re-keyed the tie
-    uint64_t Seq;
-    uint64_t Trace;
+    uint64_t Trace = 0;
     Action Fn;
   };
-  struct Later {
-    bool operator()(const Event &A, const Event &B) const {
-      if (A.When != B.When)
-        return A.When > B.When;
-      if (A.TieKey != B.TieKey)
-        return A.TieKey > B.TieKey;
-      return A.Seq > B.Seq;
-    }
+  /// One pending entry in the heap: a single 128-bit ordering key plus
+  /// the pool slot of the payload. Small and trivially copyable, so heap
+  /// sifts never touch callback storage.
+  ///
+  /// Key packs (When << 64) | TieKey. The tie key is the insertion
+  /// ordinal, or under perturbation a splitmix64 mix of it — a bijection
+  /// either way, so tie keys are distinct and Key is a strict total order
+  /// identical to lexicographic (When, TieKey, Seq). Collapsing the
+  /// compare to one scalar matters: heap sifts are latency-bound on the
+  /// compare chain, and a 128-bit compare is one cmp/sbb instead of a
+  /// three-field cascade.
+  struct QueueEntry {
+    unsigned __int128 Key;
+    uint64_t Seq; ///< insertion ordinal (journal + diagnostics)
+    uint32_t Slot;
   };
+  static unsigned __int128 orderKey(SimTime When, uint64_t Tie) {
+    // When >= 0 always (at() rejects the past, time starts at 0), so the
+    // unsigned cast preserves order.
+    return (static_cast<unsigned __int128>(static_cast<uint64_t>(When))
+            << 64) |
+           Tie;
+  }
+  static SimTime keyWhen(const QueueEntry &E) {
+    return static_cast<SimTime>(static_cast<uint64_t>(E.Key >> 64));
+  }
+
+  /// Pops a recycled payload slot, growing the pool only when the pending
+  /// set exceeds every previous peak.
+  uint32_t acquireSlot() {
+    if (!FreeSlots.empty()) {
+      uint32_t S = FreeSlots.back();
+      FreeSlots.pop_back();
+      return S;
+    }
+    Pool.emplace_back();
+    return static_cast<uint32_t>(Pool.size() - 1);
+  }
+
+  /// splitmix64 finalizer: cheap, well-mixed, and fully determined by the
+  /// (Seed, Seq) pair, so a given seed always yields the same permutation.
+  static uint64_t mixTieKey(uint64_t Seed, uint64_t Seq) {
+    uint64_t X = Seq + Seed * 0x9e3779b97f4a7c15ULL;
+    X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+    return X ^ (X >> 31);
+  }
+
+  /// Sift-up into a 4-ary min-heap (children of I are 4I+1 .. 4I+4).
+  /// 4-ary halves the tree depth of a binary heap, and each sift level is
+  /// one data-dependent key compare — the dominant cost of deep pending
+  /// sets — so fewer levels directly buys events/sec. The walk is
+  /// hole-based: parents slide down and the entry is written once.
+  void heapPush(QueueEntry E) {
+    size_t I = Heap.size();
+    Heap.push_back(E); // reserve the new leaf; overwritten by the walk
+    while (I > 0) {
+      size_t Parent = (I - 1) >> 2;
+      if (!(E.Key < Heap[Parent].Key))
+        break;
+      Heap[I] = Heap[Parent];
+      I = Parent;
+    }
+    Heap[I] = E;
+  }
+
+  QueueEntry heapPop();
 
   SimTime Now = 0;
   uint64_t NextSeq = 0;
   uint64_t Executed = 0;
   OpTraceSink *Trace = nullptr;
   uint64_t ActiveTrace = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> Queue;
+  std::vector<QueueEntry> Heap; ///< 4-ary min-heap ordered by Key
+  std::vector<Event> Pool;      ///< payload slots addressed by the heap
+  std::vector<uint32_t> FreeSlots;
   uint64_t NextCheckId = 0;
   std::vector<std::pair<uint64_t, QuiescenceCheck>> QuiescenceChecks;
   SimDiagnostics LastDiag;

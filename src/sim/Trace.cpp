@@ -8,10 +8,24 @@
 
 using namespace dmb;
 
+uint32_t OpTraceSink::internOp(const char *Op) {
+  for (const auto &[Ptr, Id] : OpPtrIds)
+    if (Ptr == Op)
+      return Id;
+  // New pointer: intern by content (two call sites may pass distinct
+  // pointers to equal strings) and remember the pointer.
+  uint32_t Id = OpNames.intern(Op);
+  OpPtrIds.emplace_back(Op, Id);
+  return Id;
+}
+
 uint64_t OpTraceSink::beginOp(const char *Op, SimTime Now) {
+  if (Records.empty() && Records.capacity() < 4096)
+    Records.reserve(4096); // First record: pre-size for a typical sweep.
   OpTraceRecord R;
   R.Id = Records.size() + 1; // Ids are 1-based indexes into Records.
   R.Op = Op;
+  R.OpId = internOp(Op);
   R.At[static_cast<size_t>(TracePoint::Submit)] = Now;
   Records.push_back(R);
   return R.Id;

@@ -27,8 +27,11 @@
 #define DMETABENCH_SIM_TRACE_H
 
 #include "sim/Time.h"
+#include "support/Interner.h"
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 namespace dmb {
@@ -57,6 +60,10 @@ struct OpTraceRecord {
   /// Operation name; must point at storage outliving the sink (the
   /// metaOpName() string table in practice).
   const char *Op = "";
+  /// The sink's interned id for Op (see OpTraceSink::opName()). Analysis
+  /// passes group records by this id instead of re-hashing the name for
+  /// every record.
+  uint32_t OpId = 0;
   SimTime At[NumTracePoints] = {TraceUnset, TraceUnset, TraceUnset,
                                 TraceUnset, TraceUnset, TraceUnset};
 
@@ -96,11 +103,34 @@ public:
   /// Records not yet delivered (in-flight operations).
   size_t liveOps() const;
 
-  /// Drops all records (between sweep points of a bench).
+  /// Drops all records (between sweep points of a bench). Keeps the
+  /// record storage and the op-name table: ids stay valid across sweeps
+  /// and the next run records into already-sized memory.
   void clear() { Records.clear(); }
 
+  /// Pre-sizes record storage for an expected operation count, so a
+  /// benchmark of known size records without reallocation.
+  void reserveOps(size_t Expected) { Records.reserve(Expected); }
+
+  /// \name Interned operation names
+  /// @{
+  /// Number of distinct op names seen (ids are 0 .. opCount()-1).
+  uint32_t opCount() const { return OpNames.size(); }
+  /// The name behind an OpTraceRecord::OpId.
+  const std::string &opName(uint32_t OpId) const { return OpNames.name(OpId); }
+  /// The id of \p Op, or Interner::None when no record used it.
+  uint32_t opId(std::string_view Op) const { return OpNames.find(Op); }
+  /// @}
+
 private:
+  uint32_t internOp(const char *Op);
+
   std::vector<OpTraceRecord> Records;
+  Interner OpNames;
+  /// beginOp() is on the per-operation hot path and its name almost always
+  /// arrives as the same static string (metaOpName's table), so a tiny
+  /// pointer -> id cache makes re-interning a pointer comparison.
+  std::vector<std::pair<const char *, uint32_t>> OpPtrIds;
 };
 
 } // namespace dmb

@@ -12,11 +12,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "dfs/AfsFs.h"
+#include "dfs/AttrCache.h"
 #include "dfs/CxfsFs.h"
+#include "dfs/FileServer.h"
 #include "dfs/GxFs.h"
 #include "dfs/LocalFsModel.h"
 #include "dfs/LustreFs.h"
 #include "dfs/NfsFs.h"
+#include "sim/Trace.h"
 #include <gtest/gtest.h>
 
 using namespace dmb;
@@ -210,6 +213,110 @@ TEST(Nfs, RpcSlotTableBoundsConcurrency) {
   S.run();
   EXPECT_EQ(32, Done);
   EXPECT_EQ(0u, C->queuedRpcs());
+}
+
+//===----------------------------------------------------------------------===//
+// FileServer accounting
+//===----------------------------------------------------------------------===//
+
+TEST(Server, FailedMutationDoesNotDirtyNvramLog) {
+  Scheduler S;
+  ServerConfig Cfg;
+  Cfg.EnableConsistencyPoints = true;
+  FileServer Srv(S, Cfg);
+  Srv.addVolume("vol");
+  uint32_t Vol = Srv.volumeId("vol");
+
+  ASSERT_TRUE(Srv.processEager(Vol, makeMkdir("/d"), [] {}).ok());
+  uint64_t Dirty = Srv.dirtyLogBytes();
+  EXPECT_EQ(Cfg.LogBytesPerMutation, Dirty);
+
+  // Regression: a failed create writes nothing back, so it must not grow
+  // the dirty log or drag the next consistency point forward.
+  EXPECT_EQ(FsError::Exists,
+            Srv.processEager(Vol, makeMkdir("/d"), [] {}).Err);
+  EXPECT_EQ(Dirty, Srv.dirtyLogBytes());
+
+  // A burst of reads leaves the dirty log untouched too.
+  for (int I = 0; I < 16; ++I)
+    ASSERT_TRUE(Srv.processEager(Vol, makeStat("/d"), [] {}).ok());
+  EXPECT_EQ(Dirty, Srv.dirtyLogBytes());
+  S.run();
+}
+
+TEST(Server, StaleVolumeRequestClosesItsTraceSpan) {
+  Scheduler S;
+  OpTraceSink Sink;
+  S.setTraceSink(&Sink);
+  FileServer Srv(S, ServerConfig{});
+  Srv.addVolume("vol");
+  uint32_t Vol = Srv.volumeId("vol");
+  std::unique_ptr<LocalFileSystem> Detached = Srv.removeVolume("vol");
+  ASSERT_NE(nullptr, Detached);
+
+  uint64_t Id = S.traceBegin("stat");
+  bool Committed = false;
+  MetaReply R =
+      Srv.processEager(Vol, makeStat("/f"), [&] { Committed = true; });
+  EXPECT_EQ(FsError::Stale, R.Err);
+  S.traceFinish(Id);
+  S.swapActiveTrace(0);
+  S.run();
+  EXPECT_TRUE(Committed);
+
+  // Regression: the rejected request entered the server queue, so its
+  // service span must be stamped closed (empty), not left dangling as a
+  // record that entered the queue and never came out.
+  ASSERT_EQ(1u, Sink.records().size());
+  const OpTraceRecord &Rec = Sink.records()[0];
+  EXPECT_TRUE(Rec.has(TracePoint::QueueEnter));
+  EXPECT_TRUE(Rec.has(TracePoint::ServiceStart));
+  EXPECT_TRUE(Rec.has(TracePoint::ServiceEnd));
+  EXPECT_EQ(Rec.at(TracePoint::ServiceStart),
+            Rec.at(TracePoint::ServiceEnd));
+  EXPECT_EQ(0u, Sink.liveOps());
+}
+
+TEST(Server, VolumeIdsSurviveRemoveAndAdopt) {
+  Scheduler S;
+  FileServer Srv(S, ServerConfig{});
+  Srv.addVolume("vol");
+  uint32_t Vol = Srv.volumeId("vol");
+  EXPECT_EQ("vol", Srv.volumeName(Vol));
+  std::unique_ptr<LocalFileSystem> Moved = Srv.removeVolume("vol");
+  EXPECT_EQ(nullptr, Srv.volume(Vol)); // Detached: requests see ESTALE.
+  Srv.adoptVolume("vol", std::move(Moved));
+  EXPECT_NE(nullptr, Srv.volume(Vol)); // Same id, volume is back.
+  EXPECT_EQ(Vol, Srv.volumeId("vol"));
+}
+
+//===----------------------------------------------------------------------===//
+// Attribute cache TTL
+//===----------------------------------------------------------------------===//
+
+TEST(AttrCacheUnit, EntryExpiresExactlyAtTtl) {
+  AttrCache C(seconds(3.0));
+  Attr A;
+  A.Type = FileType::Regular;
+  C.insert("/f", A, /*Now=*/0);
+  // One tick before the TTL the entry is still fresh...
+  EXPECT_TRUE(C.lookup("/f", seconds(3.0) - 1).has_value());
+  // ...but at age == TTL the attributes are already stale (acregmax
+  // semantics): the boundary lookup must revalidate, not hit.
+  EXPECT_FALSE(C.lookup("/f", seconds(3.0)).has_value());
+  EXPECT_EQ(1u, C.hits());
+  EXPECT_EQ(2u, C.hits() + C.misses());
+  // The expired entry was dropped: a later lookup misses without aging.
+  EXPECT_EQ(0u, C.size());
+}
+
+TEST(AttrCacheUnit, ZeroTtlNeverExpires) {
+  AttrCache C(0);
+  Attr A;
+  C.insert("/f", A, 0);
+  EXPECT_TRUE(C.lookup("/f", seconds(1e6)).has_value());
+  EXPECT_EQ(1u, C.hits());
+  EXPECT_EQ(0u, C.misses());
 }
 
 //===----------------------------------------------------------------------===//

@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "sim/InplaceFunction.h"
 #include "sim/Mutex.h"
 #include "sim/Network.h"
 #include "sim/Resource.h"
@@ -11,7 +12,9 @@
 #include "sim/SharedProcessor.h"
 #include "sim/Time.h"
 #include <algorithm>
+#include <functional>
 #include <gtest/gtest.h>
+#include <memory>
 #include <vector>
 
 using namespace dmb;
@@ -411,6 +414,107 @@ TEST(MutexDeathTest, DestroyWhileLockedAborts) {
         // M goes out of scope still locked.
       },
       "destroyed while still locked");
+}
+
+TEST(InplaceFunction, SmallCapturesStayInline) {
+  using Fn = InplaceFunction<void()>;
+  // The typical event capture — an object pointer, an id, a value — fits
+  // the 64-byte buffer and must not allocate.
+  struct Small {
+    void *Obj;
+    uint64_t Id;
+    int64_t Value;
+    void operator()() {}
+  };
+  static_assert(Fn::fitsInline<Small>());
+  struct Big {
+    char Payload[128];
+    void operator()() {}
+  };
+  static_assert(!Fn::fitsInline<Big>());
+
+  int Calls = 0;
+  Fn F([&Calls] { ++Calls; });
+  ASSERT_TRUE(static_cast<bool>(F));
+  F();
+  F();
+  EXPECT_EQ(2, Calls);
+}
+
+TEST(InplaceFunction, HeapFallbackStillWorks) {
+  // Oversized closures transparently box on the heap, same semantics.
+  struct Big {
+    char Pad[100] = {};
+    int *Out;
+    void operator()() { *Out = 7; }
+  };
+  static_assert(!InplaceFunction<void()>::fitsInline<Big>());
+  int Result = 0;
+  InplaceFunction<void()> F(Big{{}, &Result});
+  F();
+  EXPECT_EQ(7, Result);
+}
+
+TEST(InplaceFunction, MoveOnlyCapturesAreAccepted) {
+  // std::function rejects move-only captures; the event loop needs them.
+  auto P = std::make_unique<int>(42);
+  InplaceFunction<int()> F([P = std::move(P)] { return *P; });
+  EXPECT_EQ(42, F());
+}
+
+TEST(InplaceFunction, MoveRelocatesAndEmptiesSource) {
+  int Calls = 0;
+  InplaceFunction<void()> A([&Calls] { ++Calls; });
+  InplaceFunction<void()> B(std::move(A));
+  EXPECT_FALSE(static_cast<bool>(A));
+  EXPECT_TRUE(static_cast<bool>(B));
+  B();
+  EXPECT_EQ(1, Calls);
+
+  InplaceFunction<void()> C;
+  C = std::move(B);
+  EXPECT_FALSE(static_cast<bool>(B));
+  C();
+  EXPECT_EQ(2, Calls);
+}
+
+TEST(InplaceFunction, EmplaceReplacesTheHeldCallable) {
+  // Destruction of the old callable must run before the new one lands —
+  // the slot-recycling path of the scheduler's event pool.
+  struct Probe {
+    int *Dtors;
+    Probe(int *D) : Dtors(D) {}
+    Probe(Probe &&O) noexcept : Dtors(O.Dtors) { O.Dtors = nullptr; }
+    ~Probe() {
+      if (Dtors)
+        ++*Dtors;
+    }
+    void operator()() {}
+  };
+  int Dtors = 0;
+  InplaceFunction<void()> F;
+  F.emplace(Probe(&Dtors));
+  EXPECT_EQ(0, Dtors);
+  int Ran = 0;
+  F.emplace([&Ran] { ++Ran; });
+  EXPECT_EQ(1, Dtors); // Old callable destroyed on replacement.
+  F();
+  EXPECT_EQ(1, Ran);
+}
+
+TEST(Scheduler, EventPoolRecyclesSlots) {
+  // A long sequential chain reuses a handful of pool slots; the pool must
+  // not grow with the total number of events ever scheduled.
+  Scheduler S;
+  int Fired = 0;
+  std::function<void()> Chain = [&] {
+    if (++Fired < 10000)
+      S.after(microseconds(1), [&] { Chain(); });
+  };
+  S.after(0, [&] { Chain(); });
+  S.run();
+  EXPECT_EQ(10000, Fired);
+  EXPECT_LE(S.eventPoolCapacity(), 16u);
 }
 
 TEST(Network, SerializationAddsToLatency) {

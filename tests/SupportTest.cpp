@@ -6,6 +6,7 @@
 
 #include "support/Error.h"
 #include "support/Format.h"
+#include "support/Interner.h"
 #include "support/Random.h"
 #include "support/Result.h"
 #include "support/TextTable.h"
@@ -156,6 +157,41 @@ TEST(Random, BelowStaysInRange) {
     Seen.insert(V);
   }
   EXPECT_EQ(5u, Seen.size());
+}
+
+TEST(Interner, IdsAreDenseAndStable) {
+  Interner I;
+  EXPECT_EQ(0u, I.intern("volume"));
+  EXPECT_EQ(1u, I.intern("scratch"));
+  // Re-interning returns the existing id.
+  EXPECT_EQ(0u, I.intern("volume"));
+  EXPECT_EQ(2u, I.size());
+  EXPECT_EQ("volume", I.name(0));
+  EXPECT_EQ("scratch", I.name(1));
+}
+
+TEST(Interner, FindDoesNotIntern) {
+  Interner I;
+  EXPECT_EQ(Interner::None, I.find("volume"));
+  EXPECT_EQ(0u, I.size());
+  I.intern("volume");
+  EXPECT_EQ(0u, I.find("volume"));
+  EXPECT_EQ(Interner::None, I.find("volum"));
+}
+
+TEST(Interner, NamesStayValidAcrossGrowth) {
+  // The id -> name vector points into the map's nodes; references must
+  // survive arbitrarily many later interns (rehashes move buckets, not
+  // nodes).
+  Interner I;
+  I.intern("first");
+  const std::string *First = &I.name(0);
+  for (int K = 0; K < 1000; ++K)
+    I.intern("vol" + std::to_string(K));
+  EXPECT_EQ(First, &I.name(0));
+  EXPECT_EQ("first", I.name(0));
+  EXPECT_EQ(1001u, I.size());
+  EXPECT_EQ(500u, I.find("vol499"));
 }
 
 TEST(TextTable, AlignsColumns) {

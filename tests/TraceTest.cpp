@@ -93,6 +93,46 @@ TEST(TraceSink, LiveOpsCountsUndelivered) {
   EXPECT_TRUE(Sink.records().empty());
 }
 
+TEST(TraceSink, OpNamesAreInternedToDenseIds) {
+  OpTraceSink Sink;
+  Sink.beginOp("create", 0);
+  Sink.beginOp("stat", 0);
+  Sink.beginOp("create", 0);
+  EXPECT_EQ(2u, Sink.opCount());
+  EXPECT_EQ(Sink.records()[0].OpId, Sink.records()[2].OpId);
+  EXPECT_NE(Sink.records()[0].OpId, Sink.records()[1].OpId);
+  EXPECT_EQ("create", Sink.opName(Sink.records()[0].OpId));
+  EXPECT_EQ(Sink.records()[1].OpId, Sink.opId("stat"));
+  EXPECT_EQ(Interner::None, Sink.opId("unlink"));
+}
+
+TEST(TraceSink, EqualNamesBehindDistinctPointersShareAnId) {
+  // The pointer cache is an optimization for metaOpName's static table;
+  // two distinct pointers to equal text must still intern to one id.
+  std::string A = "mkdir", B = "mkdir";
+  ASSERT_NE(A.c_str(), B.c_str());
+  OpTraceSink Sink;
+  Sink.beginOp(A.c_str(), 0);
+  Sink.beginOp(B.c_str(), 0);
+  EXPECT_EQ(1u, Sink.opCount());
+  EXPECT_EQ(Sink.records()[0].OpId, Sink.records()[1].OpId);
+}
+
+TEST(TraceSink, ClearKeepsStorageAndOpNames) {
+  OpTraceSink Sink;
+  Sink.reserveOps(100);
+  Sink.beginOp("create", 0);
+  EXPECT_GE(Sink.records().capacity(), 100u);
+  size_t Cap = Sink.records().capacity();
+  Sink.clear();
+  // Records are gone, but the sized storage and the name table survive
+  // for the next sweep point.
+  EXPECT_TRUE(Sink.records().empty());
+  EXPECT_EQ(Cap, Sink.records().capacity());
+  EXPECT_EQ(1u, Sink.opCount());
+  EXPECT_EQ(0u, Sink.opId("create"));
+}
+
 //===----------------------------------------------------------------------===//
 // Trace-id propagation through the scheduler and primitives
 //===----------------------------------------------------------------------===//
@@ -355,6 +395,41 @@ TEST(TraceAnalysisStats, ExactPercentilesAndMean) {
   std::string Report = renderTraceReport(Sink);
   EXPECT_NE(std::string::npos, Report.find("create"));
   EXPECT_NE(std::string::npos, Report.find("p99"));
+}
+
+TEST(TraceAnalysisStats, PercentileOfEmptyAndSingletonSamples) {
+  // Regression: the nearest-rank index of an empty sample is
+  // min(0, size()-1) with size()-1 wrapped to SIZE_MAX — an out-of-bounds
+  // read. An empty sample must report 0 instead.
+  std::vector<double> Empty;
+  EXPECT_DOUBLE_EQ(0.0, percentileSorted(Empty, 0.50));
+  EXPECT_DOUBLE_EQ(0.0, percentileSorted(Empty, 0.99));
+  std::vector<double> One{0.25};
+  EXPECT_DOUBLE_EQ(0.25, percentileSorted(One, 0.50));
+  EXPECT_DOUBLE_EQ(0.25, percentileSorted(One, 0.95));
+  EXPECT_DOUBLE_EQ(0.25, percentileSorted(One, 0.99));
+
+  // A sink whose only records were never delivered yields no stats rows
+  // and a well-formed (empty) report rather than touching empty groups.
+  OpTraceSink Sink;
+  Sink.beginOp("create", 0);
+  Sink.beginOp("create", 0);
+  EXPECT_TRUE(traceStats(Sink).empty());
+  EXPECT_NE(std::string::npos,
+            renderTraceReport(Sink).find("no delivered operations"));
+}
+
+TEST(TraceAnalysisStats, SingleDeliveredRecordHasDegeneratePercentiles) {
+  OpTraceSink Sink;
+  uint64_t Id = Sink.beginOp("stat", 0);
+  Sink.finishOp(Id, milliseconds(2));
+  std::vector<OpLatencyStats> Stats = traceStats(Sink);
+  ASSERT_EQ(1u, Stats.size());
+  EXPECT_EQ(1u, Stats[0].Count);
+  // Every percentile of a one-element sample is that element.
+  EXPECT_NEAR(0.002, Stats[0].P50Sec, 1e-12);
+  EXPECT_NEAR(0.002, Stats[0].P99Sec, 1e-12);
+  EXPECT_NEAR(0.002, Stats[0].MaxSec, 1e-12);
 }
 
 TEST(TraceAnalysisStats, SpanBreakdownClampsAndSkipsUnset) {

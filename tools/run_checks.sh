@@ -7,9 +7,11 @@
 #   2. dmeta-lint over the source tree,
 #   3. the full ctest suite,
 #   4. a verify-schedules smoke pass (3 permuted schedules per scenario),
-#   5. the trace tests rebuilt under ASan+UBSan (always — the trace layer
+#   5. an engine-throughput bench smoke at reduced sizes (writes
+#      build/BENCH_engine.json),
+#   6. the trace tests rebuilt under ASan+UBSan (always — the trace layer
 #      threads ids through every queue and must stay memory-clean),
-#   6. (optionally) the full suite rebuilt under sanitizers.
+#   7. (optionally) the full suite rebuilt under sanitizers.
 #
 # Exits nonzero on the first failure. Usage:
 #
@@ -53,6 +55,13 @@ ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
 
 step "verify-schedules smoke (3 permuted schedules)"
 "$ROOT/build/tools/dmetabench" verify-schedules --schedules 3
+
+step "engine throughput smoke (reduced sizes)"
+# Reduced sizes: this only proves the bench runs and writes its JSON; the
+# committed BENCH_engine.json numbers come from a full-size run.
+"$ROOT/build/bench/bench_engine_throughput" --events 500000 \
+    --problemsize 2000 --timelimit 2 --label smoke \
+    --out "$ROOT/build/BENCH_engine.json"
 
 if [ -n "$SANITIZE" ]; then
   step "sanitizer build (build-sanitize/, DMB_SANITIZE=$SANITIZE)"
