@@ -23,7 +23,7 @@ double statRate(const char *Op, double LatencyMs) {
   Scheduler S;
   Cluster C(S, 1, 8);
   NfsOptions Opts;
-  Opts.RpcOneWayLatency = static_cast<SimDuration>(LatencyMs * 1e6);
+  Opts.Client.Net.OneWayLatency = static_cast<SimDuration>(LatencyMs * 1e6);
   Opts.Server.EnableConsistencyPoints = false;
   NfsFs Nfs(S, Opts);
   C.mountEverywhere(Nfs);

@@ -23,7 +23,7 @@ double latencyRate(SimDuration OneWay, const char *Op, unsigned Ppn) {
   Scheduler S;
   Cluster C(S, 1, 16);
   NfsOptions Opts;
-  Opts.RpcOneWayLatency = OneWay;
+  Opts.Client.Net.OneWayLatency = OneWay;
   Opts.Server.EnableConsistencyPoints = false;
   NfsFs Nfs(S, Opts);
   C.mountEverywhere(Nfs);

@@ -38,7 +38,7 @@ TracedRun runAt(double OneWayMs, bool Trace) {
     S.setTraceSink(&Sink);
   Cluster C(S, 1, 16);
   NfsOptions Opts;
-  Opts.RpcOneWayLatency = static_cast<SimDuration>(OneWayMs * 1e6);
+  Opts.Client.Net.OneWayLatency = static_cast<SimDuration>(OneWayMs * 1e6);
   Opts.Server.EnableConsistencyPoints = false;
   NfsFs Nfs(S, Opts);
   if (Trace)

@@ -28,7 +28,7 @@ double rate(const char *Op, double OneWayMs, bool Extensions) {
   Scheduler S;
   Cluster C(S, 1, 8, "branch");
   NfsOptions Opts;
-  Opts.RpcOneWayLatency = static_cast<SimDuration>(OneWayMs * 1e6);
+  Opts.Client.Net.OneWayLatency = static_cast<SimDuration>(OneWayMs * 1e6);
   Opts.Server.EnableConsistencyPoints = false;
   NfsFs Nfs(S, Opts);
   C.mountEverywhere(Nfs);

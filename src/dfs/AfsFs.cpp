@@ -96,9 +96,8 @@ std::unique_ptr<ClientFs> AfsFs::makeClient(unsigned NodeIndex) {
 }
 
 AfsClient::AfsClient(Scheduler &Sched, AfsFs &Cell, unsigned NodeIndex)
-    : RpcClientBase(Sched, Cell.options().RpcSlotsPerClient,
-                    Cell.options().RpcOneWayLatency),
-      Cell(Cell), NodeIndex(NodeIndex), Cache(/*Ttl=*/0) {
+    : RpcClientBase(Sched, Cell.options().Client, NodeIndex + 1), Cell(Cell),
+      NodeIndex(NodeIndex), Cache(/*Ttl=*/0) {
   Cell.registerClient(this);
 }
 
@@ -122,44 +121,37 @@ SimDuration AfsClient::vldbCost(const std::string &Volume) {
 void AfsClient::rpc(unsigned ServerIndex, const std::string &Volume,
                     MetaRequest Req, const std::string &FullPath,
                     Callback Done) {
+  // A first access to a volume pays the VLDB lookup on top of the request
+  // hop — modelled as SendExtra so retransmits do not pay it again.
   SimDuration Vldb = vldbCost(Volume);
   withSlot([this, ServerIndex, Volume, Req = std::move(Req), FullPath, Vldb,
             Done = std::move(Done)]() mutable {
-    sched().after(
-        oneWayLatency() + Vldb,
-        [this, ServerIndex, Volume, Req = std::move(Req), FullPath,
-         Done = std::move(Done)]() {
-          Cell.server(ServerIndex)
-              .process(Volume, Req, [this, ServerIndex, Volume,
-                                     Req, FullPath, Done = std::move(Done)](
-                                        MetaReply Reply) {
-                sched().after(oneWayLatency(), [this, ServerIndex, Volume,
-                                                Req, FullPath,
-                                                Done = std::move(Done),
-                                                Reply = std::move(
-                                                    Reply)]() mutable {
-                  if (Reply.ok()) {
-                    if (Req.Op == MetaOp::Stat || Req.Op == MetaOp::Lstat)
-                      Cache.insert(FullPath, Reply.A, sched().now());
-                    if (isMutation(Req.Op) ||
-                        (Req.Op == MetaOp::Open &&
-                         (Req.Flags & OpenCreate))) {
-                      Cache.invalidate(FullPath);
-                      Cell.breakCallbacks(this, FullPath);
-                    }
-                    if (Req.Op == MetaOp::Open) {
-                      // Wrap the server handle in a client-local handle so
-                      // handles from different volumes cannot collide.
-                      FileHandle Local = NextLocalFh++;
-                      Handles[Local] =
-                          HandleInfo{ServerIndex, Volume, Reply.Fh};
-                      Reply.Fh = Local;
-                    }
-                  }
-                  slotDone();
-                  Done(Reply);
-                });
-              });
+    transact(
+        Req, Vldb,
+        [this, ServerIndex, Volume](
+            const MetaRequest &R, std::function<void(MetaReply)> Reply) {
+          Cell.server(ServerIndex).process(Volume, R, std::move(Reply));
+        },
+        [this, ServerIndex, Volume, Req, FullPath,
+         Done = std::move(Done)](MetaReply Reply) mutable {
+          if (Reply.ok()) {
+            if (Req.Op == MetaOp::Stat || Req.Op == MetaOp::Lstat)
+              Cache.insert(FullPath, Reply.A, sched().now());
+            if (isMutation(Req.Op) ||
+                (Req.Op == MetaOp::Open && (Req.Flags & OpenCreate))) {
+              Cache.invalidate(FullPath);
+              Cell.breakCallbacks(this, FullPath);
+            }
+            if (Req.Op == MetaOp::Open) {
+              // Wrap the server handle in a client-local handle so handles
+              // from different volumes cannot collide.
+              FileHandle Local = NextLocalFh++;
+              Handles[Local] = HandleInfo{ServerIndex, Volume, Reply.Fh};
+              Reply.Fh = Local;
+            }
+          }
+          slotDone();
+          Done(Reply);
         });
   });
 }

@@ -18,6 +18,7 @@
 #define DMETABENCH_DFS_AFSFS_H
 
 #include "dfs/AttrCache.h"
+#include "dfs/ClientConfig.h"
 #include "dfs/DistributedFs.h"
 #include "dfs/FileServer.h"
 #include "dfs/MountTable.h"
@@ -34,8 +35,8 @@ class AfsClient;
 
 /// Tunables of the AFS cell.
 struct AfsOptions {
-  SimDuration RpcOneWayLatency = microseconds(150);
-  unsigned RpcSlotsPerClient = 4;
+  /// Client construction: 150 us one-way (WAN-ish cell), 4 RPC slots.
+  ClientConfig Client = makeClientConfig(microseconds(150), 4);
   SimDuration CacheHitCost = microseconds(3);
   /// First access to a volume resolves it in the VLDB (cached afterwards).
   SimDuration VldbLookupCost = microseconds(80);
@@ -75,6 +76,11 @@ public:
   std::string name() const override { return "afs"; }
 
   FileServer &server(unsigned Index) { return *Servers[Index]; }
+  /// Administrative access targets server 0 (the root-volume server); for
+  /// other servers use server(I) directly.
+  FsAdmin *admin() override {
+    return Servers.empty() ? nullptr : Servers[0].get();
+  }
   unsigned numServers() const { return Servers.size(); }
   const MountTable &vldb() const { return Vldb; }
   const AfsOptions &options() const { return Options; }

@@ -1,0 +1,65 @@
+//===- dfs/ClientConfig.h - Uniform client construction ---------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The uniform construction surface for every dfs client: one struct
+/// bundling the network path (latency, bandwidth, fault policy), the RPC
+/// slot table and the retry discipline. Model Options embed a ClientConfig
+/// instead of loose per-model latency/slot fields, so benches configure all
+/// seven models — and inject faults into any of them — the same way.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_DFS_CLIENTCONFIG_H
+#define DMETABENCH_DFS_CLIENTCONFIG_H
+
+#include "sim/Network.h"
+#include "sim/Time.h"
+
+namespace dmb {
+
+/// Client-side retry discipline for slot-based RPC clients. Disabled by
+/// default: with Timeout == 0 a client makes a single fire-and-forget
+/// attempt, schedules no timers and assigns no transaction ids, which keeps
+/// fault-free runs bit-identical to the pre-resilience simulator.
+struct RetryPolicy {
+  /// Initial retransmit timeout; 0 disables retries entirely.
+  SimDuration Timeout = 0;
+
+  /// Timeout multiplier per retransmit (classic sunrpc doubling).
+  double BackoffFactor = 2.0;
+
+  /// Upper bound the exponential backoff saturates at.
+  SimDuration MaxTimeout = seconds(1);
+
+  /// Retransmits after the first attempt before the operation fails with
+  /// FsError::TimedOut.
+  unsigned MaxRetransmits = 12;
+
+  bool enabled() const { return Timeout > 0; }
+};
+
+/// Uniform construction parameters for a dfs client.
+struct ClientConfig {
+  NetConfig Net;          ///< path to the server(s), including faults
+  unsigned RpcSlots = 16; ///< sunrpc-style request slot table size
+  RetryPolicy Retry;      ///< default: fire-and-forget
+};
+
+/// Uniform factory for the common case: a lossless link with the given
+/// one-way latency and slot count (what the pre-redesign per-model
+/// constructor arguments expressed).
+inline ClientConfig makeClientConfig(SimDuration OneWayLatency,
+                                     unsigned Slots) {
+  ClientConfig C;
+  C.Net.OneWayLatency = OneWayLatency;
+  C.RpcSlots = Slots;
+  return C;
+}
+
+} // namespace dmb
+
+#endif // DMETABENCH_DFS_CLIENTCONFIG_H

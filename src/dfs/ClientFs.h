@@ -16,6 +16,7 @@
 #ifndef DMETABENCH_DFS_CLIENTFS_H
 #define DMETABENCH_DFS_CLIENTFS_H
 
+#include "dfs/FsAdmin.h"
 #include "dfs/Message.h"
 #include <functional>
 #include <string>
@@ -24,19 +25,17 @@ namespace dmb {
 
 /// Asynchronous client interface: submit an operation, get the reply via
 /// callback once network, queueing and service delays have elapsed.
-class ClientFs {
+/// Administrative operations (dropCaches, cacheStats, ...) come from the
+/// shared FsAdmin surface; clients override the ones they support.
+class ClientFs : public FsAdmin {
 public:
   using Callback = std::function<void(MetaReply)>;
 
-  virtual ~ClientFs();
+  ~ClientFs() override;
 
   /// Submits one operation. The callback fires at the simulated completion
   /// time of the operation.
   virtual void submit(const MetaRequest &Req, Callback Done) = 0;
-
-  /// Drops client-side caches — the /proc/sys/vm/drop_caches equivalent
-  /// used by the StatNocacheFiles plugin (thesis \S 3.4.3).
-  virtual void dropCaches() {}
 
   /// Short description for result protocols ("nfs3 filer=fas3050").
   virtual std::string describe() const = 0;

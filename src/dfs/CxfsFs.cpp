@@ -36,8 +36,8 @@ std::unique_ptr<ClientFs> CxfsFs::makeClient(unsigned NodeIndex) {
 CxfsClient::CxfsClient(Scheduler &Sched, FileServer &Mds,
                        const CxfsOptions &Opts, unsigned NodeIndex)
     : Sched(Sched), Mds(Mds), VolId(Mds.volumeId(CxfsFs::VolumeName)),
-      Options(Opts), NodeIndex(NodeIndex),
-      Token(Sched, "cxfs.metadata-token") {}
+      Options(Opts), NodeIndex(NodeIndex), Token(Sched, "cxfs.metadata-token"),
+      ToServer(Sched, Opts.Client.Net), FromServer(Sched, Opts.Client.Net) {}
 
 std::string CxfsClient::describe() const {
   return format("cxfs node=%u mds=%s", NodeIndex,
@@ -49,12 +49,14 @@ void CxfsClient::submit(const MetaRequest &Req, Callback Done) {
   // one OS instance serialize (\S 4.5.3), while different nodes proceed in
   // parallel up to MDS saturation.
   Token.lock([this, Req, Done = std::move(Done)]() mutable {
-    Sched.after(Options.TokenOverhead + Options.RpcOneWayLatency,
+    NetworkLink::Delivery D = ToServer.plan(0);
+    Sched.after(Options.TokenOverhead + D.Delay,
                 [this, Req, Done = std::move(Done)]() mutable {
                   Mds.process(
                       VolId, Req,
                       [this, Done = std::move(Done)](MetaReply Reply) {
-                        Sched.after(Options.RpcOneWayLatency,
+                        NetworkLink::Delivery RD = FromServer.plan(0);
+                        Sched.after(RD.Delay,
                                     [this, Done = std::move(Done),
                                      Reply = std::move(Reply)]() {
                                       Token.unlock();

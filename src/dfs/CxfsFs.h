@@ -17,9 +17,11 @@
 #ifndef DMETABENCH_DFS_CXFSFS_H
 #define DMETABENCH_DFS_CXFSFS_H
 
+#include "dfs/ClientConfig.h"
 #include "dfs/DistributedFs.h"
 #include "dfs/FileServer.h"
 #include "sim/Mutex.h"
+#include "sim/Network.h"
 #include "sim/Scheduler.h"
 #include <memory>
 
@@ -27,7 +29,10 @@ namespace dmb {
 
 /// Tunables of the CXFS deployment.
 struct CxfsOptions {
-  SimDuration RpcOneWayLatency = microseconds(60); ///< dedicated network
+  /// Client construction: 60 us one-way dedicated metadata network. The
+  /// token serializes the node's metadata ops, so the slot count is moot;
+  /// retry is unsupported (the token would outlive a lost RPC).
+  ClientConfig Client = makeClientConfig(microseconds(60), 1);
   SimDuration TokenOverhead = microseconds(25); ///< token acquire/release
   ServerConfig Mds;
 
@@ -46,6 +51,7 @@ public:
   std::string name() const override { return "cxfs"; }
 
   FileServer &mds() { return Mds; }
+  FsAdmin *admin() override { return &Mds; }
   const CxfsOptions &options() const { return Options; }
 
   static constexpr const char *VolumeName = "san0";
@@ -71,7 +77,9 @@ private:
   uint32_t VolId; ///< interned VolumeName, resolved once at mount
   CxfsOptions Options;
   unsigned NodeIndex;
-  SimMutex Token; ///< node-wide metadata token
+  SimMutex Token;        ///< node-wide metadata token
+  NetworkLink ToServer;  ///< request direction, for truthful accounting
+  NetworkLink FromServer; ///< reply direction
 };
 
 } // namespace dmb

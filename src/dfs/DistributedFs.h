@@ -21,6 +21,8 @@
 
 namespace dmb {
 
+class FsAdmin;
+
 /// A deployed (simulated) file system.
 class DistributedFs {
 public:
@@ -33,6 +35,12 @@ public:
 
   /// Short name for protocols and charts ("nfs", "lustre", ...).
   virtual std::string name() const = 0;
+
+  /// The deployment's primary server-side admin surface (the filer, MDS or
+  /// first server of multi-server models), for fault plans and benches
+  /// that crash or inspect the server without downcasting. nullptr when
+  /// the model has no server (localfs).
+  virtual FsAdmin *admin() { return nullptr; }
 };
 
 } // namespace dmb

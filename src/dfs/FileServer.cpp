@@ -9,6 +9,7 @@
 #include "sim/Trace.h"
 #include "support/Assert.h"
 #include <algorithm>
+#include <iterator>
 
 using namespace dmb;
 
@@ -279,6 +280,22 @@ MetaReply FileServer::processEager(uint32_t VolId, const MetaRequest &Req,
     return Reply;
   }
 
+  // Duplicate-request cache lookup (\S 2.6.4 retransmit semantics): a
+  // resilient client reuses its (ClientId, Xid) on every retransmit, so a
+  // request found here already executed — answer with the original reply
+  // instead of double-applying. Only xid-stamped requests can match; the
+  // fire-and-forget path never reaches this map.
+  if (Req.Xid != 0 && Req.ClientId != 0 && Config.DuplicateRequestCacheSize) {
+    auto It = Drc.find(drcKey(Req));
+    if (It != Drc.end()) {
+      ++DrcHits;
+      ++Processed;
+      DMB_HB_WRITE(Sched, Processed, "FileServer.Processed");
+      Cpu.request(Config.DrcHitCost, std::move(Committed));
+      return It->second.Reply;
+    }
+  }
+
   // Execute at arrival: the CPU queue is FIFO, so arrival order equals
   // service order and state changes serialize exactly as on a real server.
   OpCost Cost;
@@ -295,6 +312,7 @@ MetaReply FileServer::processEager(uint32_t VolId, const MetaRequest &Req,
   if (Mutates || Req.Op == MetaOp::Fsync)
     Service += Config.CommitLatency;
 
+  uint64_t JournalSeqPlus1 = 0;
   if (Reply.ok() && Mutates && (Journal || !Watchers.empty())) {
     // Journal and watcher interfaces speak names; resolving the id here
     // keeps the string off the hot path above.
@@ -304,6 +322,7 @@ MetaReply FileServer::processEager(uint32_t VolId, const MetaRequest &Req,
     if (Journal) {
       if (std::optional<uint64_t> Seq =
               Journal->append(VolName, Req, Sched.now())) {
+        JournalSeqPlus1 = *Seq + 1;
         Committed = [this, Seq = *Seq,
                      Inner = std::move(Committed)]() {
           Journal->commit(Seq);
@@ -314,6 +333,24 @@ MetaReply FileServer::processEager(uint32_t VolId, const MetaRequest &Req,
     // Change notification (\S 2.8.3).
     for (const auto &W : Watchers)
       W(VolName, Req);
+  }
+
+  // Duplicate-request cache insert, at execution (not reply) time so a
+  // retransmit racing the original's reply still matches. Failed replies
+  // are cached too: a retransmitted failed create must observe the same
+  // error, not the outcome of a second execution.
+  if (Req.Xid != 0 && Req.ClientId != 0 && Config.DuplicateRequestCacheSize &&
+      drcCacheable(Req.Op)) {
+    uint64_t Key = drcKey(Req);
+    Drc.emplace(Key, DrcEntry{Reply, VolId, JournalSeqPlus1});
+    DrcEvictOrder.push_back(Key);
+    ++DrcInsertions;
+    while (Drc.size() > Config.DuplicateRequestCacheSize &&
+           !DrcEvictOrder.empty()) {
+      // Oldest-first eviction; keys already pruned by a crash are skipped.
+      Drc.erase(DrcEvictOrder.front());
+      DrcEvictOrder.pop_front();
+    }
   }
   if (JitterMean > 0) {
     // Mostly small per-request extras with an occasional heavy hit.
@@ -359,8 +396,35 @@ uint64_t FileServer::crashAndRecover(const std::string &Volume) {
   FsConfig VolConfig = Vol->config();
   auto Fresh = std::make_unique<LocalFileSystem>(VolConfig);
   Journal->replay(Volume, *Fresh);
-  Volumes[VolumeIds.find(Volume)] = std::move(Fresh);
+  uint32_t VolId = VolumeIds.find(Volume);
+  Volumes[VolId] = std::move(Fresh);
+  // The DRC is journaled with the metadata log: entries whose record
+  // committed survive (their effect was replayed, so the cached reply is
+  // still the truth), everything else for this volume dies with it. A
+  // retransmit of a discarded op then misses here and re-executes against
+  // the recovered store — applied exactly once overall.
+  for (auto It = Drc.begin(); It != Drc.end();) {
+    const DrcEntry &E = It->second;
+    bool Survives = E.VolId != VolId ||
+                    (E.SeqPlus1 != 0 && Journal->isCommitted(E.SeqPlus1 - 1));
+    It = Survives ? std::next(It) : Drc.erase(It);
+  }
   return Lost;
+}
+
+bool FileServer::drcCacheable(MetaOp Op) {
+  switch (Op) {
+  case MetaOp::Stat:
+  case MetaOp::Lstat:
+  case MetaOp::Readdir:
+  case MetaOp::ReaddirPlus:
+  case MetaOp::Readlink:
+  case MetaOp::Getxattr:
+  case MetaOp::Fsync:
+    return false; // idempotent: re-execution is harmless
+  default:
+    return true;
+  }
 }
 
 void FileServer::watchMutations(

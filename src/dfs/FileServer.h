@@ -15,6 +15,7 @@
 #ifndef DMETABENCH_DFS_FILESERVER_H
 #define DMETABENCH_DFS_FILESERVER_H
 
+#include "dfs/FsAdmin.h"
 #include "dfs/Journal.h"
 #include "dfs/Message.h"
 #include "fs/CostModel.h"
@@ -23,10 +24,12 @@
 #include "sim/Scheduler.h"
 #include "support/Interner.h"
 #include "support/Random.h"
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 
 namespace dmb {
 
@@ -50,10 +53,21 @@ struct ServerConfig {
   /// Extra latency charged to every *mutating* op for stable-storage commit
   /// (NFS: synchronous metadata, \S 2.6.4; NVRAM acks make this small).
   SimDuration CommitLatency = microseconds(30);
+
+  /// \name Duplicate-request cache (DRC)
+  /// Retransmit protection for resilient clients (RFC 1813-style): replies
+  /// to non-idempotent requests are cached keyed by (ClientId, Xid) so a
+  /// retransmitted create/remove/rename is answered from the cache instead
+  /// of double-applied. Only requests stamped by a RetryPolicy-enabled
+  /// client carry an Xid; the fire-and-forget path never touches the DRC.
+  /// @{
+  unsigned DuplicateRequestCacheSize = 1024; ///< entries; 0 disables
+  SimDuration DrcHitCost = microseconds(10); ///< service time of a replay
+  /// @}
 };
 
 /// Simulated file server processing MetaRequests against its volumes.
-class FileServer {
+class FileServer : public FsAdmin {
 public:
   using Callback = std::function<void(MetaReply)>;
 
@@ -143,8 +157,12 @@ public:
   /// Simulates a crash of \p Volume: the volume is replaced by a fresh
   /// store rebuilt by replaying the journal's committed records. Returns
   /// the number of appended-but-uncommitted (lost) records, or ~0ULL when
-  /// journaling is off or the volume does not exist.
-  uint64_t crashAndRecover(const std::string &Volume);
+  /// journaling is off or the volume does not exist. The duplicate-request
+  /// cache is modelled as journaled alongside the metadata log: entries
+  /// whose journal record committed survive the crash (so retransmits of
+  /// durable ops still replay their original reply), while entries for
+  /// uncommitted or unjournaled ops are lost with the volume.
+  uint64_t crashAndRecover(const std::string &Volume) override;
   /// @}
 
   /// Change notification (thesis \S 2.8.3, FAM / file-policy servers):
@@ -162,6 +180,9 @@ public:
   uint64_t consistencyPointCount() const { return CpCount; }
   bool consistencyPointActive() const { return CpActive; }
   uint64_t dirtyLogBytes() const { return DirtyBytes; }
+  uint64_t drcHits() const { return DrcHits; }
+  uint64_t drcInsertions() const { return DrcInsertions; }
+  size_t drcSize() const { return Drc.size(); }
   /// @}
 
   /// Executes \p Req directly against \p Vol (no queueing). Exposed for the
@@ -174,6 +195,17 @@ private:
   void noteMutation(const MetaRequest &Req);
   void maybeStartConsistencyPoint();
   void startConsistencyPoint();
+
+  /// True when a retransmit of \p Op could observe a different result if
+  /// re-executed (mutations and handle-allocating/consuming ops). Pure
+  /// path reads re-execute harmlessly and skip the DRC, as in real NFS
+  /// servers.
+  static bool drcCacheable(MetaOp Op);
+  /// DRC key: ClientIds are small and Xids dense per client, so packing
+  /// them into one word is collision-free at simulation scales.
+  static uint64_t drcKey(const MetaRequest &Req) {
+    return (uint64_t(Req.ClientId) << 40) ^ Req.Xid;
+  }
 
   Scheduler &Sched;
   ServerConfig Config;
@@ -213,6 +245,18 @@ private:
   std::unique_ptr<MetadataJournal> Journal;
   std::vector<std::function<void(const std::string &, const MetaRequest &)>>
       Watchers;
+
+  // Duplicate-request cache. FIFO-bounded; EvictOrder may keep keys whose
+  // entries were already pruned by a crash — eviction skips those.
+  struct DrcEntry {
+    MetaReply Reply;
+    uint32_t VolId = 0;
+    uint64_t SeqPlus1 = 0; ///< journal seq + 1; 0 = not journaled
+  };
+  std::unordered_map<uint64_t, DrcEntry> Drc;
+  std::deque<uint64_t> DrcEvictOrder;
+  uint64_t DrcHits = 0;
+  uint64_t DrcInsertions = 0;
 };
 
 } // namespace dmb

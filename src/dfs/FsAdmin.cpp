@@ -1,0 +1,13 @@
+//===- dfs/FsAdmin.cpp ----------------------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dfs/FsAdmin.h"
+
+using namespace dmb;
+
+FsAdmin::~FsAdmin() = default;
+
+uint64_t FsAdmin::crashAndRecover(const std::string &) { return ~0ULL; }

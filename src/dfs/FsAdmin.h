@@ -1,0 +1,54 @@
+//===- dfs/FsAdmin.h - Administrative surface of a model --------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The administrative/diagnostic operations every deployed model exposes,
+/// client- and server-side: dropping caches, reading cache statistics, and
+/// crashing a volume's server into journal recovery. Benches, disturbance
+/// injectors and the fault plan talk to this interface instead of
+/// downcasting to concrete models — ClientFs and FileServer both implement
+/// it, and DistributedFs::admin() hands out the deployment's primary
+/// server-side instance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_DFS_FSADMIN_H
+#define DMETABENCH_DFS_FSADMIN_H
+
+#include <cstdint>
+#include <string>
+
+namespace dmb {
+
+/// Uniform admin interface. Every operation has a safe default so models
+/// only override what they support.
+class FsAdmin {
+public:
+  virtual ~FsAdmin();
+
+  /// Client-side cache effectiveness (attribute/dentry caches). Models
+  /// without a cache report zeros.
+  struct CacheStats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+  };
+
+  /// Drops caches — the /proc/sys/vm/drop_caches equivalent used by the
+  /// StatNocacheFiles plugin (thesis \S 3.4.3). No-op by default.
+  virtual void dropCaches() {}
+
+  /// Reads cache statistics; zeros when there is no cache.
+  virtual CacheStats cacheStats() const { return {}; }
+
+  /// Simulates a crash of \p Volume's server followed by journal recovery
+  /// (thesis \S 2.7.1). Returns the number of appended-but-uncommitted
+  /// (lost) records, or ~0ULL when unsupported — the default.
+  virtual uint64_t crashAndRecover(const std::string &Volume);
+};
+
+} // namespace dmb
+
+#endif // DMETABENCH_DFS_FSADMIN_H

@@ -64,8 +64,7 @@ std::unique_ptr<ClientFs> GxFs::makeClient(unsigned NodeIndex) {
 }
 
 GxClient::GxClient(Scheduler &Sched, GxFs &Cluster, unsigned NodeIndex)
-    : RpcClientBase(Sched, Cluster.options().RpcSlotsPerClient,
-                    Cluster.options().ClientRpcLatency),
+    : RpcClientBase(Sched, Cluster.options().Client, NodeIndex + 1),
       Cluster(Cluster), NodeIndex(NodeIndex),
       // Client mounts are distributed ~uniformly over the filer network
       // interfaces (\S 4.1.3).
@@ -82,80 +81,73 @@ void GxClient::rpc(unsigned OwnerIndex, const std::string &Volume,
                    Callback Done) {
   bool Remote = OwnerIndex != Nblade;
 
-  // Completion path shared by the local and forwarded cases: back over the
-  // client network, update caches, free the slot.
-  auto Complete = [this, OwnerIndex, Volume, Req, FullPath,
-                   Done = std::move(Done)](MetaReply Reply) mutable {
-    sched().after(oneWayLatency(), [this, OwnerIndex, Volume, Req, FullPath,
-                                    Done = std::move(Done),
-                                    Reply = std::move(Reply)]() mutable {
-      if (Reply.ok()) {
-        if (Req.Op == MetaOp::Stat || Req.Op == MetaOp::Lstat ||
-            Req.Op == MetaOp::Open)
-          Cache.insert(FullPath, Reply.A, sched().now());
-        if (isMutation(Req.Op))
-          Cache.invalidate(FullPath);
-        if (Req.Op == MetaOp::Open) {
-          // Wrap the server handle in a client-local handle so handles
-          // from different volumes cannot collide.
-          FileHandle Local = NextLocalFh++;
-          Handles[Local] = HandleInfo{OwnerIndex, Volume, Reply.Fh};
-          Reply.Fh = Local;
-        }
-      }
-      slotDone();
-      Done(Reply);
-    });
-  };
-
-  withSlot([this, OwnerIndex, Volume, Req = std::move(Req), Remote,
-            Complete = std::move(Complete)]() mutable {
-    sched().after(Cluster.options().ClientRpcLatency, [this, OwnerIndex,
-                                         Volume,
-                                         Req = std::move(Req), Remote,
-                                         Complete =
-                                             std::move(Complete)]() mutable {
-      const GxOptions &O = Cluster.options();
-      FileServer &NbladeFiler = Cluster.filer(Nblade);
-      SimDuration Translate =
-          O.NbladeCost + (Remote ? O.ForwardExtraCost : 0);
-      // N-blade: TCP termination + translation to the internal protocol.
-      NbladeFiler.injectWork(Translate, [this, OwnerIndex, Volume,
-                                         Req = std::move(Req), Remote,
-                                         Complete = std::move(
-                                             Complete)]() mutable {
-        const GxOptions &O2 = Cluster.options();
-        if (!Remote) {
-          Cluster.filer(Nblade).process(Volume, Req, std::move(Complete));
-          return;
-        }
-        // Forward over the cluster fabric to the owning D-blade and back
-        // (Fig. 4.3: at most two nodes touch a request).
-        sched().after(O2.ClusterHopLatency, [this, OwnerIndex, Volume,
-                                             Req = std::move(Req),
-                                             Complete = std::move(
-                                                 Complete)]() mutable {
-          Cluster.filer(OwnerIndex)
-              .process(Volume, Req,
-                       [this, Complete = std::move(Complete)](
-                           MetaReply Reply) mutable {
-                         const GxOptions &O3 = Cluster.options();
-                         sched().after(
-                             O3.ClusterHopLatency,
-                             [this, Complete = std::move(Complete),
-                              Reply = std::move(Reply)]() mutable {
-                               // Reply passes back through the N-blade.
-                               Cluster.filer(Nblade).injectWork(
-                                   Cluster.options().ForwardExtraCost,
-                                   [Complete = std::move(Complete),
-                                    Reply = std::move(Reply)]() mutable {
-                                     Complete(Reply);
-                                   });
-                             });
-                       });
+  withSlot([this, OwnerIndex, Volume, Req = std::move(Req), FullPath, Remote,
+            Done = std::move(Done)]() mutable {
+    transact(
+        Req, 0,
+        // Server side of the exchange: N-blade translation, then either the
+        // local D-blade or a forwarded hop over the cluster fabric.
+        [this, OwnerIndex, Volume, Remote](
+            const MetaRequest &R, std::function<void(MetaReply)> Reply) {
+          const GxOptions &O = Cluster.options();
+          FileServer &NbladeFiler = Cluster.filer(Nblade);
+          SimDuration Translate =
+              O.NbladeCost + (Remote ? O.ForwardExtraCost : 0);
+          // N-blade: TCP termination + translation to the internal protocol.
+          NbladeFiler.injectWork(Translate, [this, OwnerIndex, Volume, R,
+                                             Remote, Reply = std::move(
+                                                         Reply)]() mutable {
+            const GxOptions &O2 = Cluster.options();
+            if (!Remote) {
+              Cluster.filer(Nblade).process(Volume, R, std::move(Reply));
+              return;
+            }
+            // Forward over the cluster fabric to the owning D-blade and
+            // back (Fig. 4.3: at most two nodes touch a request).
+            sched().after(O2.ClusterHopLatency, [this, OwnerIndex, Volume, R,
+                                                 Reply = std::move(
+                                                     Reply)]() mutable {
+              Cluster.filer(OwnerIndex)
+                  .process(Volume, R,
+                           [this, Reply = std::move(Reply)](
+                               MetaReply Rep) mutable {
+                             const GxOptions &O3 = Cluster.options();
+                             sched().after(
+                                 O3.ClusterHopLatency,
+                                 [this, Reply = std::move(Reply),
+                                  Rep = std::move(Rep)]() mutable {
+                                   // Reply passes back through the N-blade.
+                                   Cluster.filer(Nblade).injectWork(
+                                       Cluster.options().ForwardExtraCost,
+                                       [Reply = std::move(Reply),
+                                        Rep = std::move(Rep)]() mutable {
+                                         Reply(Rep);
+                                       });
+                                 });
+                           });
+            });
+          });
+        },
+        // Back on the client: update caches, wrap handles, free the slot.
+        [this, OwnerIndex, Volume, Req, FullPath,
+         Done = std::move(Done)](MetaReply Reply) mutable {
+          if (Reply.ok()) {
+            if (Req.Op == MetaOp::Stat || Req.Op == MetaOp::Lstat ||
+                Req.Op == MetaOp::Open)
+              Cache.insert(FullPath, Reply.A, sched().now());
+            if (isMutation(Req.Op))
+              Cache.invalidate(FullPath);
+            if (Req.Op == MetaOp::Open) {
+              // Wrap the server handle in a client-local handle so handles
+              // from different volumes cannot collide.
+              FileHandle Local = NextLocalFh++;
+              Handles[Local] = HandleInfo{OwnerIndex, Volume, Reply.Fh};
+              Reply.Fh = Local;
+            }
+          }
+          slotDone();
+          Done(Reply);
         });
-      });
-    });
   });
 }
 

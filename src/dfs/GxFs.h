@@ -18,6 +18,7 @@
 #define DMETABENCH_DFS_GXFS_H
 
 #include "dfs/AttrCache.h"
+#include "dfs/ClientConfig.h"
 #include "dfs/DistributedFs.h"
 #include "dfs/FileServer.h"
 #include "dfs/MountTable.h"
@@ -32,11 +33,11 @@ namespace dmb {
 /// Tunables of the GX cluster.
 struct GxOptions {
   unsigned NumFilers = 8;
-  SimDuration ClientRpcLatency = microseconds(100); ///< client <-> N-blade
+  /// Client construction: 100 us one-way to the N-blade, 16 RPC slots.
+  ClientConfig Client = makeClientConfig(microseconds(100), 16);
   SimDuration ClusterHopLatency = microseconds(50); ///< N-blade <-> D-blade
   SimDuration NbladeCost = microseconds(20);  ///< protocol translation
   SimDuration ForwardExtraCost = microseconds(15); ///< remote-volume penalty
-  unsigned RpcSlotsPerClient = 16;
   SimDuration AttrCacheTtl = seconds(30.0);
   SimDuration CacheHitCost = microseconds(2);
   ServerConfig FilerDefaults;
@@ -65,6 +66,11 @@ public:
   std::string name() const override { return "ontapgx"; }
 
   FileServer &filer(unsigned Index) { return *Filers[Index]; }
+  /// Administrative access targets filer 0 (the root-volume filer); for
+  /// other filers use filer(I) directly.
+  FsAdmin *admin() override {
+    return Filers.empty() ? nullptr : Filers[0].get();
+  }
   unsigned numFilers() const { return Filers.size(); }
   const MountTable &vldb() const { return Vldb; }
   const GxOptions &options() const { return Options; }

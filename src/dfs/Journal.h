@@ -55,6 +55,12 @@ public:
   /// Marks a record as durable (stable-storage commit finished).
   void commit(uint64_t Seq);
 
+  /// True when \p Seq exists and has been committed (false for pending or
+  /// discarded records).
+  bool isCommitted(uint64_t Seq) const {
+    return Seq != 0 && Seq <= Records.size() && Records[Seq - 1].Committed;
+  }
+
   /// Marks everything durable (synchronous-journal mode).
   void commitAll();
 

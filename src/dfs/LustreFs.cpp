@@ -39,8 +39,8 @@ std::unique_ptr<ClientFs> LustreFs::makeClient(unsigned NodeIndex) {
 
 LustreClient::LustreClient(Scheduler &Sched, FileServer &Mds,
                            const LustreOptions &Opts, unsigned NodeIndex)
-    : RpcClientBase(Sched, Opts.RpcSlotsPerClient, Opts.RpcOneWayLatency),
-      Mds(Mds), VolId(Mds.volumeId(LustreFs::VolumeName)), Options(Opts),
+    : RpcClientBase(Sched, Opts.Client, NodeIndex + 1), Mds(Mds),
+      VolId(Mds.volumeId(LustreFs::VolumeName)), Options(Opts),
       NodeIndex(NodeIndex), Cache(Opts.AttrCacheTtl) {}
 
 std::string LustreClient::describe() const {
@@ -58,23 +58,18 @@ void LustreClient::rpc(const MetaRequest &Req, Callback Done) {
   SimDuration Extra =
       isCreateLike(Req) ? Options.OssObjectCreateCost : SimDuration(0);
   withSlot([this, Req, Extra, Done = std::move(Done)]() mutable {
-    sched().after(oneWayLatency() + Extra, [this, Req,
-                                            Done = std::move(Done)]() {
-      Mds.process(VolId, Req,
-                  [this, Req, Done = std::move(Done)](MetaReply Reply) {
-                    sched().after(oneWayLatency(),
-                                  [this, Req, Done = std::move(Done),
-                                   Reply = std::move(Reply)]() {
-                                    if (Reply.ok() &&
-                                        (Req.Op == MetaOp::Stat ||
-                                         Req.Op == MetaOp::Lstat))
-                                      Cache.insert(Req.Path, Reply.A,
-                                                   sched().now());
-                                    slotDone();
-                                    Done(Reply);
-                                  });
-                  });
-    });
+    transact(
+        Req, Extra,
+        [this](const MetaRequest &R, std::function<void(MetaReply)> Reply) {
+          Mds.process(VolId, R, std::move(Reply));
+        },
+        [this, Req, Done = std::move(Done)](MetaReply Reply) {
+          if (Reply.ok() &&
+              (Req.Op == MetaOp::Stat || Req.Op == MetaOp::Lstat))
+            Cache.insert(Req.Path, Reply.A, sched().now());
+          slotDone();
+          Done(Reply);
+        });
   });
 }
 

@@ -20,6 +20,7 @@
 #define DMETABENCH_DFS_LUSTREFS_H
 
 #include "dfs/AttrCache.h"
+#include "dfs/ClientConfig.h"
 #include "dfs/DistributedFs.h"
 #include "dfs/FileServer.h"
 #include "dfs/RpcClientBase.h"
@@ -31,8 +32,9 @@ namespace dmb {
 
 /// Tunables of the Lustre deployment.
 struct LustreOptions {
-  SimDuration RpcOneWayLatency = microseconds(75);
-  unsigned RpcSlotsPerClient = 8;
+  /// Client construction: 75 us one-way, 8 RPC slots, fire-and-forget
+  /// (enable Client.Retry for resilience).
+  ClientConfig Client = makeClientConfig(microseconds(75), 8);
   SimDuration AttrCacheTtl = seconds(1.0); ///< ldlm lock validity window
   SimDuration CacheHitCost = microseconds(2);
 
@@ -62,6 +64,7 @@ public:
   std::string name() const override { return "lustre"; }
 
   FileServer &mds() { return Mds; }
+  FsAdmin *admin() override { return &Mds; }
   const LustreOptions &options() const { return Options; }
 
   static constexpr const char *VolumeName = "lustre0";
@@ -80,6 +83,9 @@ public:
 
   void submit(const MetaRequest &Req, Callback Done) override;
   void dropCaches() override { Cache.clear(); }
+  CacheStats cacheStats() const override {
+    return {Cache.hits(), Cache.misses()};
+  }
   std::string describe() const override;
 
   /// Mutations acked locally but not yet committed on the MDS.

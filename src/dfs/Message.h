@@ -81,6 +81,15 @@ struct MetaRequest {
   SimTime Mtime = 0;       ///< utimes
   FileHandle Fh = InvalidHandle; ///< handle ops
   uint64_t Bytes = 0;      ///< read/write sizes, ftruncate length, seek pos
+  /// \name Retransmit identity
+  /// Stamped by resilient clients (RetryPolicy enabled) so the server's
+  /// duplicate-request cache can recognise a retransmit: every attempt of
+  /// one logical operation carries the same (ClientId, Xid). Both stay 0 on
+  /// the fire-and-forget path, which bypasses the cache entirely.
+  /// @{
+  uint32_t ClientId = 0; ///< 0 = not retryable (no DRC lookup)
+  uint64_t Xid = 0;      ///< per-client transaction id, 0 = unassigned
+  /// @}
 };
 
 /// A reply to one request.

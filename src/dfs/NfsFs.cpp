@@ -48,9 +48,9 @@ std::unique_ptr<ClientFs> NfsFs::makeClient(unsigned NodeIndex) {
 
 NfsClient::NfsClient(Scheduler &Sched, FileServer &Server,
                      const NfsOptions &Opts, unsigned NodeIndex)
-    : RpcClientBase(Sched, Opts.RpcSlotsPerClient, Opts.RpcOneWayLatency),
-      Server(Server), VolId(Server.volumeId(NfsFs::VolumeName)),
-      Options(Opts), NodeIndex(NodeIndex), Cache(Opts.AttrCacheTtl) {}
+    : RpcClientBase(Sched, Opts.Client, NodeIndex + 1), Server(Server),
+      VolId(Server.volumeId(NfsFs::VolumeName)), Options(Opts),
+      NodeIndex(NodeIndex), Cache(Opts.AttrCacheTtl) {}
 
 std::string NfsClient::describe() const {
   return format("nfs3 node=%u server=%s", NodeIndex,
@@ -100,18 +100,16 @@ void NfsClient::postProcess(const MetaRequest &Req, const MetaReply &Reply) {
 
 void NfsClient::rpc(const MetaRequest &Req, Callback Done) {
   withSlot([this, Req, Done = std::move(Done)]() mutable {
-    sched().after(oneWayLatency(), [this, Req, Done = std::move(Done)]() {
-      Server.process(VolId, Req,
-                     [this, Req, Done = std::move(Done)](MetaReply Reply) {
-                       sched().after(oneWayLatency(),
-                                     [this, Req, Done = std::move(Done),
-                                      Reply = std::move(Reply)]() {
-                                       postProcess(Req, Reply);
-                                       slotDone();
-                                       Done(Reply);
-                                     });
-                     });
-    });
+    transact(
+        Req, 0,
+        [this](const MetaRequest &R, std::function<void(MetaReply)> Reply) {
+          Server.process(VolId, R, std::move(Reply));
+        },
+        [this, Req, Done = std::move(Done)](MetaReply Reply) {
+          postProcess(Req, Reply);
+          slotDone();
+          Done(Reply);
+        });
   });
 }
 

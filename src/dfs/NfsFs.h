@@ -18,6 +18,7 @@
 #define DMETABENCH_DFS_NFSFS_H
 
 #include "dfs/AttrCache.h"
+#include "dfs/ClientConfig.h"
 #include "dfs/DistributedFs.h"
 #include "dfs/FileServer.h"
 #include "dfs/RpcClientBase.h"
@@ -28,8 +29,9 @@ namespace dmb {
 
 /// Tunables of the NFS deployment.
 struct NfsOptions {
-  SimDuration RpcOneWayLatency = microseconds(100); ///< GigE LAN
-  unsigned RpcSlotsPerClient = 16;   ///< sunrpc slot table
+  /// Client construction: 100 us one-way GigE LAN, 16 sunrpc slots,
+  /// fire-and-forget (enable Client.Retry for resilience).
+  ClientConfig Client = makeClientConfig(microseconds(100), 16);
   SimDuration AttrCacheTtl = seconds(30.0);
   SimDuration CacheHitCost = microseconds(2); ///< local stat from cache
   /// Filer hardware profile; see makeFilerConfig().
@@ -53,6 +55,7 @@ public:
 
   /// The filer, for disturbance injection and observation.
   FileServer &server() { return Server; }
+  FsAdmin *admin() override { return &Server; }
   const NfsOptions &options() const { return Options; }
 
   /// Name of the single exported volume.
@@ -72,6 +75,9 @@ public:
 
   void submit(const MetaRequest &Req, Callback Done) override;
   void dropCaches() override { Cache.clear(); }
+  CacheStats cacheStats() const override {
+    return {Cache.hits(), Cache.misses()};
+  }
   std::string describe() const override;
 
   const AttrCache &attrCache() const { return Cache; }

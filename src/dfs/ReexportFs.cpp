@@ -40,8 +40,7 @@ void ReexportFs::forward(const MetaRequest &Req, ClientFs::Callback Done) {
 
 ReexportClient::ReexportClient(Scheduler &Sched, ReexportFs &Gateway,
                                unsigned NodeIndex)
-    : RpcClientBase(Sched, Gateway.Options.RpcSlotsPerClient,
-                    Gateway.Options.ClientRpcLatency),
+    : RpcClientBase(Sched, Gateway.Options.Client, NodeIndex + 1),
       Gateway(Gateway), NodeIndex(NodeIndex),
       Cache(Gateway.Options.AttrCacheTtl) {}
 
@@ -65,23 +64,20 @@ void ReexportClient::submit(const MetaRequest &Req, Callback Done) {
   }
 
   withSlot([this, Req, Done = std::move(Done)]() mutable {
-    sched().after(oneWayLatency(), [this, Req,
-                                    Done = std::move(Done)]() mutable {
-      Gateway.forward(Req, [this, Req, Done = std::move(Done)](
-                               MetaReply Reply) {
-        sched().after(oneWayLatency(),
-                      [this, Req, Done = std::move(Done),
-                       Reply = std::move(Reply)]() {
-                        if (Reply.ok() && (Req.Op == MetaOp::Stat ||
-                                           Req.Op == MetaOp::Lstat ||
-                                           Req.Op == MetaOp::Open))
-                          Cache.insert(Req.Path, Reply.A, sched().now());
-                        if (isMutation(Req.Op))
-                          Cache.invalidate(Req.Path);
-                        slotDone();
-                        Done(Reply);
-                      });
-      });
-    });
+    transact(
+        Req, 0,
+        [this](const MetaRequest &R, std::function<void(MetaReply)> Reply) {
+          Gateway.forward(R, std::move(Reply));
+        },
+        [this, Req, Done = std::move(Done)](MetaReply Reply) mutable {
+          if (Reply.ok() &&
+              (Req.Op == MetaOp::Stat || Req.Op == MetaOp::Lstat ||
+               Req.Op == MetaOp::Open))
+            Cache.insert(Req.Path, Reply.A, sched().now());
+          if (isMutation(Req.Op))
+            Cache.invalidate(Req.Path);
+          slotDone();
+          Done(Reply);
+        });
   });
 }

@@ -21,6 +21,7 @@
 #define DMETABENCH_DFS_REEXPORTFS_H
 
 #include "dfs/AttrCache.h"
+#include "dfs/ClientConfig.h"
 #include "dfs/DistributedFs.h"
 #include "dfs/RpcClientBase.h"
 #include "sim/Resource.h"
@@ -31,8 +32,8 @@ namespace dmb {
 
 /// Tunables of the re-export gateway.
 struct ReexportOptions {
-  SimDuration ClientRpcLatency = microseconds(100); ///< client <-> gateway
-  unsigned RpcSlotsPerClient = 16;
+  /// Client construction: 100 us one-way to the gateway, 16 RPC slots.
+  ClientConfig Client = makeClientConfig(microseconds(100), 16);
   unsigned GatewayThreads = 4;                  ///< nfsd threads
   SimDuration GatewayCostPerRequest = microseconds(25); ///< translation
   SimDuration AttrCacheTtl = seconds(30.0); ///< gateway-side NFS semantics
@@ -57,6 +58,9 @@ public:
   /// The gateway's service queue (nfsd threads), for observation.
   Resource &gatewayCpu() { return GatewayCpu; }
   uint64_t forwardedRequests() const { return Forwarded; }
+
+  /// Administration reaches through to the inner file system's servers.
+  FsAdmin *admin() override { return Inner.admin(); }
 
 private:
   friend class ReexportClient;

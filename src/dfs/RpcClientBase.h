@@ -10,26 +10,44 @@
 /// parallelism for protocol clients on large SMP machines (thesis \S 4.5):
 /// processes beyond the slot count queue inside the client.
 ///
+/// On top of the slot table sits transact(): one network round trip to the
+/// server over a pair of (possibly faulty) NetworkLinks. With the default
+/// RetryPolicy the exchange is a single fire-and-forget attempt — no timers,
+/// no transaction ids, bit-identical to the pre-resilience client. With a
+/// timeout configured the client retransmits with exponential backoff,
+/// keeps its RPC slot across retries, reuses the same (ClientId, Xid) on
+/// every attempt so the server's duplicate-request cache can recognise the
+/// retransmit, and discards orphaned late replies.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DMETABENCH_DFS_RPCCLIENTBASE_H
 #define DMETABENCH_DFS_RPCCLIENTBASE_H
 
+#include "dfs/ClientConfig.h"
 #include "dfs/ClientFs.h"
+#include "dfs/Message.h"
 #include "sim/HappensBefore.h"
 #include "sim/LockOrder.h"
+#include "sim/Network.h"
 #include "sim/Scheduler.h"
 #include "sim/Trace.h"
 #include <deque>
 #include <functional>
+#include <memory>
+#include <utility>
 
 namespace dmb {
 
 /// Base class managing RPC slots and the network round trip.
 class RpcClientBase : public ClientFs {
 protected:
-  RpcClientBase(Scheduler &Sched, unsigned Slots, SimDuration OneWayLatency)
-      : Sched(Sched), Slots(Slots ? Slots : 1), Latency(OneWayLatency) {}
+  /// \p ClientId must be nonzero and unique among clients of the same
+  /// server; it keys the server's duplicate-request cache.
+  RpcClientBase(Scheduler &Sched, const ClientConfig &Cfg, unsigned ClientId)
+      : Sched(Sched), Config(Cfg), ClientIdV(ClientId ? ClientId : 1),
+        Slots(Cfg.RpcSlots ? Cfg.RpcSlots : 1),
+        ToServer(Sched, Cfg.Net), FromServer(Sched, Cfg.Net) {}
 
   /// Runs \p RpcFn once a slot is free. RpcFn must eventually call
   /// slotDone() exactly once. The slot grant is the operation's NetOut
@@ -78,14 +96,87 @@ protected:
     DMB_HB_WRITE(Sched, InFlight, "RpcClientBase.InFlight");
   }
 
+  /// Server-side half of an exchange: receives the (xid-stamped) request
+  /// and must eventually run the reply continuation exactly once per call.
+  using DispatchFn =
+      std::function<void(const MetaRequest &, std::function<void(MetaReply)>)>;
+
+  /// One client<->server exchange: request hop over this client's link,
+  /// \p Dispatch at the server, reply hop back, then \p OnReply. The
+  /// request message spends \p SendExtra on top of the link delay
+  /// (model-specific costs such as OSS object creation or VLDB lookups).
+  ///
+  /// Fire-and-forget (Retry.Timeout == 0): a single attempt whose event
+  /// chain and timing are identical to the historical
+  /// `after(latency + extra) -> process -> after(latency)` sequence; a
+  /// message lost to the fault policy hangs the operation, like a
+  /// hard-mounted NFS client with retransmits disabled.
+  ///
+  /// Resilient (Retry.Timeout > 0): every attempt carries the same
+  /// (ClientId, Xid); a timer retransmits on loss with exponential backoff
+  /// capped at Retry.MaxTimeout, the RPC slot is held across retries, and
+  /// once Retry.MaxRetransmits retransmits are exhausted the operation
+  /// completes with FsError::TimedOut. Late replies of superseded attempts
+  /// are discarded at delivery. Retransmit wait time shows up in trace.txt
+  /// inside the NetOut->QueueEnter (request lost) or ServiceEnd->Deliver
+  /// (reply lost) span of the operation.
+  void transact(const MetaRequest &Req, SimDuration SendExtra,
+                DispatchFn Dispatch, std::function<void(MetaReply)> OnReply) {
+    if (!Config.Retry.enabled()) {
+      // Single-attempt path. plan() keeps the traffic counters truthful;
+      // with no faults configured it cannot drop and adds no jitter, so
+      // the schedule is bit-identical to the fire-and-forget client.
+      NetworkLink::Delivery D = ToServer.plan(0);
+      if (D.Dropped)
+        return;
+      Sched.after(D.Delay + SendExtra,
+                  [this, Req, Dispatch = std::move(Dispatch),
+                   OnReply = std::move(OnReply)]() mutable {
+                    Dispatch(Req, [this, OnReply = std::move(OnReply)](
+                                      MetaReply Reply) mutable {
+                      NetworkLink::Delivery RD = FromServer.plan(0);
+                      if (RD.Dropped)
+                        return;
+                      Sched.after(RD.Delay,
+                                  [OnReply = std::move(OnReply),
+                                   Reply = std::move(Reply)]() mutable {
+                                    OnReply(std::move(Reply));
+                                  });
+                    });
+                  });
+      return;
+    }
+    auto Ex = std::make_shared<Exchange>();
+    Ex->Req = Req;
+    Ex->Req.ClientId = ClientIdV;
+    Ex->Req.Xid = ++LastXid;
+    Ex->SendExtra = SendExtra;
+    Ex->Dispatch = std::move(Dispatch);
+    Ex->OnReply = std::move(OnReply);
+    startAttempt(std::move(Ex));
+  }
+
   Scheduler &sched() { return Sched; }
-  SimDuration oneWayLatency() const { return Latency; }
-  void setOneWayLatency(SimDuration L) { Latency = L; }
+  SimDuration oneWayLatency() const { return Config.Net.OneWayLatency; }
 
 public:
-  /// Observability for tests.
+  /// Observability for tests, benches and the fault plan.
   unsigned inFlightRpcs() const { return InFlight; }
   size_t queuedRpcs() const { return Pending.size(); }
+  const ClientConfig &clientConfig() const { return Config; }
+  unsigned rpcClientId() const { return ClientIdV; }
+  uint64_t retransmits() const { return Retransmits; }
+  uint64_t timedOutOps() const { return TimedOutOps; }
+  NetworkLink &requestLink() { return ToServer; }
+  NetworkLink &replyLink() { return FromServer; }
+
+  /// Installs \p P on both directions of this client's path. Fault rolls
+  /// are keyed by send time, and a request and its reply never travel in
+  /// the same nanosecond, so the two directions roll independent dice.
+  void setFaultPolicy(const FaultPolicy &P) {
+    ToServer.setFaultPolicy(P);
+    FromServer.setFaultPolicy(P);
+  }
 
 private:
   struct PendingRpc {
@@ -93,10 +184,70 @@ private:
     uint64_t Trace = 0; ///< trace id of the queued operation
   };
 
+  /// Retry state shared by the attempts of one logical operation.
+  struct Exchange {
+    MetaRequest Req; ///< same Xid on every attempt
+    SimDuration SendExtra = 0;
+    DispatchFn Dispatch;
+    std::function<void(MetaReply)> OnReply;
+    bool Completed = false;
+    unsigned Attempt = 0; ///< retransmits so far
+  };
+
+  SimDuration timeoutFor(unsigned Attempt) const {
+    double T = static_cast<double>(Config.Retry.Timeout);
+    for (unsigned I = 0; I < Attempt; ++I) {
+      T *= Config.Retry.BackoffFactor;
+      if (T >= static_cast<double>(Config.Retry.MaxTimeout))
+        return Config.Retry.MaxTimeout;
+    }
+    SimDuration Out = static_cast<SimDuration>(T);
+    return Out < Config.Retry.MaxTimeout ? Out : Config.Retry.MaxTimeout;
+  }
+
+  void startAttempt(std::shared_ptr<Exchange> Ex) {
+    NetworkLink::Delivery D = ToServer.plan(0);
+    if (!D.Dropped)
+      Sched.after(D.Delay + Ex->SendExtra, [this, Ex]() {
+        Ex->Dispatch(Ex->Req, [this, Ex](MetaReply Reply) {
+          NetworkLink::Delivery RD = FromServer.plan(0);
+          if (RD.Dropped)
+            return; // reply lost; the retransmit timer recovers
+          Sched.after(RD.Delay, [Ex, Reply = std::move(Reply)]() mutable {
+            if (Ex->Completed)
+              return; // orphan reply of a superseded attempt
+            Ex->Completed = true;
+            Ex->OnReply(std::move(Reply));
+          });
+        });
+      });
+    Sched.after(timeoutFor(Ex->Attempt), [this, Ex]() {
+      if (Ex->Completed)
+        return;
+      if (Ex->Attempt >= Config.Retry.MaxRetransmits) {
+        Ex->Completed = true;
+        ++TimedOutOps;
+        MetaReply R;
+        R.Err = FsError::TimedOut;
+        Ex->OnReply(std::move(R));
+        return;
+      }
+      ++Ex->Attempt;
+      ++Retransmits;
+      startAttempt(Ex);
+    });
+  }
+
   Scheduler &Sched;
+  ClientConfig Config;
+  unsigned ClientIdV;
   unsigned Slots;
-  SimDuration Latency;
+  NetworkLink ToServer;
+  NetworkLink FromServer;
   unsigned InFlight = 0;
+  uint64_t LastXid = 0;
+  uint64_t Retransmits = 0;
+  uint64_t TimedOutOps = 0;
   std::deque<PendingRpc> Pending;
 };
 

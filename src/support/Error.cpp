@@ -47,6 +47,8 @@ const char *dmb::fsErrorName(FsError E) {
     return "ENOATTR";
   case FsError::NotSupported:
     return "ENOTSUP";
+  case FsError::TimedOut:
+    return "ETIMEDOUT";
   }
   return "UNKNOWN";
 }

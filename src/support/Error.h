@@ -35,13 +35,14 @@ enum class FsError {
   Busy,        ///< EBUSY: object is in use (e.g. unmount while open).
   Stale,       ///< ESTALE: distributed handle no longer valid on server.
   NoAttr,      ///< ENOATTR/ENODATA: extended attribute not found.
-  NotSupported ///< ENOTSUP: file system does not implement the operation.
+  NotSupported, ///< ENOTSUP: file system does not implement the operation.
+  TimedOut     ///< ETIMEDOUT: RPC retransmits exhausted without a reply.
 };
 
 /// Number of FsError values. Kept in sync with the enum above; both the
 /// dmeta-lint table-sync check and the exhaustive round-trip test in
 /// tests/SupportTest.cpp verify it.
-inline constexpr unsigned NumFsErrors = 18;
+inline constexpr unsigned NumFsErrors = 19;
 
 /// Returns the canonical short name ("EEXIST", ...) for \p E.
 const char *fsErrorName(FsError E);

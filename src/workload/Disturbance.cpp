@@ -46,6 +46,15 @@ void SnapshotJob::pump() {
   Sched.after(Gap, [this]() { pump(); });
 }
 
+ServerCrash::ServerCrash(Scheduler &Sched, FsAdmin &Admin,
+                         std::string Volume, SimTime At)
+    : Admin(Admin), Volume(std::move(Volume)) {
+  Sched.at(At, [this]() {
+    LostRecords = this->Admin.crashAndRecover(this->Volume);
+    Fired = true;
+  });
+}
+
 SequentialWriter::SequentialWriter(Scheduler &Sched, FileServer &Server,
                                    SimTime Start, SimTime End,
                                    SimDuration ChunkService,

@@ -17,9 +17,11 @@
 #define DMETABENCH_WORKLOAD_DISTURBANCE_H
 
 #include "dfs/FileServer.h"
+#include "dfs/FsAdmin.h"
 #include "sim/Scheduler.h"
 #include "sim/SharedProcessor.h"
 #include "support/Random.h"
+#include <string>
 
 namespace dmb {
 
@@ -62,6 +64,28 @@ private:
   Rng R;
   SimDuration MeanGap;
   SimDuration MeanBurst;
+};
+
+/// A scheduled server crash (thesis \S 2.7): at \p At the server behind
+/// the \p Admin interface crashes and immediately recovers \p Volume by
+/// replaying its journal. Pair it with a FaultPolicy partition window
+/// covering the outage so in-flight replies are lost and resilient
+/// clients fail over to retransmission (experiment E29).
+class ServerCrash {
+public:
+  ServerCrash(Scheduler &Sched, FsAdmin &Admin, std::string Volume,
+              SimTime At);
+
+  bool fired() const { return Fired; }
+  /// Appended-but-uncommitted journal records lost by the crash (~0ULL
+  /// when journaling was off); meaningful once fired().
+  uint64_t lostRecords() const { return LostRecords; }
+
+private:
+  FsAdmin &Admin;
+  std::string Volume;
+  bool Fired = false;
+  uint64_t LostRecords = 0;
 };
 
 /// A large sequential file write to the server: a steady stream of chunk

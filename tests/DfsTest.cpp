@@ -71,7 +71,7 @@ TEST(Nfs, OperationsTakeSimulatedTime) {
   SimTime Before = S.now();
   ASSERT_EQ(FsError::Ok, touch(S, *C, "/f"));
   // At least two RPC round trips (open + close) must have elapsed.
-  EXPECT_GE(S.now() - Before, 4 * Fs.options().RpcOneWayLatency);
+  EXPECT_GE(S.now() - Before, 4 * Fs.options().Client.Net.OneWayLatency);
 }
 
 TEST(Nfs, StatServedFromAttrCacheAfterCreate) {
@@ -196,7 +196,7 @@ TEST(Nfs, ParallelClientsShareServerFairly) {
 TEST(Nfs, RpcSlotTableBoundsConcurrency) {
   Scheduler S;
   NfsOptions Opts;
-  Opts.RpcSlotsPerClient = 4;
+  Opts.Client.RpcSlots = 4;
   NfsFs Fs(S, Opts);
   auto Client = Fs.makeClient(0);
   auto *C = static_cast<NfsClient *>(Client.get());

@@ -361,6 +361,50 @@ TEST(LintContent, RaiiGuardRule) {
       "raii-guard"));
 }
 
+TEST(LintContent, FaultDeterminismRule) {
+  // A sequential Rng stream in fault-policy code ties rolls to event
+  // order; an Rng constructed without the policy Seed unties them from
+  // the scenario — both caught.
+  EXPECT_TRUE(hasRule(
+      lintOne("src/sim/Faulty.cpp",
+              "void roll(dmb::FaultPolicy &P) { dmb::Rng R; use(R); }\n"),
+      "fault-determinism"));
+  EXPECT_TRUE(hasRule(
+      lintOne("src/sim/Faulty.cpp",
+              "struct Link { dmb::FaultPolicy Faults; dmb::Rng FaultRng; "
+              "};\n"),
+      "fault-determinism"));
+  // Deriving the Rng from the policy Seed at the point of use is the
+  // sanctioned spelling.
+  EXPECT_FALSE(hasRule(
+      lintOne("src/sim/Faulty.cpp",
+              "void roll(dmb::FaultPolicy &P, long Now) {\n"
+              "  dmb::Rng R(P.Seed ^ mix(Now));\n"
+              "}\n"),
+      "fault-determinism"));
+  // Files that do not handle a FaultPolicy in code are out of scope —
+  // stored seeded streams are legal elsewhere (e.g. SnapshotJob)...
+  EXPECT_FALSE(hasRule(lintOne("src/workload/Noise.cpp", "dmb::Rng R;\n"),
+                       "fault-determinism"));
+  // ...and a comment-only mention does not pull a file into scope.
+  EXPECT_FALSE(hasRule(
+      lintOne("src/workload/Noise.cpp",
+              "// pair with a FaultPolicy partition window\n"
+              "dmb::Rng R;\n"),
+      "fault-determinism"));
+  // "Rng" only matches as a whole word.
+  EXPECT_FALSE(hasRule(
+      lintOne("src/sim/Faulty.cpp",
+              "void f(dmb::FaultPolicy &P) { RngState S; use(S); }\n"),
+      "fault-determinism"));
+  // The escape hatch names the rule.
+  EXPECT_FALSE(hasRule(
+      lintOne("src/sim/Faulty.cpp",
+              "void f(dmb::FaultPolicy &P) { dmb::Rng R; use(R); } "
+              "// dmeta-lint: allow(fault-determinism) replay-stable\n"),
+      "fault-determinism"));
+}
+
 TEST(LintContent, AllowHatchIsRuleSpecific) {
   // An allow() naming a different rule must not suppress the finding,
   // and one allow() does not blanket the whole line's other findings.

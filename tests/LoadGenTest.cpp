@@ -17,7 +17,7 @@ LoadResult runAt(double OpsPerSec) {
   Scheduler S;
   NfsOptions Opts;
   Opts.Server.EnableConsistencyPoints = false;
-  Opts.RpcSlotsPerClient = 256;
+  Opts.Client.RpcSlots = 256;
   NfsFs Fs(S, Opts);
   std::unique_ptr<ClientFs> C = Fs.makeClient(0);
   LoadConfig Cfg;

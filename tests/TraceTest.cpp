@@ -347,7 +347,7 @@ TEST(TraceIntegration, ExhaustedRpcSlotsShowAsClientQueueSpan) {
   OpTraceSink Sink;
   S.setTraceSink(&Sink);
   NfsOptions O;
-  O.RpcSlotsPerClient = 1; // Force the second RPC to wait for the slot.
+  O.Client.RpcSlots = 1; // Force the second RPC to wait for the slot.
   NfsFs Fs(S, O);
   std::unique_ptr<ClientFs> C = Fs.makeClient(0);
 

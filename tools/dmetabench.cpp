@@ -184,14 +184,14 @@ std::unique_ptr<DistributedFs> makeFs(Scheduler &S, const CliOptions &Opt) {
   if (Opt.Fs == "nfs") {
     NfsOptions O;
     if (Opt.LatencyUs > 0)
-      O.RpcOneWayLatency = static_cast<SimDuration>(Opt.LatencyUs * 1000);
+      O.Client.Net.OneWayLatency = static_cast<SimDuration>(Opt.LatencyUs * 1000);
     return std::make_unique<NfsFs>(S, O);
   }
   if (Opt.Fs == "lustre" || Opt.Fs == "lustre-wb") {
     LustreOptions O;
     O.WritebackMetadata = Opt.Fs == "lustre-wb";
     if (Opt.LatencyUs > 0)
-      O.RpcOneWayLatency = static_cast<SimDuration>(Opt.LatencyUs * 1000);
+      O.Client.Net.OneWayLatency = static_cast<SimDuration>(Opt.LatencyUs * 1000);
     return std::make_unique<LustreFs>(S, O);
   }
   if (Opt.Fs == "cxfs")

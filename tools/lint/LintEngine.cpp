@@ -156,6 +156,20 @@ bool hasBareToken(const std::string &Line, const std::string &Token) {
   return bareTokenPos(Line, Token) != std::string::npos;
 }
 
+/// Whether \p Line contains \p Word with non-identifier characters (or the
+/// line boundary) on both sides — "Rng" must not match "RngState".
+bool hasWholeWord(const std::string &Line, const std::string &Word) {
+  size_t Pos = 0;
+  while ((Pos = Line.find(Word, Pos)) != std::string::npos) {
+    size_t After = Pos + Word.size();
+    if ((Pos == 0 || !isIdentChar(Line[Pos - 1])) &&
+        (After >= Line.size() || !isIdentChar(Line[After])))
+      return true;
+    ++Pos;
+  }
+  return false;
+}
+
 struct Pattern {
   const char *Text;
   bool Bare; ///< Require a non-identifier character before the match.
@@ -338,6 +352,19 @@ void dmb::lint::lintContent(const std::string &RelPath,
   bool EventCaptureScope = inEventCaptureScope(RelPath);
   bool TraceScope = inTraceClockScope(RelPath) && !traceClockExempt(RelPath);
 
+  // The fault-determinism rule fires only in files that handle a
+  // FaultPolicy in code (a mention in a comment or string does not count):
+  // there, every Rng must be derived from the policy Seed at the point of
+  // use. A sequential stream ties fault rolls to event-execution order and
+  // an ad-hoc seed unties them from the scenario, either of which breaks
+  // replay and schedule-perturbation invariance (verify-schedules).
+  bool FaultScope = false;
+  for (const std::string &L : Sanitized)
+    if (hasWholeWord(L, "FaultPolicy")) {
+      FaultScope = true;
+      break;
+    }
+
   // The raii-guard rule only fires in files that use a host-thread mutex
   // at all; SimMutex and friends have their own lock()/unlock() protocol
   // driven by the scheduler, which RAII cannot express.
@@ -381,6 +408,14 @@ void dmb::lint::lintContent(const std::string &RelPath,
                          "' outside the scheduler; use "
                          "Scheduler::traceBegin()/traceStamp() so stamps "
                          "read the owning clock"});
+
+    if (FaultScope && !allowed(Raw, "fault-determinism") &&
+        hasWholeWord(L, "Rng") && L.find("Seed") == std::string::npos)
+      Out.push_back({RelPath, LineNo, "fault-determinism",
+                     "Rng in fault-policy code not derived from a Seed on "
+                     "this line; fault rolls must be a pure function of "
+                     "(FaultPolicy.Seed, send time) — a sequential stream "
+                     "or ad-hoc seed breaks schedule invariance"});
 
     if (AssertScope && !allowed(Raw, "raw-assert")) {
       if (hasBareToken(L, "assert("))

@@ -40,6 +40,14 @@
 ///                  calls — acquisitions go through std::lock_guard /
 ///                  std::scoped_lock. SimMutex is exempt: its
 ///                  scheduler-driven protocol cannot be a scoped guard.
+///  - fault-determinism: in files that handle a FaultPolicy in code, every
+///                  Rng mention must sit on a line that also names a Seed
+///                  — fault rolls are a pure function of
+///                  (FaultPolicy.Seed, send time). A sequential Rng
+///                  stream ties rolls to event-execution order, and an
+///                  ad-hoc seed unties them from the scenario; either
+///                  breaks replay and the schedule-perturbation
+///                  invariance that verify-schedules checks.
 ///
 /// Comments (including multi-line block comments) and string literal
 /// contents (including raw strings) are stripped before token matching,

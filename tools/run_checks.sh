@@ -9,9 +9,14 @@
 #   4. a verify-schedules smoke pass (3 permuted schedules per scenario),
 #   5. an engine-throughput bench smoke at reduced sizes (writes
 #      build/BENCH_engine.json),
-#   6. the trace tests rebuilt under ASan+UBSan (always — the trace layer
-#      threads ids through every queue and must stay memory-clean),
-#   7. (optionally) the full suite rebuilt under sanitizers.
+#   6. the fault-injection smoke: bench_fault_degradation (E29) exits
+#      nonzero when the op ledger, the post-run fsck or the determinism
+#      check fails,
+#   7. the trace and fault tests rebuilt under ASan+UBSan (always — the
+#      trace layer threads ids through every queue, and the retry path
+#      keeps exchange state alive across timer-cancelled attempts; both
+#      must stay memory-clean),
+#   8. (optionally) the full suite rebuilt under sanitizers.
 #
 # Exits nonzero on the first failure. Usage:
 #
@@ -35,7 +40,7 @@ while [ $# -gt 0 ]; do
     -j) JOBS="$2"; shift ;;
     -j*) JOBS="${1#-j}" ;;
     -h|--help)
-      sed -n '2,17p' "$0"; exit 0 ;;
+      sed -n '2,21p' "$0"; exit 0 ;;
     *) echo "run_checks.sh: unknown argument '$1'" >&2; exit 2 ;;
   esac
   shift
@@ -63,6 +68,12 @@ step "engine throughput smoke (reduced sizes)"
     --problemsize 2000 --timelimit 2 --label smoke \
     --out "$ROOT/build/BENCH_engine.json"
 
+step "fault-injection smoke (E29: loss window + MDS crash)"
+# Self-checking: the binary exits nonzero when any op is lost or double
+# applied, the post-run fsck is dirty, or the faulted run is not
+# schedule-invariant.
+"$ROOT/build/bench/bench_fault_degradation"
+
 if [ -n "$SANITIZE" ]; then
   step "sanitizer build (build-sanitize/, DMB_SANITIZE=$SANITIZE)"
   cmake -B "$ROOT/build-sanitize" -S "$ROOT" \
@@ -72,15 +83,18 @@ if [ -n "$SANITIZE" ]; then
   step "ctest under sanitizers"
   ctest --test-dir "$ROOT/build-sanitize" --output-on-failure -j "$JOBS"
 else
-  # Even without --sanitize, the trace tests always run under ASan+UBSan:
-  # the trace layer threads ids through every internal queue, exactly the
-  # kind of plumbing where lifetime bugs hide.
-  step "trace tests under ASan+UBSan (build-sanitize/)"
+  # Even without --sanitize, the trace and fault tests always run under
+  # ASan+UBSan: the trace layer threads ids through every internal queue,
+  # and the retry path keeps shared Exchange state alive across
+  # retransmits, orphaned replies and a mid-run server crash — exactly
+  # the kind of plumbing where lifetime bugs hide.
+  step "trace + fault tests under ASan+UBSan (build-sanitize/)"
   cmake -B "$ROOT/build-sanitize" -S "$ROOT" \
         -DDMB_SANITIZE="address,undefined" >/dev/null
-  cmake --build "$ROOT/build-sanitize" -j "$JOBS" --target trace_test
+  cmake --build "$ROOT/build-sanitize" -j "$JOBS" \
+        --target trace_test fault_test
   ctest --test-dir "$ROOT/build-sanitize" --output-on-failure -j "$JOBS" \
-        -R '^Trace'
+        -R '^Trace|^Fault|^Network'
 fi
 
 echo
