@@ -38,8 +38,10 @@ namespace {
 /// Host wall clock, in seconds. The only sanctioned use in the tree:
 /// throughput of the engine itself can only be measured against real time.
 double wallSeconds() {
-  using Clock = std::chrono::steady_clock; // dmeta-lint: allow(wall-clock)
-  return std::chrono::duration<double>(   // dmeta-lint: allow(wall-clock)
+  using Clock =
+      std::chrono::steady_clock; // dmeta-lint: allow(wall-clock) host time
+  return std::chrono::duration< // dmeta-lint: allow(wall-clock) host time
+             double>(
              Clock::now().time_since_epoch())
       .count();
 }

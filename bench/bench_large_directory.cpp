@@ -69,7 +69,7 @@ int main() {
   printTable(T2);
 
   std::printf("Expected shape: the linear directory degrades sharply with "
-              "size (O(n) scans for\nthe uniqueness check, \S 2.6.3) while "
+              "size (O(n) scans for\nthe uniqueness check, \\S 2.6.3) while "
               "hashed/htree stay nearly flat; parallel\ncreation into one "
               "directory scales until the server head saturates.\n");
   return 0;

@@ -7,6 +7,7 @@
 #include "core/Subtask.h"
 #include "support/Assert.h"
 #include "support/Format.h"
+#include <algorithm>
 #include <set>
 
 using namespace dmb;
@@ -67,9 +68,13 @@ void SubtaskRunner::ensureWorkDirs(std::function<void()> Then) {
       Dirs.insert(Path);
     }
   }
-  std::set<ClientFs *> Clients;
+  // Deduplicate clients in Spec.Workers order, NOT via a pointer set: a
+  // std::set<ClientFs *> iterates in address order, which would make the
+  // mkdir sequence (and with it the whole schedule) differ between runs.
+  std::vector<ClientFs *> Clients;
   for (const WorkerConfig &W : Spec.Workers)
-    Clients.insert(W.Client);
+    if (std::find(Clients.begin(), Clients.end(), W.Client) == Clients.end())
+      Clients.push_back(W.Client);
 
   auto Pending =
       std::make_shared<std::vector<std::pair<ClientFs *, std::string>>>();

@@ -18,7 +18,7 @@
 #define DMETABENCH_CORE_SUBTASK_H
 
 #include "core/Params.h"
-#include "core/Plugin.h"
+#include "workload/Plugin.h"
 #include "core/Results.h"
 #include "core/Worker.h"
 #include "sim/Scheduler.h"

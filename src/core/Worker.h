@@ -16,7 +16,7 @@
 #ifndef DMETABENCH_CORE_WORKER_H
 #define DMETABENCH_CORE_WORKER_H
 
-#include "core/Plugin.h"
+#include "workload/Plugin.h"
 #include "core/TimeLog.h"
 #include "sim/Scheduler.h"
 #include "sim/SharedProcessor.h"

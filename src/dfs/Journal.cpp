@@ -6,6 +6,7 @@
 
 #include "dfs/Journal.h"
 #include "dfs/FileServer.h"
+#include "support/Assert.h"
 
 using namespace dmb;
 
@@ -96,7 +97,9 @@ void MetadataJournal::replay(const std::string &Volume,
       OpCtx Ctx;
       Ctx.Creds = R.Req.Creds;
       Ctx.Now = R.At;
-      Fs.close(Ctx, Reply.Fh);
+      [[maybe_unused]] FsError CloseErr = Fs.close(Ctx, Reply.Fh);
+      DMB_ASSERT(CloseErr == FsError::Ok,
+                 "journal replay: closing a just-opened handle failed");
     }
   }
 }

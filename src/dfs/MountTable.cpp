@@ -51,6 +51,6 @@ const MountEntry *MountTable::resolve(const std::string &Path,
                   ? Path.substr(Best->Prefix.size())
                   : std::string("/");
   if (RelPath.empty())
-    RelPath = "/";
+    RelPath = std::string("/"); // GCC 12 -Wrestrict misfires on = "/" here
   return Best;
 }

@@ -18,7 +18,6 @@
 #include "core/EnvProfile.h"
 #include "core/Master.h"
 #include "core/Params.h"
-#include "core/Plugin.h"
 #include "core/Results.h"
 #include "core/Subtask.h"
 #include "core/Worker.h"
@@ -47,7 +46,8 @@
 #include "sim/ScheduleVerify.h"
 #include "sim/Trace.h"
 
-// Disturbance injectors (thesis \S 4.2.3).
+// Workload plugins and disturbance injectors (thesis \S 4.2.3).
 #include "workload/Disturbance.h"
+#include "workload/Plugin.h"
 
 #endif // DMETABENCH_DMETABENCH_H

@@ -7,6 +7,7 @@
 #include "fs/LocalFileSystem.h"
 #include "support/Assert.h"
 #include "support/Format.h"
+#include <algorithm>
 #include <deque>
 #include <set>
 
@@ -894,10 +895,18 @@ LocalFileSystem::FsckReport LocalFileSystem::fsck() const {
     }
   }
 
-  // Per-inode invariants.
+  // Per-inode invariants, in inode-number order: the Inodes table is an
+  // unordered_map, and fsck messages are part of replay-compared output,
+  // so hash order must not leak into the report.
+  std::vector<InodeNum> InodeOrder;
+  InodeOrder.reserve(Inodes.size());
+  for (const auto &[Ino, NodePtr] : Inodes)
+    InodeOrder.push_back(Ino);
+  std::sort(InodeOrder.begin(), InodeOrder.end());
+
   uint64_t BlockSum = 0;
-  for (const auto &[Ino, NodePtr] : Inodes) {
-    const Inode &Node = *NodePtr;
+  for (InodeNum Ino : InodeOrder) {
+    const Inode &Node = *Inodes.at(Ino);
     ++Report.InodesChecked;
     BlockSum += Node.A.Blocks;
 

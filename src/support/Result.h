@@ -35,7 +35,7 @@ public:
   explicit operator bool() const { return ok(); }
 
   /// The error code; FsError::Ok when the operation succeeded.
-  FsError error() const {
+  [[nodiscard]] FsError error() const {
     if (ok())
       return FsError::Ok;
     return std::get<FsError>(Storage);

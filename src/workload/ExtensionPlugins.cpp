@@ -1,4 +1,4 @@
-//===- core/ExtensionPlugins.cpp - Beyond Table 3.5 -----------------------===//
+//===- workload/ExtensionPlugins.cpp - Beyond Table 3.5 -----------------------===//
 //
 // Part of the DMetabench reproduction. MIT licensed.
 //
@@ -16,8 +16,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "core/Plugin.h"
-#include "core/StreamHelpers.h"
+#include "workload/Plugin.h"
+#include "workload/StreamHelpers.h"
 #include "support/Format.h"
 
 using namespace dmb;

@@ -75,10 +75,14 @@ NamespaceStats dmb::populateNamespace(LocalFileSystem &Fs,
       break;
     if (Size)
       if (!Fs.write(Ctx, *Fh, Size).ok()) {
-        Fs.close(Ctx, *Fh);
+        // Best-effort close on the error path; the write failure already
+        // aborts generation, so a close failure adds nothing.
+        (void)Fs.close(Ctx, *Fh);
         break;
       }
-    Fs.close(Ctx, *Fh);
+    FsError CloseErr = Fs.close(Ctx, *Fh);
+    if (CloseErr != FsError::Ok)
+      break;
     ++InCurrentDir;
     ++Stats.Files;
     Stats.TotalBytes += Size;

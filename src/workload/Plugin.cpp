@@ -1,10 +1,10 @@
-//===- core/Plugin.cpp ----------------------------------------------------===//
+//===- workload/Plugin.cpp ----------------------------------------------------===//
 //
 // Part of the DMetabench reproduction. MIT licensed.
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/Plugin.h"
+#include "workload/Plugin.h"
 
 using namespace dmb;
 

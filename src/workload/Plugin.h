@@ -1,4 +1,4 @@
-//===- core/Plugin.h - Benchmark plugin interface ----------------*- C++ -*-===//
+//===- workload/Plugin.h - Benchmark plugin interface ----------------*- C++ -*-===//
 //
 // Part of the DMetabench reproduction. MIT licensed.
 //
@@ -14,8 +14,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef DMETABENCH_CORE_PLUGIN_H
-#define DMETABENCH_CORE_PLUGIN_H
+#ifndef DMETABENCH_WORKLOAD_PLUGIN_H
+#define DMETABENCH_WORKLOAD_PLUGIN_H
 
 #include "dfs/ClientFs.h"
 #include "dfs/Message.h"
@@ -126,4 +126,4 @@ void registerExtensionPlugins(PluginRegistry &Registry);
 
 } // namespace dmb
 
-#endif // DMETABENCH_CORE_PLUGIN_H
+#endif // DMETABENCH_WORKLOAD_PLUGIN_H

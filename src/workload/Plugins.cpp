@@ -1,4 +1,4 @@
-//===- core/Plugins.cpp - The pre-defined benchmarks of Table 3.5 ---------===//
+//===- workload/Plugins.cpp - The pre-defined benchmarks of Table 3.5 ---------===//
 //
 // Part of the DMetabench reproduction. MIT licensed.
 //
@@ -12,8 +12,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "core/Plugin.h"
-#include "core/StreamHelpers.h"
+#include "workload/Plugin.h"
+#include "workload/StreamHelpers.h"
 #include "support/Format.h"
 #include <functional>
 

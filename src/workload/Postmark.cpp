@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "workload/Postmark.h"
-#include "core/StreamHelpers.h"
+#include "workload/StreamHelpers.h"
 #include "support/Format.h"
 #include "support/Random.h"
 #include <memory>

@@ -19,7 +19,7 @@
 #ifndef DMETABENCH_WORKLOAD_POSTMARK_H
 #define DMETABENCH_WORKLOAD_POSTMARK_H
 
-#include "core/Plugin.h"
+#include "workload/Plugin.h"
 #include <cstdint>
 
 namespace dmb {

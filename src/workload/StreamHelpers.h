@@ -1,4 +1,4 @@
-//===- core/StreamHelpers.h - Internal plugin-stream helpers ----*- C++ -*-===//
+//===- workload/StreamHelpers.h - Internal plugin-stream helpers ----*- C++ -*-===//
 //
 // Part of the DMetabench reproduction. MIT licensed.
 //
@@ -12,10 +12,10 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef DMETABENCH_CORE_STREAMHELPERS_H
-#define DMETABENCH_CORE_STREAMHELPERS_H
+#ifndef DMETABENCH_WORKLOAD_STREAMHELPERS_H
+#define DMETABENCH_WORKLOAD_STREAMHELPERS_H
 
-#include "core/Plugin.h"
+#include "workload/Plugin.h"
 #include <functional>
 #include <memory>
 #include <string>
@@ -57,4 +57,4 @@ std::unique_ptr<OpStream> makeFileSetCleanup(std::string Own,
 
 } // namespace dmb
 
-#endif // DMETABENCH_CORE_STREAMHELPERS_H
+#endif // DMETABENCH_WORKLOAD_STREAMHELPERS_H

@@ -1,0 +1,531 @@
+//===- tests/AnalyzeTest.cpp - Unit tests for tools/dmeta-analyze ---------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+//
+// One violating and one clean fixture per analyzer rule, asserting the rule
+// fires exactly where expected and nowhere else, plus the shared CLI's exit
+// codes (0 clean / 1 findings / 2 usage / 3 no sources) for both tools.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyze/AnalyzeEngine.h"
+#include "analyze/ToolMain.h"
+#include "lint/LintEngine.h"
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+
+using namespace dmb::analyze;
+namespace fs = std::filesystem;
+
+namespace {
+
+using Sources = std::vector<std::pair<std::string, std::string>>;
+
+bool hasRule(const std::vector<Finding> &Fs, const std::string &Rule) {
+  for (const Finding &F : Fs)
+    if (F.Rule == Rule)
+      return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// unordered-iteration
+//===----------------------------------------------------------------------===//
+
+TEST(AnalyzeRules, UnorderedIterationReachingOutputIsCaught) {
+  std::vector<Finding> Fs = analyzeSources(
+      {{"src/sim/Emit.cpp",
+        "#include <unordered_map>\n"
+        "void f(std::ostream &OS) {\n"
+        "  std::unordered_map<int, int> Counts;\n"
+        "  for (const auto &P : Counts)\n"
+        "    OS << P.first;\n"
+        "}\n"}});
+  ASSERT_EQ(1u, Fs.size());
+  EXPECT_EQ("src/sim/Emit.cpp", Fs[0].File);
+  EXPECT_EQ(4, Fs[0].Line);
+  EXPECT_EQ("unordered-iteration", Fs[0].Rule);
+  EXPECT_NE(std::string::npos, Fs[0].Message.find("Counts"));
+}
+
+TEST(AnalyzeRules, SortBeforeEmitIsTheSanctionedSpelling) {
+  // Accumulating into a vector that is std::sort-ed later in the same
+  // scope makes the emission order deterministic — not flagged.
+  EXPECT_TRUE(analyzeSources(
+                  {{"src/sim/Emit.cpp",
+                    "#include <algorithm>\n"
+                    "#include <unordered_map>\n"
+                    "#include <vector>\n"
+                    "void g(std::ostream &OS) {\n"
+                    "  std::unordered_map<int, int> Counts;\n"
+                    "  std::vector<int> Keys;\n"
+                    "  for (const auto &P : Counts)\n"
+                    "    Keys.push_back(P.first);\n"
+                    "  std::sort(Keys.begin(), Keys.end());\n"
+                    "  for (int K : Keys)\n"
+                    "    OS << K;\n"
+                    "}\n"}})
+                  .empty());
+}
+
+TEST(AnalyzeRules, AccumulateWithoutSortIsCaught) {
+  std::vector<Finding> Fs = analyzeSources(
+      {{"src/sim/Emit.cpp",
+        "#include <unordered_map>\n"
+        "#include <vector>\n"
+        "void g(std::vector<int> &Out) {\n"
+        "  std::unordered_map<int, int> Counts;\n"
+        "  for (const auto &P : Counts)\n"
+        "    Out.push_back(P.first);\n"
+        "}\n"}});
+  ASSERT_EQ(1u, Fs.size());
+  EXPECT_EQ("unordered-iteration", Fs[0].Rule);
+  EXPECT_EQ(5, Fs[0].Line);
+}
+
+TEST(AnalyzeRules, UnorderedIterationOutsideDeterminismScopeIsFine) {
+  // tests/ compare values, not emission order; the rule is src/, bench/
+  // and tools/ only.
+  EXPECT_TRUE(analyzeSources(
+                  {{"tests/EmitTest.cpp",
+                    "#include <unordered_map>\n"
+                    "void f(std::ostream &OS) {\n"
+                    "  std::unordered_map<int, int> Counts;\n"
+                    "  for (const auto &P : Counts)\n"
+                    "    OS << P.first;\n"
+                    "}\n"}})
+                  .empty());
+}
+
+TEST(AnalyzeRules, HeaderDeclaredMemberIsSeenFromTheCpp) {
+  // The fsck shape: the container member lives in the class in the .h,
+  // the iterating loop in the .cpp. The .cpp inherits its own header's
+  // container declarations.
+  std::vector<Finding> Fs = analyzeSources(
+      {{"src/fs/Tab.h",
+        "#include <unordered_map>\n"
+        "class Tab {\n"
+        "  std::unordered_map<int, int> Rows;\n"
+        "  void dump(std::ostream &OS);\n"
+        "};\n"},
+       {"src/fs/Tab.cpp",
+        "#include \"fs/Tab.h\"\n"
+        "void Tab::dump(std::ostream &OS) {\n"
+        "  for (const auto &R : Rows)\n"
+        "    OS << R.first;\n"
+        "}\n"}});
+  ASSERT_EQ(1u, Fs.size());
+  EXPECT_EQ("src/fs/Tab.cpp", Fs[0].File);
+  EXPECT_EQ(3, Fs[0].Line);
+  EXPECT_EQ("unordered-iteration", Fs[0].Rule);
+}
+
+//===----------------------------------------------------------------------===//
+// pointer-identity
+//===----------------------------------------------------------------------===//
+
+TEST(AnalyzeRules, PointerKeyedIterationIsCaughtOutright) {
+  // Address order is never deterministic; no later sort can sanction it.
+  std::vector<Finding> Fs = analyzeSources(
+      {{"src/cluster/Owners.cpp",
+        "#include <map>\n"
+        "struct Node;\n"
+        "void f(std::ostream &OS) {\n"
+        "  std::map<Node *, int> Owners;\n"
+        "  for (const auto &P : Owners)\n"
+        "    OS << P.second;\n"
+        "}\n"}});
+  ASSERT_EQ(1u, Fs.size());
+  EXPECT_EQ(5, Fs[0].Line);
+  EXPECT_EQ("pointer-identity", Fs[0].Rule);
+  EXPECT_NE(std::string::npos, Fs[0].Message.find("Owners"));
+}
+
+TEST(AnalyzeRules, PointerKeyedLookupIsFine) {
+  // A pointer-keyed map used only for lookup never exposes address order.
+  EXPECT_TRUE(analyzeSources(
+                  {{"src/cluster/Owners.cpp",
+                    "#include <map>\n"
+                    "struct Node;\n"
+                    "int g(std::map<Node *, int> &Owners, Node *N) {\n"
+                    "  return Owners.at(N);\n"
+                    "}\n"}})
+                  .empty());
+}
+
+TEST(AnalyzeRules, PointerFormattingIsCaught) {
+  std::vector<Finding> Fs = analyzeSources(
+      {{"src/support/Dump.cpp",
+        "#include <cstdio>\n"
+        "void f(void *P, std::ostream &OS, int X) {\n"
+        "  std::printf(\"at %p\\n\", P);\n"
+        "  OS << &X;\n"
+        "}\n"}});
+  ASSERT_EQ(2u, Fs.size());
+  EXPECT_EQ(3, Fs[0].Line);
+  EXPECT_EQ("pointer-identity", Fs[0].Rule);
+  EXPECT_EQ(4, Fs[1].Line);
+  EXPECT_EQ("pointer-identity", Fs[1].Rule);
+}
+
+TEST(AnalyzeRules, StableIdFormattingIsFine) {
+  EXPECT_TRUE(analyzeSources(
+                  {{"src/support/Dump.cpp",
+                    "#include <cstdio>\n"
+                    "void f(unsigned long Id, std::ostream &OS, int X) {\n"
+                    "  std::printf(\"at %lu\\n\", Id);\n"
+                    "  OS << X;\n"
+                    "}\n"}})
+                  .empty());
+}
+
+//===----------------------------------------------------------------------===//
+// callback-lifetime
+//===----------------------------------------------------------------------===//
+
+TEST(AnalyzeRules, ByRefCaptureHandedToSchedulerIsCaught) {
+  std::vector<Finding> Fs = analyzeSources(
+      {{"src/sim/Retry.cpp",
+        "void f(Scheduler &S) {\n"
+        "  int N = 0;\n"
+        "  S.after(5, [&N]() { ++N; });\n"
+        "}\n"}});
+  ASSERT_EQ(1u, Fs.size());
+  EXPECT_EQ(3, Fs[0].Line);
+  EXPECT_EQ("callback-lifetime", Fs[0].Rule);
+  EXPECT_NE(std::string::npos, Fs[0].Message.find("&N"));
+}
+
+TEST(AnalyzeRules, AddressOfInitCaptureInInplaceFunctionIsCaught) {
+  std::vector<Finding> Fs = analyzeSources(
+      {{"src/sim/Arm.cpp",
+        "struct W {\n"
+        "  InplaceFunction<void()> Cb;\n"
+        "  void arm(int &X) { Cb = [P = &X]() { ++*P; }; }\n"
+        "};\n"}});
+  ASSERT_EQ(1u, Fs.size());
+  EXPECT_EQ(3, Fs[0].Line);
+  EXPECT_EQ("callback-lifetime", Fs[0].Rule);
+}
+
+TEST(AnalyzeRules, ValueAndThisCapturesAreFine) {
+  EXPECT_TRUE(analyzeSources(
+                  {{"src/sim/Retry.cpp",
+                    "struct R {\n"
+                    "  void f(Scheduler &S, int N) {\n"
+                    "    S.after(5, [N]() { use(N); });\n"
+                    "    S.after(6, [this]() { step(); });\n"
+                    "  }\n"
+                    "};\n"}})
+                  .empty());
+}
+
+TEST(AnalyzeRules, LifetimeScopeExemptsBenchAndTests) {
+  // bench/ and tests/ drive the scheduler to completion inside the
+  // capturing frame, so by-ref captures cannot dangle there.
+  EXPECT_TRUE(analyzeSources(
+                  {{"bench/Drive.cpp",
+                    "void f(Scheduler &S) {\n"
+                    "  int N = 0;\n"
+                    "  S.after(5, [&N]() { ++N; });\n"
+                    "}\n"}})
+                  .empty());
+}
+
+//===----------------------------------------------------------------------===//
+// discarded-error / nodiscard-annotation
+//===----------------------------------------------------------------------===//
+
+TEST(AnalyzeRules, DiscardedFsErrorCallIsCaught) {
+  // The function set is harvested from declarations in src/, so the rule
+  // covers new APIs without a hand-maintained list.
+  std::vector<Finding> Fs = analyzeSources(
+      {{"src/fs/Api.h", "[[nodiscard]] FsError closeQuiet(int Fh);\n"},
+       {"src/fs/Use.cpp",
+        "#include \"fs/Api.h\"\n"
+        "void f() { closeQuiet(3); }\n"}});
+  ASSERT_EQ(1u, Fs.size());
+  EXPECT_EQ("src/fs/Use.cpp", Fs[0].File);
+  EXPECT_EQ(2, Fs[0].Line);
+  EXPECT_EQ("discarded-error", Fs[0].Rule);
+  EXPECT_NE(std::string::npos, Fs[0].Message.find("closeQuiet"));
+}
+
+TEST(AnalyzeRules, CheckedAndVoidCastCallsAreFine) {
+  // Consuming the result, branching on it, or the explicit (void) cast
+  // are all sanctioned.
+  EXPECT_TRUE(analyzeSources(
+                  {{"src/fs/Api.h",
+                    "[[nodiscard]] FsError closeQuiet(int Fh);\n"},
+                   {"src/fs/Use.cpp",
+                    "#include \"fs/Api.h\"\n"
+                    "void f() {\n"
+                    "  FsError E = closeQuiet(3);\n"
+                    "  if (closeQuiet(4) == E) {\n"
+                    "    (void)closeQuiet(5);\n"
+                    "  }\n"
+                    "}\n"}})
+                  .empty());
+}
+
+TEST(AnalyzeRules, MissingNodiscardOnHeaderDeclIsCaught) {
+  std::vector<Finding> Fs = analyzeSources(
+      {{"src/fs/Bad.h", "FsError drop(int Fh);\n"}});
+  ASSERT_EQ(1u, Fs.size());
+  EXPECT_EQ(1, Fs[0].Line);
+  EXPECT_EQ("nodiscard-annotation", Fs[0].Rule);
+  EXPECT_NE(std::string::npos, Fs[0].Message.find("drop"));
+}
+
+TEST(AnalyzeRules, AnnotatedHeaderDeclIsFine) {
+  EXPECT_TRUE(
+      analyzeSources({{"src/fs/Ok.h", "[[nodiscard]] FsError drop(int Fh);\n"}})
+          .empty());
+}
+
+//===----------------------------------------------------------------------===//
+// layering / include-cycle / unused-include
+//===----------------------------------------------------------------------===//
+
+TEST(AnalyzeRules, UpwardIncludeInvertsTheLayerDag) {
+  // support (band 0) must not reach into core (band 3).
+  std::vector<Finding> Fs = analyzeSources(
+      {{"src/core/Stats.h", "struct RunStats { int N; };\n"},
+       {"src/support/Bad.cpp",
+        "#include \"core/Stats.h\"\n"
+        "RunStats use();\n"}});
+  ASSERT_EQ(1u, Fs.size());
+  EXPECT_EQ("src/support/Bad.cpp", Fs[0].File);
+  EXPECT_EQ(1, Fs[0].Line);
+  EXPECT_EQ("layering", Fs[0].Rule);
+}
+
+TEST(AnalyzeRules, DownwardAndLateralIncludesAreFine) {
+  EXPECT_TRUE(analyzeSources(
+                  {{"src/support/Util.h", "int clamp(int X);\n"},
+                   {"src/fs/Inode.h", "struct Inode { int Mode; };\n"},
+                   {"src/core/Use.cpp",
+                    "#include \"support/Util.h\"\n"
+                    "int f() { return clamp(3); }\n"},
+                   {"src/dfs/Server.cpp",
+                    "#include \"fs/Inode.h\"\n"
+                    "Inode mk();\n"}})
+                  .empty());
+}
+
+TEST(AnalyzeRules, IncludeCycleIsReportedOnceAtItsAnchor) {
+  std::vector<Finding> Fs = analyzeSources(
+      {{"src/sim/A.h",
+        "#include \"sim/B.h\"\n"
+        "struct A { B *Link; };\n"},
+       {"src/sim/B.h",
+        "#include \"sim/A.h\"\n"
+        "struct B { A *Back; };\n"}});
+  ASSERT_EQ(1u, Fs.size());
+  EXPECT_EQ("src/sim/A.h", Fs[0].File);
+  EXPECT_EQ(0, Fs[0].Line);
+  EXPECT_EQ("include-cycle", Fs[0].Rule);
+  EXPECT_NE(std::string::npos,
+            Fs[0].Message.find("src/sim/A.h -> src/sim/B.h -> src/sim/A.h"));
+}
+
+TEST(AnalyzeRules, UnusedProjectIncludeIsCaught) {
+  std::vector<Finding> Fs = analyzeSources(
+      {{"src/sim/Helper.h", "int helperFn(int X);\n"},
+       {"src/sim/U.cpp",
+        "#include \"sim/Helper.h\"\n"
+        "int other() { return 1; }\n"}});
+  ASSERT_EQ(1u, Fs.size());
+  EXPECT_EQ("src/sim/U.cpp", Fs[0].File);
+  EXPECT_EQ(1, Fs[0].Line);
+  EXPECT_EQ("unused-include", Fs[0].Rule);
+}
+
+TEST(AnalyzeRules, UsedIncludeAndOwnHeaderAreFine) {
+  EXPECT_TRUE(analyzeSources(
+                  {{"src/sim/Helper.h", "int helperFn(int X);\n"},
+                   {"src/sim/U.h", "int entry();\n"},
+                   {"src/sim/U.cpp",
+                    "#include \"sim/Helper.h\"\n"
+                    "#include \"sim/U.h\"\n"
+                    "int entry() { return helperFn(1); }\n"}})
+                  .empty());
+}
+
+TEST(AnalyzeRules, UmbrellaHeaderAndItsIncluderAreExempt) {
+  // A pure re-export header (>= 5 includes, no declarations of its own)
+  // is the umbrella pattern: its includes ARE its interface, and an
+  // includer is credited with the symbols one level down.
+  Sources Tree = {{"src/a/A1.h", "struct A1 { int X; };\n"},
+                  {"src/a/A2.h", "struct A2 { int X; };\n"},
+                  {"src/a/A3.h", "struct A3 { int X; };\n"},
+                  {"src/a/A4.h", "struct A4 { int X; };\n"},
+                  {"src/a/A5.h", "struct A5 { int X; };\n"},
+                  {"src/a/All.h",
+                   "#ifndef ALL_H\n#define ALL_H\n"
+                   "#include \"a/A1.h\"\n#include \"a/A2.h\"\n"
+                   "#include \"a/A3.h\"\n#include \"a/A4.h\"\n"
+                   "#include \"a/A5.h\"\n#endif\n"},
+                  {"src/a/User.cpp",
+                   "#include \"a/All.h\"\n"
+                   "A3 pick();\n"}};
+  EXPECT_TRUE(analyzeSources(Tree).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Suppressions
+//===----------------------------------------------------------------------===//
+
+TEST(AnalyzeRules, AllowHatchSuppressesExactlyItsRule) {
+  // The justified allow() on the finding line drops it...
+  EXPECT_TRUE(analyzeSources(
+                  {{"src/fs/Bad.h",
+                    "FsError drop(int Fh); // dmeta-analyze: "
+                    "allow(nodiscard-annotation) legacy caller churn\n"}})
+                  .empty());
+  // ...but an allow() naming a different rule does not.
+  EXPECT_TRUE(hasRule(
+      analyzeSources({{"src/fs/Bad.h",
+                       "FsError drop(int Fh); // dmeta-analyze: "
+                       "allow(layering) wrong rule\n"}}),
+      "nodiscard-annotation"));
+}
+
+//===----------------------------------------------------------------------===//
+// Shared CLI: flags and exit codes for both tools
+//===----------------------------------------------------------------------===//
+
+/// Materialises a throwaway tree and runs toolMain over it.
+class ToolCliTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Root = fs::temp_directory_path() /
+           ("dmeta-analyze-test-" +
+            std::to_string(
+                ::testing::UnitTest::GetInstance()->random_seed()) +
+            "-" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(Root);
+    fs::create_directories(Root);
+  }
+  void TearDown() override { fs::remove_all(Root); }
+
+  void write(const std::string &Rel, const std::string &Content) {
+    fs::path P = Root / Rel;
+    fs::create_directories(P.parent_path());
+    std::ofstream(P) << Content;
+  }
+
+  static ToolConfig analyzeConfig() {
+    ToolConfig Cfg;
+    Cfg.Tool = "dmeta-analyze";
+    Cfg.Description = "test";
+    Cfg.Rules = analyzeRuleNames();
+    Cfg.Run = [](const std::string &R, size_t &N) {
+      return analyzeTree(R, &N);
+    };
+    return Cfg;
+  }
+
+  static ToolConfig lintConfig() {
+    ToolConfig Cfg;
+    Cfg.Tool = "dmeta-lint";
+    Cfg.Description = "test";
+    Cfg.Rules = dmb::lint::lintRuleNames();
+    Cfg.Run = [](const std::string &R, size_t &N) {
+      return dmb::lint::lintTree(R, &N);
+    };
+    return Cfg;
+  }
+
+  /// Runs toolMain with the given extra args (after --root <Root>),
+  /// capturing stdout into \p StdoutText when non-null.
+  int run(const ToolConfig &Cfg, std::vector<std::string> Args,
+          std::string *StdoutText = nullptr) {
+    std::vector<std::string> All = {Cfg.Tool, "--root", Root.string()};
+    All.insert(All.end(), Args.begin(), Args.end());
+    std::vector<char *> Argv;
+    Argv.reserve(All.size());
+    for (std::string &A : All)
+      Argv.push_back(A.data());
+    ::testing::internal::CaptureStdout();
+    ::testing::internal::CaptureStderr();
+    int Code = toolMain(static_cast<int>(Argv.size()), Argv.data(), Cfg);
+    std::string OutText = ::testing::internal::GetCapturedStdout();
+    ::testing::internal::GetCapturedStderr();
+    if (StdoutText)
+      *StdoutText = OutText;
+    return Code;
+  }
+
+  fs::path Root;
+};
+
+TEST_F(ToolCliTest, CleanTreeExitsZero) {
+  write("src/sim/Ok.cpp", "int f() { return 1; }\n");
+  EXPECT_EQ(0, run(analyzeConfig(), {}));
+  EXPECT_EQ(0, run(lintConfig(), {}));
+}
+
+TEST_F(ToolCliTest, FindingsExitOne) {
+  write("src/fs/Bad.h", "FsError drop(int Fh);\n");
+  EXPECT_EQ(1, run(analyzeConfig(), {}));
+}
+
+TEST_F(ToolCliTest, UnknownArgumentAndUnknownRuleAreUsageErrors) {
+  // Exit 2 is reserved for misuse of the CLI itself, for both tools.
+  write("src/sim/Ok.cpp", "int f() { return 1; }\n");
+  EXPECT_EQ(2, run(analyzeConfig(), {"--frobnicate"}));
+  EXPECT_EQ(2, run(analyzeConfig(), {"--rule", "not-a-rule"}));
+  EXPECT_EQ(2, run(analyzeConfig(), {"--rule"}));
+  EXPECT_EQ(2, run(lintConfig(), {"--frobnicate"}));
+  EXPECT_EQ(2, run(lintConfig(), {"--rule", "unordered-iteration"}));
+}
+
+TEST_F(ToolCliTest, EmptyTreeExitsThreeNotTwo) {
+  // An empty scan is a misconfigured checkout, not a clean tree — and not
+  // a usage error either; CI must be able to tell the three apart.
+  EXPECT_EQ(3, run(analyzeConfig(), {}));
+  EXPECT_EQ(3, run(lintConfig(), {}));
+}
+
+TEST_F(ToolCliTest, RuleFilterLimitsTheReport) {
+  write("src/fs/Bad.h", "FsError drop(int Fh);\n");
+  EXPECT_EQ(1, run(analyzeConfig(), {"--rule", "nodiscard-annotation"}));
+  // Filtering on a rule with no findings reports a clean run.
+  EXPECT_EQ(0, run(analyzeConfig(), {"--rule", "layering"}));
+}
+
+TEST_F(ToolCliTest, JsonOutputCarriesToolFilesAndFindings) {
+  write("src/fs/Bad.h", "FsError drop(int Fh);\n");
+  std::string Json;
+  EXPECT_EQ(1, run(analyzeConfig(), {"--json"}, &Json));
+  EXPECT_NE(std::string::npos, Json.find("\"tool\": \"dmeta-analyze\""));
+  EXPECT_NE(std::string::npos, Json.find("\"filesChecked\": 1"));
+  EXPECT_NE(std::string::npos, Json.find("\"rule\": \"nodiscard-annotation\""));
+  EXPECT_NE(std::string::npos, Json.find("\"file\": \"src/fs/Bad.h\""));
+}
+
+TEST(AnalyzeRender, FindingFormatsMatchTheProblemMatcher) {
+  Finding F{"src/a/B.cpp", 7, "layering", "bad include"};
+  EXPECT_EQ("src/a/B.cpp:7: [layering] bad include", renderFinding(F));
+  // Whole-file findings (include cycles) omit the line.
+  Finding Whole{"src/a/B.cpp", 0, "include-cycle", "cycle"};
+  EXPECT_EQ("src/a/B.cpp: [include-cycle] cycle", renderFinding(Whole));
+}
+
+// The shipped tree must be clean — the same check `ctest` runs via the
+// dmeta_analyze binary, here exercised through the library.
+TEST(AnalyzeRealTree, SourceTreeIsClean) {
+  size_t Files = 0;
+  std::vector<Finding> Fs = analyzeTree(DMB_SOURCE_ROOT, &Files);
+  EXPECT_GT(Files, 100u);
+  for (const Finding &F : Fs)
+    ADD_FAILURE() << renderFinding(F);
+}
+
+} // namespace

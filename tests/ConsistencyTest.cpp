@@ -69,7 +69,7 @@ TEST(Fsck, DeferredUnlinkIsNotAnOrphan) {
   ASSERT_TRUE(Fh.ok());
   ASSERT_EQ(FsError::Ok, Fs.unlink(Ctx, "/tmp"));
   EXPECT_TRUE(Fs.fsck().clean());
-  Fs.close(Ctx, *Fh);
+  EXPECT_EQ(FsError::Ok, Fs.close(Ctx, *Fh));
   EXPECT_TRUE(Fs.fsck().clean());
 }
 

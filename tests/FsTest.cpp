@@ -204,19 +204,19 @@ TEST_F(FsTest, SparseFileViaSeek) {
   ASSERT_TRUE(Fs.seek(Ctx, *Fh, 1000000).ok());
   ASSERT_TRUE(Fs.write(Ctx, *Fh, 1).ok());
   EXPECT_EQ(1000001u, Fs.fstat(Ctx, *Fh)->Size);
-  Fs.close(Ctx, *Fh);
+  EXPECT_EQ(FsError::Ok, Fs.close(Ctx, *Fh));
 }
 
 TEST_F(FsTest, AppendRepositionsBeforeWrite) {
   Result<FileHandle> A = Fs.open(Ctx, "/f", OpenWrite | OpenCreate);
   ASSERT_TRUE(A.ok());
   ASSERT_TRUE(Fs.write(Ctx, *A, 100).ok());
-  Fs.close(Ctx, *A);
+  EXPECT_EQ(FsError::Ok, Fs.close(Ctx, *A));
   Result<FileHandle> B = Fs.open(Ctx, "/f", OpenWrite | OpenAppend);
   ASSERT_TRUE(B.ok());
   ASSERT_TRUE(Fs.write(Ctx, *B, 50).ok());
   EXPECT_EQ(150u, Fs.fstat(Ctx, *B)->Size);
-  Fs.close(Ctx, *B);
+  EXPECT_EQ(FsError::Ok, Fs.close(Ctx, *B));
 }
 
 TEST_F(FsTest, ReadStopsAtEof) {
@@ -227,7 +227,7 @@ TEST_F(FsTest, ReadStopsAtEof) {
   ASSERT_TRUE(Fs.seek(Ctx, *Fh, 0).ok());
   EXPECT_EQ(100u, *Fs.read(Ctx, *Fh, 1000));
   EXPECT_EQ(0u, *Fs.read(Ctx, *Fh, 1000));
-  Fs.close(Ctx, *Fh);
+  EXPECT_EQ(FsError::Ok, Fs.close(Ctx, *Fh));
 }
 
 TEST_F(FsTest, TruncateFreesBlocks) {
@@ -238,7 +238,7 @@ TEST_F(FsTest, TruncateFreesBlocks) {
   ASSERT_EQ(FsError::Ok, Fs.ftruncate(Ctx, *Fh, 0));
   EXPECT_LT(Fs.allocatedBlocks(), Before);
   EXPECT_EQ(0u, Fs.fstat(Ctx, *Fh)->Size);
-  Fs.close(Ctx, *Fh);
+  EXPECT_EQ(FsError::Ok, Fs.close(Ctx, *Fh));
 }
 
 TEST_F(FsTest, OpenTruncClearsFile) {
@@ -246,11 +246,11 @@ TEST_F(FsTest, OpenTruncClearsFile) {
   Result<FileHandle> A = Fs.open(Ctx, "/f", OpenWrite);
   ASSERT_TRUE(A.ok());
   ASSERT_TRUE(Fs.write(Ctx, *A, 5000).ok());
-  Fs.close(Ctx, *A);
+  EXPECT_EQ(FsError::Ok, Fs.close(Ctx, *A));
   Result<FileHandle> B = Fs.open(Ctx, "/f", OpenWrite | OpenTrunc);
   ASSERT_TRUE(B.ok());
   EXPECT_EQ(0u, Fs.fstat(Ctx, *B)->Size);
-  Fs.close(Ctx, *B);
+  EXPECT_EQ(FsError::Ok, Fs.close(Ctx, *B));
 }
 
 TEST_F(FsTest, WriteOnReadOnlyHandleFails) {
@@ -258,7 +258,7 @@ TEST_F(FsTest, WriteOnReadOnlyHandleFails) {
   Result<FileHandle> Fh = Fs.open(Ctx, "/f", OpenRead);
   ASSERT_TRUE(Fh.ok());
   EXPECT_EQ(FsError::BadFd, Fs.write(Ctx, *Fh, 10).error());
-  Fs.close(Ctx, *Fh);
+  EXPECT_EQ(FsError::Ok, Fs.close(Ctx, *Fh));
 }
 
 TEST_F(FsTest, BadHandleRejected) {
@@ -432,7 +432,7 @@ TEST_F(FsTest, OpenChecksModeBits) {
   Result<FileHandle> Fh =
       Fs.open(Root, "/pub/secret", OpenWrite | OpenCreate, 0600);
   ASSERT_TRUE(Fh.ok());
-  Fs.close(Root, *Fh);
+  EXPECT_EQ(FsError::Ok, Fs.close(Root, *Fh));
   EXPECT_EQ(FsError::Access, Fs.open(Ctx, "/pub/secret", OpenRead).error());
 }
 
@@ -479,7 +479,7 @@ TEST_F(FsTest, TimestampsMaintained) {
   Result<FileHandle> Fh = Fs.open(T2, "/f", OpenWrite);
   ASSERT_TRUE(Fh.ok());
   ASSERT_TRUE(Fs.write(T2, *Fh, 10).ok());
-  Fs.close(T2, *Fh);
+  EXPECT_EQ(FsError::Ok, Fs.close(T2, *Fh));
   EXPECT_EQ(seconds(5.0), Fs.stat(T2, "/f")->Mtime);
 
   OpCtx T3 = userCtx(seconds(9.0));
@@ -541,7 +541,7 @@ TEST(FsLimits, BlockLimitYieldsNoSpace) {
   ASSERT_TRUE(Fh.ok());
   EXPECT_TRUE(Fs.write(Ctx, *Fh, 8192).ok());
   EXPECT_EQ(FsError::NoSpace, Fs.write(Ctx, *Fh, 8192).error());
-  Fs.close(Ctx, *Fh);
+  EXPECT_EQ(FsError::Ok, Fs.close(Ctx, *Fh));
 }
 
 //===----------------------------------------------------------------------===//
@@ -560,7 +560,7 @@ TEST(FsInline, SmallFilesAllocateNoBlocks) {
   // The 65th byte spills out of the inode into a real block.
   ASSERT_TRUE(Fs.write(Ctx, *Fh, 1).ok());
   EXPECT_EQ(1u, Fs.fstat(Ctx, *Fh)->Blocks);
-  Fs.close(Ctx, *Fh);
+  EXPECT_EQ(FsError::Ok, Fs.close(Ctx, *Fh));
 }
 
 //===----------------------------------------------------------------------===//
@@ -624,14 +624,20 @@ class DirIndexParamTest : public ::testing::TestWithParam<DirIndexKind> {};
 TEST_P(DirIndexParamTest, InsertLookupEraseList) {
   auto Index = makeDirectoryIndex(GetParam());
   OpCost Cost;
-  for (int I = 0; I < 500; ++I)
-    Index->insert(DirEntry{"f" + std::to_string(I),
-                           static_cast<InodeNum>(I + 10),
+  for (int I = 0; I < 500; ++I) {
+    // Built with += — GCC 12's -Wrestrict misfires on the "f" +
+    // to_string temporary chain once it inlines the insert.
+    std::string Name = "f";
+    Name += std::to_string(I);
+    Index->insert(DirEntry{Name, static_cast<InodeNum>(I + 10),
                            FileType::Regular},
                   Cost);
+  }
   EXPECT_EQ(500u, Index->size());
   for (int I = 0; I < 500; I += 7) {
-    const DirEntry *E = Index->lookup("f" + std::to_string(I), Cost);
+    std::string Name = "f";
+    Name += std::to_string(I);
+    const DirEntry *E = Index->lookup(Name, Cost);
     ASSERT_NE(nullptr, E);
     EXPECT_EQ(static_cast<InodeNum>(I + 10), E->Ino);
   }
@@ -700,7 +706,7 @@ TEST(FsProperty, RandomOperationsPreserveInvariants) {
                          std::to_string(Step);
       Result<FileHandle> Fh = Fs.open(Ctx, Path, OpenWrite | OpenCreate);
       if (Fh.ok()) {
-        Fs.close(Ctx, *Fh);
+        EXPECT_EQ(FsError::Ok, Fs.close(Ctx, *Fh));
         Files.push_back(Path);
         ++LiveFiles;
       }

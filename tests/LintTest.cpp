@@ -143,11 +143,12 @@ TEST(LintContent, TraceClockScopeAndExemptions) {
   EXPECT_FALSE(hasRule(lintOne("src/analysis/T.cpp",
                                "void f() { Sink.stamp(1, P, 0); }\n"),
                        "trace-clock"));
-  // The suppression escape hatch works.
+  // The suppression escape hatch works (with its mandatory justification
+  // — a bare allow() would trip suppression-justification).
   EXPECT_TRUE(
       lintOne("src/dfs/X.cpp",
               "void f() { S.stamp(1, P, 0); } // dmeta-lint: allow("
-              "trace-clock)\n")
+              "trace-clock) sink owns the clock here\n")
           .empty());
 }
 

@@ -1,0 +1,717 @@
+//===- tools/analyze/AnalyzeEngine.cpp ------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyze/AnalyzeEngine.h"
+#include "analyze/IncludeGraph.h"
+#include "analyze/Tokenizer.h"
+#include <algorithm>
+#include <set>
+#include <utility>
+
+using namespace dmb;
+using namespace dmb::analyze;
+
+namespace {
+
+const char *ToolName = "dmeta-analyze";
+
+bool startsWith(const std::string &S, const char *Prefix) {
+  return S.rfind(Prefix, 0) == 0;
+}
+
+bool endsWith(const std::string &S, const char *Suffix) {
+  std::string Suf(Suffix);
+  return S.size() >= Suf.size() &&
+         S.compare(S.size() - Suf.size(), Suf.size(), Suf) == 0;
+}
+
+/// Rules about values that must not differ across identical runs apply to
+/// everything whose output lands in results, traces or schedules.
+bool determinismScope(const std::string &RelPath) {
+  return startsWith(RelPath, "src/") || startsWith(RelPath, "bench/") ||
+         startsWith(RelPath, "tools/");
+}
+
+/// Callback-lifetime applies where a scheduled callback can outlive the
+/// frame that created it. tests/ and bench/ drive the scheduler to
+/// completion inside the capturing frame, so they are exempt.
+bool lifetimeScope(const std::string &RelPath) {
+  return startsWith(RelPath, "src/") || startsWith(RelPath, "tools/");
+}
+
+bool isPunct(const Token &T, const char *Text) {
+  return T.Kind == TokKind::Punct && T.Text == Text;
+}
+
+bool isIdent(const Token &T, const char *Text) {
+  return T.Kind == TokKind::Ident && T.Text == Text;
+}
+
+/// Index of the token matching the closer at \p CloseIdx, walking
+/// backwards ( ')' -> '(', ']' -> '[' ), or npos when unbalanced.
+size_t matchBackward(const std::vector<Token> &T, size_t CloseIdx) {
+  const std::string &Close = T[CloseIdx].Text;
+  std::string Open = Close == ")" ? "(" : Close == "]" ? "[" : "{";
+  int Depth = 0;
+  for (size_t I = CloseIdx + 1; I-- > 0;) {
+    if (T[I].Kind != TokKind::Punct)
+      continue;
+    if (T[I].Text == Close)
+      ++Depth;
+    else if (T[I].Text == Open && --Depth == 0)
+      return I;
+  }
+  return std::string::npos;
+}
+
+/// True when the '[' at \p I opens a lambda capture list rather than a
+/// subscript or attribute: it follows a token that can only precede an
+/// expression, not a value.
+bool isLambdaIntroducer(const std::vector<Token> &T, size_t I) {
+  if (!isPunct(T[I], "["))
+    return false;
+  if (I == 0)
+    return false;
+  const Token &P = T[I - 1];
+  if (P.Kind == TokKind::Punct)
+    return P.Text == "(" || P.Text == "," || P.Text == "=" || P.Text == "{";
+  return isIdent(P, "return");
+}
+
+/// The engine proper: one instance per analyzeSources call, shared state
+/// is the parsed files and the harvested error-returning function names.
+class RuleEngine {
+public:
+  RuleEngine(const std::vector<SourceFile> &Files, std::vector<Finding> &Out)
+      : Files(Files), Out(Out) {}
+
+  void run() {
+    harvestErrorFunctions();
+    // Container declarations are tracked per file first, so a .cpp can
+    // inherit the members its own header declares (fsck iterating the
+    // header-declared inode table must still be seen).
+    std::map<std::string, ContainerSets> Tracked;
+    for (const SourceFile &F : Files)
+      Tracked[F.RelPath] = trackContainers(F);
+    for (const SourceFile &F : Files) {
+      ContainerSets CS = Tracked[F.RelPath];
+      if (endsWith(F.RelPath, ".cpp")) {
+        auto HdrIt = Tracked.find(
+            F.RelPath.substr(0, F.RelPath.size() - 4) + ".h");
+        if (HdrIt != Tracked.end())
+          CS.merge(HdrIt->second);
+      }
+      // A name declared as BOTH an ordered and an unordered container
+      // (two classes in one file reusing a member name) is ambiguous;
+      // stay silent rather than flag iteration over the ordered one.
+      for (const std::string &O : CS.Ordered) {
+        CS.Unordered.erase(O);
+        CS.PtrKeyed.erase(O);
+      }
+      UnorderedVars = CS.Unordered;
+      PtrKeyedVars = CS.PtrKeyed;
+      InplaceVars = CS.Inplace;
+      if (determinismScope(F.RelPath)) {
+        checkLoops(F);
+        checkPointerFormatting(F);
+        checkDiscardedErrors(F);
+      }
+      if (lifetimeScope(F.RelPath))
+        checkCallbackLifetime(F);
+      if (startsWith(F.RelPath, "src/") && endsWith(F.RelPath, ".h"))
+        checkNodiscardAnnotations(F);
+    }
+    IncludeGraph Graph(Files);
+    Graph.check(Out);
+  }
+
+private:
+  void emit(const SourceFile &F, int Line, const std::string &Rule,
+            const std::string &Message) {
+    const std::string &Raw = Line >= 1 &&
+                                     static_cast<size_t>(Line) <=
+                                         F.RawLines.size()
+                                 ? F.RawLines[Line - 1]
+                                 : Empty;
+    if (allowedOnLine(Raw, ToolName, Rule))
+      return;
+    Out.push_back({F.RelPath, Line, Rule, Message});
+  }
+
+  //===--------------------------------------------------------------------===
+  // Container declaration tracking (per file)
+  //===--------------------------------------------------------------------===
+
+  /// True when the first template argument of the '<' at \p Lt spells a
+  /// pointer type (`Foo *`), i.e. a '*' appears before the first top-level
+  /// comma.
+  static bool firstArgIsPointer(const std::vector<Token> &T, size_t Lt) {
+    size_t Close = matchForward(T, Lt);
+    if (Close >= T.size())
+      return false;
+    int Angle = 0;
+    for (size_t I = Lt + 1; I < Close; ++I) {
+      if (isPunct(T[I], "<"))
+        ++Angle;
+      else if (isPunct(T[I], ">"))
+        --Angle;
+      else if (Angle == 0 && isPunct(T[I], ","))
+        return false;
+      else if (Angle == 0 && isPunct(T[I], "*"))
+        return true;
+    }
+    return false;
+  }
+
+  /// Variables of interest declared by one file. Ordered holds names of
+  /// deterministically-ordered associative containers, used only to
+  /// resolve cross-class name collisions.
+  struct ContainerSets {
+    std::set<std::string> Unordered, PtrKeyed, Inplace, Ordered;
+    void merge(const ContainerSets &O) {
+      Unordered.insert(O.Unordered.begin(), O.Unordered.end());
+      PtrKeyed.insert(O.PtrKeyed.begin(), O.PtrKeyed.end());
+      Inplace.insert(O.Inplace.begin(), O.Inplace.end());
+      Ordered.insert(O.Ordered.begin(), O.Ordered.end());
+    }
+  };
+
+  /// Records variables (locals and members) of unordered or pointer-keyed
+  /// associative container types, following same-file using-aliases.
+  ContainerSets trackContainers(const SourceFile &F) {
+    ContainerSets CS;
+    std::set<std::string> UnorderedAliases, PtrKeyedAliases;
+    const std::vector<Token> &T = F.Toks.Tokens;
+
+    static const std::set<std::string> UnorderedTypes = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+    static const std::set<std::string> AssocTypes = {
+        "map",           "set",           "multimap",
+        "multiset",      "unordered_map", "unordered_set",
+        "unordered_multimap", "unordered_multiset"};
+
+    for (size_t I = 0; I + 1 < T.size(); ++I) {
+      if (T[I].Kind != TokKind::Ident)
+        continue;
+
+      // using Alias = std::unordered_map<...>;
+      if (T[I].Text == "using" && I + 2 < T.size() &&
+          T[I + 1].Kind == TokKind::Ident && isPunct(T[I + 2], "=")) {
+        for (size_t J = I + 3; J < T.size() && !isPunct(T[J], ";"); ++J) {
+          if (T[J].Kind != TokKind::Ident)
+            continue;
+          if (UnorderedTypes.count(T[J].Text))
+            UnorderedAliases.insert(T[I + 1].Text);
+          if (AssocTypes.count(T[J].Text) && J + 1 < T.size() &&
+              isPunct(T[J + 1], "<") && firstArgIsPointer(T, J + 1))
+            PtrKeyedAliases.insert(T[I + 1].Text);
+        }
+        continue;
+      }
+
+      // TypeName<...> [*&const]* VarName
+      bool Unordered = UnorderedTypes.count(T[I].Text) > 0;
+      bool Assoc = AssocTypes.count(T[I].Text) > 0;
+      if ((Unordered || Assoc) && isPunct(T[I + 1], "<")) {
+        bool PtrKeyed = firstArgIsPointer(T, I + 1);
+        size_t Close = matchForward(T, I + 1);
+        if (Close >= T.size())
+          continue;
+        size_t J = Close + 1;
+        while (J < T.size() &&
+               (isPunct(T[J], "*") || isPunct(T[J], "&") ||
+                isIdent(T[J], "const")))
+          ++J;
+        if (J < T.size() && T[J].Kind == TokKind::Ident) {
+          if (Unordered)
+            CS.Unordered.insert(T[J].Text);
+          if (PtrKeyed)
+            CS.PtrKeyed.insert(T[J].Text);
+          if (!Unordered && !PtrKeyed)
+            CS.Ordered.insert(T[J].Text);
+        }
+        continue;
+      }
+
+      // AliasName VarName
+      if ((UnorderedAliases.count(T[I].Text) ||
+           PtrKeyedAliases.count(T[I].Text)) &&
+          T[I + 1].Kind == TokKind::Ident && I + 2 < T.size() &&
+          (isPunct(T[I + 2], ";") || isPunct(T[I + 2], "=") ||
+           isPunct(T[I + 2], "{"))) {
+        if (UnorderedAliases.count(T[I].Text))
+          CS.Unordered.insert(T[I + 1].Text);
+        if (PtrKeyedAliases.count(T[I].Text))
+          CS.PtrKeyed.insert(T[I + 1].Text);
+        continue;
+      }
+
+      // InplaceFunction<...> Name
+      if (T[I].Text == "InplaceFunction" && isPunct(T[I + 1], "<")) {
+        size_t Close = matchForward(T, I + 1);
+        if (Close + 1 < T.size() && T[Close + 1].Kind == TokKind::Ident)
+          CS.Inplace.insert(T[Close + 1].Text);
+      }
+    }
+    return CS;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Rule: unordered-iteration / pointer-identity (iteration half)
+  //===--------------------------------------------------------------------===
+
+  /// True when tokens [Begin, End) contain a member at(...)/after(...)
+  /// call whose arguments include a lambda literal — scheduling work from
+  /// the current iteration order.
+  static bool hasScheduledLambda(const std::vector<Token> &T, size_t Begin,
+                                 size_t End) {
+    for (size_t I = Begin; I + 1 < End; ++I) {
+      if (!(isIdent(T[I], "at") || isIdent(T[I], "after")))
+        continue;
+      if (I == 0 || !(isPunct(T[I - 1], ".") || isPunct(T[I - 1], "->")))
+        continue;
+      if (!isPunct(T[I + 1], "("))
+        continue;
+      size_t Close = matchForward(T, I + 1);
+      for (size_t J = I + 2; J < Close && J < T.size(); ++J)
+        if (isLambdaIntroducer(T, J))
+          return true;
+    }
+    return false;
+  }
+
+  /// Classifies the loop body [Begin, End): returns a non-empty sink
+  /// description when the body reaches output directly; fills
+  /// \p Accumulators with containers the body appends to.
+  static std::string directSink(const std::vector<Token> &T, size_t Begin,
+                                size_t End,
+                                std::set<std::string> &Accumulators) {
+    static const std::set<std::string> CallSinks = {
+        "printf",     "fprintf", "snprintf",  "sprintf", "format",
+        "addRow",     "traceBegin", "traceStamp", "stamp", "beginOp",
+        "finishOp"};
+    std::string Sink;
+    for (size_t I = Begin; I < End && I < T.size(); ++I) {
+      if (Sink.empty() && isPunct(T[I], "<<"))
+        Sink = "streams output ('<<')";
+      if (T[I].Kind == TokKind::Ident && I + 1 < T.size() &&
+          isPunct(T[I + 1], "(")) {
+        if (Sink.empty() && CallSinks.count(T[I].Text))
+          Sink = "calls " + T[I].Text + "()";
+        if ((T[I].Text == "push_back" || T[I].Text == "emplace_back") &&
+            I >= 2 && (isPunct(T[I - 1], ".") || isPunct(T[I - 1], "->")) &&
+            T[I - 2].Kind == TokKind::Ident)
+          Accumulators.insert(T[I - 2].Text);
+      }
+    }
+    if (Sink.empty() && hasScheduledLambda(T, Begin, End))
+      Sink = "schedules callbacks (at/after)";
+    return Sink;
+  }
+
+  /// True when some std::sort after the loop (still inside the enclosing
+  /// scope) sorts one of \p Accumulators — the sanctioned
+  /// accumulate-then-sort spelling (e.g. HashDirectory::list).
+  static bool sortedAfter(const std::vector<Token> &T, size_t After,
+                          int EnclosingDepth,
+                          const std::set<std::string> &Accumulators) {
+    for (size_t I = After; I < T.size(); ++I) {
+      if (T[I].BraceDepth < EnclosingDepth)
+        break;
+      if (!isIdent(T[I], "sort") || I + 1 >= T.size() ||
+          !isPunct(T[I + 1], "("))
+        continue;
+      size_t Close = matchForward(T, I + 1);
+      for (size_t J = I + 2; J < Close && J < T.size(); ++J)
+        if (T[J].Kind == TokKind::Ident && Accumulators.count(T[J].Text))
+          return true;
+    }
+    return false;
+  }
+
+  void checkLoops(const SourceFile &F) {
+    const std::vector<Token> &T = F.Toks.Tokens;
+    for (size_t I = 0; I + 1 < T.size(); ++I) {
+      if (!isIdent(T[I], "for") || !isPunct(T[I + 1], "("))
+        continue;
+      size_t HeadClose = matchForward(T, I + 1);
+      if (HeadClose >= T.size())
+        continue;
+
+      // What does the loop iterate? Range-for: the expression after the
+      // top-level ':'. Iterator-for: a `Var.begin()` in the header.
+      std::string UnorderedVar, PtrVar;
+      size_t Colon = HeadClose;
+      for (size_t J = I + 2; J < HeadClose; ++J)
+        if (isPunct(T[J], ":") && T[J].ParenDepth == T[I + 2].ParenDepth) {
+          Colon = J;
+          break;
+        }
+      if (Colon < HeadClose) {
+        // Only a plain variable (possibly *deref or object.member chain)
+        // counts; a call in the range expression may already return a
+        // sorted copy.
+        bool HasCall = false;
+        for (size_t J = Colon + 1; J < HeadClose; ++J) {
+          if (isPunct(T[J], "("))
+            HasCall = true;
+          if (T[J].Kind == TokKind::Ident) {
+            if (UnorderedVars.count(T[J].Text))
+              UnorderedVar = T[J].Text;
+            if (PtrKeyedVars.count(T[J].Text))
+              PtrVar = T[J].Text;
+          }
+        }
+        if (HasCall)
+          UnorderedVar = PtrVar = "";
+      } else {
+        for (size_t J = I + 2; J + 2 < HeadClose; ++J)
+          if (T[J].Kind == TokKind::Ident && isPunct(T[J + 1], ".") &&
+              isIdent(T[J + 2], "begin")) {
+            if (UnorderedVars.count(T[J].Text))
+              UnorderedVar = T[J].Text;
+            if (PtrKeyedVars.count(T[J].Text))
+              PtrVar = T[J].Text;
+          }
+      }
+      if (UnorderedVar.empty() && PtrVar.empty())
+        continue;
+
+      // Body extent: a braced block, or a single statement to the ';'.
+      size_t BodyBegin = HeadClose + 1, BodyEnd;
+      if (BodyBegin < T.size() && isPunct(T[BodyBegin], "{")) {
+        BodyEnd = matchForward(T, BodyBegin);
+        ++BodyBegin;
+      } else {
+        BodyEnd = BodyBegin;
+        while (BodyEnd < T.size() && !isPunct(T[BodyEnd], ";"))
+          ++BodyEnd;
+      }
+
+      // Iterating a pointer-keyed container is address order; no sink or
+      // sort can make it deterministic, so it is flagged outright.
+      if (!PtrVar.empty()) {
+        emit(F, T[I].Line, "pointer-identity",
+             "iteration over pointer-keyed container '" + PtrVar +
+                 "' visits elements in address order, which differs "
+                 "between runs; key by a stable id or iterate a "
+                 "deterministic sequence");
+        continue;
+      }
+
+      std::set<std::string> Accumulators;
+      std::string Sink = directSink(T, BodyBegin, BodyEnd, Accumulators);
+      if (Sink.empty() && !Accumulators.empty() &&
+          !sortedAfter(T, BodyEnd + 1, T[I].BraceDepth, Accumulators))
+        Sink = "collects into " + *Accumulators.begin() +
+               " without a later sort";
+      if (!Sink.empty())
+        emit(F, T[I].Line, "unordered-iteration",
+             "loop over unordered container '" + UnorderedVar + "' " + Sink +
+                 "; hash order is not deterministic across runs — iterate "
+                 "sorted keys or sort before emitting");
+    }
+  }
+
+  //===--------------------------------------------------------------------===
+  // Rule: pointer-identity (formatting half)
+  //===--------------------------------------------------------------------===
+
+  void checkPointerFormatting(const SourceFile &F) {
+    const std::vector<Token> &T = F.Toks.Tokens;
+    for (size_t I = 0; I < T.size(); ++I) {
+      // Literal split so this source line does not flag itself.
+      if (T[I].Kind == TokKind::String &&
+          T[I].Text.find("%"
+                         "p") != std::string::npos)
+        emit(F, T[I].Line, "pointer-identity",
+             "format string prints a pointer value (%"
+             "p); addresses differ between runs — print a stable id "
+             "instead");
+
+      if (isPunct(T[I], "<<") && I + 2 < T.size() && isPunct(T[I + 1], "&") &&
+          T[I + 2].Kind == TokKind::Ident)
+        emit(F, T[I].Line, "pointer-identity",
+             "streaming the address of '" + T[I + 2].Text +
+                 "'; addresses differ between runs");
+
+      // Only a *streamed* void-pointer cast is formatting; the same cast
+      // feeding placement new or a comparison is fine.
+      if (isPunct(T[I], "<<") && I + 5 < T.size() &&
+          isIdent(T[I + 1], "static_cast") && isPunct(T[I + 2], "<") &&
+          isIdent(T[I + 3], "void") && isPunct(T[I + 4], "*") &&
+          isPunct(T[I + 5], ">"))
+        emit(F, T[I].Line, "pointer-identity",
+             "streaming static_cast<void *> formats a pointer value; "
+             "addresses differ between runs");
+
+      if (isIdent(T[I], "reinterpret_cast") && I + 2 < T.size() &&
+          isPunct(T[I + 1], "<") &&
+          (isIdent(T[I + 2], "uintptr_t") || isIdent(T[I + 2], "intptr_t")))
+        emit(F, T[I].Line, "pointer-identity",
+             "reinterpret_cast of a pointer to an integer bakes an address "
+             "into a value; addresses differ between runs");
+
+      if (isIdent(T[I], "hash") && I + 1 < T.size() &&
+          isPunct(T[I + 1], "<") && firstArgIsPointer(T, I + 1))
+        emit(F, T[I].Line, "pointer-identity",
+             "std::hash over a pointer type hashes the address; hash by a "
+             "stable id instead");
+    }
+  }
+
+  //===--------------------------------------------------------------------===
+  // Rule: callback-lifetime
+  //===--------------------------------------------------------------------===
+
+  /// Appends capture descriptions that take the address of (or a
+  /// reference to) a frame-local name: `[&x]` and `[p = &x]`. `[this]`,
+  /// by-value captures and the bare `[&]` default are not reported ([&]
+  /// without names gives the reviewer nothing to check; the named forms
+  /// are where dangles hide).
+  static void riskyCaptures(const std::vector<Token> &T, size_t Open,
+                            size_t Close, std::vector<std::string> &Risky) {
+    for (size_t I = Open + 1; I + 1 < Close; ++I) {
+      if (isPunct(T[I], "&") && !isPunct(T[I - 1], "=") &&
+          T[I + 1].Kind == TokKind::Ident && I + 2 <= Close &&
+          (isPunct(T[I + 2], ",") || isPunct(T[I + 2], "]")))
+        Risky.push_back("&" + T[I + 1].Text);
+      if (T[I].Kind == TokKind::Ident && isPunct(T[I + 1], "=") &&
+          I + 2 < Close && isPunct(T[I + 2], "&"))
+        Risky.push_back(T[I].Text + " = &...");
+    }
+  }
+
+  void checkCallbackLifetime(const SourceFile &F) {
+    const std::vector<Token> &T = F.Toks.Tokens;
+    for (size_t I = 0; I + 1 < T.size(); ++I) {
+      // Scheduler::at/after(...) — the callback runs at a later virtual
+      // time, far outside the current frame.
+      bool Scheduled =
+          (isIdent(T[I], "at") || isIdent(T[I], "after")) && I > 0 &&
+          (isPunct(T[I - 1], ".") || isPunct(T[I - 1], "->")) &&
+          isPunct(T[I + 1], "(");
+      // Stores into an InplaceFunction-typed variable or member — the
+      // wrapper can be invoked long after the assigning frame returned.
+      bool Stored = T[I].Kind == TokKind::Ident &&
+                    InplaceVars.count(T[I].Text) && isPunct(T[I + 1], "=") &&
+                    I + 2 < T.size() && isLambdaIntroducer(T, I + 2);
+      if (!Scheduled && !Stored)
+        continue;
+
+      size_t SearchEnd;
+      size_t SearchBegin;
+      if (Scheduled) {
+        SearchBegin = I + 2;
+        SearchEnd = matchForward(T, I + 1);
+      } else {
+        SearchBegin = I + 2;
+        SearchEnd = I + 3; // just the introducer
+      }
+      for (size_t J = SearchBegin; J < SearchEnd && J < T.size(); ++J) {
+        if (!isLambdaIntroducer(T, J))
+          continue;
+        size_t CaptClose = matchForward(T, J);
+        if (CaptClose >= T.size())
+          continue;
+        std::vector<std::string> Risky;
+        riskyCaptures(T, J, CaptClose, Risky);
+        for (const std::string &Cap : Risky) {
+          std::string Where = Scheduled
+                                  ? "handed to " + T[I].Text + "()"
+                                  : "stored in InplaceFunction '" +
+                                        T[I].Text + "'";
+          emit(F, T[J].Line, "callback-lifetime",
+               "lambda " + Where + " captures [" + Cap +
+                   "]; the callback can outlive the capturing frame — "
+                   "capture by value or capture an owner that outlives "
+                   "the schedule");
+        }
+      }
+    }
+  }
+
+  //===--------------------------------------------------------------------===
+  // Rule: discarded-error / nodiscard-annotation
+  //===--------------------------------------------------------------------===
+
+  /// Collects names of functions declared in src/ with an FsError or
+  /// MetaReply return type, so call sites anywhere can be checked without
+  /// hand-maintaining a list.
+  void harvestErrorFunctions() {
+    for (const SourceFile &F : Files) {
+      if (!startsWith(F.RelPath, "src/"))
+        continue;
+      const std::vector<Token> &T = F.Toks.Tokens;
+      for (size_t I = 0; I + 2 < T.size(); ++I) {
+        if (!(isIdent(T[I], "FsError") || isIdent(T[I], "MetaReply")))
+          continue;
+        if (T[I].ParenDepth != 0)
+          continue; // parameter, not return type
+        if (T[I + 1].Kind == TokKind::Ident && isPunct(T[I + 2], "("))
+          ErrorFns.insert(T[I + 1].Text);
+      }
+    }
+  }
+
+  /// Walks back from the member-chain head of the call whose callee name
+  /// is at \p NameIdx: over `obj.`, `obj->`, `ns::` and balanced closers,
+  /// returning the index of the token *before* the whole call expression
+  /// (npos at file start).
+  static size_t beforeChainHead(const std::vector<Token> &T, size_t NameIdx) {
+    size_t J = NameIdx;
+    while (J > 0) {
+      const Token &P = T[J - 1];
+      if (isPunct(P, ".") || isPunct(P, "->") || isPunct(P, "::")) {
+        if (J < 2)
+          return std::string::npos;
+        const Token &Obj = T[J - 2];
+        if (Obj.Kind == TokKind::Ident) {
+          J -= 2;
+          continue;
+        }
+        if (isPunct(Obj, ")") || isPunct(Obj, "]")) {
+          size_t Open = matchBackward(T, J - 2);
+          if (Open == std::string::npos)
+            return std::string::npos;
+          J = Open;
+          // A preceding identifier (callee / array name) belongs to the
+          // chain too: a(b)[c].f() …
+          if (J > 0 && T[J - 1].Kind == TokKind::Ident)
+            --J;
+          continue;
+        }
+        return std::string::npos;
+      }
+      break;
+    }
+    return J == 0 ? std::string::npos : J - 1;
+  }
+
+  void checkDiscardedErrors(const SourceFile &F) {
+    const std::vector<Token> &T = F.Toks.Tokens;
+    for (size_t I = 0; I + 1 < T.size(); ++I) {
+      if (T[I].Kind != TokKind::Ident || !ErrorFns.count(T[I].Text) ||
+          !isPunct(T[I + 1], "("))
+        continue;
+      size_t Close = matchForward(T, I + 1);
+      if (Close + 1 >= T.size() || !isPunct(T[Close + 1], ";"))
+        continue; // result feeds an expression
+      size_t Before = beforeChainHead(T, I);
+      if (Before == std::string::npos)
+        continue;
+      const Token &P = T[Before];
+      bool Discarded = false;
+      if (P.Kind == TokKind::Punct &&
+          (P.Text == ";" || P.Text == "{" || P.Text == "}" || P.Text == ":"))
+        Discarded = true;
+      else if (isIdent(P, "else") || isIdent(P, "do"))
+        Discarded = true;
+      else if (isPunct(P, ")")) {
+        // `(void)call();` is the sanctioned explicit discard; any other
+        // close-paren here is a control-statement header (if/for/while)
+        // followed by a discarded call statement.
+        size_t Open = matchBackward(T, Before);
+        bool VoidCast = Open != std::string::npos && Open + 2 == Before &&
+                        isIdent(T[Open + 1], "void");
+        Discarded = !VoidCast;
+      }
+      if (!Discarded)
+        continue;
+      emit(F, T[I].Line, "discarded-error",
+           "result of '" + T[I].Text +
+               "()' (FsError/MetaReply) is discarded; check it or cast to "
+               "(void) with a comment");
+    }
+  }
+
+  void checkNodiscardAnnotations(const SourceFile &F) {
+    const std::vector<Token> &T = F.Toks.Tokens;
+    for (size_t I = 0; I + 2 < T.size(); ++I) {
+      if (!(isIdent(T[I], "FsError") || isIdent(T[I], "MetaReply")))
+        continue;
+      if (T[I].ParenDepth != 0 || T[I].BraceDepth > 2)
+        continue;
+      if (T[I + 1].Kind != TokKind::Ident || !isPunct(T[I + 2], "("))
+        continue;
+      // Scan back over the declaration's specifiers for [[nodiscard]].
+      bool Annotated = false;
+      for (size_t J = I; J-- > 0;) {
+        const Token &P = T[J];
+        if (P.Kind == TokKind::Punct &&
+            (P.Text == ";" || P.Text == "{" || P.Text == "}" ||
+             P.Text == ":"))
+          break;
+        if (isIdent(P, "nodiscard")) {
+          Annotated = true;
+          break;
+        }
+      }
+      if (!Annotated)
+        emit(F, T[I].Line, "nodiscard-annotation",
+             "'" + T[I + 1].Text + "' returns " + T[I].Text +
+                 " but is not declared [[nodiscard]]; annotate it so the "
+                 "compiler backs the discarded-error rule");
+    }
+  }
+
+  const std::vector<SourceFile> &Files;
+  std::vector<Finding> &Out;
+  std::set<std::string> ErrorFns;
+  std::set<std::string> UnorderedVars, PtrKeyedVars, InplaceVars;
+  const std::string Empty;
+};
+
+} // namespace
+
+std::vector<Finding> dmb::analyze::analyzeSources(
+    const std::vector<std::pair<std::string, std::string>> &Inputs) {
+  std::vector<SourceFile> Files;
+  Files.reserve(Inputs.size());
+  for (const auto &[Rel, Content] : Inputs) {
+    SourceFile F;
+    F.RelPath = Rel;
+    F.Content = Content;
+    F.Toks = tokenize(Content);
+    F.RawLines = splitLines(Content);
+    Files.push_back(std::move(F));
+  }
+  std::vector<Finding> Out;
+  RuleEngine(Files, Out).run();
+  std::sort(Out.begin(), Out.end(), [](const Finding &A, const Finding &B) {
+    if (A.File != B.File)
+      return A.File < B.File;
+    if (A.Line != B.Line)
+      return A.Line < B.Line;
+    if (A.Rule != B.Rule)
+      return A.Rule < B.Rule;
+    return A.Message < B.Message;
+  });
+  return Out;
+}
+
+std::vector<Finding> dmb::analyze::analyzeTree(const std::string &Root,
+                                               size_t *FilesChecked) {
+  std::vector<std::pair<std::string, std::string>> Inputs;
+  for (const std::string &Rel :
+       collectSourceFiles(Root, {"src", "tests", "bench", "tools"})) {
+    std::string Content;
+    if (readFile(Root + "/" + Rel, Content))
+      Inputs.push_back({Rel, std::move(Content)});
+  }
+  if (FilesChecked)
+    *FilesChecked = Inputs.size();
+  return analyzeSources(Inputs);
+}
+
+const std::vector<std::string> &dmb::analyze::analyzeRuleNames() {
+  static const std::vector<std::string> Names = {
+      "unordered-iteration", "pointer-identity",  "callback-lifetime",
+      "discarded-error",     "nodiscard-annotation", "layering",
+      "include-cycle",       "unused-include"};
+  return Names;
+}

@@ -1,0 +1,78 @@
+//===- tools/analyze/AnalyzeEngine.h - Symbol-aware rules -------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engine behind tools/dmeta-analyze: symbol-aware determinism and
+/// lifetime rules that the line-level lint (tools/lint) cannot express.
+/// It works on the shared token stream (analyze/Tokenizer.h) plus the
+/// project include graph (analyze/IncludeGraph.h).
+///
+/// Rules:
+///  - unordered-iteration: a range-for or .begin() loop over a
+///    std::unordered_map/unordered_set variable whose body reaches an
+///    output, trace, result or scheduling sink. Hash iteration order
+///    depends on addresses and insertion history, so anything it emits
+///    breaks bit-identical replay (DESIGN.md key decision 4). A loop that
+///    only accumulates into a container which is std::sort-ed later in
+///    the same scope is the sanctioned sort-before-emit spelling and is
+///    not flagged.
+///  - pointer-identity: pointer values leaking into ordering or output —
+///    iteration over a pointer-keyed map/set (address order), "%p" in a
+///    format string, streaming a pointer (<< &x, << (void*)x),
+///    std::hash over a pointer type, or reinterpret_cast of a pointer to
+///    an integer. Scope: src/, bench/ and tools/ (everything whose output
+///    is compared across runs).
+///  - callback-lifetime: per-capture escape analysis on lambdas handed to
+///    Scheduler::at()/after() or stored in InplaceFunction members: a
+///    named by-reference capture ([&x]) or an address-of init-capture
+///    ([p = &x]) dangles if the callback outlives the frame. tests/ and
+///    bench/ are exempt (the capturing frame runs the scheduler to
+///    completion); src/ and tools/ are not.
+///  - discarded-error: a statement-expression call of a function whose
+///    return type is FsError or MetaReply, with the result discarded.
+///    With the PR-5 retry layer an ignored FsError::TimedOut is a silent
+///    correctness hole. The function set is harvested from declarations
+///    in the tree itself, so new APIs are covered automatically.
+///  - nodiscard-annotation: an FsError/MetaReply-returning function
+///    declared in a header without [[nodiscard]] — the compile-time half
+///    of discarded-error ( -Werror turns the compiler into the second
+///    gate).
+///  - layering / include-cycle / unused-include: see IncludeGraph.h.
+///
+/// A finding on a line containing "dmeta-analyze: allow(<rule>) <why>" is
+/// suppressed; the justification text is enforced by dmeta-lint's
+/// suppression-justification rule.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_TOOLS_ANALYZE_ANALYZEENGINE_H
+#define DMETABENCH_TOOLS_ANALYZE_ANALYZEENGINE_H
+
+#include "analyze/Diagnostics.h"
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dmb {
+namespace analyze {
+
+/// Analyzes the repo tree under \p Root (src/, tests/, bench/, tools/).
+/// \p FilesChecked, when non-null, receives the number of files scanned.
+std::vector<Finding> analyzeTree(const std::string &Root,
+                                 size_t *FilesChecked = nullptr);
+
+/// Analyzes in-memory sources given as (RelPath, Content) pairs — the
+/// unit-test entry point; identical semantics to analyzeTree.
+std::vector<Finding>
+analyzeSources(const std::vector<std::pair<std::string, std::string>> &Files);
+
+/// Rule names understood by analyzeTree, for --rule validation.
+const std::vector<std::string> &analyzeRuleNames();
+
+} // namespace analyze
+} // namespace dmb
+
+#endif // DMETABENCH_TOOLS_ANALYZE_ANALYZEENGINE_H

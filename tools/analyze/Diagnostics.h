@@ -1,0 +1,70 @@
+//===- tools/analyze/Diagnostics.h - Shared finding machinery ---*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pieces tools/lint and tools/analyze share besides the tokenizer:
+/// the Finding record, the suppression escape hatch, the text and JSON
+/// renderers, and the deterministic source-tree walk. Keeping them here
+/// guarantees the two tools agree on output format (one GitHub problem
+/// matcher covers both) and on suppression spelling.
+///
+/// Suppressions: a finding on a line containing
+///
+///   <tool>: allow(<rule>) <justification>
+///
+/// (e.g. "dmeta-analyze: allow(unused-include) kept for operator<<") is
+/// dropped. The justification text is mandatory — the lint engine's
+/// suppression-justification rule flags bare allow() comments, so every
+/// suppression in the tree documents why it is sound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_TOOLS_ANALYZE_DIAGNOSTICS_H
+#define DMETABENCH_TOOLS_ANALYZE_DIAGNOSTICS_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dmb {
+namespace analyze {
+
+/// One rule violation at a specific source line (Line is 1-based; 0 for
+/// whole-file findings such as a missing header guard).
+struct Finding {
+  std::string File; ///< repo-relative path, forward slashes
+  int Line = 0;
+  std::string Rule;
+  std::string Message;
+};
+
+/// "file:line: [rule] message" (":line" omitted when Line == 0).
+std::string renderFinding(const Finding &F);
+
+/// The whole result set as a JSON object:
+///   {"tool": "...", "filesChecked": N, "findings": [{...}, ...]}
+std::string renderFindingsJson(const std::string &Tool, size_t FilesChecked,
+                               const std::vector<Finding> &Findings);
+
+/// True when \p RawLine carries "<Tool>: allow(<Rule>)" for exactly this
+/// rule. Matches the raw (unsanitized) line: suppressions live in
+/// comments.
+bool allowedOnLine(const std::string &RawLine, const std::string &Tool,
+                   const std::string &Rule);
+
+/// Reads \p Path into \p Content; false on I/O failure.
+bool readFile(const std::string &Path, std::string &Content);
+
+/// Collects the .h/.cpp/.cc files under Root/<Top> for each entry of
+/// \p TopDirs, as sorted repo-relative paths (deterministic walk order).
+std::vector<std::string>
+collectSourceFiles(const std::string &Root,
+                   const std::vector<std::string> &TopDirs);
+
+} // namespace analyze
+} // namespace dmb
+
+#endif // DMETABENCH_TOOLS_ANALYZE_DIAGNOSTICS_H

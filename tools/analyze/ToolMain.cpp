@@ -1,0 +1,102 @@
+//===- tools/analyze/ToolMain.cpp -----------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyze/ToolMain.h"
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+
+using namespace dmb;
+using namespace dmb::analyze;
+
+namespace {
+
+void printUsage(std::FILE *To, const ToolConfig &Cfg) {
+  std::fprintf(To, "usage: %s [--root <dir>] [--rule <name>]... [--json]\n\n",
+               Cfg.Tool.c_str());
+  std::fprintf(To, "%s\n\nrules:\n", Cfg.Description.c_str());
+  for (const std::string &R : Cfg.Rules)
+    std::fprintf(To, "  %s\n", R.c_str());
+  std::fprintf(To,
+               "\nexit codes: 0 clean, 1 findings, 2 usage error, 3 no "
+               "sources under --root\n");
+}
+
+} // namespace
+
+int dmb::analyze::toolMain(int Argc, char **Argv, const ToolConfig &Cfg) {
+  std::string Root = ".";
+  std::set<std::string> RuleFilter;
+  bool Json = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage(stdout, Cfg);
+      return 0;
+    }
+    if (Arg == "--json") {
+      Json = true;
+      continue;
+    }
+    if (Arg == "--root" || Arg == "--rule") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "%s: %s requires a value\n", Cfg.Tool.c_str(),
+                     Arg.c_str());
+        printUsage(stderr, Cfg);
+        return 2;
+      }
+      std::string Val = Argv[++I];
+      if (Arg == "--root") {
+        Root = Val;
+      } else {
+        if (std::find(Cfg.Rules.begin(), Cfg.Rules.end(), Val) ==
+            Cfg.Rules.end()) {
+          std::fprintf(stderr, "%s: unknown rule '%s'\n", Cfg.Tool.c_str(),
+                       Val.c_str());
+          printUsage(stderr, Cfg);
+          return 2;
+        }
+        RuleFilter.insert(Val);
+      }
+      continue;
+    }
+    std::fprintf(stderr, "%s: unknown argument '%s'\n", Cfg.Tool.c_str(),
+                 Arg.c_str());
+    printUsage(stderr, Cfg);
+    return 2;
+  }
+
+  size_t FilesChecked = 0;
+  std::vector<Finding> Findings = Cfg.Run(Root, FilesChecked);
+  if (FilesChecked == 0) {
+    std::fprintf(stderr, "%s: no sources found under '%s'\n", Cfg.Tool.c_str(),
+                 Root.c_str());
+    return 3;
+  }
+
+  if (!RuleFilter.empty()) {
+    Findings.erase(std::remove_if(Findings.begin(), Findings.end(),
+                                  [&](const Finding &F) {
+                                    return !RuleFilter.count(F.Rule);
+                                  }),
+                   Findings.end());
+  }
+
+  if (Json) {
+    std::fputs(renderFindingsJson(Cfg.Tool, FilesChecked, Findings).c_str(),
+               stdout);
+    std::fputc('\n', stdout);
+  } else {
+    for (const Finding &F : Findings)
+      std::fprintf(stdout, "%s\n", renderFinding(F).c_str());
+    std::fprintf(stderr, "%s: %zu file%s checked, %zu finding%s\n",
+                 Cfg.Tool.c_str(), FilesChecked, FilesChecked == 1 ? "" : "s",
+                 Findings.size(), Findings.size() == 1 ? "" : "s");
+  }
+  return Findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+//===- tools/analyze/ToolMain.h - Shared check-tool CLI ---------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The command-line front end shared by dmeta-lint and dmeta-analyze, so
+/// the two tools agree on flags, output formats and exit codes:
+///
+///   --root <dir>   repo root to scan (default: current directory)
+///   --rule <name>  only report this rule; repeatable
+///   --json         machine-readable output (one JSON object on stdout)
+///   --help         usage
+///
+/// Exit codes:
+///   0  clean (no findings after --rule filtering)
+///   1  findings reported
+///   2  usage error (unknown flag, missing value, unknown rule name)
+///   3  no sources found under --root (an empty scan is a misconfigured
+///      invocation, not a clean tree — distinct from 2 so CI can tell a
+///      bad flag from a bad checkout)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_TOOLS_ANALYZE_TOOLMAIN_H
+#define DMETABENCH_TOOLS_ANALYZE_TOOLMAIN_H
+
+#include "analyze/Diagnostics.h"
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dmb {
+namespace analyze {
+
+/// What a concrete tool plugs into the shared front end.
+struct ToolConfig {
+  std::string Tool;        ///< binary name for usage and JSON ("dmeta-lint")
+  std::string Description; ///< one-line purpose for --help
+  std::vector<std::string> Rules; ///< valid --rule values
+  /// Runs the scan rooted at \p Root; sets \p FilesChecked.
+  std::function<std::vector<Finding>(const std::string &Root,
+                                     size_t &FilesChecked)>
+      Run;
+};
+
+/// Parses argv, runs the tool, prints findings; returns the exit code
+/// documented above.
+int toolMain(int Argc, char **Argv, const ToolConfig &Cfg);
+
+} // namespace analyze
+} // namespace dmb
+
+#endif // DMETABENCH_TOOLS_ANALYZE_TOOLMAIN_H

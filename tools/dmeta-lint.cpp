@@ -5,55 +5,29 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Command-line front end for tools/lint/LintEngine: walks src/, tests/
-/// and bench/ and exits nonzero on any determinism or hygiene violation.
-/// Registered as a ctest, so `ctest` and the `check` target fail on lint
-/// findings exactly like on a failing unit test.
-///
-///   dmeta-lint [--root <repo-root>]     (default: current directory)
+/// Command-line front end for tools/lint/LintEngine: walks src/, tests/,
+/// bench/ and tools/ and exits nonzero on any determinism or hygiene
+/// violation. Registered as a ctest, so `ctest` and the `check` target
+/// fail on lint findings exactly like on a failing unit test. Flags,
+/// output formats and exit codes come from the front end shared with
+/// dmeta-analyze (tools/analyze/ToolMain.h) — in particular, a usage
+/// error exits 2 while an empty scan exits 3, so CI can tell a bad flag
+/// from a bad checkout.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analyze/ToolMain.h"
 #include "lint/LintEngine.h"
-#include <cstdio>
-#include <cstring>
-#include <string>
 
 int main(int Argc, char **Argv) {
-  std::string Root = ".";
-  for (int I = 1; I < Argc; ++I) {
-    if (std::strcmp(Argv[I], "--root") == 0 && I + 1 < Argc) {
-      Root = Argv[++I];
-    } else if (std::strcmp(Argv[I], "--help") == 0 ||
-               std::strcmp(Argv[I], "-h") == 0) {
-      std::printf("usage: dmeta-lint [--root <repo-root>]\n"
-                  "Checks determinism and hygiene invariants of the "
-                  "DMetabench tree\n(see tools/lint/LintEngine.h for the "
-                  "rule list). Exits 1 on violations.\n");
-      return 0;
-    } else {
-      std::fprintf(stderr, "dmeta-lint: unknown argument '%s'\n", Argv[I]);
-      return 2;
-    }
-  }
-
-  size_t FilesChecked = 0;
-  std::vector<dmb::lint::Violation> Violations =
-      dmb::lint::lintTree(Root, &FilesChecked);
-
-  if (FilesChecked == 0) {
-    std::fprintf(stderr,
-                 "dmeta-lint: no sources found under '%s' (wrong --root?)\n",
-                 Root.c_str());
-    return 2;
-  }
-  for (const dmb::lint::Violation &V : Violations)
-    std::fprintf(stderr, "%s\n", dmb::lint::renderViolation(V).c_str());
-  if (!Violations.empty()) {
-    std::fprintf(stderr, "dmeta-lint: %zu violation(s) in %zu files\n",
-                 Violations.size(), FilesChecked);
-    return 1;
-  }
-  std::printf("dmeta-lint: %zu files clean\n", FilesChecked);
-  return 0;
+  dmb::analyze::ToolConfig Cfg;
+  Cfg.Tool = "dmeta-lint";
+  Cfg.Description =
+      "Line-level determinism and hygiene checks for the DMetabench tree "
+      "(see tools/lint/LintEngine.h for the rule list).";
+  Cfg.Rules = dmb::lint::lintRuleNames();
+  Cfg.Run = [](const std::string &Root, size_t &FilesChecked) {
+    return dmb::lint::lintTree(Root, &FilesChecked);
+  };
+  return dmb::analyze::toolMain(Argc, Argv, Cfg);
 }

@@ -8,11 +8,14 @@
 /// The dmetabench command-line tool, mirroring the invocation of thesis
 /// Listing 3.2 on the simulated cluster:
 ///
-///   dmetabench --np 15 --nodes 5 --fs nfs \
-///       --ppnstep 5 --problemsize 10000 \
-///       --operations MakeFiles,StatFiles \
-///       --workdir /mnt/nfs/testdirectory \
+///   dmetabench --np 15 --nodes 5 --fs nfs
+///       --ppnstep 5 --problemsize 10000
+///       --operations MakeFiles,StatFiles
+///       --workdir /mnt/nfs/testdirectory
 ///       --label first-nfs-benchmark --outdir results
+///
+/// (one shell command; wrapped here because a trailing backslash in a //
+/// comment is a -Wcomment line splice).
 ///
 /// Runs the full execution plan, prints Listing 3.5-style summaries and a
 /// chart, and writes the result files of \S 3.3.9 to --outdir.

@@ -5,22 +5,18 @@
 //===----------------------------------------------------------------------===//
 
 #include "lint/LintEngine.h"
+#include "analyze/Tokenizer.h"
 #include <algorithm>
 #include <cstdlib>
-#include <filesystem>
-#include <fstream>
 #include <iterator>
-#include <sstream>
 
 using namespace dmb;
 using namespace dmb::lint;
+using dmb::analyze::isIdentChar;
+using dmb::analyze::sanitizeSource;
+using dmb::analyze::splitLines;
 
 namespace {
-
-bool isIdentChar(char C) {
-  return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
-         (C >= '0' && C <= '9') || C == '_';
-}
 
 bool startsWith(const std::string &S, const char *Prefix) {
   return S.rfind(Prefix, 0) == 0;
@@ -30,113 +26,6 @@ bool endsWith(const std::string &S, const char *Suffix) {
   std::string Suf(Suffix);
   return S.size() >= Suf.size() &&
          S.compare(S.size() - Suf.size(), Suf.size(), Suf) == 0;
-}
-
-/// Blanks out string/char literal contents and strips comments so fixture
-/// strings and prose cannot trip the token rules. Block comments and raw
-/// string literals span lines, so the sanitizer carries state from one
-/// line to the next; feed a whole file through one instance (sanitizeLines)
-/// rather than constructing a fresh one per line.
-class Sanitizer {
-public:
-  std::string line(const std::string &Line) {
-    std::string Out;
-    Out.reserve(Line.size());
-    size_t I = 0;
-    while (I < Line.size()) {
-      if (InBlockComment) {
-        size_t End = Line.find("*/", I);
-        if (End == std::string::npos)
-          return Out; // Rest of the line is comment.
-        InBlockComment = false;
-        I = End + 2;
-        continue;
-      }
-      if (InRawString) {
-        size_t End = Line.find(RawTerminator, I);
-        if (End == std::string::npos)
-          return Out; // Still inside the raw string.
-        InRawString = false;
-        Out += '"'; // Closing marker, mirroring the plain-string case.
-        I = End + RawTerminator.size();
-        continue;
-      }
-      char C = Line[I];
-      if (C == 'R' && I + 1 < Line.size() && Line[I + 1] == '"' &&
-          (I == 0 || !isIdentChar(Line[I - 1]))) {
-        // R"delim( ... )delim" — the contents are literal until the
-        // matching )delim" terminator, possibly lines later.
-        size_t Paren = Line.find('(', I + 2);
-        if (Paren != std::string::npos) {
-          RawTerminator = ")" + Line.substr(I + 2, Paren - (I + 2)) + "\"";
-          InRawString = true;
-          Out += '"';
-          I = Paren + 1;
-          continue;
-        }
-      }
-      if (C == '"') {
-        Out += '"';
-        ++I;
-        while (I < Line.size()) {
-          if (Line[I] == '\\') {
-            I += 2;
-            continue;
-          }
-          if (Line[I] == '"') {
-            Out += '"';
-            ++I;
-            break;
-          }
-          ++I;
-        }
-        continue; // Plain strings cannot span lines.
-      }
-      if (C == '\'') {
-        ++I;
-        while (I < Line.size()) {
-          if (Line[I] == '\\') {
-            I += 2;
-            continue;
-          }
-          if (Line[I] == '\'') {
-            ++I;
-            break;
-          }
-          ++I;
-        }
-        continue;
-      }
-      if (C == '/' && I + 1 < Line.size()) {
-        if (Line[I + 1] == '/')
-          return Out; // Rest of the line is a comment.
-        if (Line[I + 1] == '*') {
-          InBlockComment = true;
-          I += 2;
-          continue;
-        }
-      }
-      Out += C;
-      ++I;
-    }
-    return Out;
-  }
-
-private:
-  bool InBlockComment = false;
-  bool InRawString = false;
-  std::string RawTerminator;
-};
-
-/// Sanitizes a whole file, carrying block-comment / raw-string state
-/// across lines.
-std::vector<std::string> sanitizeLines(const std::vector<std::string> &Lines) {
-  Sanitizer S;
-  std::vector<std::string> Out;
-  Out.reserve(Lines.size());
-  for (const std::string &L : Lines)
-    Out.push_back(S.line(L));
-  return Out;
 }
 
 /// Position of the first occurrence of \p Token in \p Line with no
@@ -205,25 +94,8 @@ bool matchesAny(const std::string &Line, const Pattern *Patterns, size_t N,
   return false;
 }
 
-std::vector<std::string> splitLines(const std::string &Content) {
-  std::vector<std::string> Lines;
-  std::string Cur;
-  for (char C : Content) {
-    if (C == '\n') {
-      Lines.push_back(Cur);
-      Cur.clear();
-    } else {
-      Cur += C;
-    }
-  }
-  if (!Cur.empty())
-    Lines.push_back(Cur);
-  return Lines;
-}
-
 bool allowed(const std::string &RawLine, const char *Rule) {
-  return RawLine.find(std::string("dmeta-lint: allow(") + Rule + ")") !=
-         std::string::npos;
+  return analyze::allowedOnLine(RawLine, "dmeta-lint", Rule);
 }
 
 /// Directories whose code must not read host time or stdlib randomness:
@@ -256,6 +128,64 @@ bool inTraceClockScope(const std::string &RelPath) {
 bool traceClockExempt(const std::string &RelPath) {
   return startsWith(RelPath, "src/sim/Trace.") ||
          startsWith(RelPath, "src/sim/Scheduler.");
+}
+
+/// True when [Pos, end) contains a letter — the minimum for a suppression
+/// comment to count as justified.
+bool hasJustificationText(const std::string &Line, size_t Pos) {
+  for (size_t I = Pos; I < Line.size(); ++I) {
+    char C = Line[I];
+    if ((C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z'))
+      return true;
+  }
+  return false;
+}
+
+/// The suppression-justification rule: every allow() and NOLINT in scope
+/// must carry trailing prose. Works on RAW lines — suppressions live in
+/// comments. The patterns are assembled at runtime so this very function
+/// does not flag itself.
+void checkSuppressionJustified(const std::string &RelPath,
+                               const std::string &Raw, int LineNo,
+                               std::vector<Violation> &Out) {
+  for (const char *Tool : {"dmeta-lint", "dmeta-analyze"}) {
+    std::string Pattern = std::string(Tool) + ": allow(";
+    size_t Pos = Raw.find(Pattern);
+    if (Pos == std::string::npos)
+      continue;
+    size_t Close = Raw.find(')', Pos + Pattern.size());
+    if (Close != std::string::npos &&
+        hasJustificationText(Raw, Close + 1))
+      continue;
+    Out.push_back({RelPath, LineNo, "suppression-justification",
+                   std::string(Tool) +
+                       " allow() without a trailing justification; say why "
+                       "the exception is sound so the reviewer can check "
+                       "the reasoning, not just the suppression"});
+  }
+  // clang-tidy spelling: "// NOLINT(rule): why". Only a NOLINT that opens
+  // a comment counts — prose mentions elsewhere in a sentence do not.
+  size_t Slashes = 0;
+  while ((Slashes = Raw.find("//", Slashes)) != std::string::npos) {
+    size_t P = Slashes + 2;
+    while (P < Raw.size() && (Raw[P] == ' ' || Raw[P] == '/'))
+      ++P;
+    Slashes = P;
+    if (Raw.compare(P, 6, "NOLI"
+                          "NT") != 0)
+      continue;
+    P += 6;
+    if (Raw.compare(P, 8, "NEXTLINE") == 0)
+      P += 8;
+    if (P < Raw.size() && Raw[P] == '(') {
+      size_t Close = Raw.find(')', P);
+      P = Close == std::string::npos ? Raw.size() : Close + 1;
+    }
+    if (!hasJustificationText(Raw, P))
+      Out.push_back({RelPath, LineNo, "suppression-justification",
+                     "NOLINT without a trailing justification; say why the "
+                     "clang-tidy finding is a false positive here"});
+  }
 }
 
 /// Expected include-guard macro: DMETABENCH_<DIR>_<FILE>_H. The "src"
@@ -313,7 +243,7 @@ void checkHeaderGuard(const std::string &RelPath,
 std::vector<std::string> parseEnumMembers(const std::string &ErrorH) {
   std::vector<std::string> Members;
   bool InEnum = false;
-  for (const std::string &L : sanitizeLines(splitLines(ErrorH))) {
+  for (const std::string &L : sanitizeSource(ErrorH)) {
     if (!InEnum) {
       if (L.find("enum class FsError") != std::string::npos)
         InEnum = true;
@@ -339,7 +269,7 @@ void dmb::lint::lintContent(const std::string &RelPath,
                             const std::string &Content,
                             std::vector<Violation> &Out) {
   std::vector<std::string> Lines = splitLines(Content);
-  std::vector<std::string> Sanitized = sanitizeLines(Lines);
+  std::vector<std::string> Sanitized = sanitizeSource(Content);
 
   if ((startsWith(RelPath, "src/") || startsWith(RelPath, "bench/") ||
        startsWith(RelPath, "tools/")) &&
@@ -349,6 +279,12 @@ void dmb::lint::lintContent(const std::string &RelPath,
   bool Deterministic = inDeterministicScope(RelPath);
   bool AssertScope =
       startsWith(RelPath, "src/") || startsWith(RelPath, "tools/");
+  // tests/ are exempt from the justification rule: lint fixtures there
+  // quote bare suppressions on purpose, and raw-line matching would see
+  // them inside the fixture strings.
+  bool JustificationScope = startsWith(RelPath, "src/") ||
+                            startsWith(RelPath, "bench/") ||
+                            startsWith(RelPath, "tools/");
   bool EventCaptureScope = inEventCaptureScope(RelPath);
   bool TraceScope = inTraceClockScope(RelPath) && !traceClockExempt(RelPath);
 
@@ -384,6 +320,9 @@ void dmb::lint::lintContent(const std::string &RelPath,
     const std::string &L = Sanitized[I];
     int LineNo = static_cast<int>(I + 1);
     const char *Hit = nullptr;
+
+    if (JustificationScope && !allowed(Raw, "suppression-justification"))
+      checkSuppressionJustified(RelPath, Raw, LineNo, Out);
 
     if (Deterministic) {
       if (!allowed(Raw, "wall-clock") &&
@@ -471,7 +410,7 @@ void dmb::lint::lintErrorTable(const std::string &ErrorH,
   // Declared count, if present.
   size_t DeclaredCount = 0;
   bool HaveCount = false;
-  for (const std::string &L : sanitizeLines(splitLines(ErrorH))) {
+  for (const std::string &L : sanitizeSource(ErrorH)) {
     size_t Pos = L.find("NumFsErrors = ");
     if (Pos == std::string::npos)
       continue;
@@ -490,7 +429,7 @@ void dmb::lint::lintErrorTable(const std::string &ErrorH,
   // case FsError::X: ... return "NAME"; pairs from the name table.
   std::vector<std::pair<std::string, std::string>> Cases;
   std::vector<std::string> CppLines = splitLines(ErrorCpp);
-  std::vector<std::string> CppSanitized = sanitizeLines(CppLines);
+  std::vector<std::string> CppSanitized = sanitizeSource(ErrorCpp);
   for (size_t I = 0; I < CppLines.size(); ++I) {
     const std::string &L = CppSanitized[I];
     size_t Pos = L.find("case FsError::");
@@ -549,42 +488,13 @@ void dmb::lint::lintErrorTable(const std::string &ErrorH,
 
 std::vector<Violation> dmb::lint::lintTree(const std::string &Root,
                                            size_t *FilesChecked) {
-  namespace fs = std::filesystem;
   std::vector<Violation> Out;
   size_t Checked = 0;
 
-  std::vector<std::string> RelPaths;
-  for (const char *Top : {"src", "tests", "bench", "tools"}) {
-    fs::path Dir = fs::path(Root) / Top;
-    std::error_code Ec;
-    if (!fs::is_directory(Dir, Ec))
-      continue;
-    for (auto It = fs::recursive_directory_iterator(Dir, Ec);
-         !Ec && It != fs::recursive_directory_iterator(); ++It) {
-      if (!It->is_regular_file())
-        continue;
-      std::string Ext = It->path().extension().string();
-      if (Ext != ".h" && Ext != ".cpp" && Ext != ".cc")
-        continue;
-      RelPaths.push_back(
-          fs::relative(It->path(), fs::path(Root), Ec).generic_string());
-    }
-  }
-  std::sort(RelPaths.begin(), RelPaths.end());
-
-  auto ReadFile = [&](const fs::path &P, std::string &Content) {
-    std::ifstream In(P, std::ios::binary);
-    if (!In)
-      return false;
-    std::ostringstream Ss;
-    Ss << In.rdbuf();
-    Content = Ss.str();
-    return true;
-  };
-
-  for (const std::string &Rel : RelPaths) {
+  for (const std::string &Rel : analyze::collectSourceFiles(
+           Root, {"src", "tests", "bench", "tools"})) {
     std::string Content;
-    if (!ReadFile(fs::path(Root) / Rel, Content)) {
+    if (!analyze::readFile(Root + "/" + Rel, Content)) {
       Out.push_back({Rel, 0, "io", "cannot read file"});
       continue;
     }
@@ -594,8 +504,8 @@ std::vector<Violation> dmb::lint::lintTree(const std::string &Root,
 
   // Cross-file error-table check, when the pair exists in this tree.
   std::string ErrH, ErrCpp;
-  if (ReadFile(fs::path(Root) / "src/support/Error.h", ErrH) &&
-      ReadFile(fs::path(Root) / "src/support/Error.cpp", ErrCpp))
+  if (analyze::readFile(Root + "/src/support/Error.h", ErrH) &&
+      analyze::readFile(Root + "/src/support/Error.cpp", ErrCpp))
     lintErrorTable(ErrH, ErrCpp, Out);
 
   if (FilesChecked)
@@ -604,8 +514,14 @@ std::vector<Violation> dmb::lint::lintTree(const std::string &Root,
 }
 
 std::string dmb::lint::renderViolation(const Violation &V) {
-  std::string Loc = V.File;
-  if (V.Line > 0)
-    Loc += ":" + std::to_string(V.Line);
-  return Loc + ": [" + V.Rule + "] " + V.Message;
+  return analyze::renderFinding(V);
+}
+
+const std::vector<std::string> &dmb::lint::lintRuleNames() {
+  static const std::vector<std::string> Names = {
+      "wall-clock",        "randomness",        "raw-assert",
+      "header-guard",      "error-table",       "trace-clock",
+      "event-ref-capture", "raii-guard",        "fault-determinism",
+      "suppression-justification", "io"};
+  return Names;
 }

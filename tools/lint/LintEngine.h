@@ -48,18 +48,28 @@
 ///                  ad-hoc seed unties them from the scenario; either
 ///                  breaks replay and the schedule-perturbation
 ///                  invariance that verify-schedules checks.
+///  - suppression-justification: every suppression comment in src/,
+///                  bench/ and tools/ — an allow() for either tool, or a
+///                  clang-tidy suppression comment — must carry trailing
+///                  justification text explaining why the exception is
+///                  sound. A bare allow() silences a checker without
+///                  leaving the reviewer anything to check. tests/ are
+///                  exempt: lint fixtures there quote bare suppressions
+///                  on purpose.
 ///
 /// Comments (including multi-line block comments) and string literal
-/// contents (including raw strings) are stripped before token matching,
-/// so prose and fixtures cannot trip the rules. A finding on a line
-/// containing "dmeta-lint: allow(<rule>)" is suppressed — the escape
-/// hatch for the rare legitimate exception.
+/// contents (including raw strings) are stripped before token matching
+/// (via the shared tools/analyze tokenizer), so prose and fixtures cannot
+/// trip the rules. A finding on a line containing
+/// "dmeta-lint: allow(<rule>) <why>" is suppressed — the escape hatch for
+/// the rare legitimate exception.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef DMETABENCH_TOOLS_LINT_LINTENGINE_H
 #define DMETABENCH_TOOLS_LINT_LINTENGINE_H
 
+#include "analyze/Diagnostics.h"
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -68,13 +78,10 @@ namespace dmb {
 namespace lint {
 
 /// One rule violation at a specific source line (Line is 1-based; 0 for
-/// whole-file findings such as a missing header guard).
-struct Violation {
-  std::string File; ///< Path as reported (repo-relative when from lintTree).
-  int Line = 0;
-  std::string Rule;
-  std::string Message;
-};
+/// whole-file findings such as a missing header guard). The record is the
+/// Finding shared with dmeta-analyze, so both tools render and serialize
+/// identically.
+using Violation = ::dmb::analyze::Finding;
 
 /// Lints one file's \p Content as if it lived at repo-relative \p RelPath
 /// (forward slashes). Appends findings to \p Out.
@@ -94,6 +101,9 @@ std::vector<Violation> lintTree(const std::string &Root,
 
 /// "file:line: [rule] message" for diagnostics output.
 std::string renderViolation(const Violation &V);
+
+/// Rule names the linter can emit, for --rule validation.
+const std::vector<std::string> &lintRuleNames();
 
 } // namespace lint
 } // namespace dmb

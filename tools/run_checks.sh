@@ -4,7 +4,7 @@
 # Pre-merge gate for the DMetabench tree. Runs, in order:
 #
 #   1. a plain RelWithDebInfo build of everything,
-#   2. dmeta-lint over the source tree,
+#   2. dmeta-lint and dmeta-analyze over the source tree,
 #   3. the full ctest suite,
 #   4. a verify-schedules smoke pass (3 permuted schedules per scenario),
 #   5. an engine-throughput bench smoke at reduced sizes (writes
@@ -54,6 +54,9 @@ cmake --build "$ROOT/build" -j "$JOBS"
 
 step "dmeta-lint"
 "$ROOT/build/tools/dmeta-lint" --root "$ROOT"
+
+step "dmeta-analyze"
+"$ROOT/build/tools/dmeta-analyze" --root "$ROOT"
 
 step "ctest"
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
