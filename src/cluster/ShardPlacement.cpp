@@ -1,0 +1,41 @@
+//===- cluster/ShardPlacement.cpp -----------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/ShardPlacement.h"
+#include "support/Assert.h"
+
+using namespace dmb;
+
+namespace {
+
+/// splitmix64 finalizer: a cheap, well-mixed 64 -> 64 bit permutation.
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+} // namespace
+
+unsigned ShardPlacement::homeShard(uint64_t DirToken) const {
+  DMB_ASSERT(NumShards > 0, "placement over zero shards");
+  return static_cast<unsigned>(mix64(DirToken) % NumShards);
+}
+
+unsigned ShardPlacement::shardFor(uint64_t DirToken,
+                                  unsigned Partition) const {
+  DMB_ASSERT(NumShards > 0, "placement over zero shards");
+  switch (Placement) {
+  case Policy::RoundRobin:
+    return (homeShard(DirToken) + Partition) % NumShards;
+  case Policy::HashSpread:
+    return static_cast<unsigned>(
+        mix64(DirToken ^ (uint64_t(Partition) * 0x9e3779b97f4a7c15ULL)) %
+        NumShards);
+  }
+  return 0;
+}

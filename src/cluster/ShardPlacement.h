@@ -1,0 +1,47 @@
+//===- cluster/ShardPlacement.h - Partition -> shard placement --*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic placement of directory partitions onto metadata shards.
+/// Both clients and servers compute placement from (directory token,
+/// partition index) alone, so no placement table is ever exchanged — only
+/// the per-directory partition bitmap needs caching, and a stale client
+/// can mis-route only by holding an outdated bitmap, never by disagreeing
+/// about where a partition lives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_CLUSTER_SHARDPLACEMENT_H
+#define DMETABENCH_CLUSTER_SHARDPLACEMENT_H
+
+#include <cstdint>
+
+namespace dmb {
+
+/// Pure function family mapping (directory, partition) to a shard.
+struct ShardPlacement {
+  enum class Policy {
+    /// Partition i of a directory lands on (home + i) mod N: consecutive
+    /// splits of one directory fan out over distinct shards — maximum
+    /// scale-out for a single hot directory.
+    RoundRobin,
+    /// Each partition hashes independently: statistically uniform, but a
+    /// directory's first few partitions may collide on one shard.
+    HashSpread,
+  };
+
+  unsigned NumShards = 1;
+  Policy Placement = Policy::RoundRobin;
+
+  /// The directory's home shard (partition 0 of every directory).
+  unsigned homeShard(uint64_t DirToken) const;
+  /// The shard owning partition \p Partition of directory \p DirToken.
+  unsigned shardFor(uint64_t DirToken, unsigned Partition) const;
+};
+
+} // namespace dmb
+
+#endif // DMETABENCH_CLUSTER_SHARDPLACEMENT_H

@@ -340,18 +340,9 @@ MetaReply FileServer::processEager(uint32_t VolId, const MetaRequest &Req,
   // are cached too: a retransmitted failed create must observe the same
   // error, not the outcome of a second execution.
   if (Req.Xid != 0 && Req.ClientId != 0 && Config.DuplicateRequestCacheSize &&
-      drcCacheable(Req.Op)) {
-    uint64_t Key = drcKey(Req);
-    Drc.emplace(Key, DrcEntry{Reply, VolId, JournalSeqPlus1});
-    DrcEvictOrder.push_back(Key);
-    ++DrcInsertions;
-    while (Drc.size() > Config.DuplicateRequestCacheSize &&
-           !DrcEvictOrder.empty()) {
-      // Oldest-first eviction; keys already pruned by a crash are skipped.
-      Drc.erase(DrcEvictOrder.front());
-      DrcEvictOrder.pop_front();
-    }
-  }
+      drcCacheable(Req.Op))
+    drcInsert(drcKey(Req),
+              DrcEntry{Req.Op, Reply, Req.Path, VolId, JournalSeqPlus1});
   if (JitterMean > 0) {
     // Mostly small per-request extras with an occasional heavy hit.
     double Extra = JitterRng.exponential(static_cast<double>(JitterMean));
@@ -409,7 +400,70 @@ uint64_t FileServer::crashAndRecover(const std::string &Volume) {
                     (E.SeqPlus1 != 0 && Journal->isCommitted(E.SeqPlus1 - 1));
     It = Survives ? std::next(It) : Drc.erase(It);
   }
+  // Compact the pruned keys out of the eviction queue. Left behind they
+  // would accumulate across crash/recover cycles without bound, and the
+  // oldest-first eviction would burn its budget erasing dead keys.
+  std::erase_if(DrcEvictOrder,
+                [this](uint64_t Key) { return !Drc.contains(Key); });
+  DMB_ASSERT(DrcEvictOrder.size() == Drc.size(),
+             "DRC eviction queue out of sync after crash pruning");
   return Lost;
+}
+
+void FileServer::drcInsert(uint64_t Key, DrcEntry E) {
+  auto [It, Inserted] = Drc.try_emplace(Key, std::move(E));
+  if (Inserted) {
+    DrcEvictOrder.push_back(Key);
+    ++DrcInsertions;
+  } else {
+    // A re-execution of a key that is still cached (a retransmit racing a
+    // crash-pruned sibling, or a migrated entry landing again) refreshes
+    // the entry in place. Re-pushing the key would leave a duplicate in
+    // the eviction queue, and the oldest-first eviction would later erase
+    // the live entry when it reaches the stale first push.
+    It->second = std::move(E);
+  }
+  while (Drc.size() > Config.DuplicateRequestCacheSize &&
+         !DrcEvictOrder.empty()) {
+    Drc.erase(DrcEvictOrder.front());
+    DrcEvictOrder.pop_front();
+  }
+  DMB_ASSERT(DrcEvictOrder.size() == Drc.size(),
+             "DRC eviction queue out of sync after insert");
+}
+
+std::vector<FileServer::DrcExport> FileServer::extractDrcEntries(
+    uint32_t VolId, const std::function<bool(const std::string &)> &Match) {
+  std::vector<DrcExport> Out;
+  for (auto It = Drc.begin(); It != Drc.end();) {
+    DrcEntry &E = It->second;
+    if (E.VolId == VolId && Match(E.Path)) {
+      Out.push_back({It->first, E.Op, std::move(E.Reply), std::move(E.Path)});
+      It = Drc.erase(It);
+    } else {
+      ++It;
+    }
+  }
+  if (!Out.empty()) {
+    std::erase_if(DrcEvictOrder,
+                  [this](uint64_t Key) { return !Drc.contains(Key); });
+    // Map iteration order is not deterministic state; hand the caller a
+    // key-sorted view.
+    std::sort(Out.begin(), Out.end(),
+              [](const DrcExport &A, const DrcExport &B) {
+                return A.Key < B.Key;
+              });
+  }
+  return Out;
+}
+
+void FileServer::adoptDrcEntry(uint32_t VolId, uint64_t Key, MetaOp Op,
+                               MetaReply Reply, std::string Path,
+                               uint64_t SeqPlus1) {
+  if (!Config.DuplicateRequestCacheSize)
+    return;
+  drcInsert(Key,
+            DrcEntry{Op, std::move(Reply), std::move(Path), VolId, SeqPlus1});
 }
 
 bool FileServer::drcCacheable(MetaOp Op) {

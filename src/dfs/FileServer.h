@@ -173,6 +173,43 @@ public:
       std::function<void(const std::string &, const MetaRequest &)>
           Watcher);
 
+  /// \name DRC migration (sharded metadata service)
+  /// When a directory partition migrates to another shard, the cached
+  /// replies for the moved paths must follow it: a client whose reply was
+  /// lost retransmits through a stale-map redirect to the new owner, and
+  /// only the new owner's cache can replay the original reply instead of
+  /// re-executing the operation.
+  /// @{
+  struct DrcExport {
+    uint64_t Key = 0;
+    MetaOp Op = MetaOp::Stat;
+    MetaReply Reply;
+    std::string Path;
+  };
+  /// Removes and returns the entries of \p VolId whose request path
+  /// satisfies \p Match, sorted by key so unordered-map iteration order
+  /// never leaks into caller-visible state. The extracted keys leave the
+  /// eviction queue as well.
+  std::vector<DrcExport>
+  extractDrcEntries(uint32_t VolId,
+                    const std::function<bool(const std::string &)> &Match);
+  /// Inserts a migrated entry under this server's \p VolId. \p SeqPlus1
+  /// anchors it to a committed record of this server's journal (0 = no
+  /// anchor: the entry is pruned by the next crash of the volume).
+  void adoptDrcEntry(uint32_t VolId, uint64_t Key, MetaOp Op, MetaReply Reply,
+                     std::string Path, uint64_t SeqPlus1);
+  /// @}
+
+  /// Read-only duplicate-request probe (no hit accounting, no CPU charge):
+  /// true when a reply for \p Req's (ClientId, Xid) is cached here. Routing
+  /// layers consult this before rejecting a request as mis-routed — a
+  /// retransmit of an operation that executed *here* must be answered from
+  /// this cache even if its entries have since migrated away.
+  bool drcHolds(const MetaRequest &Req) const {
+    return Req.Xid != 0 && Req.ClientId != 0 &&
+           Config.DuplicateRequestCacheSize && Drc.contains(drcKey(Req));
+  }
+
   /// \name Observability
   /// @{
   Resource &cpu() { return Cpu; }
@@ -184,6 +221,7 @@ public:
   uint64_t drcHits() const { return DrcHits; }
   uint64_t drcInsertions() const { return DrcInsertions; }
   size_t drcSize() const { return Drc.size(); }
+  size_t drcEvictQueueSize() const { return DrcEvictOrder.size(); }
   /// @}
 
   /// Executes \p Req directly against \p Vol (no queueing). Exposed for the
@@ -248,13 +286,20 @@ private:
   std::vector<std::function<void(const std::string &, const MetaRequest &)>>
       Watchers;
 
-  // Duplicate-request cache. FIFO-bounded; EvictOrder may keep keys whose
-  // entries were already pruned by a crash — eviction skips those.
+  // Duplicate-request cache. FIFO-bounded: EvictOrder holds each cached
+  // key exactly once — inserts refresh in place instead of re-pushing, and
+  // crash pruning / migration extraction compact their keys out — so the
+  // queue is bounded by the cache capacity.
   struct DrcEntry {
+    MetaOp Op = MetaOp::Stat; ///< decides migration eligibility
     MetaReply Reply;
+    std::string Path;      ///< request path, keys migration extraction
     uint32_t VolId = 0;
     uint64_t SeqPlus1 = 0; ///< journal seq + 1; 0 = not journaled
   };
+  /// Caches \p E under \p Key (refreshing in place when present) and
+  /// evicts oldest-first down to the configured capacity.
+  void drcInsert(uint64_t Key, DrcEntry E);
   std::unordered_map<uint64_t, DrcEntry> Drc;
   std::deque<uint64_t> DrcEvictOrder;
   uint64_t DrcHits = 0;

@@ -90,6 +90,10 @@ struct MetaRequest {
   uint32_t ClientId = 0; ///< 0 = not retryable (no DRC lookup)
   uint64_t Xid = 0;      ///< per-client transaction id, 0 = unassigned
   /// @}
+  /// Partition-map epoch the sender routed with (sharded metadata service
+  /// only; 0 everywhere else). Advisory: servers validate routing against
+  /// the authoritative map, not this number.
+  uint64_t MapEpoch = 0;
 };
 
 /// A reply to one request.
@@ -103,6 +107,10 @@ struct MetaReply {
   /// readdirplus payload: attributes parallel to Entries (excluding the
   /// "." and ".." entries).
   std::vector<std::pair<std::string, Attr>> EntryAttrs;
+  /// Server's partition-map epoch at reply time (sharded metadata service
+  /// only; 0 everywhere else). On FsError::StaleMap it tells the client
+  /// which epoch a refreshed map will be at least as new as.
+  uint64_t MapEpoch = 0;
 
   bool ok() const { return Err == FsError::Ok; }
 };

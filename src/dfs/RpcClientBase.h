@@ -149,7 +149,11 @@ protected:
     auto Ex = std::make_shared<Exchange>();
     Ex->Req = Req;
     Ex->Req.ClientId = ClientIdV;
-    Ex->Req.Xid = ++LastXid;
+    // A caller-stamped Xid is kept (pinned): a client re-issuing a
+    // redirected operation passes the original Xid so the destination
+    // server's duplicate-request cache still recognises the op. Requests
+    // built by the ordinary constructors carry Xid 0 and get a fresh one.
+    Ex->Req.Xid = Req.Xid ? Req.Xid : ++LastXid;
     Ex->SendExtra = SendExtra;
     Ex->Dispatch = std::move(Dispatch);
     Ex->OnReply = std::move(OnReply);
@@ -158,6 +162,12 @@ protected:
 
   Scheduler &sched() { return Sched; }
   SimDuration oneWayLatency() const { return Config.Net.OneWayLatency; }
+
+  /// Allocates a fresh transaction id. Clients that must know an
+  /// operation's Xid before transact() — e.g. to re-issue the same
+  /// operation to a different server after a partition-map redirect —
+  /// pre-stamp the request with this and transact() keeps it.
+  uint64_t allocXid() { return ++LastXid; }
 
 public:
   /// Observability for tests, benches and the fault plan.

@@ -34,6 +34,7 @@
 #include "dfs/LustreFs.h"
 #include "dfs/NfsFs.h"
 #include "dfs/ReexportFs.h"
+#include "dfs/ShardedFs.h"
 
 // Analysis and charts (thesis \S 3.3.9 / \S 3.3.10).
 #include "analysis/Preprocess.h"

@@ -49,6 +49,8 @@ const char *dmb::fsErrorName(FsError E) {
     return "ENOTSUP";
   case FsError::TimedOut:
     return "ETIMEDOUT";
+  case FsError::StaleMap:
+    return "ESTALEMAP";
   }
   return "UNKNOWN";
 }

@@ -36,13 +36,14 @@ enum class FsError {
   Stale,       ///< ESTALE: distributed handle no longer valid on server.
   NoAttr,      ///< ENOATTR/ENODATA: extended attribute not found.
   NotSupported, ///< ENOTSUP: file system does not implement the operation.
-  TimedOut     ///< ETIMEDOUT: RPC retransmits exhausted without a reply.
+  TimedOut,    ///< ETIMEDOUT: RPC retransmits exhausted without a reply.
+  StaleMap     ///< ESTALEMAP: client routed with an outdated partition map.
 };
 
 /// Number of FsError values. Kept in sync with the enum above; both the
 /// dmeta-lint table-sync check and the exhaustive round-trip test in
 /// tests/SupportTest.cpp verify it.
-inline constexpr unsigned NumFsErrors = 19;
+inline constexpr unsigned NumFsErrors = 20;
 
 /// Returns the canonical short name ("EEXIST", ...) for \p E.
 const char *fsErrorName(FsError E);

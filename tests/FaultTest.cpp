@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "dmetabench/DMetabench.h"
+#include <algorithm>
 #include <gtest/gtest.h>
 #include <memory>
 #include <string>
@@ -330,6 +331,187 @@ TEST(Fault, CrashWithInFlightOpsRecoversExactlyOnce) {
   LocalFileSystem *V = Fs.server().volume(NfsFs::VolumeName);
   ASSERT_NE(nullptr, V);
   EXPECT_TRUE(V->fsck().clean());
+}
+
+//===----------------------------------------------------------------------===//
+// DRC eviction-queue regressions
+//===----------------------------------------------------------------------===//
+
+/// Executes an xid-stamped mkdir eagerly on \p Srv — the raw server-side
+/// retransmit path, with no client or network in between.
+MetaReply eagerMkdir(FileServer &Srv, const std::string &Vol,
+                     const std::string &Path, uint64_t Xid) {
+  MetaRequest R = makeMkdir(Path);
+  R.ClientId = 1;
+  R.Xid = Xid;
+  return Srv.processEager(Vol, R, [] {});
+}
+
+TEST(Fault, CrashPrunedDrcKeysDoNotEvictLiveEntries) {
+  // Regression: crash pruning used to erase DRC entries but leave their
+  // keys in the eviction queue. A later re-execution of the same (ClientId,
+  // Xid) re-pushed the key, so the queue held it twice — and when eviction
+  // reached the stale first push it erased the *live* entry, breaking
+  // retransmit exactly-once semantics while the entry should still have
+  // been cached.
+  Scheduler S;
+  ServerConfig Cfg;
+  Cfg.DuplicateRequestCacheSize = 2;
+  FileServer Srv(S, Cfg);
+  Srv.enableJournal();
+  Srv.addVolume("v");
+
+  // Two xid-stamped mkdirs; the scheduler never runs, so their journal
+  // records stay uncommitted and the crash prunes both DRC entries.
+  EXPECT_EQ(FsError::Ok, eagerMkdir(Srv, "v", "/k1", 1).Err);
+  EXPECT_EQ(FsError::Ok, eagerMkdir(Srv, "v", "/k2", 2).Err);
+  EXPECT_EQ(2u, Srv.drcSize());
+  EXPECT_EQ(2u, Srv.drcEvictQueueSize());
+
+  EXPECT_EQ(2u, Srv.crashAndRecover("v"));
+  EXPECT_EQ(0u, Srv.drcSize());
+  // The pruned keys must leave the queue with their entries.
+  EXPECT_EQ(0u, Srv.drcEvictQueueSize());
+
+  // Both clients retransmit; the recovered store lost the mkdirs, so they
+  // re-execute (Ok) and re-enter the cache — /k2 first, so /k1 is the
+  // *younger* entry.
+  EXPECT_EQ(FsError::Ok, eagerMkdir(Srv, "v", "/k2", 2).Err);
+  EXPECT_EQ(FsError::Ok, eagerMkdir(Srv, "v", "/k1", 1).Err);
+  EXPECT_EQ(2u, Srv.drcSize());
+  EXPECT_EQ(2u, Srv.drcEvictQueueSize());
+
+  // A third insert evicts exactly one entry: the oldest (/k2), never /k1.
+  // Pre-fix, /k1's crash-orphaned first push sat at the queue front and
+  // the eviction erased the live /k1 entry instead.
+  uint64_t HitsBefore = Srv.drcHits();
+  EXPECT_EQ(FsError::Ok, eagerMkdir(Srv, "v", "/k3", 3).Err);
+  EXPECT_EQ(2u, Srv.drcSize());
+  EXPECT_EQ(2u, Srv.drcEvictQueueSize());
+
+  // The /k1 retransmit must replay the cached Ok. Pre-fix it missed the
+  // evicted entry, re-executed, and observed Exists — a double-apply made
+  // visible to the client.
+  MetaReply R = eagerMkdir(Srv, "v", "/k1", 1);
+  EXPECT_EQ(FsError::Ok, R.Err);
+  EXPECT_EQ(HitsBefore + 1, Srv.drcHits());
+}
+
+TEST(Fault, DrcEvictQueueStaysBoundedAcrossCrashCycles) {
+  // Regression: with crash-pruned keys left behind, the eviction queue
+  // grew by one dead key per pruned entry on every crash/recover cycle —
+  // unbounded state on a server whose cache is supposed to be capacity-
+  // bounded. Ten cycles of (fill cache, crash) must leave the queue no
+  // larger than the capacity, and exactly in sync with the map.
+  Scheduler S;
+  ServerConfig Cfg;
+  Cfg.DuplicateRequestCacheSize = 4;
+  FileServer Srv(S, Cfg);
+  Srv.enableJournal();
+  Srv.addVolume("v");
+
+  uint64_t Xid = 0;
+  for (unsigned Cycle = 0; Cycle < 10; ++Cycle) {
+    for (unsigned I = 0; I < 4; ++I) {
+      std::string Path =
+          "/c" + std::to_string(Cycle) + "_" + std::to_string(I);
+      EXPECT_EQ(FsError::Ok, eagerMkdir(Srv, "v", Path, ++Xid).Err);
+    }
+    Srv.crashAndRecover("v");
+    EXPECT_LE(Srv.drcEvictQueueSize(), size_t(Cfg.DuplicateRequestCacheSize))
+        << "cycle " << Cycle;
+    EXPECT_EQ(Srv.drcSize(), Srv.drcEvictQueueSize()) << "cycle " << Cycle;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Sharded metadata service: kill one shard under load
+//===----------------------------------------------------------------------===//
+
+TEST(Fault, ShardedKillOneShardRecoversExactlyOnce) {
+  // E29 for the sharded service: a burst of creates into one directory
+  // drives splits across two shards while every first reply is lost and
+  // shard 0 crashes mid-burst. Exactly-once must hold ledger-style: every
+  // create succeeds (no Exists from a double-apply, no NoEnt from a lost
+  // one), the namespace holds each entry exactly once, and both shard
+  // volumes pass fsck.
+  Scheduler S;
+  ShardedOptions O;
+  O.NumShards = 2;
+  O.SplitThreshold = 3;
+  O.Client.Retry.Timeout = milliseconds(10);
+  ShardedFs Fs(S, O);
+  std::unique_ptr<ClientFs> Client = Fs.makeClient(0);
+  auto *C = static_cast<ShardedClient *>(Client.get());
+
+  ASSERT_EQ(FsError::Ok, runSync(S, *Client, makeMkdir("/big")).Err);
+
+  // Lose every reply in the first 2 ms: all twelve creates execute, then
+  // ride their 10 ms retransmit timers.
+  FaultPolicy P;
+  P.Windows = {{S.now(), S.now() + milliseconds(2), 1.0}};
+  C->replyLink().setFaultPolicy(P);
+
+  // Crash shard 0 shortly after the burst starts: some creates (and some
+  // migrated-entry records) are committed, the rest die with the volume.
+  ServerCrash Crash(S, *Fs.admin(), ShardedFs::volumeName(0),
+                    S.now() + microseconds(250));
+
+  constexpr unsigned N = 12;
+  std::vector<MetaReply> Replies(N);
+  unsigned Got = 0;
+  for (unsigned I = 0; I < N; ++I)
+    Client->submit(makeMkdir("/big/d" + std::to_string(I)),
+                   [&Replies, &Got, I](MetaReply R) {
+                     Replies[I] = std::move(R);
+                     ++Got;
+                   });
+  S.run();
+
+  ASSERT_EQ(N, Got);
+  ASSERT_TRUE(Crash.fired());
+  for (unsigned I = 0; I < N; ++I) {
+    EXPECT_EQ(FsError::Ok, Replies[I].Err) << "/big/d" << I;
+    EXPECT_NE(FsError::Exists, Replies[I].Err) << "double-applied /big/d" << I;
+  }
+
+  // The burst overflowed the 3-entry threshold, so the directory split,
+  // and retransmits routed with the pre-split bitmap were redirected.
+  EXPECT_GT(Fs.splitCount(), 0u);
+  EXPECT_GT(C->staleMapRetries(), 0u);
+
+  // Ledger: every entry exists exactly once, and readdir through the
+  // fan-out coordinator sees each of them exactly once.
+  for (unsigned I = 0; I < N; ++I) {
+    MetaReply St = runSync(S, *Client, makeStat("/big/d" + std::to_string(I)));
+    ASSERT_TRUE(St.ok()) << "/big/d" << I;
+    EXPECT_EQ(FileType::Directory, St.A.Type);
+  }
+  MetaReply Dir = runSync(S, *Client, makeReaddir("/big"));
+  ASSERT_TRUE(Dir.ok());
+  std::vector<std::string> Expect = {".", ".."};
+  for (unsigned I = 0; I < N; ++I)
+    Expect.push_back("d" + std::to_string(I));
+  std::sort(Expect.begin(), Expect.end());
+  std::vector<std::string> Seen;
+  for (const DirEntry &E : Dir.Entries)
+    Seen.push_back(E.Name);
+  std::sort(Seen.begin(), Seen.end());
+  EXPECT_EQ(Expect, Seen);
+
+  // Both shard stores are consistent, and neither shard's eviction queue
+  // drifted out of sync with its cache across crash pruning and entry
+  // migration.
+  for (unsigned I = 0; I < Fs.numShards(); ++I) {
+    LocalFileSystem *V = Fs.shard(I).volume(ShardedFs::volumeName(I));
+    ASSERT_NE(nullptr, V) << "shard " << I;
+    EXPECT_TRUE(V->fsck().clean()) << "shard " << I;
+    EXPECT_EQ(Fs.shard(I).drcSize(), Fs.shard(I).drcEvictQueueSize())
+        << "shard " << I;
+    EXPECT_LE(Fs.shard(I).drcEvictQueueSize(),
+              size_t(Fs.options().ShardDefaults.DuplicateRequestCacheSize))
+        << "shard " << I;
+  }
 }
 
 //===----------------------------------------------------------------------===//

@@ -49,7 +49,7 @@ struct CliOptions {
   unsigned Np = 9;             ///< total MPI slots
   unsigned Nodes = 3;          ///< cluster nodes
   unsigned Cores = 8;          ///< cores per node
-  std::string Fs = "nfs";      ///< nfs|lustre|lustre-wb|cxfs|afs|gx|localfs
+  std::string Fs = "nfs";      ///< nfs|lustre|lustre-wb|cxfs|afs|gx|sharded|localfs
   unsigned Volumes = 8;        ///< volumes for afs/gx
   double LatencyUs = 0;        ///< override one-way RPC latency (0 = keep)
   bool Extensions = false;     ///< register extension plugins
@@ -70,7 +70,7 @@ void usage() {
       "  --np N               total MPI slots (default 9)\n"
       "  --nodes N            cluster nodes (default 3)\n"
       "  --cores N            cores per node (default 8)\n"
-      "  --fs NAME            nfs|lustre|lustre-wb|cxfs|afs|gx|localfs\n"
+      "  --fs NAME            nfs|lustre|lustre-wb|cxfs|afs|gx|sharded|localfs\n"
       "  --volumes N          volumes for afs/gx (default 8)\n"
       "  --latency-us X       override one-way RPC latency (nfs/lustre)\n"
       "  --operations A,B     plugin list (default MakeFiles)\n"
@@ -208,6 +208,12 @@ std::unique_ptr<DistributedFs> makeFs(Scheduler &S, const CliOptions &Opt) {
     auto Gx = std::make_unique<GxFs>(S);
     Gx->setupUniformVolumes(Opt.Volumes);
     return Gx;
+  }
+  if (Opt.Fs == "sharded") {
+    ShardedOptions O;
+    if (Opt.LatencyUs > 0)
+      O.Client.Net.OneWayLatency = static_cast<SimDuration>(Opt.LatencyUs * 1000);
+    return std::make_unique<ShardedFs>(S, O);
   }
   if (Opt.Fs == "localfs")
     return std::make_unique<LocalFsModel>(S);

@@ -77,6 +77,15 @@ step "fault-injection smoke (E29: loss window + MDS crash)"
 # schedule-invariant.
 "$ROOT/build/bench/bench_fault_degradation"
 
+step "sharded-metadata smoke (E30: scale-out, rebalance, kill-one-shard)"
+# Self-checking: saturation scaling, the threshold curve, the E29-style
+# exactly-once ledger with shard 0 crashed mid-run, bit-identical replay
+# and verify-schedules invariance all gate the exit code. The run is a
+# deterministic simulation, so the JSON it writes must reproduce the
+# committed BENCH_E30.json.
+"$ROOT/build/bench/bench_sharded_saturation" --out "$ROOT/build/BENCH_E30.json"
+cmp "$ROOT/build/BENCH_E30.json" "$ROOT/BENCH_E30.json"
+
 if [ -n "$SANITIZE" ]; then
   step "sanitizer build (build-sanitize/, DMB_SANITIZE=$SANITIZE)"
   cmake -B "$ROOT/build-sanitize" -S "$ROOT" \
