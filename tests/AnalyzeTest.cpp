@@ -11,11 +11,15 @@
 //===----------------------------------------------------------------------===//
 
 #include "analyze/AnalyzeEngine.h"
+#include "analyze/CallGraph.h"
 #include "analyze/ToolMain.h"
+#include "analyze/Tokenizer.h"
 #include "lint/LintEngine.h"
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <gtest/gtest.h>
+#include <sstream>
 
 using namespace dmb::analyze;
 namespace fs = std::filesystem;
@@ -29,6 +33,20 @@ bool hasRule(const std::vector<Finding> &Fs, const std::string &Rule) {
     if (F.Rule == Rule)
       return true;
   return false;
+}
+
+/// Tokenizes in-memory sources into SourceFiles for the SymbolTable and
+/// CallGraph unit tests (the rule tests go through analyzeSources instead).
+std::vector<SourceFile> parseSources(const Sources &Inputs) {
+  std::vector<SourceFile> Files;
+  for (const auto &[Rel, Content] : Inputs) {
+    SourceFile F;
+    F.RelPath = Rel;
+    F.Content = Content;
+    F.Toks = tokenize(F.Content);
+    Files.push_back(std::move(F));
+  }
+  return Files;
 }
 
 //===----------------------------------------------------------------------===//
@@ -395,6 +413,328 @@ TEST(AnalyzeRules, AllowHatchSuppressesExactlyItsRule) {
 }
 
 //===----------------------------------------------------------------------===//
+// determinism-taint
+//===----------------------------------------------------------------------===//
+
+TEST(AnalyzeRules, TaintedValueReachingAnOutputSinkIsCaught) {
+  std::vector<Finding> Fs = analyzeSources(
+      {{"src/sim/Noise.cpp",
+        "#include <cstdio>\n"
+        "#include <random>\n"
+        "void report() {\n"
+        "  std::random_device Rd;\n"
+        "  unsigned V = Rd();\n"
+        "  std::printf(\"%u\\n\", V);\n"
+        "}\n"}});
+  ASSERT_EQ(1u, Fs.size());
+  EXPECT_EQ("src/sim/Noise.cpp", Fs[0].File);
+  EXPECT_EQ(6, Fs[0].Line);
+  EXPECT_EQ("determinism-taint", Fs[0].Rule);
+  EXPECT_NE(std::string::npos, Fs[0].Message.find("std::random_device"));
+}
+
+TEST(AnalyzeRules, TaintCrossesTranslationUnitsThroughReturns) {
+  // The acceptance shape: the entropy source lives in one .cpp, the sink
+  // in another; the "returns tainted" summary carries it across.
+  std::vector<Finding> Fs = analyzeSources(
+      {{"src/sim/Noise.cpp",
+        "#include <random>\n"
+        "double noisy() {\n"
+        "  std::random_device Rd;\n"
+        "  double V = Rd() * 0.5;\n"
+        "  return V;\n"
+        "}\n"},
+       {"src/sim/Use.cpp",
+        "#include <cstdio>\n"
+        "double noisy();\n"
+        "void report() {\n"
+        "  double S = noisy();\n"
+        "  std::printf(\"%f\\n\", S);\n"
+        "}\n"}});
+  ASSERT_EQ(1u, Fs.size());
+  EXPECT_EQ("src/sim/Use.cpp", Fs[0].File);
+  EXPECT_EQ(5, Fs[0].Line);
+  EXPECT_EQ("determinism-taint", Fs[0].Rule);
+  EXPECT_NE(std::string::npos, Fs[0].Message.find("noisy"));
+  EXPECT_NE(std::string::npos, Fs[0].Message.find("std::random_device"));
+}
+
+TEST(AnalyzeRules, TaintFeedingAScheduleTimeIsCaught) {
+  std::vector<Finding> Fs = analyzeSources(
+      {{"src/sim/Jitter.cpp",
+        "#include <cstdlib>\n"
+        "struct Scheduler { void after(double D, int Tok); };\n"
+        "void jitter(Scheduler &S, int Tok) {\n"
+        "  double D = std::rand() * 0.001;\n"
+        "  S.after(D, Tok);\n"
+        "}\n"}});
+  ASSERT_EQ(1u, Fs.size());
+  EXPECT_EQ(5, Fs[0].Line);
+  EXPECT_EQ("determinism-taint", Fs[0].Rule);
+  EXPECT_NE(std::string::npos, Fs[0].Message.find("schedule time"));
+}
+
+TEST(AnalyzeRules, DeterministicScheduleTimesAreFine) {
+  EXPECT_TRUE(analyzeSources(
+                  {{"src/sim/Jitter.cpp",
+                    "struct Scheduler { void after(double D, int Tok); };\n"
+                    "void even(Scheduler &S, double D, int Tok) {\n"
+                    "  S.after(D + 1.0, Tok);\n"
+                    "}\n"}})
+                  .empty());
+}
+
+TEST(AnalyzeRules, AllowAtTheTaintSourceKillsTheWholeChain) {
+  // Suppressing at the source is the one sanctioned hatch: everything
+  // derived from it inherits the decision, including the sink report.
+  EXPECT_TRUE(
+      analyzeSources(
+          {{"src/sim/Noise.cpp",
+            "#include <cstdio>\n"
+            "#include <random>\n"
+            "void report() {\n"
+            "  std::random_device Rd; // dmeta-analyze: "
+            "allow(determinism-taint) one-time seed harvest\n"
+            "  unsigned V = Rd();\n"
+            "  std::printf(\"%u\\n\", V);\n"
+            "}\n"}})
+          .empty());
+}
+
+//===----------------------------------------------------------------------===//
+// error-path-propagation
+//===----------------------------------------------------------------------===//
+
+TEST(AnalyzeRules, DiscardedWrapperResultIsCaught) {
+  // openChecked returns auto and just forwards openFile's FsError, so
+  // discarding its result discards the error — one hop removed.
+  std::vector<Finding> Fs = analyzeSources(
+      {{"src/fs/Wrap.cpp",
+        "FsError openFile(int Fh);\n"
+        "auto openChecked(int Fh) { return openFile(Fh); }\n"
+        "void mount() {\n"
+        "  openChecked(7);\n"
+        "}\n"}});
+  ASSERT_EQ(1u, Fs.size());
+  EXPECT_EQ(4, Fs[0].Line);
+  EXPECT_EQ("error-path-propagation", Fs[0].Rule);
+  EXPECT_NE(std::string::npos, Fs[0].Message.find("openChecked"));
+  EXPECT_NE(std::string::npos, Fs[0].Message.find("openFile"));
+}
+
+TEST(AnalyzeRules, VoidCastWrapperDiscardIsExplicitEnough) {
+  EXPECT_TRUE(analyzeSources(
+                  {{"src/fs/Wrap.cpp",
+                    "FsError openFile(int Fh);\n"
+                    "auto openChecked(int Fh) { return openFile(Fh); }\n"
+                    "void mount() {\n"
+                    "  (void)openChecked(7); // best effort\n"
+                    "}\n"}})
+                  .empty());
+}
+
+TEST(AnalyzeRules, SwallowedErrorLocalIsCaught) {
+  // Storing the error and never looking at it is the quiet variant of
+  // discarding it outright.
+  std::vector<Finding> Fs = analyzeSources(
+      {{"src/fs/Swallow.cpp",
+        "FsError openFile(int Fh);\n"
+        "void mount() {\n"
+        "  FsError E = openFile(7);\n"
+        "}\n"}});
+  ASSERT_EQ(1u, Fs.size());
+  EXPECT_EQ(3, Fs[0].Line);
+  EXPECT_EQ("error-path-propagation", Fs[0].Rule);
+  EXPECT_NE(std::string::npos, Fs[0].Message.find("'E'"));
+  EXPECT_NE(std::string::npos, Fs[0].Message.find("never examined"));
+}
+
+TEST(AnalyzeRules, ExaminedErrorLocalIsFine) {
+  EXPECT_TRUE(analyzeSources(
+                  {{"src/fs/Swallow.cpp",
+                    "FsError openFile(int Fh);\n"
+                    "int mount() {\n"
+                    "  FsError E = openFile(7);\n"
+                    "  return E == FsError::Ok ? 0 : 1;\n"
+                    "}\n"}})
+                  .empty());
+}
+
+//===----------------------------------------------------------------------===//
+// blocking-in-callback
+//===----------------------------------------------------------------------===//
+
+TEST(AnalyzeRules, QuiescenceCheckSchedulingWorkIsCaught) {
+  // Quiescence checks run between events; one that mutates the schedule
+  // turns the diagnostic pass into part of the simulation.
+  std::vector<Finding> Fs = analyzeSources(
+      {{"src/sim/Quies.cpp",
+        "struct Scheduler {\n"
+        "  void addQuiescenceCheck(int C);\n"
+        "  void after(double D, int C);\n"
+        "};\n"
+        "void arm(Scheduler &S) {\n"
+        "  S.addQuiescenceCheck([&S] { S.after(1.0, 0); });\n"
+        "}\n"}});
+  ASSERT_EQ(1u, Fs.size());
+  EXPECT_EQ(6, Fs[0].Line);
+  EXPECT_EQ("blocking-in-callback", Fs[0].Rule);
+  EXPECT_NE(std::string::npos, Fs[0].Message.find("quiescence check"));
+  EXPECT_NE(std::string::npos, Fs[0].Message.find("after"));
+}
+
+TEST(AnalyzeRules, QuiescenceCheckReachingLockTransitivelyIsCaught) {
+  // The mutation is hidden behind a helper; call-graph reachability
+  // still connects the check to SimMutex::lock.
+  std::vector<Finding> Fs = analyzeSources(
+      {{"src/sim/Quies.cpp",
+        "struct SimMutex { void lock(int C); };\n"
+        "void poke(SimMutex &M) { M.lock(0); }\n"
+        "struct Scheduler { void addQuiescenceCheck(int C); };\n"
+        "void arm(Scheduler &S, SimMutex &M) {\n"
+        "  S.addQuiescenceCheck([&M] { poke(M); });\n"
+        "}\n"}});
+  ASSERT_EQ(1u, Fs.size());
+  EXPECT_EQ(5, Fs[0].Line);
+  EXPECT_EQ("blocking-in-callback", Fs[0].Rule);
+  EXPECT_NE(std::string::npos, Fs[0].Message.find("SimMutex::lock"));
+  EXPECT_NE(std::string::npos, Fs[0].Message.find("'poke'"));
+}
+
+TEST(AnalyzeRules, CallbackReenteringTheSchedulerLoopIsCaught) {
+  std::vector<Finding> Fs = analyzeSources(
+      {{"src/sim/Reenter.cpp",
+        "struct Scheduler {\n"
+        "  void at(double T, int C);\n"
+        "  void run();\n"
+        "};\n"
+        "void drain(Scheduler &S) { S.run(); }\n"
+        "void arm(Scheduler *S) {\n"
+        "  S->at(1.0, [S] { drain(*S); });\n"
+        "}\n"}});
+  ASSERT_EQ(1u, Fs.size());
+  EXPECT_EQ(7, Fs[0].Line);
+  EXPECT_EQ("blocking-in-callback", Fs[0].Rule);
+  EXPECT_NE(std::string::npos, Fs[0].Message.find("Scheduler::run"));
+  EXPECT_NE(std::string::npos, Fs[0].Message.find("'drain'"));
+}
+
+TEST(AnalyzeRules, CpsLockFromAnOrdinaryCallbackIsTheDesign) {
+  // SimMutex::lock is continuation-passing: acquiring it from an event
+  // callback is exactly how the engine is meant to be used. Only the
+  // run/runUntil re-entry is forbidden there.
+  EXPECT_TRUE(analyzeSources(
+                  {{"src/sim/Reenter.cpp",
+                    "struct SimMutex { void lock(int C); };\n"
+                    "void grab(SimMutex &M) { M.lock(0); }\n"
+                    "struct Scheduler { void at(double T, int C); };\n"
+                    "void arm(Scheduler *S, SimMutex *M) {\n"
+                    "  S->at(1.0, [M] { grab(*M); });\n"
+                    "}\n"}})
+                  .empty());
+}
+
+//===----------------------------------------------------------------------===//
+// SymbolTable and CallGraph
+//===----------------------------------------------------------------------===//
+
+TEST(SymbolTable, MatchesDeclarationsToDefinitionsAcrossFiles) {
+  std::vector<SourceFile> Files = parseSources(
+      {{"src/sim/M.h",
+        "class M {\n"
+        "  int grow(int N);\n"
+        "  void shrink();\n"
+        "};\n"},
+       {"src/sim/M.cpp",
+        "#include \"sim/M.h\"\n"
+        "using namespace dmb;\n"
+        "int M::grow(int N) { return N + 1; }\n"}});
+  SymbolTable ST;
+  ST.build(Files);
+  int Def = ST.definitionForKey("M::grow");
+  ASSERT_GE(Def, 0);
+  EXPECT_TRUE(ST.symbols()[Def].IsDefinition);
+  EXPECT_EQ("M", ST.symbols()[Def].ClassName);
+  EXPECT_EQ("int", ST.symbols()[Def].ReturnType);
+  // symbolForKey falls back to the declaration for body-less methods —
+  // a stub is still a valid reachability anchor.
+  EXPECT_EQ(-1, ST.definitionForKey("M::shrink"));
+  int Decl = ST.symbolForKey("M::shrink");
+  ASSERT_GE(Decl, 0);
+  EXPECT_FALSE(ST.symbols()[Decl].IsDefinition);
+}
+
+TEST(SymbolTable, ResolveCallPrefersQualifiersAndDropsAmbiguity) {
+  std::vector<SourceFile> Files = parseSources(
+      {{"src/sim/S.cpp",
+        "struct A { int size(); };\n"
+        "struct B { int size(); };\n"
+        "int A::size() { return 1; }\n"
+        "int B::size() { return 2; }\n"
+        "int unique() { return 3; }\n"}});
+  SymbolTable ST;
+  ST.build(Files);
+  // Same-class context binds the unqualified call.
+  int FromA = ST.resolveCall("", "A", "size");
+  ASSERT_GE(FromA, 0);
+  EXPECT_EQ("A", ST.symbols()[FromA].ClassName);
+  // An explicit qualifier overrides the caller's class.
+  int Qual = ST.resolveCall("B", "A", "size");
+  ASSERT_GE(Qual, 0);
+  EXPECT_EQ("B", ST.symbols()[Qual].ClassName);
+  // With neither, two candidate keys make the call ambiguous — the edge
+  // is dropped rather than guessed.
+  EXPECT_EQ(-1, ST.resolveCall("", "", "size"));
+  EXPECT_GE(ST.resolveCall("", "", "unique"), 0);
+}
+
+TEST(CallGraph, EdgesReachabilityAndSccCondensation) {
+  std::vector<SourceFile> Files = parseSources(
+      {{"src/sim/G.cpp",
+        "int leaf() { return 1; }\n"
+        "int mid() { return leaf(); }\n"
+        "int top() { return mid(); }\n"
+        "int ping(int N);\n"
+        "int pong(int N) { return ping(N - 1); }\n"
+        "int ping(int N) { return N > 0 ? pong(N) : 0; }\n"}});
+  SymbolTable ST;
+  ST.build(Files);
+  CallGraph CG;
+  CG.build(ST, Files);
+  int Leaf = ST.definitionForKey("leaf"), Mid = ST.definitionForKey("mid"),
+      Top = ST.definitionForKey("top"), Ping = ST.definitionForKey("ping"),
+      Pong = ST.definitionForKey("pong");
+  ASSERT_GE(Leaf, 0);
+  ASSERT_GE(Ping, 0);
+  EXPECT_TRUE(CG.reaches(Top, Leaf));
+  EXPECT_FALSE(CG.reaches(Leaf, Top));
+  // The mutual recursion condenses into one component; the straight
+  // chain does not.
+  EXPECT_EQ(CG.sccOf(Ping), CG.sccOf(Pong));
+  EXPECT_NE(CG.sccOf(Mid), CG.sccOf(Top));
+  // Component ids are reverse-topological: callees before callers.
+  EXPECT_LT(CG.sccOf(Leaf), CG.sccOf(Mid));
+  EXPECT_LT(CG.sccOf(Mid), CG.sccOf(Top));
+}
+
+TEST(CallGraph, DotExportIsDeterministicAndNamesTheEdges) {
+  std::vector<SourceFile> Files = parseSources(
+      {{"src/sim/G.cpp",
+        "int leaf() { return 1; }\n"
+        "int mid() { return leaf(); }\n"}});
+  SymbolTable ST;
+  ST.build(Files);
+  CallGraph CG;
+  CG.build(ST, Files);
+  std::ostringstream A, B;
+  CG.writeDot(A);
+  CG.writeDot(B);
+  EXPECT_EQ(A.str(), B.str());
+  EXPECT_NE(std::string::npos, A.str().find("digraph callgraph"));
+  EXPECT_NE(std::string::npos, A.str().find("\"mid\" -> \"leaf\";"));
+}
+
+//===----------------------------------------------------------------------===//
 // Shared CLI: flags and exit codes for both tools
 //===----------------------------------------------------------------------===//
 
@@ -427,6 +767,9 @@ protected:
     Cfg.Rules = analyzeRuleNames();
     Cfg.Run = [](const std::string &R, size_t &N) {
       return analyzeTree(R, &N);
+    };
+    Cfg.WriteDot = [](const std::string &R, std::ostream &OS) {
+      return writeCallGraphDot(R, OS);
     };
     return Cfg;
   }
@@ -510,12 +853,67 @@ TEST_F(ToolCliTest, JsonOutputCarriesToolFilesAndFindings) {
   EXPECT_NE(std::string::npos, Json.find("\"file\": \"src/fs/Bad.h\""));
 }
 
+TEST_F(ToolCliTest, WriteBaselineRecordsDebtAndExitsZero) {
+  // Adopting a rule on a tree with accepted findings must not gate CI on
+  // the day of adoption — recording the debt is itself a success.
+  write("src/fs/Bad.h", "FsError drop(int Fh);\n");
+  fs::path Base = Root / "baseline.txt";
+  EXPECT_EQ(0, run(analyzeConfig(), {"--write-baseline", Base.string()}));
+  std::ifstream In(Base);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  EXPECT_NE(std::string::npos,
+            SS.str().find("src/fs/Bad.h [nodiscard-annotation]"));
+}
+
+TEST_F(ToolCliTest, BaselineSilencesKnownFindingsButNotNewOnes) {
+  write("src/fs/Bad.h", "FsError drop(int Fh);\n");
+  fs::path Base = Root / "baseline.txt";
+  ASSERT_EQ(0, run(analyzeConfig(), {"--write-baseline", Base.string()}));
+  // The recorded finding no longer fails the run...
+  EXPECT_EQ(0, run(analyzeConfig(), {"--baseline", Base.string()}));
+  // ...but a finding introduced afterwards still does, and only it is
+  // reported.
+  write("src/fs/Worse.h", "FsError close(int Fh);\n");
+  std::string Out;
+  EXPECT_EQ(1, run(analyzeConfig(), {"--baseline", Base.string()}, &Out));
+  EXPECT_NE(std::string::npos, Out.find("src/fs/Worse.h"));
+  EXPECT_EQ(std::string::npos, Out.find("src/fs/Bad.h"));
+}
+
+TEST_F(ToolCliTest, UnreadableBaselineIsAUsageError) {
+  write("src/sim/Ok.cpp", "int f() { return 1; }\n");
+  EXPECT_EQ(2, run(analyzeConfig(),
+                   {"--baseline", (Root / "no-such-file.txt").string()}));
+}
+
+TEST_F(ToolCliTest, DotExportsTheCallGraphForAnalyzeOnly) {
+  write("src/sim/G.cpp",
+        "int leaf() { return 1; }\n"
+        "int top() { return leaf(); }\n");
+  fs::path Dot = Root / "callgraph.dot";
+  EXPECT_EQ(0, run(analyzeConfig(), {"--dot", Dot.string()}));
+  std::ifstream In(Dot);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  EXPECT_NE(std::string::npos, SS.str().find("digraph callgraph"));
+  EXPECT_NE(std::string::npos, SS.str().find("\"top\" -> \"leaf\";"));
+  // The lint tool has no call graph; --dot there is a usage error.
+  EXPECT_EQ(2, run(lintConfig(), {"--dot", Dot.string()}));
+}
+
 TEST(AnalyzeRender, FindingFormatsMatchTheProblemMatcher) {
   Finding F{"src/a/B.cpp", 7, "layering", "bad include"};
   EXPECT_EQ("src/a/B.cpp:7: [layering] bad include", renderFinding(F));
   // Whole-file findings (include cycles) omit the line.
   Finding Whole{"src/a/B.cpp", 0, "include-cycle", "cycle"};
   EXPECT_EQ("src/a/B.cpp: [include-cycle] cycle", renderFinding(Whole));
+}
+
+TEST(AnalyzeRender, BaselineKeyOmitsTheLineNumber) {
+  // Edits above a known finding must not invalidate its baseline entry.
+  Finding F{"src/a/B.cpp", 7, "layering", "bad include"};
+  EXPECT_EQ("src/a/B.cpp [layering] bad include", baselineKey(F));
 }
 
 // The shipped tree must be clean — the same check `ctest` runs via the
@@ -526,6 +924,13 @@ TEST(AnalyzeRealTree, SourceTreeIsClean) {
   EXPECT_GT(Files, 100u);
   for (const Finding &F : Fs)
     ADD_FAILURE() << renderFinding(F);
+}
+
+TEST(AnalyzeRealTree, InterproceduralRulesAreRegistered) {
+  const std::vector<std::string> &Names = analyzeRuleNames();
+  for (const char *R : {"determinism-taint", "error-path-propagation",
+                        "blocking-in-callback"})
+    EXPECT_NE(Names.end(), std::find(Names.begin(), Names.end(), R)) << R;
 }
 
 } // namespace

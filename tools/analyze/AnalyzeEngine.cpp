@@ -5,9 +5,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "analyze/AnalyzeEngine.h"
+#include "analyze/CallGraph.h"
 #include "analyze/IncludeGraph.h"
+#include "analyze/SymbolTable.h"
 #include "analyze/Tokenizer.h"
 #include <algorithm>
+#include <map>
 #include <set>
 #include <utility>
 
@@ -90,6 +93,11 @@ public:
 
   void run() {
     harvestErrorFunctions();
+    ST.build(Files);
+    CG.build(ST, Files);
+    indexDefinitions();
+    harvestWrapperFunctions();
+    buildTaintSummaries();
     // Container declarations are tracked per file first, so a .cpp can
     // inherit the members its own header declares (fsck iterating the
     // header-declared inode table must still be seen).
@@ -118,9 +126,13 @@ public:
         checkLoops(F);
         checkPointerFormatting(F);
         checkDiscardedErrors(F);
+        checkDeterminismTaint(F);
+        checkErrorPropagation(F);
       }
-      if (lifetimeScope(F.RelPath))
+      if (lifetimeScope(F.RelPath)) {
         checkCallbackLifetime(F);
+        checkBlockingInCallback(F);
+      }
       if (startsWith(F.RelPath, "src/") && endsWith(F.RelPath, ".h"))
         checkNodiscardAnnotations(F);
     }
@@ -659,10 +671,565 @@ private:
     }
   }
 
+  //===--------------------------------------------------------------------===
+  // Interprocedural infrastructure (SymbolTable + CallGraph)
+  //===--------------------------------------------------------------------===
+
+  /// Fills DefsByFile and DefCalls: per-definition call sites are
+  /// collected once and reused by every interprocedural rule.
+  void indexDefinitions() {
+    for (size_t I = 0; I < Files.size(); ++I)
+      FileIndexOf[Files[I].RelPath] = static_cast<int>(I);
+    const std::vector<Symbol> &Syms = ST.symbols();
+    for (int D : ST.definitions()) {
+      const Symbol &S = Syms[D];
+      DefsByFile[S.FileIndex].push_back(D);
+      DefCalls[D] = collectCalls(Files[S.FileIndex].Toks.Tokens, S.BodyBegin,
+                                 S.BodyEnd, S.ClassName, ST);
+    }
+  }
+
+  /// Call sites of definition \p D whose name token lies in [Begin, End).
+  std::vector<const CallSite *> callsIn(int D, size_t Begin, size_t End) {
+    std::vector<const CallSite *> Hits;
+    for (const CallSite &CS : DefCalls[D])
+      if (CS.NameTok >= Begin && CS.NameTok < End)
+        Hits.push_back(&CS);
+    return Hits;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Rule: error-path-propagation
+  //===--------------------------------------------------------------------===
+
+  /// Extends the harvested error-returning set through `auto`-returning
+  /// wrappers whose body forwards an error call: `auto w() { return
+  /// f(...); }` with f in ErrorFns makes w report like an error function.
+  /// Runs to a fixpoint so wrappers of wrappers are covered.
+  void harvestWrapperFunctions() {
+    const std::vector<Symbol> &Syms = ST.symbols();
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (int D : ST.definitions()) {
+        const Symbol &S = Syms[D];
+        if (WrapperOf.count(S.Name) || ErrorFns.count(S.Name))
+          continue;
+        const std::string &Ret = S.ReturnType;
+        bool AutoRet = Ret == "auto" || endsWith(Ret, " auto");
+        if (!AutoRet)
+          continue;
+        const std::vector<Token> &T = Files[S.FileIndex].Toks.Tokens;
+        for (size_t I = S.BodyBegin; I + 2 < S.BodyEnd; ++I) {
+          if (!isIdent(T[I], "return") || T[I + 1].Kind != TokKind::Ident ||
+              !isPunct(T[I + 2], "("))
+            continue;
+          const std::string &Callee = T[I + 1].Text;
+          if (ErrorFns.count(Callee)) {
+            WrapperOf[S.Name] = Callee;
+            Changed = true;
+          } else if (WrapperOf.count(Callee)) {
+            WrapperOf[S.Name] = WrapperOf[Callee];
+            Changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  void checkErrorPropagation(const SourceFile &F) {
+    const std::vector<Token> &T = F.Toks.Tokens;
+
+    // Half 1: a discarded call of a wrapper discards the wrapped
+    // FsError/MetaReply — same statement shapes as discarded-error.
+    for (size_t I = 0; I + 1 < T.size(); ++I) {
+      if (T[I].Kind != TokKind::Ident || !WrapperOf.count(T[I].Text) ||
+          !isPunct(T[I + 1], "("))
+        continue;
+      size_t Close = matchForward(T, I + 1);
+      if (Close + 1 >= T.size() || !isPunct(T[Close + 1], ";"))
+        continue;
+      size_t Before = beforeChainHead(T, I);
+      if (Before == std::string::npos)
+        continue;
+      const Token &P = T[Before];
+      bool Discarded = false;
+      if (P.Kind == TokKind::Punct &&
+          (P.Text == ";" || P.Text == "{" || P.Text == "}" || P.Text == ":"))
+        Discarded = true;
+      else if (isIdent(P, "else") || isIdent(P, "do"))
+        Discarded = true;
+      else if (isPunct(P, ")")) {
+        size_t Open = matchBackward(T, Before);
+        bool VoidCast = Open != std::string::npos && Open + 2 == Before &&
+                        isIdent(T[Open + 1], "void");
+        Discarded = !VoidCast;
+      }
+      if (Discarded)
+        emit(F, T[I].Line, "error-path-propagation",
+             "result of '" + T[I].Text + "()' forwards the error of '" +
+                 WrapperOf.at(T[I].Text) +
+                 "()' but is discarded here; check it or cast to (void) "
+                 "with a comment");
+    }
+
+    // Half 2: an error result stored in a local the function never reads
+    // again — the error is swallowed even though the call "used" it.
+    auto FIt = FileIndexOf.find(F.RelPath);
+    if (FIt == FileIndexOf.end())
+      return;
+    for (int D : DefsByFile[FIt->second]) {
+      const Symbol &S = ST.symbols()[D];
+      for (size_t I = S.BodyBegin; I + 2 < S.BodyEnd; ++I) {
+        // `FsError E = ...;` / `MetaReply R = ...;` / `auto E = errfn(...`
+        std::string Var;
+        if ((isIdent(T[I], "FsError") || isIdent(T[I], "MetaReply")) &&
+            T[I + 1].Kind == TokKind::Ident && isPunct(T[I + 2], "=")) {
+          Var = T[I + 1].Text;
+        } else if (isIdent(T[I], "auto") && T[I + 1].Kind == TokKind::Ident &&
+                   isPunct(T[I + 2], "=") && I + 3 < S.BodyEnd &&
+                   T[I + 3].Kind == TokKind::Ident &&
+                   (ErrorFns.count(T[I + 3].Text) ||
+                    WrapperOf.count(T[I + 3].Text))) {
+          Var = T[I + 1].Text;
+        }
+        if (Var.empty())
+          continue;
+        size_t Stmt = I + 3;
+        while (Stmt < S.BodyEnd && !isPunct(T[Stmt], ";"))
+          ++Stmt;
+        bool Read = false;
+        for (size_t J = Stmt; J < S.BodyEnd && !Read; ++J)
+          if (T[J].Kind == TokKind::Ident && T[J].Text == Var)
+            Read = true;
+        if (!Read)
+          emit(F, T[I].Line, "error-path-propagation",
+               "error result stored in '" + Var + "' is never examined in '" +
+                   S.Name +
+                   "'; the error is silently swallowed — branch on it or "
+                   "discard explicitly with (void)");
+      }
+    }
+  }
+
+  //===--------------------------------------------------------------------===
+  // Rule: determinism-taint
+  //===--------------------------------------------------------------------===
+
+  /// Returns a description when the token at \p I begins a
+  /// nondeterminism source, "" otherwise. Sources on a line carrying a
+  /// determinism-taint allow() are dead at the root: nothing derived from
+  /// them is tracked.
+  std::string taintSourceAt(const SourceFile &F, size_t I) {
+    const std::vector<Token> &T = F.Toks.Tokens;
+    if (T[I].Kind != TokKind::Ident)
+      return "";
+    std::string Desc;
+    if (T[I].Text == "random_device") {
+      Desc = "std::random_device";
+    } else if (I + 1 < T.size() && isPunct(T[I + 1], "(")) {
+      static const std::set<std::string> Libc = {"rand", "srand", "drand48",
+                                                 "gettimeofday", "getpid"};
+      if (Libc.count(T[I].Text)) {
+        // Plain or std:: call only; members and declarations are not the
+        // libc functions.
+        bool Plain = I == 0 || (T[I - 1].Kind == TokKind::Punct &&
+                                T[I - 1].Text != "." && T[I - 1].Text != "->" &&
+                                T[I - 1].Text != "::");
+        bool StdQual = I >= 2 && isPunct(T[I - 1], "::") &&
+                       isIdent(T[I - 2], "std");
+        if (Plain || StdQual)
+          Desc = T[I].Text + "()";
+      } else if (T[I].Text == "now" && I >= 2 && isPunct(T[I - 1], "::") &&
+                 T[I - 2].Kind == TokKind::Ident &&
+                 (T[I - 2].Text.find("clock") != std::string::npos ||
+                  T[I - 2].Text.find("Clock") != std::string::npos)) {
+        Desc = "wall-clock " + T[I - 2].Text + "::now()";
+      }
+    }
+    if (Desc.empty() && isIdent(T[I], "reinterpret_cast") && I + 2 < T.size() &&
+        isPunct(T[I + 1], "<") &&
+        (isIdent(T[I + 2], "uintptr_t") || isIdent(T[I + 2], "intptr_t")))
+      Desc = "pointer-to-integer cast";
+    if (Desc.empty() && isIdent(T[I], "hash") && I + 1 < T.size() &&
+        isPunct(T[I + 1], "<") && firstArgIsPointer(T, I + 1))
+      Desc = "pointer hash";
+    if (Desc.empty())
+      return "";
+    const std::string &Raw =
+        T[I].Line >= 1 && static_cast<size_t>(T[I].Line) <= F.RawLines.size()
+            ? F.RawLines[T[I].Line - 1]
+            : Empty;
+    if (allowedOnLine(Raw, ToolName, "determinism-taint"))
+      return "";
+    return Desc;
+  }
+
+  /// Description when tokens [Begin, End) of definition \p D contain a
+  /// tainted value: a source, a tainted local, or a call returning taint.
+  std::string taintedIn(const SourceFile &F, int D, size_t Begin, size_t End) {
+    const std::vector<Token> &T = F.Toks.Tokens;
+    const std::set<std::string> &Locals = TaintedLocals[D];
+    for (size_t I = Begin; I < End && I < T.size(); ++I) {
+      std::string Src = taintSourceAt(F, I);
+      if (!Src.empty())
+        return Src;
+      if (T[I].Kind == TokKind::Ident && Locals.count(T[I].Text))
+        return "'" + T[I].Text + "' (" + LocalWhy[D][T[I].Text] + ")";
+    }
+    for (const CallSite *CS : callsIn(D, Begin, End))
+      if (CS->Callee >= 0 && ReturnsTainted.count(CS->Callee))
+        return "call of '" + ST.symbols()[CS->Callee].Qualified + "' (" +
+               ReturnsTainted.at(CS->Callee) + ")";
+    return "";
+  }
+
+  /// One fixpoint: function summaries for taint (which locals hold
+  /// nondeterministic values, which functions return them) and for sink
+  /// reachability (which functions emit to traces/results/output).
+  void buildTaintSummaries() {
+    const std::vector<Symbol> &Syms = ST.symbols();
+
+    // Sink reachability: textual sinks in the body, then closed over the
+    // call graph (a function that calls an emitting function emits).
+    static const std::set<std::string> SinkCalls = {
+        "printf",     "fprintf",     "snprintf",   "sprintf",  "format",
+        "addRow",     "traceBegin",  "traceStamp", "traceStampOn",
+        "traceFinish", "stamp",      "beginOp",    "finishOp"};
+    for (int D : ST.definitions()) {
+      const Symbol &S = Syms[D];
+      const std::vector<Token> &T = Files[S.FileIndex].Toks.Tokens;
+      bool Sink = false;
+      for (size_t I = S.BodyBegin; I < S.BodyEnd && !Sink; ++I)
+        if (isPunct(T[I], "<<"))
+          Sink = true;
+      if (!Sink)
+        for (const CallSite &CS : DefCalls[D])
+          if (SinkCalls.count(CS.Name)) {
+            Sink = true;
+            break;
+          }
+      if (!Sink && hasScheduledLambda(T, S.BodyBegin, S.BodyEnd))
+        Sink = true;
+      if (Sink)
+        SinkReaching.insert(D);
+    }
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (int D : ST.definitions()) {
+        if (SinkReaching.count(D))
+          continue;
+        for (int Callee : CG.successors(D))
+          if (SinkReaching.count(Callee)) {
+            SinkReaching.insert(D);
+            Changed = true;
+            break;
+          }
+      }
+    }
+
+    // Taint: forward over assignments inside each body, then over return
+    // edges to callers, iterated to a fixpoint.
+    Changed = true;
+    int Rounds = 0;
+    while (Changed && ++Rounds <= 10) {
+      Changed = false;
+      for (int D : ST.definitions()) {
+        const Symbol &S = Syms[D];
+        const SourceFile &F = Files[S.FileIndex];
+        const std::vector<Token> &T = F.Toks.Tokens;
+        std::set<std::string> &Locals = TaintedLocals[D];
+        for (size_t I = S.BodyBegin; I < S.BodyEnd; ++I) {
+          // `random_device Rd;` — an object whose calls produce the
+          // nondeterminism: the declared name itself is tainted.
+          if (T[I].Kind == TokKind::Ident && I + 1 < S.BodyEnd &&
+              T[I + 1].Kind == TokKind::Ident) {
+            std::string Src = taintSourceAt(F, I);
+            if (!Src.empty() && Locals.insert(T[I + 1].Text).second) {
+              LocalWhy[D][T[I + 1].Text] = "from " + Src;
+              Changed = true;
+            }
+            // `Type Var(expr...)` / `Type Var{expr...}` — constructor
+            // initialization from a tainted expression.
+            if (Src.empty() && I + 2 < S.BodyEnd &&
+                (isPunct(T[I + 2], "(") || isPunct(T[I + 2], "{"))) {
+              size_t ArgClose = matchForward(T, I + 2);
+              if (ArgClose < S.BodyEnd &&
+                  !taintedIn(F, D, I + 3, ArgClose).empty() &&
+                  Locals.insert(T[I + 1].Text).second) {
+                LocalWhy[D][T[I + 1].Text] =
+                    "from " + taintedIn(F, D, I + 3, ArgClose);
+                Changed = true;
+              }
+            }
+          }
+          // `Name = expr` (or a compound assignment) — track Name when
+          // expr is tainted.
+          static const std::set<std::string> AssignOps = {
+              "=",  "+=", "-=", "*=",  "/=",  "%=",
+              "|=", "&=", "^=", "<<=", ">>="};
+          if (T[I].Kind == TokKind::Punct && AssignOps.count(T[I].Text) &&
+              I > S.BodyBegin && T[I - 1].Kind == TokKind::Ident) {
+            size_t StmtEnd = I + 1;
+            while (StmtEnd < S.BodyEnd &&
+                   !(isPunct(T[StmtEnd], ";") &&
+                     T[StmtEnd].ParenDepth <= T[I].ParenDepth &&
+                     T[StmtEnd].BraceDepth <= T[I].BraceDepth))
+              ++StmtEnd;
+            std::string Desc = taintedIn(F, D, I + 1, StmtEnd);
+            if (!Desc.empty() && Locals.insert(T[I - 1].Text).second) {
+              LocalWhy[D][T[I - 1].Text] = "from " + Desc;
+              Changed = true;
+            }
+            I = StmtEnd;
+            continue;
+          }
+          // `return expr` — the function returns taint.
+          if (isIdent(T[I], "return") && !ReturnsTainted.count(D)) {
+            size_t StmtEnd = I + 1;
+            while (StmtEnd < S.BodyEnd &&
+                   !(isPunct(T[StmtEnd], ";") &&
+                     T[StmtEnd].ParenDepth <= T[I].ParenDepth &&
+                     T[StmtEnd].BraceDepth <= T[I].BraceDepth))
+              ++StmtEnd;
+            std::string Desc = taintedIn(F, D, I + 1, StmtEnd);
+            if (!Desc.empty()) {
+              ReturnsTainted[D] = Desc;
+              Changed = true;
+            }
+            I = StmtEnd;
+          }
+        }
+      }
+    }
+  }
+
+  void checkDeterminismTaint(const SourceFile &F) {
+    auto FIt = FileIndexOf.find(F.RelPath);
+    if (FIt == FileIndexOf.end())
+      return;
+    static const std::set<std::string> SinkCalls = {
+        "printf",     "fprintf",     "snprintf",   "sprintf",  "format",
+        "addRow",     "traceBegin",  "traceStamp", "traceStampOn",
+        "traceFinish", "stamp",      "beginOp",    "finishOp"};
+    const std::vector<Token> &T = F.Toks.Tokens;
+    for (int D : DefsByFile[FIt->second]) {
+      const Symbol &S = ST.symbols()[D];
+      for (const CallSite &CS : DefCalls[D]) {
+        size_t Open = CS.NameTok + 1;
+        size_t Close = matchForward(T, Open);
+        if (Close >= T.size())
+          continue;
+        if (SinkCalls.count(CS.Name)) {
+          std::string Desc = taintedIn(F, D, Open + 1, Close);
+          if (!Desc.empty())
+            emit(F, T[CS.NameTok].Line, "determinism-taint",
+                 "nondeterministic value (" + Desc + ") reaches " + CS.Name +
+                     "(); traces and results must be bit-identical across "
+                     "runs — derive it from the virtual clock or the seeded "
+                     "RNG");
+          continue;
+        }
+        if ((CS.Name == "at" || CS.Name == "after") && CS.IsMember) {
+          // Scheduling sink: the callback is the last top-level argument
+          // (a lambda literal or a moved function object); everything
+          // before the last top-level comma is the schedule-time
+          // expression. A single argument is not a scheduling call
+          // (e.g. map.at(key)).
+          size_t LastComma = 0;
+          int Par = 0, Brace = 0, Brack = 0;
+          for (size_t J = Open + 1; J < Close; ++J) {
+            if (T[J].Kind != TokKind::Punct)
+              continue;
+            const std::string &X = T[J].Text;
+            if (X == "(")
+              ++Par;
+            else if (X == ")")
+              --Par;
+            else if (X == "{")
+              ++Brace;
+            else if (X == "}")
+              --Brace;
+            else if (X == "[")
+              ++Brack;
+            else if (X == "]")
+              --Brack;
+            else if (X == "," && Par == 0 && Brace == 0 && Brack == 0)
+              LastComma = J;
+          }
+          if (LastComma == 0)
+            continue;
+          std::string Desc = taintedIn(F, D, Open + 1, LastComma);
+          if (!Desc.empty())
+            emit(F, T[CS.NameTok].Line, "determinism-taint",
+                 "nondeterministic value (" + Desc + ") feeds the " + CS.Name +
+                     "() schedule time; event order would differ between "
+                     "runs");
+          continue;
+        }
+        if (CS.Callee >= 0 && SinkReaching.count(CS.Callee)) {
+          std::string Desc = taintedIn(F, D, Open + 1, Close);
+          if (!Desc.empty())
+            emit(F, T[CS.NameTok].Line, "determinism-taint",
+                 "nondeterministic value (" + Desc + ") passed to '" +
+                     ST.symbols()[CS.Callee].Qualified +
+                     "', which reaches a determinism sink");
+        }
+      }
+      // Streaming emissions inside this body: a tainted value in a `<<`
+      // statement lands in benchmark output.
+      std::set<int> Reported;
+      for (size_t I = S.BodyBegin; I < S.BodyEnd; ++I) {
+        if (!isPunct(T[I], "<<"))
+          continue;
+        size_t B = I;
+        while (B > S.BodyBegin && !isPunct(T[B - 1], ";") &&
+               !isPunct(T[B - 1], "{") && !isPunct(T[B - 1], "}"))
+          --B;
+        size_t E = I;
+        while (E < S.BodyEnd && !isPunct(T[E], ";"))
+          ++E;
+        if (!Reported.insert(T[I].Line).second) {
+          I = E;
+          continue;
+        }
+        std::string Desc = taintedIn(F, D, B, E);
+        if (!Desc.empty())
+          emit(F, T[I].Line, "determinism-taint",
+               "nondeterministic value (" + Desc +
+                   ") is streamed to output; emit a stable value instead");
+        I = E;
+      }
+    }
+  }
+
+  //===--------------------------------------------------------------------===
+  // Rule: blocking-in-callback
+  //===--------------------------------------------------------------------===
+
+  /// Lambda body range [BodyBegin, BodyEnd) for the introducer at \p I,
+  /// or (0,0) when the shape is not a full lambda literal.
+  static std::pair<size_t, size_t> lambdaBody(const std::vector<Token> &T,
+                                              size_t I) {
+    size_t CaptClose = matchForward(T, I);
+    if (CaptClose >= T.size())
+      return {0, 0};
+    size_t J = CaptClose + 1;
+    if (J < T.size() && isPunct(T[J], "(")) {
+      size_t ParClose = matchForward(T, J);
+      if (ParClose >= T.size())
+        return {0, 0};
+      J = ParClose + 1;
+    }
+    while (J < T.size() &&
+           (isIdent(T[J], "mutable") || isIdent(T[J], "noexcept")))
+      ++J;
+    if (J < T.size() && isPunct(T[J], "->")) {
+      ++J;
+      while (J < T.size() && !isPunct(T[J], "{"))
+        ++J;
+    }
+    if (J >= T.size() || !isPunct(T[J], "{"))
+      return {0, 0};
+    size_t Close = matchForward(T, J);
+    if (Close >= T.size())
+      return {0, 0};
+    return {J + 1, Close};
+  }
+
+  /// Symbol index for \p Key, or -1; missing keys (fixture trees without
+  /// the engine sources) simply disable that target.
+  int keySym(const char *Key) { return ST.symbolForKey(Key); }
+
+  void checkBlockingInCallback(const SourceFile &F) {
+    auto FIt = FileIndexOf.find(F.RelPath);
+    if (FIt == FileIndexOf.end())
+      return;
+    const std::vector<Token> &T = F.Toks.Tokens;
+
+    std::vector<std::pair<int, std::string>> QuiesForbidden;
+    for (const char *K : {"SimMutex::lock", "Resource::request",
+                          "Scheduler::at", "Scheduler::after",
+                          "Scheduler::run", "Scheduler::runUntil"}) {
+      int Sym = keySym(K);
+      if (Sym >= 0)
+        QuiesForbidden.push_back({Sym, K});
+    }
+    std::vector<std::pair<int, std::string>> ReentryForbidden;
+    for (const char *K : {"Scheduler::run", "Scheduler::runUntil"}) {
+      int Sym = keySym(K);
+      if (Sym >= 0)
+        ReentryForbidden.push_back({Sym, K});
+    }
+    static const std::set<std::string> QuiesDirect = {
+        "lock", "request", "at", "after", "run", "runUntil"};
+
+    for (int D : DefsByFile[FIt->second]) {
+      for (const CallSite &CS : DefCalls[D]) {
+        bool Quies = CS.Name == "addQuiescenceCheck";
+        bool Callback = (CS.Name == "at" || CS.Name == "after") && CS.IsMember;
+        if (!Quies && !Callback)
+          continue;
+        size_t Open = CS.NameTok + 1;
+        size_t Close = matchForward(T, Open);
+        if (Close >= T.size())
+          continue;
+        for (size_t J = Open + 1; J < Close; ++J) {
+          if (!isLambdaIntroducer(T, J))
+            continue;
+          auto [LB, LE] = lambdaBody(T, J);
+          if (LB == LE)
+            continue;
+          for (const CallSite *Inner : callsIn(D, LB, LE)) {
+            if (Quies && Inner->IsMember && QuiesDirect.count(Inner->Name)) {
+              emit(F, T[Inner->NameTok].Line, "blocking-in-callback",
+                   "quiescence check calls " + Inner->Name +
+                       "(); quiescence checks run between events and must "
+                       "be read-only diagnostics");
+              continue;
+            }
+            if (Inner->Callee < 0)
+              continue;
+            const auto &Forbidden = Quies ? QuiesForbidden : ReentryForbidden;
+            std::set<int> Reach = CG.reachableFrom(Inner->Callee);
+            for (const auto &[Sym, Key] : Forbidden) {
+              if (!Reach.count(Sym))
+                continue;
+              std::string Ctx =
+                  Quies ? "quiescence check"
+                        : "callback scheduled via " + CS.Name + "()";
+              std::string Tail =
+                  Quies ? "quiescence checks run between events and must "
+                          "be read-only diagnostics"
+                        : "re-entering the scheduler loop from inside an "
+                          "event corrupts the schedule";
+              emit(F, T[Inner->NameTok].Line, "blocking-in-callback",
+                   Ctx + " reaches " + Key + " through '" +
+                       ST.symbols()[Inner->Callee].Qualified + "'; " + Tail);
+              break;
+            }
+          }
+          J = LE;
+        }
+      }
+    }
+  }
+
   const std::vector<SourceFile> &Files;
   std::vector<Finding> &Out;
   std::set<std::string> ErrorFns;
   std::set<std::string> UnorderedVars, PtrKeyedVars, InplaceVars;
+  SymbolTable ST;
+  CallGraph CG;
+  std::map<int, std::vector<int>> DefsByFile;       ///< FileIndex -> defs
+  std::map<std::string, int> FileIndexOf;           ///< RelPath -> FileIndex
+  std::map<int, std::vector<CallSite>> DefCalls;    ///< def -> call sites
+  std::map<std::string, std::string> WrapperOf;     ///< wrapper -> error fn
+  std::map<int, std::string> ReturnsTainted;        ///< def -> source desc
+  std::map<int, std::set<std::string>> TaintedLocals;
+  std::map<int, std::map<std::string, std::string>> LocalWhy;
+  std::set<int> SinkReaching;
   const std::string Empty;
 };
 
@@ -708,10 +1275,38 @@ std::vector<Finding> dmb::analyze::analyzeTree(const std::string &Root,
   return analyzeSources(Inputs);
 }
 
+bool dmb::analyze::writeCallGraphDot(const std::string &Root,
+                                     std::ostream &OS) {
+  std::vector<SourceFile> Files;
+  for (const std::string &Rel :
+       collectSourceFiles(Root, {"src", "tests", "bench", "tools"})) {
+    std::string Content;
+    if (!readFile(Root + "/" + Rel, Content))
+      continue;
+    SourceFile F;
+    F.RelPath = Rel;
+    F.Content = std::move(Content);
+    F.Toks = tokenize(F.Content);
+    F.RawLines = splitLines(F.Content);
+    Files.push_back(std::move(F));
+  }
+  if (Files.empty())
+    return false;
+  SymbolTable ST;
+  ST.build(Files);
+  CallGraph CG;
+  CG.build(ST, Files);
+  CG.writeDot(OS);
+  return true;
+}
+
 const std::vector<std::string> &dmb::analyze::analyzeRuleNames() {
   static const std::vector<std::string> Names = {
-      "unordered-iteration", "pointer-identity",  "callback-lifetime",
-      "discarded-error",     "nodiscard-annotation", "layering",
-      "include-cycle",       "unused-include"};
+      "unordered-iteration",  "pointer-identity",
+      "callback-lifetime",    "discarded-error",
+      "nodiscard-annotation", "determinism-taint",
+      "error-path-propagation", "blocking-in-callback",
+      "layering",             "include-cycle",
+      "unused-include"};
   return Names;
 }

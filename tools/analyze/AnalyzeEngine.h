@@ -42,6 +42,30 @@
 ///    gate).
 ///  - layering / include-cycle / unused-include: see IncludeGraph.h.
 ///
+/// Interprocedural rules (built on analyze/SymbolTable.h and
+/// analyze/CallGraph.h — function summaries propagated over resolved call
+/// edges to a fixpoint):
+///  - determinism-taint: nondeterminism sources (std::random_device,
+///    rand()/srand()/drand48(), wall-clock ::now() reads, getpid(),
+///    pointer-to-integer casts, pointer hashes) tracked through local
+///    assignments and function returns; flagged when a tainted value
+///    reaches a determinism sink — a trace/result call, a printf/stream
+///    emission, a scheduled time, or a call whose callee transitively
+///    reaches such a sink.
+///  - error-path-propagation: the interprocedural half of
+///    discarded-error. `auto`-returning wrappers that just forward an
+///    FsError/MetaReply-returning call join the checked set
+///    transitively, so discarding a wrapper's result is flagged too; and
+///    a function that stores an error result in a local it never reads
+///    afterwards ("swallowed error") is flagged at the assignment.
+///  - blocking-in-callback: call-graph reachability from callback
+///    contexts to primitives that must not run there. Quiescence checks
+///    (Scheduler::addQuiescenceCheck) are read-only diagnostics: reaching
+///    SimMutex::lock, Resource::request or Scheduler::at/after from one
+///    is flagged. Ordinary at()/after() callbacks may use those (that is
+///    the engine's continuation-passing design) but must never re-enter
+///    the scheduler loop via Scheduler::run/runUntil.
+///
 /// A finding on a line containing "dmeta-analyze: allow(<rule>) <why>" is
 /// suppressed; the justification text is enforced by dmeta-lint's
 /// suppression-justification rule.
@@ -53,6 +77,7 @@
 
 #include "analyze/Diagnostics.h"
 #include <cstddef>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -71,6 +96,11 @@ analyzeSources(const std::vector<std::pair<std::string, std::string>> &Files);
 
 /// Rule names understood by analyzeTree, for --rule validation.
 const std::vector<std::string> &analyzeRuleNames();
+
+/// Builds the whole-tree symbol table and call graph under \p Root and
+/// writes it in Graphviz dot format (the --dot flag). Returns false when
+/// no sources are found.
+bool writeCallGraphDot(const std::string &Root, std::ostream &OS);
 
 } // namespace analyze
 } // namespace dmb

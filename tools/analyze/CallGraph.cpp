@@ -1,0 +1,225 @@
+//===- tools/analyze/CallGraph.cpp ----------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyze/CallGraph.h"
+#include <algorithm>
+#include <functional>
+
+using namespace dmb;
+using namespace dmb::analyze;
+
+namespace {
+
+/// Identifiers that look like calls but are never callees.
+bool isCallBlacklisted(const std::string &Name) {
+  static const std::set<std::string> W = {
+      "if",       "for",      "while",    "switch",   "catch",
+      "return",   "sizeof",   "alignof",  "alignas",  "decltype",
+      "new",      "delete",   "throw",    "operator", "static_assert",
+      "noexcept", "defined",  "assert",   "int",      "bool",
+      "char",     "float",    "double",   "void",     "unsigned",
+      "long",     "short",    "auto"};
+  return W.count(Name) != 0;
+}
+
+bool isAllCapsMacro(const std::string &Name) {
+  return std::all_of(Name.begin(), Name.end(), [](char C) {
+    return (C >= 'A' && C <= 'Z') || C == '_' || (C >= '0' && C <= '9');
+  });
+}
+
+bool punctIs(const Token &T, const char *Text) {
+  return T.Kind == TokKind::Punct && T.Text == Text;
+}
+
+} // namespace
+
+std::vector<CallSite> dmb::analyze::collectCalls(const std::vector<Token> &Toks,
+                                                 size_t Begin, size_t End,
+                                                 const std::string &CallerClass,
+                                                 const SymbolTable &ST) {
+  std::vector<CallSite> Out;
+  for (size_t I = Begin; I + 1 < End; ++I) {
+    if (Toks[I].Kind != TokKind::Ident || !punctIs(Toks[I + 1], "("))
+      continue;
+    if (isCallBlacklisted(Toks[I].Text) || isAllCapsMacro(Toks[I].Text))
+      continue;
+
+    // Walk back over an explicit `A::B::` qualifier chain.
+    size_t ChainHead = I;
+    std::string Qualifier;
+    while (ChainHead >= 2 && punctIs(Toks[ChainHead - 1], "::") &&
+           Toks[ChainHead - 2].Kind == TokKind::Ident) {
+      Qualifier = Toks[ChainHead - 2].Text; // innermost qualifier wins
+      ChainHead -= 2;
+    }
+
+    bool IsMember = false;
+    if (ChainHead > 0) {
+      const Token &P = Toks[ChainHead - 1];
+      if (punctIs(P, ".") || punctIs(P, "->"))
+        IsMember = true;
+      else if (P.Kind == TokKind::Ident && P.Text != "return" &&
+               P.Text != "co_return" && P.Text != "else" && P.Text != "do" &&
+               Qualifier.empty() && !IsMember)
+        continue; // `Type name(args)` — a declaration, not a call
+    }
+
+    CallSite CS;
+    CS.NameTok = I;
+    CS.Line = Toks[I].Line;
+    CS.Name = Toks[I].Text;
+    CS.Qualifier = Qualifier;
+    CS.IsMember = IsMember;
+    CS.Callee = ST.resolveCall(Qualifier, CallerClass, CS.Name);
+    Out.push_back(std::move(CS));
+  }
+  return Out;
+}
+
+void CallGraph::build(const SymbolTable &Table,
+                      const std::vector<SourceFile> &Files) {
+  ST = &Table;
+  Edges.clear();
+  Succ.clear();
+  Pred.clear();
+  CompOf.clear();
+  Comps.clear();
+
+  const std::vector<Symbol> &Syms = Table.symbols();
+  for (int DefIdx : Table.definitions()) {
+    const Symbol &S = Syms[DefIdx];
+    const std::vector<Token> &Toks = Files[S.FileIndex].Toks.Tokens;
+    for (const CallSite &CS :
+         collectCalls(Toks, S.BodyBegin, S.BodyEnd, S.ClassName, Table)) {
+      if (CS.Callee < 0 || CS.Callee == DefIdx)
+        continue;
+      Edges.push_back({DefIdx, CS.Callee, CS.Line});
+    }
+  }
+  std::sort(Edges.begin(), Edges.end(),
+            [](const CallEdge &A, const CallEdge &B) {
+              if (A.Caller != B.Caller)
+                return A.Caller < B.Caller;
+              if (A.Callee != B.Callee)
+                return A.Callee < B.Callee;
+              return A.Line < B.Line;
+            });
+  for (const CallEdge &E : Edges) {
+    Succ[E.Caller].push_back(E.Callee);
+    Pred[E.Callee].push_back(E.Caller);
+  }
+  auto dedupe = [](std::map<int, std::vector<int>> &Adj) {
+    for (auto &KV : Adj) {
+      std::sort(KV.second.begin(), KV.second.end());
+      KV.second.erase(std::unique(KV.second.begin(), KV.second.end()),
+                      KV.second.end());
+    }
+  };
+  dedupe(Succ);
+  dedupe(Pred);
+  computeSccs();
+}
+
+const std::vector<int> &CallGraph::successors(int SymIdx) const {
+  auto It = Succ.find(SymIdx);
+  return It == Succ.end() ? EmptyAdj : It->second;
+}
+
+const std::vector<int> &CallGraph::predecessors(int SymIdx) const {
+  auto It = Pred.find(SymIdx);
+  return It == Pred.end() ? EmptyAdj : It->second;
+}
+
+std::set<int> CallGraph::reachableFrom(int SymIdx) const {
+  std::set<int> Seen;
+  std::vector<int> Work = {SymIdx};
+  while (!Work.empty()) {
+    int N = Work.back();
+    Work.pop_back();
+    if (!Seen.insert(N).second)
+      continue;
+    for (int M : successors(N))
+      Work.push_back(M);
+  }
+  return Seen;
+}
+
+bool CallGraph::reaches(int From, int To) const {
+  return reachableFrom(From).count(To) != 0;
+}
+
+int CallGraph::sccOf(int SymIdx) const {
+  auto It = CompOf.find(SymIdx);
+  return It == CompOf.end() ? -1 : It->second;
+}
+
+void CallGraph::computeSccs() {
+  // Tarjan, over the definitions in deterministic order. Components are
+  // emitted callees-first (reverse topological order of the condensation).
+  std::map<int, int> Index, Low;
+  std::map<int, bool> OnStack;
+  std::vector<int> Stack;
+  int NextIndex = 0;
+
+  std::function<void(int)> strongConnect = [&](int V) {
+    Index[V] = Low[V] = NextIndex++;
+    Stack.push_back(V);
+    OnStack[V] = true;
+    for (int W : successors(V)) {
+      if (!Index.count(W)) {
+        strongConnect(W);
+        Low[V] = std::min(Low[V], Low[W]);
+      } else if (OnStack[W]) {
+        Low[V] = std::min(Low[V], Index[W]);
+      }
+    }
+    if (Low[V] == Index[V]) {
+      std::vector<int> Members;
+      while (true) {
+        int W = Stack.back();
+        Stack.pop_back();
+        OnStack[W] = false;
+        Members.push_back(W);
+        if (W == V)
+          break;
+      }
+      std::sort(Members.begin(), Members.end());
+      int Id = static_cast<int>(Comps.size());
+      for (int M : Members)
+        CompOf[M] = Id;
+      Comps.push_back(std::move(Members));
+    }
+  };
+
+  for (int DefIdx : ST->definitions())
+    if (!Index.count(DefIdx))
+      strongConnect(DefIdx);
+}
+
+void CallGraph::writeDot(std::ostream &OS) const {
+  const std::vector<Symbol> &Syms = ST->symbols();
+  OS << "digraph callgraph {\n";
+  OS << "  rankdir=LR;\n";
+  OS << "  node [shape=box, fontname=\"monospace\", fontsize=10];\n";
+  // Only nodes that participate in an edge: the isolated majority would
+  // drown the render.
+  std::set<int> Used;
+  for (const CallEdge &E : Edges) {
+    Used.insert(E.Caller);
+    Used.insert(E.Callee);
+  }
+  for (int N : Used)
+    OS << "  \"" << Syms[N].Qualified << "\";\n";
+  std::set<std::pair<std::string, std::string>> Printed;
+  for (const CallEdge &E : Edges) {
+    auto Key = std::make_pair(Syms[E.Caller].Qualified, Syms[E.Callee].Qualified);
+    if (!Printed.insert(Key).second)
+      continue;
+    OS << "  \"" << Key.first << "\" -> \"" << Key.second << "\";\n";
+  }
+  OS << "}\n";
+}

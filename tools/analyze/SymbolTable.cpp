@@ -1,0 +1,432 @@
+//===- tools/analyze/SymbolTable.cpp --------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyze/SymbolTable.h"
+#include <algorithm>
+#include <set>
+
+using namespace dmb;
+using namespace dmb::analyze;
+
+namespace {
+
+bool isPunct(const Token &T, const char *Text) {
+  return T.Kind == TokKind::Punct && T.Text == Text;
+}
+
+bool isIdent(const Token &T, const char *Text) {
+  return T.Kind == TokKind::Ident && T.Text == Text;
+}
+
+/// Specifier tokens that may precede (or trail) a declarator without
+/// being part of the return type.
+const std::set<std::string> &specifierWords() {
+  static const std::set<std::string> W = {
+      "static",   "inline",   "virtual",  "constexpr", "explicit",
+      "friend",   "extern",   "mutable",  "typename",  "nodiscard",
+      "maybe_unused"};
+  return W;
+}
+
+/// Identifiers that can never be a callee/declarator name in the
+/// patterns the table indexes.
+const std::set<std::string> &nameBlacklist() {
+  static const std::set<std::string> W = {
+      "if",     "for",    "while",    "switch",   "catch",  "return",
+      "sizeof", "alignof", "alignas", "decltype", "new",    "delete",
+      "throw",  "operator", "static_assert", "defined", "noexcept",
+      "assert"};
+  return W;
+}
+
+/// Identifiers which, found directly before a name, mark a call or
+/// statement rather than a declaration.
+const std::set<std::string> &stmtPrefixWords() {
+  static const std::set<std::string> W = {"return", "else",   "case",
+                                          "goto",   "do",     "new",
+                                          "delete", "throw",  "co_return",
+                                          "operator"};
+  return W;
+}
+
+/// A namespace or class extent in one file's token stream.
+struct ScopeInterval {
+  enum Kind { Namespace, Class } K;
+  std::string Name;
+  size_t Open;  ///< token index of '{'
+  size_t Close; ///< token index of matching '}'
+};
+
+/// Recovers namespace and class/struct extents for one file.
+std::vector<ScopeInterval> scopeIntervals(const std::vector<Token> &T) {
+  std::vector<ScopeInterval> Out;
+  for (size_t I = 0; I < T.size(); ++I) {
+    if (T[I].Kind != TokKind::Ident || T[I].ParenDepth != 0)
+      continue;
+    if (T[I].Text == "namespace") {
+      // namespace A::B { ... } or the anonymous namespace.
+      std::string Name;
+      size_t J = I + 1;
+      while (J < T.size() &&
+             (T[J].Kind == TokKind::Ident || isPunct(T[J], "::"))) {
+        Name += T[J].Text;
+        ++J;
+      }
+      if (J < T.size() && isPunct(T[J], "{")) {
+        size_t Close = matchForward(T, J);
+        if (Close < T.size())
+          Out.push_back({ScopeInterval::Namespace, Name, J, Close});
+      }
+      continue;
+    }
+    if (T[I].Text == "class" || T[I].Text == "struct") {
+      // Skip template parameters (`template <class T>`) and `enum class`.
+      if (I > 0 && (isPunct(T[I - 1], "<") || isPunct(T[I - 1], ",") ||
+                    isIdent(T[I - 1], "enum")))
+        continue;
+      if (I + 1 >= T.size() || T[I + 1].Kind != TokKind::Ident)
+        continue;
+      std::string Name = T[I + 1].Text;
+      // Find the body '{' (or bail at ';' — forward declaration — or at
+      // '(' — `struct X` used as a type in a signature).
+      for (size_t J = I + 2; J < T.size(); ++J) {
+        if (isPunct(T[J], ";") || isPunct(T[J], "(") ||
+            isPunct(T[J], ")") || isPunct(T[J], "}"))
+          break;
+        if (isPunct(T[J], "{")) {
+          size_t Close = matchForward(T, J);
+          if (Close < T.size())
+            Out.push_back({ScopeInterval::Class, Name, J, Close});
+          break;
+        }
+      }
+    }
+  }
+  return Out;
+}
+
+/// Consumes a constructor initializer list starting at the ':' token;
+/// returns the index of the body '{', or Tokens.size() when the shape is
+/// not an initializer list.
+size_t skipCtorInit(const std::vector<Token> &T, size_t Colon) {
+  size_t J = Colon + 1;
+  while (J < T.size()) {
+    // Member (possibly qualified) ...
+    while (J < T.size() &&
+           (T[J].Kind == TokKind::Ident || isPunct(T[J], "::")))
+      ++J;
+    if (J >= T.size())
+      return T.size();
+    // ... initialized with (...) or {...} ...
+    if (isPunct(T[J], "(") || isPunct(T[J], "{")) {
+      size_t Close = matchForward(T, J);
+      if (Close >= T.size())
+        return T.size();
+      J = Close + 1;
+    } else {
+      return T.size();
+    }
+    // ... then another member or the body.
+    if (J < T.size() && isPunct(T[J], ",")) {
+      ++J;
+      continue;
+    }
+    if (J < T.size() && isPunct(T[J], "{"))
+      return J;
+    return T.size();
+  }
+  return T.size();
+}
+
+} // namespace
+
+std::string SymbolTable::key(const Symbol &S) {
+  return S.ClassName.empty() ? S.Name : S.ClassName + "::" + S.Name;
+}
+
+void SymbolTable::build(const std::vector<SourceFile> &Files) {
+  Syms.clear();
+  Defs.clear();
+  Classes.clear();
+  ByName.clear();
+  DefByKey.clear();
+  for (size_t FI = 0; FI < Files.size(); ++FI)
+    indexFile(Files[FI], static_cast<int>(FI));
+  std::set<std::string> ClassSet;
+  for (size_t I = 0; I < Syms.size(); ++I) {
+    ByName[Syms[I].Name].push_back(static_cast<int>(I));
+    if (!Syms[I].ClassName.empty())
+      ClassSet.insert(Syms[I].ClassName);
+    if (Syms[I].IsDefinition) {
+      Defs.push_back(static_cast<int>(I));
+      // First definition wins for a duplicated key (overload sets);
+      // the file walk is sorted, so this is deterministic.
+      DefByKey.emplace(key(Syms[I]), static_cast<int>(I));
+    } else {
+      DeclByKey.emplace(key(Syms[I]), static_cast<int>(I));
+    }
+  }
+  Classes.assign(ClassSet.begin(), ClassSet.end());
+}
+
+void SymbolTable::indexFile(const SourceFile &F, int FileIndex) {
+  const std::vector<Token> &T = F.Toks.Tokens;
+  std::vector<ScopeInterval> Scopes = scopeIntervals(T);
+
+  auto enclosing = [&](size_t Idx, std::string &NsPath, std::string &Cls,
+                       int &ScopeCount) {
+    NsPath.clear();
+    Cls.clear();
+    ScopeCount = 0;
+    for (const ScopeInterval &S : Scopes) {
+      if (S.Open < Idx && Idx < S.Close) {
+        ++ScopeCount;
+        if (S.K == ScopeInterval::Namespace) {
+          if (!S.Name.empty()) {
+            if (!NsPath.empty())
+              NsPath += "::";
+            NsPath += S.Name;
+          }
+        } else {
+          Cls = S.Name; // innermost class wins (intervals nest in order)
+        }
+      }
+    }
+  };
+
+  for (size_t I = 0; I + 1 < T.size(); ++I) {
+    if (T[I].Kind != TokKind::Ident || !isPunct(T[I + 1], "("))
+      continue;
+    if (nameBlacklist().count(T[I].Text))
+      continue;
+    // All-caps identifiers are macros (DMB_ASSERT, TEST, EXPECT_EQ...).
+    if (std::all_of(T[I].Text.begin(), T[I].Text.end(), [](char C) {
+          return (C >= 'A' && C <= 'Z') || C == '_' || (C >= '0' && C <= '9');
+        }))
+      continue;
+
+    // Walk back over an explicit `A::B::` qualifier chain.
+    size_t ChainHead = I;
+    std::vector<std::string> Quals;
+    while (ChainHead >= 2 && isPunct(T[ChainHead - 1], "::") &&
+           T[ChainHead - 2].Kind == TokKind::Ident) {
+      Quals.insert(Quals.begin(), T[ChainHead - 2].Text);
+      ChainHead -= 2;
+    }
+
+    // Declaration position: the token before the name chain must be a
+    // type-ish token. Calls are preceded by punctuation or statement
+    // keywords; constructors (no return type) are accepted only when the
+    // name matches the enclosing class.
+    std::string NsPath, Cls;
+    int ScopeCount = 0;
+    enclosing(I, NsPath, Cls, ScopeCount);
+    // Only index symbols whose every enclosing brace is a recognized
+    // namespace/class scope — anything deeper is a statement inside a
+    // function body (local declarations, calls).
+    if (T[I].BraceDepth != ScopeCount)
+      continue;
+
+    bool TypePreceded = false;
+    bool CtorLike = false;
+    if (ChainHead == 0) {
+      TypePreceded = false;
+    } else {
+      const Token &P = T[ChainHead - 1];
+      if (P.Kind == TokKind::Ident)
+        TypePreceded = !stmtPrefixWords().count(P.Text);
+      else if (P.Kind == TokKind::Punct)
+        TypePreceded = P.Text == ">" || P.Text == "*" || P.Text == "&" ||
+                       P.Text == "]";
+    }
+    std::string OwnClass = !Quals.empty() ? Quals.back() : Cls;
+    if (!TypePreceded) {
+      // Constructor shape: name == enclosing/explicit class.
+      if (T[I].Text == OwnClass && !OwnClass.empty())
+        CtorLike = true;
+      else
+        continue;
+    }
+
+    // Parameter list and what follows it.
+    size_t ParClose = matchForward(T, I + 1);
+    if (ParClose >= T.size())
+      continue;
+    size_t J = ParClose + 1;
+    bool IsDef = false, IsDecl = false;
+    size_t BodyOpen = 0;
+    while (J < T.size()) {
+      const Token &C = T[J];
+      if (C.Kind == TokKind::Ident &&
+          (C.Text == "const" || C.Text == "noexcept" || C.Text == "override" ||
+           C.Text == "final" || C.Text == "mutable")) {
+        ++J;
+        if (J < T.size() && isPunct(T[J], "(")) { // noexcept(...)
+          size_t Cl = matchForward(T, J);
+          if (Cl >= T.size())
+            break;
+          J = Cl + 1;
+        }
+        continue;
+      }
+      if (isPunct(C, "->")) { // trailing return type
+        ++J;
+        while (J < T.size() &&
+               (T[J].Kind == TokKind::Ident || isPunct(T[J], "::") ||
+                isPunct(T[J], "*") || isPunct(T[J], "&")))
+          ++J;
+        if (J < T.size() && isPunct(T[J], "<")) {
+          size_t Cl = matchForward(T, J);
+          if (Cl >= T.size())
+            break;
+          J = Cl + 1;
+        }
+        continue;
+      }
+      if (isPunct(C, ":")) { // constructor initializer list
+        size_t Body = skipCtorInit(T, J);
+        if (Body < T.size()) {
+          IsDef = true;
+          BodyOpen = Body;
+        }
+        break;
+      }
+      if (isPunct(C, "{")) {
+        IsDef = true;
+        BodyOpen = J;
+        break;
+      }
+      if (isPunct(C, ";")) {
+        IsDecl = true;
+        break;
+      }
+      if (isPunct(C, "=")) { // pure virtual / = default / = delete
+        IsDecl = true;
+        break;
+      }
+      break; // anything else: not a function header
+    }
+    if (!IsDef && !IsDecl)
+      continue;
+
+    // Most-vexing-parse guard for declarations: `SimTime T(5);` is a
+    // variable. A parameter list never contains literals.
+    if (IsDecl) {
+      bool HasLiteral = false;
+      for (size_t K = I + 2; K < ParClose; ++K)
+        if (T[K].Kind == TokKind::Number || T[K].Kind == TokKind::String)
+          HasLiteral = true;
+      if (HasLiteral)
+        continue;
+    }
+
+    // Return type: tokens from the statement start to the name chain,
+    // specifiers and attributes stripped.
+    std::string Ret;
+    if (!CtorLike) {
+      size_t Start = ChainHead;
+      while (Start > 0) {
+        const Token &P = T[Start - 1];
+        if (P.Kind == TokKind::Punct &&
+            (P.Text == ";" || P.Text == "{" || P.Text == "}" ||
+             P.Text == ":" || P.Text == ")"))
+          break;
+        if (P.Kind == TokKind::Include || P.Kind == TokKind::Directive)
+          break;
+        --Start;
+      }
+      for (size_t K = Start; K < ChainHead; ++K) {
+        if (T[K].Kind == TokKind::Ident && specifierWords().count(T[K].Text))
+          continue;
+        if (isPunct(T[K], "[") || isPunct(T[K], "]"))
+          continue;
+        if (!Ret.empty())
+          Ret += ' ';
+        Ret += T[K].Text;
+      }
+    }
+
+    Symbol S;
+    S.Name = T[I].Text;
+    S.ClassName = OwnClass;
+    S.Qualified = (NsPath.empty() ? "" : NsPath + "::");
+    if (!Quals.empty()) {
+      for (const std::string &Q : Quals)
+        S.Qualified += Q + "::";
+    } else if (!Cls.empty()) {
+      S.Qualified += Cls + "::";
+    }
+    S.Qualified += S.Name;
+    S.ReturnType = Ret;
+    S.FileIndex = FileIndex;
+    S.Line = T[I].Line;
+    S.IsDefinition = IsDef;
+    S.IsMethod = !OwnClass.empty();
+    S.NameTok = I;
+    if (IsDef) {
+      S.BodyBegin = BodyOpen + 1;
+      S.BodyEnd = matchForward(T, BodyOpen);
+      if (S.BodyEnd >= T.size())
+        continue; // unbalanced body: drop rather than mis-span
+    }
+    Syms.push_back(std::move(S));
+  }
+}
+
+std::vector<int> SymbolTable::byName(const std::string &Name) const {
+  auto It = ByName.find(Name);
+  return It == ByName.end() ? std::vector<int>() : It->second;
+}
+
+int SymbolTable::definitionForKey(const std::string &Key) const {
+  auto It = DefByKey.find(Key);
+  return It == DefByKey.end() ? -1 : It->second;
+}
+
+int SymbolTable::symbolForKey(const std::string &Key) const {
+  int Def = definitionForKey(Key);
+  if (Def >= 0)
+    return Def;
+  auto It = DeclByKey.find(Key);
+  return It == DeclByKey.end() ? -1 : It->second;
+}
+
+int SymbolTable::resolveCall(const std::string &Qualifier,
+                             const std::string &CallerClass,
+                             const std::string &Name) const {
+  if (!Qualifier.empty())
+    return symbolForKey(Qualifier + "::" + Name);
+  if (!CallerClass.empty()) {
+    int Hit = symbolForKey(CallerClass + "::" + Name);
+    if (Hit >= 0)
+      return Hit;
+  }
+  auto It = ByName.find(Name);
+  if (It == ByName.end())
+    return -1;
+  // Prefer a unique definition; fall back to a unique declaration so
+  // calls into decl-only stubs (fixtures, forward interfaces) still
+  // anchor reachability. Ambiguity across keys drops the edge.
+  for (bool WantDef : {true, false}) {
+    int Unique = -1;
+    bool Ambiguous = false;
+    for (int Idx : It->second) {
+      if (Syms[Idx].IsDefinition != WantDef)
+        continue;
+      if (Unique >= 0 && key(Syms[Unique]) != key(Syms[Idx])) {
+        Ambiguous = true;
+        break;
+      }
+      if (Unique < 0)
+        Unique = Idx;
+    }
+    if (Ambiguous)
+      return -1;
+    if (Unique >= 0)
+      return Unique;
+  }
+  return -1;
+}

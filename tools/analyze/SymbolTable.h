@@ -1,0 +1,116 @@
+//===- tools/analyze/SymbolTable.h - Whole-program symbols ------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A whole-program table of the functions, methods and classes the tree
+/// declares and defines, built from the shared token stream
+/// (analyze/Tokenizer.h) — no preprocessor, no real parser, but enough
+/// structure for the interprocedural rules:
+///
+///  - Scope tracking: `namespace N { ... }` and `class/struct C { ... }`
+///    extents are recovered per file, so a method declared inside a class
+///    body gets the class as its context and an out-of-line definition
+///    `Ret C::name(...) { ... }` gets it from the explicit qualifier.
+///  - Declaration↔definition matching: symbols are keyed by
+///    `Class::name` for methods and `name` for free functions,
+///    namespaces stripped (the tree lives in `namespace dmb` with a
+///    handful of nested tool namespaces; dropping them lets a decl in a
+///    header match its definition in a .cpp that opens the namespace
+///    with `using namespace`).
+///  - Definitions carry their body as a token range, which is what the
+///    call-graph builder and the dataflow rules walk.
+///
+/// Heuristics and their limits (documented, deliberate):
+///  - A "function" is `Name(...)` at declaration position — preceded by
+///    a type token — followed by `{` (definition) or `;` (declaration),
+///    skipping cv/ref/noexcept/override/trailing-return tokens and
+///    constructor initializer lists. Control-flow keywords and
+///    statement-position calls never match.
+///  - Macro-generated functions and operator overloads are not indexed.
+///  - Templates are indexed like ordinary functions (one symbol, not one
+///    per instantiation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_TOOLS_ANALYZE_SYMBOLTABLE_H
+#define DMETABENCH_TOOLS_ANALYZE_SYMBOLTABLE_H
+
+#include "analyze/IncludeGraph.h"
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dmb {
+namespace analyze {
+
+/// One declared or defined function/method.
+struct Symbol {
+  std::string Name;       ///< unqualified name ("lock")
+  std::string ClassName;  ///< enclosing or explicit class; "" for free fns
+  std::string Qualified;  ///< display name incl. namespaces
+  std::string ReturnType; ///< space-joined return-type tokens ("FsError")
+  int FileIndex = -1;     ///< index into the file list given to build()
+  int Line = 0;           ///< line of the name token
+  bool IsDefinition = false;
+  bool IsMethod = false;
+  size_t NameTok = 0;  ///< token index of the name in its file
+  size_t BodyBegin = 0; ///< definitions: first token index inside '{'
+  size_t BodyEnd = 0;   ///< definitions: index of the matching '}'
+};
+
+/// Whole-tree symbol table over a parsed file set.
+class SymbolTable {
+public:
+  /// Indexes \p Files (which must outlive the table).
+  void build(const std::vector<SourceFile> &Files);
+
+  const std::vector<Symbol> &symbols() const { return Syms; }
+
+  /// Indices of definition symbols, in deterministic (file, line) order.
+  const std::vector<int> &definitions() const { return Defs; }
+
+  /// Matching key: "Class::name" for methods, "name" for free functions.
+  static std::string key(const Symbol &S);
+
+  /// All symbol indices with unqualified name \p Name.
+  std::vector<int> byName(const std::string &Name) const;
+
+  /// Definition index for \p Key (see key()), or -1. When a symbol has a
+  /// declaration and a definition, the definition wins.
+  int definitionForKey(const std::string &Key) const;
+
+  /// Like definitionForKey, but falls back to a declaration when no
+  /// definition exists (a stub class declaring `void lock(Cb);` without a
+  /// body is still a valid call target / reachability anchor).
+  int symbolForKey(const std::string &Key) const;
+
+  /// Resolves a call of \p Name made from inside \p CallerClass (may be
+  /// empty), optionally written with an explicit `Qualifier::` prefix.
+  /// Preference order: qualified key match, same-class method, then a
+  /// unique definition by unqualified name. Returns the definition's
+  /// symbol index, or -1 when unknown or ambiguous — the analysis drops
+  /// ambiguous edges rather than guessing.
+  int resolveCall(const std::string &Qualifier, const std::string &CallerClass,
+                  const std::string &Name) const;
+
+  /// Class names the tree defines (deduplicated, sorted).
+  const std::vector<std::string> &classes() const { return Classes; }
+
+private:
+  void indexFile(const SourceFile &F, int FileIndex);
+
+  std::vector<Symbol> Syms;
+  std::vector<int> Defs;
+  std::vector<std::string> Classes;
+  std::map<std::string, std::vector<int>> ByName; ///< unqualified name
+  std::map<std::string, int> DefByKey;            ///< key() of definitions
+  std::map<std::string, int> DeclByKey;           ///< key() of declarations
+};
+
+} // namespace analyze
+} // namespace dmb
+
+#endif // DMETABENCH_TOOLS_ANALYZE_SYMBOLTABLE_H

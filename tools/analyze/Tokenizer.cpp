@@ -102,6 +102,17 @@ private:
     }
   }
 
+  /// Consumes a user-defined-literal suffix ("abc"sv, 'a'_tag, R"(x)"_w)
+  /// directly after a literal's closing quote. The suffix is part of the
+  /// literal token, not a separate identifier: rules tracking variable
+  /// names must never see `sv` or `_km` as a name.
+  void udlSuffix() {
+    while (!atEnd() && isIdentChar(cur())) {
+      emitSan(cur());
+      ++I;
+    }
+  }
+
   /// Consumes a plain "..." string literal, emitting "" to the sanitized
   /// view and a String token with the contents.
   void stringLit() {
@@ -119,6 +130,7 @@ private:
       if (cur() == '"') {
         ++I;
         emitSan('"');
+        udlSuffix();
         push(TokKind::String, StartLine, std::move(Text));
         return;
       }
@@ -130,17 +142,20 @@ private:
     push(TokKind::String, StartLine, std::move(Text));
   }
 
-  /// Consumes R"delim(...)delim", possibly spanning lines.
+  /// Consumes R"delim(...)delim", possibly spanning lines. The delimiter
+  /// may itself contain quotes (any character but parentheses, backslash
+  /// and whitespace is a valid d-char), so the terminator is matched as
+  /// the full )delim" sequence — never by scanning for a bare quote.
   void rawStringLit() {
     int StartLine = Line;
     emitSan('"');
     I += 2; // R"
     std::string Delim;
-    while (!atEnd() && cur() != '(') {
+    while (!atEnd() && cur() != '(' && cur() != '\n') {
       Delim += cur();
       ++I;
     }
-    if (!atEnd())
+    if (!atEnd() && cur() == '(')
       ++I; // (
     std::string Term = ")" + Delim + "\"";
     std::string Text;
@@ -148,6 +163,7 @@ private:
       if (Src.compare(I, Term.size(), Term) == 0) {
         I += Term.size();
         emitSan('"');
+        udlSuffix();
         push(TokKind::String, StartLine, std::move(Text));
         return;
       }
@@ -157,10 +173,13 @@ private:
     push(TokKind::String, StartLine, std::move(Text));
   }
 
-  /// Consumes a 'x' character literal (contents dropped, like the lint
-  /// sanitizer always did).
+  /// Consumes a 'x' character literal. Contents are dropped (like the
+  /// lint sanitizer always did) but the quotes stay in the sanitized
+  /// view, so `f('x')` sanitizes to `f('')` rather than gluing the
+  /// neighbours together.
   void charLit() {
     int StartLine = Line;
+    emitSan('\'');
     ++I; // opening quote
     while (!atEnd() && cur() != '\n') {
       if (cur() == '\\' && I + 1 < Src.size()) {
@@ -169,6 +188,8 @@ private:
       }
       if (cur() == '\'') {
         ++I;
+        emitSan('\'');
+        udlSuffix();
         break;
       }
       ++I;
@@ -314,19 +335,31 @@ private:
       return;
     }
     AtLineStart = false;
-    if (C == 'R' && peek() == '"' &&
-        (Out.Tokens.empty() || I == 0 || !isIdentChar(Src[I - 1]))) {
-      rawStringLit();
-      return;
-    }
-    // Encoding prefixes (u8"", L"", u"", U"") — treat the prefix as part
-    // of the literal so the contents are still blanked.
-    if ((C == 'u' || C == 'U' || C == 'L') &&
-        (I == 0 || !isIdentChar(Src[I - 1]))) {
-      size_t Skip = (C == 'u' && peek() == '8') ? 2 : 1;
-      if (I + Skip < Src.size() && Src[I + Skip] == '"') {
-        I += Skip;
+    // Literal prefixes: an optional encoding prefix (u8, u, U, L),
+    // optionally followed by R for raw strings, in front of a quote.
+    // The prefix is consumed as part of the literal so `LR"(a)"` and
+    // `u8R"(a)"` lex as one String token rather than an identifier
+    // followed by a mis-parsed plain string.
+    if (I == 0 || !isIdentChar(Src[I - 1])) {
+      size_t P = I;
+      if (Src[P] == 'u' && P + 1 < Src.size() && Src[P + 1] == '8')
+        P += 2;
+      else if (Src[P] == 'u' || Src[P] == 'U' || Src[P] == 'L')
+        P += 1;
+      if (P < Src.size() && Src[P] == 'R' && P + 1 < Src.size() &&
+          Src[P + 1] == '"') {
+        I = P;
+        rawStringLit();
+        return;
+      }
+      if (P > I && P < Src.size() && Src[P] == '"') {
+        I = P;
         stringLit();
+        return;
+      }
+      if (P > I && P < Src.size() && Src[P] == '\'') {
+        I = P;
+        charLit();
         return;
       }
     }

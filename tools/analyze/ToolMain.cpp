@@ -7,7 +7,10 @@
 #include "analyze/ToolMain.h"
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <map>
 #include <set>
+#include <sstream>
 #include <string>
 
 using namespace dmb;
@@ -16,8 +19,11 @@ using namespace dmb::analyze;
 namespace {
 
 void printUsage(std::FILE *To, const ToolConfig &Cfg) {
-  std::fprintf(To, "usage: %s [--root <dir>] [--rule <name>]... [--json]\n\n",
-               Cfg.Tool.c_str());
+  std::fprintf(To,
+               "usage: %s [--root <dir>] [--rule <name>]... [--json]\n"
+               "       %*s [--baseline <file>] [--write-baseline <file>]%s\n\n",
+               Cfg.Tool.c_str(), static_cast<int>(Cfg.Tool.size()), "",
+               Cfg.WriteDot ? " [--dot <file>]" : "");
   std::fprintf(To, "%s\n\nrules:\n", Cfg.Description.c_str());
   for (const std::string &R : Cfg.Rules)
     std::fprintf(To, "  %s\n", R.c_str());
@@ -26,11 +32,34 @@ void printUsage(std::FILE *To, const ToolConfig &Cfg) {
                "sources under --root\n");
 }
 
+/// Parses a baseline file into a key -> count multiset. Returns false on
+/// I/O failure.
+bool loadBaseline(const std::string &Path, std::map<std::string, int> &Keys) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    // Trim trailing CR/whitespace; '#' starts a comment line.
+    while (!Line.empty() && (Line.back() == '\r' || Line.back() == ' '))
+      Line.pop_back();
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    ++Keys[Line];
+  }
+  return true;
+}
+
 } // namespace
+
+std::string dmb::analyze::baselineKey(const Finding &F) {
+  return F.File + " [" + F.Rule + "] " + F.Message;
+}
 
 int dmb::analyze::toolMain(int Argc, char **Argv, const ToolConfig &Cfg) {
   std::string Root = ".";
   std::set<std::string> RuleFilter;
+  std::string BaselinePath, WriteBaselinePath, DotPath;
   bool Json = false;
 
   for (int I = 1; I < Argc; ++I) {
@@ -43,7 +72,8 @@ int dmb::analyze::toolMain(int Argc, char **Argv, const ToolConfig &Cfg) {
       Json = true;
       continue;
     }
-    if (Arg == "--root" || Arg == "--rule") {
+    if (Arg == "--root" || Arg == "--rule" || Arg == "--baseline" ||
+        Arg == "--write-baseline" || Arg == "--dot") {
       if (I + 1 >= Argc) {
         std::fprintf(stderr, "%s: %s requires a value\n", Cfg.Tool.c_str(),
                      Arg.c_str());
@@ -53,6 +83,17 @@ int dmb::analyze::toolMain(int Argc, char **Argv, const ToolConfig &Cfg) {
       std::string Val = Argv[++I];
       if (Arg == "--root") {
         Root = Val;
+      } else if (Arg == "--baseline") {
+        BaselinePath = Val;
+      } else if (Arg == "--write-baseline") {
+        WriteBaselinePath = Val;
+      } else if (Arg == "--dot") {
+        if (!Cfg.WriteDot) {
+          std::fprintf(stderr, "%s: --dot is not supported by this tool\n",
+                       Cfg.Tool.c_str());
+          return 2;
+        }
+        DotPath = Val;
       } else {
         if (std::find(Cfg.Rules.begin(), Cfg.Rules.end(), Val) ==
             Cfg.Rules.end()) {
@@ -71,6 +112,14 @@ int dmb::analyze::toolMain(int Argc, char **Argv, const ToolConfig &Cfg) {
     return 2;
   }
 
+  // The baseline must parse before the (possibly slow) scan runs.
+  std::map<std::string, int> Baseline;
+  if (!BaselinePath.empty() && !loadBaseline(BaselinePath, Baseline)) {
+    std::fprintf(stderr, "%s: cannot read baseline '%s'\n", Cfg.Tool.c_str(),
+                 BaselinePath.c_str());
+    return 2;
+  }
+
   size_t FilesChecked = 0;
   std::vector<Finding> Findings = Cfg.Run(Root, FilesChecked);
   if (FilesChecked == 0) {
@@ -79,10 +128,56 @@ int dmb::analyze::toolMain(int Argc, char **Argv, const ToolConfig &Cfg) {
     return 3;
   }
 
+  if (!DotPath.empty()) {
+    std::ofstream Dot(DotPath);
+    if (!Dot || !Cfg.WriteDot(Root, Dot)) {
+      std::fprintf(stderr, "%s: cannot write call graph to '%s'\n",
+                   Cfg.Tool.c_str(), DotPath.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "%s: call graph written to %s\n", Cfg.Tool.c_str(),
+                 DotPath.c_str());
+  }
+
   if (!RuleFilter.empty()) {
     Findings.erase(std::remove_if(Findings.begin(), Findings.end(),
                                   [&](const Finding &F) {
                                     return !RuleFilter.count(F.Rule);
+                                  }),
+                   Findings.end());
+  }
+
+  if (!WriteBaselinePath.empty()) {
+    std::ofstream Out(WriteBaselinePath);
+    if (!Out) {
+      std::fprintf(stderr, "%s: cannot write baseline '%s'\n",
+                   Cfg.Tool.c_str(), WriteBaselinePath.c_str());
+      return 2;
+    }
+    Out << "# " << Cfg.Tool
+        << " baseline: one accepted finding per line, \"file [rule] "
+           "message\".\n";
+    Out << "# Line numbers are omitted on purpose; regenerate with:\n";
+    Out << "#   " << Cfg.Tool << " --write-baseline <this file>\n";
+    for (const Finding &F : Findings)
+      Out << baselineKey(F) << "\n";
+    std::fprintf(stderr, "%s: %zu finding%s recorded to %s\n",
+                 Cfg.Tool.c_str(), Findings.size(),
+                 Findings.size() == 1 ? "" : "s", WriteBaselinePath.c_str());
+    return 0;
+  }
+
+  size_t Known = 0;
+  if (!Baseline.empty()) {
+    Findings.erase(std::remove_if(Findings.begin(), Findings.end(),
+                                  [&](const Finding &F) {
+                                    auto It = Baseline.find(baselineKey(F));
+                                    if (It == Baseline.end() ||
+                                        It->second == 0)
+                                      return false;
+                                    --It->second;
+                                    ++Known;
+                                    return true;
                                   }),
                    Findings.end());
   }
@@ -94,9 +189,17 @@ int dmb::analyze::toolMain(int Argc, char **Argv, const ToolConfig &Cfg) {
   } else {
     for (const Finding &F : Findings)
       std::fprintf(stdout, "%s\n", renderFinding(F).c_str());
-    std::fprintf(stderr, "%s: %zu file%s checked, %zu finding%s\n",
-                 Cfg.Tool.c_str(), FilesChecked, FilesChecked == 1 ? "" : "s",
-                 Findings.size(), Findings.size() == 1 ? "" : "s");
+    if (Known > 0)
+      std::fprintf(stderr,
+                   "%s: %zu file%s checked, %zu new finding%s (%zu known "
+                   "from baseline)\n",
+                   Cfg.Tool.c_str(), FilesChecked, FilesChecked == 1 ? "" : "s",
+                   Findings.size(), Findings.size() == 1 ? "" : "s", Known);
+    else
+      std::fprintf(stderr,
+                   "%s: %zu file%s checked, %zu finding%s\n", Cfg.Tool.c_str(),
+                   FilesChecked, FilesChecked == 1 ? "" : "s", Findings.size(),
+                   Findings.size() == 1 ? "" : "s");
   }
   return Findings.empty() ? 0 : 1;
 }

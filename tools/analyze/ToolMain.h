@@ -8,15 +8,28 @@
 /// The command-line front end shared by dmeta-lint and dmeta-analyze, so
 /// the two tools agree on flags, output formats and exit codes:
 ///
-///   --root <dir>   repo root to scan (default: current directory)
-///   --rule <name>  only report this rule; repeatable
-///   --json         machine-readable output (one JSON object on stdout)
-///   --help         usage
+///   --root <dir>            repo root to scan (default: current directory)
+///   --rule <name>           only report this rule; repeatable
+///   --json                  machine-readable output (one JSON object)
+///   --baseline <file>       drop findings recorded in <file>; exit
+///                           nonzero only on NEW findings (adopting a
+///                           rule on a tree with accepted debt)
+///   --write-baseline <file> record current findings to <file>, exit 0
+///   --dot <file>            write the call graph as Graphviz dot
+///                           (tools that build one; usage error otherwise)
+///   --help                  usage
+///
+/// Baseline format: one finding per line as "file [rule] message" — the
+/// line number is deliberately omitted so unrelated edits above a known
+/// finding do not invalidate the baseline. '#' lines and blank lines are
+/// comments. Entries match findings as a multiset: two identical known
+/// findings need two entries.
 ///
 /// Exit codes:
-///   0  clean (no findings after --rule filtering)
+///   0  clean (no findings after --rule/--baseline filtering)
 ///   1  findings reported
-///   2  usage error (unknown flag, missing value, unknown rule name)
+///   2  usage error (unknown flag, missing value, unknown rule name,
+///      unreadable --baseline file, --dot on a tool without a graph)
 ///   3  no sources found under --root (an empty scan is a misconfigured
 ///      invocation, not a clean tree — distinct from 2 so CI can tell a
 ///      bad flag from a bad checkout)
@@ -29,6 +42,7 @@
 #include "analyze/Diagnostics.h"
 #include <cstddef>
 #include <functional>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -44,7 +58,16 @@ struct ToolConfig {
   std::function<std::vector<Finding>(const std::string &Root,
                                      size_t &FilesChecked)>
       Run;
+  /// Writes the tool's call graph as Graphviz dot (--dot); tools without
+  /// a graph leave this unset and --dot becomes a usage error. Returns
+  /// false when the tree under \p Root yields nothing to graph.
+  std::function<bool(const std::string &Root, std::ostream &OS)> WriteDot;
 };
+
+/// Baseline matching key for a finding: "file [rule] message". The line
+/// number is omitted so edits above a known finding do not invalidate
+/// the baseline entry.
+std::string baselineKey(const Finding &F);
 
 /// Parses argv, runs the tool, prints findings; returns the exit code
 /// documented above.

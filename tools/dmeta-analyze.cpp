@@ -7,10 +7,13 @@
 /// \file
 /// Driver for the symbol-aware analyzer: determinism (unordered-iteration,
 /// pointer-identity), lifetime (callback-lifetime), error discipline
-/// (discarded-error, nodiscard-annotation) and architecture (layering,
-/// include-cycle, unused-include) rules over src/, tests/, bench/ and
-/// tools/. See tools/analyze/AnalyzeEngine.h for the rule catalogue and
-/// DESIGN.md ("Static analysis") for the rationale.
+/// (discarded-error, nodiscard-annotation), interprocedural dataflow
+/// (determinism-taint, error-path-propagation, blocking-in-callback over
+/// the whole-program symbol table and call graph) and architecture
+/// (layering, include-cycle, unused-include) rules over src/, tests/,
+/// bench/ and tools/. `--dot <file>` exports the call graph. See
+/// tools/analyze/AnalyzeEngine.h for the rule catalogue and DESIGN.md
+/// ("Static analysis") for the rationale.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +29,9 @@ int main(int Argc, char **Argv) {
   Cfg.Rules = dmb::analyze::analyzeRuleNames();
   Cfg.Run = [](const std::string &Root, size_t &FilesChecked) {
     return dmb::analyze::analyzeTree(Root, &FilesChecked);
+  };
+  Cfg.WriteDot = [](const std::string &Root, std::ostream &OS) {
+    return dmb::analyze::writeCallGraphDot(Root, OS);
   };
   return dmb::analyze::toolMain(Argc, Argv, Cfg);
 }
