@@ -32,4 +32,45 @@ std::optional<Attr> AttrCache::lookup(const std::string &Path, SimTime Now) {
 
 void AttrCache::invalidate(const std::string &Path) { Entries.erase(Path); }
 
+void AttrCache::invalidateForMutation(const MetaRequest &Req) {
+  bool ShapeChange = false;
+  switch (Req.Op) {
+  case MetaOp::Mkdir:
+  case MetaOp::Rmdir:
+  case MetaOp::Unlink:
+  case MetaOp::Remove:
+  case MetaOp::Rename:
+  case MetaOp::Link:
+  case MetaOp::Symlink:
+    ShapeChange = true;
+    break;
+  case MetaOp::Open:
+    ShapeChange = (Req.Flags & OpenCreate) != 0;
+    break;
+  case MetaOp::Chmod:
+  case MetaOp::Chown:
+  case MetaOp::Utimes:
+  case MetaOp::Setxattr:
+  case MetaOp::Ftruncate:
+  case MetaOp::Write:
+    break;
+  default:
+    return; // reads and handle-only ops leave the cache intact
+  }
+  if (!Req.Path.empty()) {
+    Entries.erase(Req.Path);
+    if (ShapeChange)
+      if (std::string_view Parent = parentPath(Req.Path); !Parent.empty())
+        Entries.erase(std::string(Parent));
+  }
+  // Rename/link/symlink name a second path whose attrs (and parent) the
+  // mutation also touches; for setxattr Path2 is the xattr key, not a path.
+  if (!Req.Path2.empty() && Req.Op != MetaOp::Setxattr) {
+    Entries.erase(Req.Path2);
+    if (ShapeChange)
+      if (std::string_view Parent = parentPath(Req.Path2); !Parent.empty())
+        Entries.erase(std::string(Parent));
+  }
+}
+
 void AttrCache::clear() { Entries.clear(); }

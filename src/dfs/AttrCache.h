@@ -15,12 +15,24 @@
 #ifndef DMETABENCH_DFS_ATTRCACHE_H
 #define DMETABENCH_DFS_ATTRCACHE_H
 
+#include "dfs/Message.h"
 #include "fs/Types.h"
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 namespace dmb {
+
+/// The directory containing \p Path ("/a/b" -> "/a", "/a" -> "/", "/" ->
+/// ""). Paths in the simulator are absolute and normalised, so a plain
+/// rightmost-slash split suffices.
+inline std::string_view parentPath(std::string_view Path) {
+  size_t Slash = Path.rfind('/');
+  if (Slash == std::string_view::npos || Path == "/")
+    return {};
+  return Slash == 0 ? std::string_view("/") : Path.substr(0, Slash);
+}
 
 /// Path -> Attr cache with per-entry expiry.
 class AttrCache {
@@ -36,6 +48,17 @@ public:
 
   /// Drops one entry (mutation invalidation / callback break).
   void invalidate(const std::string &Path);
+
+  /// Drops every entry a queued-but-unflushed (or just-applied) mutation
+  /// makes stale: the primary path, the secondary path (rename target,
+  /// link name), and — for namespace-shape changes (create, unlink,
+  /// rename, link, mkdir, rmdir) — the parent directory entries, whose
+  /// size/mtime the mutation changes. A client queueing \p Req in a
+  /// write-behind pipeline must call this at enqueue time, not at reply
+  /// time: between the local ack and the flush, a cached stat would
+  /// otherwise observe pre-mutation attributes the application already
+  /// overwrote.
+  void invalidateForMutation(const MetaRequest &Req);
 
   /// Drops everything (drop_caches, remount).
   void clear();

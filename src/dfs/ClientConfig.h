@@ -42,11 +42,52 @@ struct RetryPolicy {
   bool enabled() const { return Timeout > 0; }
 };
 
+/// Client-side write-behind metadata pipeline (generalizing the Lustre
+/// write-back cache of thesis \S 2.6.4 / \S 4.8 into a reusable layer all
+/// models can opt into). Disabled by default: every mutation is issued
+/// synchronously, keeping fault-free runs bit-identical to the
+/// pre-write-behind clients.
+struct WriteBehindPolicy {
+  bool Enabled = false;
+
+  /// Issue discipline.
+  ///
+  /// false — *eager*: the state change is applied at the server on enqueue
+  /// (arrival order = submit order) while the commit drains asynchronously;
+  /// the local ack carries the server's true result. This is the classic
+  /// Lustre write-back client: no batching of round trips, but
+  /// POSIX-accurate replies.
+  ///
+  /// true — *deferred*: operations queue client-side in an op-dependency
+  /// graph, are coalesced, and are issued in dependency-respecting bulk
+  /// batches when a flush trigger fires. Local acks are optimistic (the
+  /// queue predicts success); a server-side failure is sticky and surfaces
+  /// at the next fsync/close barrier — the λFS-style contract.
+  bool DeferIssue = true;
+
+  /// \name Flush triggers (deferred discipline)
+  /// @{
+  unsigned FlushMaxOps = 32;           ///< queued-op count trigger
+  uint64_t FlushMaxBytes = 256 * 1024; ///< queued write-byte trigger
+  SimDuration FlushDelay = milliseconds(2); ///< max queue dwell time
+  /// @}
+
+  /// Hard cap on locally-acked-but-unfinished operations; enqueues beyond
+  /// it stall until the pipeline drains (the Lustre dirty-op limit).
+  unsigned MaxQueuedOps = 2048;
+
+  /// Cost of acking an operation from the local queue/cache.
+  SimDuration LocalAckCost = microseconds(10);
+
+  bool enabled() const { return Enabled; }
+};
+
 /// Uniform construction parameters for a dfs client.
 struct ClientConfig {
   NetConfig Net;          ///< path to the server(s), including faults
   unsigned RpcSlots = 16; ///< sunrpc-style request slot table size
   RetryPolicy Retry;      ///< default: fire-and-forget
+  WriteBehindPolicy WriteBehind; ///< default: synchronous mutations
 };
 
 /// Uniform factory for the common case: a lossless link with the given

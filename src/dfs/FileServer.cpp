@@ -323,10 +323,26 @@ MetaReply FileServer::processEager(uint32_t VolId, const MetaRequest &Req,
       if (std::optional<uint64_t> Seq =
               Journal->append(VolName, Req, Sched.now())) {
         JournalSeqPlus1 = *Seq + 1;
+        // The CPU finishing this request means the stable write is done —
+        // but the ack may only leave once the journal's per-volume commit
+        // frontier reaches this record (log-prefix rule): a 4-thread CPU
+        // finishes service out of append order, and acking a dependent op
+        // whose predecessor's record is still in flight lets a crash
+        // commit the dependent without the predecessor. Park the ack; the
+        // onCommit hook (or the crash sweep, for discarded records)
+        // releases it.
         Committed = [this, Seq = *Seq,
-                     Inner = std::move(Committed)]() {
+                     Inner = std::move(Committed)]() mutable {
+          if (Journal->isDiscarded(Seq)) {
+            // Crashed before the stable write finished: the record is
+            // gone, but the reply still travels (it models a message the
+            // server sent before it lost the op's durability, the E29
+            // acked-but-lost window).
+            Inner();
+            return;
+          }
+          HeldCommitAcks.emplace(Seq, std::move(Inner));
           Journal->commit(Seq);
-          Inner();
         };
       }
     }
@@ -371,8 +387,17 @@ MetaReply FileServer::processEager(uint32_t VolId, const MetaRequest &Req,
 }
 
 void FileServer::enableJournal() {
-  if (!Journal)
-    Journal = std::make_unique<MetadataJournal>();
+  if (Journal)
+    return;
+  Journal = std::make_unique<MetadataJournal>();
+  Journal->onCommit([this](uint64_t Seq) {
+    auto It = HeldCommitAcks.find(Seq);
+    if (It == HeldCommitAcks.end())
+      return; // committed directly (server-internal execDirect records)
+    std::function<void()> Ack = std::move(It->second);
+    HeldCommitAcks.erase(It);
+    Ack();
+  });
 }
 
 uint64_t FileServer::crashAndRecover(const std::string &Volume) {
@@ -383,7 +408,22 @@ uint64_t FileServer::crashAndRecover(const std::string &Volume) {
     return ~0ULL;
   // The crash loses everything not yet durable; recovery replays the
   // committed log into a fresh store (\S 2.7.1: redo of the change log).
+  // "Durable" is the committed per-volume prefix: a record whose stable
+  // write finished but that was held behind an in-flight predecessor sits
+  // after a hole in the on-disk log, so the crash discards it too.
   uint64_t Lost = Journal->discardUncommitted(Volume);
+  // Release the parked acks of discarded records (in seq order): their
+  // replies race the crash exactly as an in-service op's reply does, and
+  // resilient clients re-execute via retransmission either way.
+  for (auto It = HeldCommitAcks.begin(); It != HeldCommitAcks.end();) {
+    if (!Journal->isDiscarded(It->first)) {
+      ++It;
+      continue;
+    }
+    std::function<void()> Ack = std::move(It->second);
+    It = HeldCommitAcks.erase(It);
+    Ack();
+  }
   FsConfig VolConfig = Vol->config();
   auto Fresh = std::make_unique<LocalFileSystem>(VolConfig);
   Journal->replay(Volume, *Fresh);

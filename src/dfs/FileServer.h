@@ -26,6 +26,7 @@
 #include "support/Random.h"
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -283,6 +284,12 @@ private:
 
   // Journaling (\S 2.7) and change notification (\S 2.8.3).
   std::unique_ptr<MetadataJournal> Journal;
+  /// Completions whose journal record has finished its stable write but is
+  /// held behind an earlier in-flight record (per-volume log-prefix rule).
+  /// Keyed by journal seq; released in commit order by the journal's
+  /// onCommit hook, or swept at crashAndRecover() for discarded records.
+  /// Ordered map: the crash sweep must release in deterministic order.
+  std::map<uint64_t, std::function<void()>> HeldCommitAcks;
   std::vector<std::function<void(const std::string &, const MetaRequest &)>>
       Watchers;
 

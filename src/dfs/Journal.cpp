@@ -50,8 +50,31 @@ void MetadataJournal::commit(uint64_t Seq) {
   // Sequence numbers are dense and 1-based.
   if (Seq == 0 || Seq > Records.size())
     return;
-  if (!Records[Seq - 1].Discarded)
-    Records[Seq - 1].Committed = true;
+  Record &R = Records[Seq - 1];
+  if (R.Discarded || R.Persisted)
+    return;
+  R.Persisted = true;
+  advanceFrontier(R.Volume);
+}
+
+void MetadataJournal::advanceFrontier(const std::string &Volume) {
+  size_t &I = Frontier[Volume];
+  while (I < Records.size()) {
+    // Re-index each iteration: the hook may append records (growing the
+    // vector) before control returns here.
+    Record &R = Records[I];
+    if (R.Volume != Volume || R.Discarded || R.Committed) {
+      ++I;
+      continue;
+    }
+    if (!R.Persisted)
+      break; // hole: later persisted records stay held
+    R.Committed = true;
+    uint64_t Seq = R.Seq;
+    ++I;
+    if (CommitHook)
+      CommitHook(Seq);
+  }
 }
 
 size_t MetadataJournal::discardUncommitted(const std::string &Volume) {
@@ -66,7 +89,10 @@ size_t MetadataJournal::discardUncommitted(const std::string &Volume) {
 
 void MetadataJournal::commitAll() {
   for (Record &R : Records)
-    R.Committed = true;
+    if (!R.Discarded) {
+      R.Persisted = true;
+      R.Committed = true;
+    }
 }
 
 size_t MetadataJournal::committedCount() const {

@@ -23,8 +23,10 @@
 #include "dfs/Message.h"
 #include "fs/LocalFileSystem.h"
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace dmb {
@@ -39,6 +41,7 @@ public:
     std::string Volume;
     MetaRequest Req;
     SimTime At = 0;
+    bool Persisted = false; ///< stable write finished (may still be held)
     bool Committed = false;
     bool Discarded = false; ///< lost in a crash; can no longer commit
   };
@@ -52,16 +55,36 @@ public:
   std::optional<uint64_t> append(const std::string &Volume,
                                  const MetaRequest &Req, SimTime Now);
 
-  /// Marks a record as durable (stable-storage commit finished).
+  /// Marks \p Seq's stable write as finished. A record only *commits*
+  /// (becomes replayable, visible to isCommitted(), eligible for the
+  /// onCommit hook) once every earlier non-discarded record of the same
+  /// volume has committed too: a redo log is only usable up to its first
+  /// hole, so the committed set must stay a per-volume log prefix even
+  /// when a multi-threaded server finishes stable writes out of append
+  /// order. Out-of-order persists are held and released in log order.
   void commit(uint64_t Seq);
 
-  /// True when \p Seq exists and has been committed (false for pending or
-  /// discarded records).
+  /// True when \p Seq exists and has been committed (false for pending,
+  /// held-out-of-order, or discarded records).
   bool isCommitted(uint64_t Seq) const {
     return Seq != 0 && Seq <= Records.size() && Records[Seq - 1].Committed;
   }
 
-  /// Marks everything durable (synchronous-journal mode).
+  /// True when \p Seq exists and was discarded by a crash.
+  bool isDiscarded(uint64_t Seq) const {
+    return Seq != 0 && Seq <= Records.size() && Records[Seq - 1].Discarded;
+  }
+
+  /// Registers the single commit observer: fires once per record, in
+  /// per-volume log order, when the record commits. Servers park replies
+  /// or dirty-op accounting on this to ack in prefix order.
+  void onCommit(std::function<void(uint64_t)> Hook) {
+    CommitHook = std::move(Hook);
+  }
+
+  /// Marks everything not lost to a crash as durable (synchronous-journal
+  /// mode). Discarded records stay discarded: resurrecting them would
+  /// replay operations whose effects a crash already destroyed.
   void commitAll();
 
   /// Re-executes the committed records for \p Volume into \p Fs in log
@@ -76,12 +99,22 @@ public:
   size_t size() const { return Records.size(); }
   size_t committedCount() const;
   /// Records for \p Volume that were appended but not committed — what a
-  /// crash loses under asynchronous logging.
+  /// crash loses under asynchronous logging. Persisted records held
+  /// behind an unpersisted predecessor count too: on disk the log has a
+  /// hole before them, so a crash cannot use them.
   size_t uncommittedCount(const std::string &Volume) const;
 
 private:
+  /// Commits the longest committable prefix of \p Volume starting at the
+  /// volume's frontier, firing CommitHook per newly committed record.
+  void advanceFrontier(const std::string &Volume);
+
   std::vector<Record> Records;
   uint64_t NextSeq = 1;
+  /// Per-volume scan position: index into Records below which every
+  /// record of that volume is committed or discarded.
+  std::unordered_map<std::string, size_t> Frontier;
+  std::function<void(uint64_t)> CommitHook;
 };
 
 } // namespace dmb

@@ -41,7 +41,32 @@ LustreClient::LustreClient(Scheduler &Sched, FileServer &Mds,
                            const LustreOptions &Opts, unsigned NodeIndex)
     : RpcClientBase(Sched, Opts.Client, NodeIndex + 1), Mds(Mds),
       VolId(Mds.volumeId(LustreFs::VolumeName)), Options(Opts),
-      NodeIndex(NodeIndex), Cache(Opts.AttrCacheTtl) {}
+      NodeIndex(NodeIndex), Cache(Opts.AttrCacheTtl) {
+  // Mount a write-behind queue when either the explicit policy or the
+  // legacy E17 writeback switch asks for one. The legacy switch maps onto
+  // the eager discipline with the historical dirty-op limit and ack cost.
+  WriteBehindPolicy Policy = Options.Client.WriteBehind;
+  if (!Policy.enabled() && Options.WritebackMetadata) {
+    Policy.Enabled = true;
+    Policy.DeferIssue = false;
+    Policy.MaxQueuedOps = Options.MaxDirtyOps;
+    Policy.LocalAckCost = Options.LocalAckCost;
+  }
+  if (Policy.enabled()) {
+    WriteBehindHooks Hooks;
+    Hooks.Issue = [this](const MetaRequest &R,
+                         std::function<void(MetaReply)> Reply) {
+      rpc(R, std::move(Reply));
+    };
+    Hooks.AllocXid = [this]() { return allocXid(); };
+    Hooks.ApplyEager = [this](const MetaRequest &R,
+                              std::function<void()> Committed) {
+      return this->Mds.processEager(VolId, R, std::move(Committed));
+    };
+    Hooks.Cache = &Cache;
+    WB.emplace(sched(), Policy, std::move(Hooks));
+  }
+}
 
 std::string LustreClient::describe() const {
   return format("lustre node=%u mds=%s writeback=%d", NodeIndex,
@@ -73,65 +98,39 @@ void LustreClient::rpc(const MetaRequest &Req, Callback Done) {
   });
 }
 
-void LustreClient::drainStalled() {
-  while (!Stalled.empty() && DirtyOps < Options.MaxDirtyOps) {
-    std::function<void()> Next = std::move(Stalled.front());
-    Stalled.erase(Stalled.begin());
-    Next();
-  }
-  if (DirtyOps == 0 && !FsyncWaiters.empty()) {
-    std::vector<std::function<void()>> Waiters = std::move(FsyncWaiters);
-    FsyncWaiters.clear();
-    for (std::function<void()> &W : Waiters)
-      W();
-  }
-}
-
-void LustreClient::submitWriteback(const MetaRequest &Req, Callback Done) {
-  if (DirtyOps >= Options.MaxDirtyOps) {
-    // Dirty limit reached: the operation blocks until the MDS drains.
-    Stalled.push_back(
-        [this, Req, Done = std::move(Done)]() mutable {
-          submitWriteback(Req, std::move(Done));
-        });
-    return;
-  }
-  ++DirtyOps;
-  // The state change happens now (the MDS will see operations in exactly
-  // this order); the reply is served from the client cache while the MDS
-  // commit drains in the background.
-  MetaReply Reply = Mds.processEager(VolId, Req, [this]() {
-    --DirtyOps;
-    drainStalled();
-  });
-  sched().after(Options.LocalAckCost,
-                [Done = std::move(Done), Reply = std::move(Reply)]() {
-                  Done(Reply);
-                });
-}
-
 void LustreClient::submit(const MetaRequest &Req, Callback Done) {
-  if (Req.Op == MetaOp::Fsync) {
-    if (DirtyOps == 0) {
-      sched().after(Options.LocalAckCost, [Done = std::move(Done)]() {
-        MetaReply Reply;
-        Done(Reply);
+  if (WB) {
+    if (Req.Op == MetaOp::Fsync) {
+      WB->fsync(Req, std::move(Done));
+      return;
+    }
+    if (WB->shouldQueue(Req)) {
+      WB->enqueue(Req, std::move(Done));
+      return;
+    }
+    if (WB->needsDrain(Req)) {
+      // A read around queued state: settle exactly the dependency closure
+      // this operation can observe, then go to the MDS.
+      WB->drainFor(Req, [this, Req, Done = std::move(Done)]() mutable {
+        submitDirect(WB->translate(Req), std::move(Done));
       });
       return;
     }
-    FsyncWaiters.push_back([this, Done = std::move(Done)]() {
+    submitDirect(WB->translate(Req), std::move(Done));
+    return;
+  }
+  if (Req.Op == MetaOp::Fsync) {
+    // Nothing is ever dirty on a synchronous client; fsync is local.
+    sched().after(Options.LocalAckCost, [Done = std::move(Done)]() {
       MetaReply Reply;
-      sched().after(0, [Done, Reply]() { Done(Reply); });
+      Done(Reply);
     });
     return;
   }
+  submitDirect(Req, std::move(Done));
+}
 
-  if (Options.WritebackMetadata && (isMutation(Req.Op) || isCreateLike(Req) ||
-                                    Req.Op == MetaOp::Close)) {
-    submitWriteback(Req, std::move(Done));
-    return;
-  }
-
+void LustreClient::submitDirect(const MetaRequest &Req, Callback Done) {
   if (Req.Op == MetaOp::Stat || Req.Op == MetaOp::Lstat) {
     if (std::optional<Attr> A = Cache.lookup(Req.Path, sched().now())) {
       sched().after(Options.CacheHitCost,

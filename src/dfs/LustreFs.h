@@ -24,9 +24,10 @@
 #include "dfs/DistributedFs.h"
 #include "dfs/FileServer.h"
 #include "dfs/RpcClientBase.h"
+#include "dfs/WriteBehind.h"
 #include "sim/Scheduler.h"
 #include <memory>
-#include <vector>
+#include <optional>
 
 namespace dmb {
 
@@ -89,21 +90,24 @@ public:
   std::string describe() const override;
 
   /// Mutations acked locally but not yet committed on the MDS.
-  unsigned dirtyOps() const { return DirtyOps; }
+  unsigned dirtyOps() const { return WB ? WB->dirtyOps() : 0; }
+
+  /// The write-behind queue, when one is mounted (legacy WritebackMetadata
+  /// or ClientConfig::WriteBehind). nullptr on a synchronous client.
+  const WriteBehindQueue *writeBehind() const {
+    return WB ? &*WB : nullptr;
+  }
 
 private:
   void rpc(const MetaRequest &Req, Callback Done);
-  void submitWriteback(const MetaRequest &Req, Callback Done);
-  void drainStalled();
+  void submitDirect(const MetaRequest &Req, Callback Done);
 
   FileServer &Mds;
   uint32_t VolId; ///< interned VolumeName, resolved once at mount
   LustreOptions Options;
   unsigned NodeIndex;
   AttrCache Cache;
-  unsigned DirtyOps = 0;
-  std::vector<std::function<void()>> Stalled;      ///< ops over dirty limit
-  std::vector<std::function<void()>> FsyncWaiters; ///< fsync barriers
+  std::optional<WriteBehindQueue> WB;
 };
 
 } // namespace dmb

@@ -50,7 +50,22 @@ NfsClient::NfsClient(Scheduler &Sched, FileServer &Server,
                      const NfsOptions &Opts, unsigned NodeIndex)
     : RpcClientBase(Sched, Opts.Client, NodeIndex + 1), Server(Server),
       VolId(Server.volumeId(NfsFs::VolumeName)), Options(Opts),
-      NodeIndex(NodeIndex), Cache(Opts.AttrCacheTtl) {}
+      NodeIndex(NodeIndex), Cache(Opts.AttrCacheTtl) {
+  if (Options.Client.WriteBehind.enabled()) {
+    WriteBehindHooks Hooks;
+    Hooks.Issue = [this](const MetaRequest &R,
+                         std::function<void(MetaReply)> Reply) {
+      rpc(R, std::move(Reply));
+    };
+    Hooks.AllocXid = [this]() { return allocXid(); };
+    Hooks.ApplyEager = [this](const MetaRequest &R,
+                              std::function<void()> Committed) {
+      return this->Server.processEager(VolId, R, std::move(Committed));
+    };
+    Hooks.Cache = &Cache;
+    WB.emplace(sched(), Options.Client.WriteBehind, std::move(Hooks));
+  }
+}
 
 std::string NfsClient::describe() const {
   return format("nfs3 node=%u server=%s", NodeIndex,
@@ -114,6 +129,28 @@ void NfsClient::rpc(const MetaRequest &Req, Callback Done) {
 }
 
 void NfsClient::submit(const MetaRequest &Req, Callback Done) {
+  if (WB) {
+    if (Req.Op == MetaOp::Fsync) {
+      WB->fsync(Req, std::move(Done));
+      return;
+    }
+    if (WB->shouldQueue(Req)) {
+      WB->enqueue(Req, std::move(Done));
+      return;
+    }
+    if (WB->needsDrain(Req)) {
+      WB->drainFor(Req, [this, Req, Done = std::move(Done)]() mutable {
+        submitDirect(WB->translate(Req), std::move(Done));
+      });
+      return;
+    }
+    submitDirect(WB->translate(Req), std::move(Done));
+    return;
+  }
+  submitDirect(Req, std::move(Done));
+}
+
+void NfsClient::submitDirect(const MetaRequest &Req, Callback Done) {
   // stat()/lstat() can be answered from the attribute cache within its TTL
   // — the reason StatFiles and StatNocacheFiles differ (\S 3.4.3).
   if (Req.Op == MetaOp::Stat || Req.Op == MetaOp::Lstat) {

@@ -22,8 +22,10 @@
 #include "dfs/DistributedFs.h"
 #include "dfs/FileServer.h"
 #include "dfs/RpcClientBase.h"
+#include "dfs/WriteBehind.h"
 #include "sim/Scheduler.h"
 #include <memory>
+#include <optional>
 
 namespace dmb {
 
@@ -82,8 +84,14 @@ public:
 
   const AttrCache &attrCache() const { return Cache; }
 
+  /// The write-behind queue, when ClientConfig::WriteBehind enabled one.
+  const WriteBehindQueue *writeBehind() const {
+    return WB ? &*WB : nullptr;
+  }
+
 private:
   void rpc(const MetaRequest &Req, Callback Done);
+  void submitDirect(const MetaRequest &Req, Callback Done);
   void postProcess(const MetaRequest &Req, const MetaReply &Reply);
 
   FileServer &Server;
@@ -91,6 +99,7 @@ private:
   NfsOptions Options;
   unsigned NodeIndex;
   AttrCache Cache;
+  std::optional<WriteBehindQueue> WB;
 };
 
 } // namespace dmb

@@ -205,14 +205,20 @@ private:
   };
 
   SimDuration timeoutFor(unsigned Attempt) const {
-    double T = static_cast<double>(Config.Retry.Timeout);
+    // The backoff train is computed step-by-step in integer sim-time: a
+    // real client arms each timer from the previous timer's (tick-rounded)
+    // value, so T_{i+1} = floor(T_i * F), saturating at MaxTimeout.
+    // Accumulating the whole train in a double and casting once at the end
+    // drifts from that sequence for non-power-of-two factors and can
+    // overshoot for large attempt counts.
+    SimDuration T = Config.Retry.Timeout;
     for (unsigned I = 0; I < Attempt; ++I) {
-      T *= Config.Retry.BackoffFactor;
-      if (T >= static_cast<double>(Config.Retry.MaxTimeout))
+      T = static_cast<SimDuration>(static_cast<double>(T) *
+                                   Config.Retry.BackoffFactor);
+      if (T >= Config.Retry.MaxTimeout)
         return Config.Retry.MaxTimeout;
     }
-    SimDuration Out = static_cast<SimDuration>(T);
-    return Out < Config.Retry.MaxTimeout ? Out : Config.Retry.MaxTimeout;
+    return T < Config.Retry.MaxTimeout ? T : Config.Retry.MaxTimeout;
   }
 
   void startAttempt(std::shared_ptr<Exchange> Ex) {

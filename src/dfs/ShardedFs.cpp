@@ -665,7 +665,21 @@ uint64_t ShardedFs::migrateEntry(unsigned SrcShard, unsigned DstShard,
 ShardedClient::ShardedClient(Scheduler &Sched, ShardedFs &Fs,
                              unsigned NodeIndex)
     : RpcClientBase(Sched, Fs.options().Client, NodeIndex + 1), Fs(Fs),
-      NodeIndex(NodeIndex) {}
+      NodeIndex(NodeIndex) {
+  WriteBehindPolicy Policy = Fs.options().Client.WriteBehind;
+  if (Policy.enabled()) {
+    // The sharded service has no single-server eager path; write-behind
+    // here is always the deferred pipeline.
+    Policy.DeferIssue = true;
+    WriteBehindHooks Hooks;
+    Hooks.Issue = [this](const MetaRequest &R,
+                         std::function<void(MetaReply)> Reply) {
+      submitDirect(R, std::move(Reply));
+    };
+    Hooks.AllocXid = [this]() { return allocXid(); };
+    WB.emplace(sched(), Policy, std::move(Hooks));
+  }
+}
 
 std::string ShardedClient::describe() const {
   return format("sharded node=%u shards=%u", NodeIndex, Fs.numShards());
@@ -755,6 +769,28 @@ ShardedClient::Route ShardedClient::route(const MetaRequest &Req) const {
 }
 
 void ShardedClient::submit(const MetaRequest &Req, Callback Done) {
+  if (WB) {
+    if (Req.Op == MetaOp::Fsync) {
+      WB->fsync(Req, std::move(Done));
+      return;
+    }
+    if (WB->shouldQueue(Req)) {
+      WB->enqueue(Req, std::move(Done));
+      return;
+    }
+    if (WB->needsDrain(Req)) {
+      WB->drainFor(Req, [this, Req, Done = std::move(Done)]() mutable {
+        submitDirect(WB->translate(Req), std::move(Done));
+      });
+      return;
+    }
+    submitDirect(WB->translate(Req), std::move(Done));
+    return;
+  }
+  submitDirect(Req, std::move(Done));
+}
+
+void ShardedClient::submitDirect(const MetaRequest &Req, Callback Done) {
   // Handle-based operations go to the shard that issued the handle.
   if (Req.Fh != InvalidHandle && Req.Op != MetaOp::Open) {
     auto It = Handles.find(Req.Fh);
@@ -789,8 +825,10 @@ void ShardedClient::submit(const MetaRequest &Req, Callback Done) {
   }
   // The Xid is allocated before the first attempt and pinned across
   // redirects: every re-issue of this operation — to whichever shard the
-  // refreshed map points at — carries the same DRC identity.
-  uint64_t Xid = allocXid();
+  // refreshed map points at — carries the same DRC identity. A request
+  // arriving with an Xid already stamped (the write-behind queue pins one
+  // at enqueue) keeps it.
+  uint64_t Xid = Req.Xid ? Req.Xid : allocXid();
   withSlot([this, Req, Xid, Done = std::move(Done)]() mutable {
     attempt(Req, Xid, Fs.options().MaxRedirects,
             [this, Done = std::move(Done)](MetaReply Reply) mutable {

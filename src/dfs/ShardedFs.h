@@ -34,9 +34,11 @@
 #include "dfs/FileServer.h"
 #include "dfs/PartitionMap.h"
 #include "dfs/RpcClientBase.h"
+#include "dfs/WriteBehind.h"
 #include "sim/Scheduler.h"
 #include <deque>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -249,6 +251,11 @@ public:
   /// Directory bitmaps currently cached.
   size_t cachedDirCount() const { return BitmapCache.size(); }
 
+  /// The write-behind queue, when ClientConfig::WriteBehind enabled one.
+  const WriteBehindQueue *writeBehind() const {
+    return WB ? &*WB : nullptr;
+  }
+
 private:
   struct HandleInfo {
     unsigned Shard = 0;
@@ -266,6 +273,10 @@ private:
 
   Route route(const MetaRequest &Req) const;
   uint64_t bitmapFor(uint64_t DirToken) const;
+  /// The routed issue path behind submit(): handle-op forwarding and
+  /// redirect-following path ops. Honors a pre-pinned Req.Xid (the
+  /// write-behind queue pins one per op at enqueue).
+  void submitDirect(const MetaRequest &Req, Callback Done);
   /// Issues one routed attempt; follows StaleMap redirects re-using
   /// \p Xid until RedirectsLeft runs out. Runs under one RPC slot.
   void attempt(const MetaRequest &Req, uint64_t Xid, unsigned RedirectsLeft,
@@ -279,6 +290,7 @@ private:
   uint64_t StaleRetries = 0;
   std::unordered_map<FileHandle, HandleInfo> Handles;
   FileHandle NextLocalFh = 1;
+  std::optional<WriteBehindQueue> WB;
 };
 
 } // namespace dmb

@@ -561,6 +561,66 @@ TEST(AnalyzeRules, ExaminedErrorLocalIsFine) {
 }
 
 //===----------------------------------------------------------------------===//
+// swallowed-completion-error
+//===----------------------------------------------------------------------===//
+
+TEST(AnalyzeRules, IgnoredCompletionReplyIsCaught) {
+  // With a write-behind queue the completion callback is the only place
+  // a deferred op's failure surfaces; naming the reply and ignoring it
+  // swallows that error.
+  std::vector<Finding> Fs = analyzeSources(
+      {{"src/dfs/Q.cpp",
+        "void touch(ClientFs &C, MetaRequest Op) {\n"
+        "  C.submit(Op, [](MetaReply R) {\n"
+        "    ++Acked;\n"
+        "  });\n"
+        "}\n"}});
+  ASSERT_EQ(1u, Fs.size());
+  EXPECT_EQ(2, Fs[0].Line);
+  EXPECT_EQ("swallowed-completion-error", Fs[0].Rule);
+  EXPECT_NE(std::string::npos, Fs[0].Message.find("'R'"));
+  EXPECT_NE(std::string::npos, Fs[0].Message.find("swallowed"));
+}
+
+TEST(AnalyzeRules, ReplyFieldReadWithoutErrorCheckIsStillSwallowed) {
+  // Reading .Fh alone consumes the payload but not the verdict.
+  std::vector<Finding> Fs = analyzeSources(
+      {{"src/dfs/Q.cpp",
+        "void touch(ClientFs &C, MetaRequest Op) {\n"
+        "  C.submit(Op, [this](MetaReply R) {\n"
+        "    Fh = R.Fh;\n"
+        "  });\n"
+        "}\n"}});
+  ASSERT_EQ(1u, Fs.size());
+  EXPECT_EQ("swallowed-completion-error", Fs[0].Rule);
+}
+
+TEST(AnalyzeRules, ExaminedOrForwardedCompletionReplyIsFine) {
+  // Checking ok()/Err, forwarding the whole reply, or dropping the
+  // parameter name (the async analogue of a (void) cast) are all
+  // sanctioned; so is a lambda handed to an unrelated API.
+  EXPECT_TRUE(analyzeSources(
+                  {{"src/dfs/Q.cpp",
+                    "void a(ClientFs &C, MetaRequest Op) {\n"
+                    "  C.submit(Op, [](MetaReply R) {\n"
+                    "    if (!R.ok()) note(R.Err);\n"
+                    "  });\n"
+                    "}\n"
+                    "void b(ClientFs &C, MetaRequest Op, Callback Done) {\n"
+                    "  C.submit(Op, [Done](MetaReply R) {\n"
+                    "    Done(std::move(R));\n"
+                    "  });\n"
+                    "}\n"
+                    "void c(ClientFs &C, MetaRequest Op) {\n"
+                    "  C.submit(Op, [](MetaReply) {});\n"
+                    "}\n"
+                    "void d(Visitor &V, MetaRequest Op) {\n"
+                    "  V.visit(Op, [](MetaReply R) {});\n"
+                    "}\n"}})
+                  .empty());
+}
+
+//===----------------------------------------------------------------------===//
 // blocking-in-callback
 //===----------------------------------------------------------------------===//
 
@@ -929,7 +989,8 @@ TEST(AnalyzeRealTree, SourceTreeIsClean) {
 TEST(AnalyzeRealTree, InterproceduralRulesAreRegistered) {
   const std::vector<std::string> &Names = analyzeRuleNames();
   for (const char *R : {"determinism-taint", "error-path-propagation",
-                        "blocking-in-callback"})
+                        "blocking-in-callback",
+                        "swallowed-completion-error"})
     EXPECT_NE(Names.end(), std::find(Names.begin(), Names.end(), R)) << R;
 }
 

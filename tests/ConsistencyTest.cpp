@@ -284,6 +284,97 @@ TEST(Journal, UncommittedOpsAreLostButFsStaysConsistent) {
   EXPECT_EQ(0u, Server.journal()->uncommittedCount("v"));
 }
 
+TEST(Journal, CommitHoldsOutOfOrderPersists) {
+  // The committed set must stay a per-volume log prefix: a redo log is
+  // only usable up to its first hole, so a stable write that finishes
+  // before its predecessors is held and released in log order.
+  MetadataJournal J;
+  uint64_t A1 = *J.append("a", makeMkdir("/x"), 0);
+  uint64_t A2 = *J.append("a", makeMkdir("/x/y"), 0);
+  uint64_t B1 = *J.append("b", makeMkdir("/z"), 0);
+
+  std::vector<uint64_t> HookOrder;
+  J.onCommit([&HookOrder](uint64_t Seq) { HookOrder.push_back(Seq); });
+
+  J.commit(A2); // out of order: A1 is still a hole
+  EXPECT_FALSE(J.isCommitted(A2));
+  J.commit(B1); // a different volume has no hole
+  EXPECT_TRUE(J.isCommitted(B1));
+  J.commit(A1); // fills the hole: A1 then A2 commit, in log order
+  EXPECT_TRUE(J.isCommitted(A1));
+  EXPECT_TRUE(J.isCommitted(A2));
+  EXPECT_EQ((std::vector<uint64_t>{B1, A1, A2}), HookOrder);
+}
+
+TEST(Journal, CommitAllDoesNotResurrectDiscarded) {
+  MetadataJournal J;
+  uint64_t S1 = *J.append("v", makeMkdir("/a"), 0);
+  uint64_t S2 = *J.append("v", makeMkdir("/b"), 0);
+  J.commit(S1);
+  EXPECT_EQ(1u, J.discardUncommitted("v")); // the crash destroys S2
+  J.commitAll();                            // sync-journal mode catch-up
+  EXPECT_TRUE(J.isCommitted(S1));
+  EXPECT_FALSE(J.isCommitted(S2));
+  EXPECT_TRUE(J.isDiscarded(S2));
+}
+
+TEST(Journal, CrashDuringOutOfOrderCommitRecoversPrefix) {
+  // Regression for the batched-commit replay bug: a multi-threaded server
+  // finishes cheap stable writes before expensive earlier ones. If the
+  // cheap record commits alone and the crash discards its predecessors,
+  // replay applies an operation to the wrong file incarnation and the
+  // recovered state matches NO prefix of the execution.
+  Scheduler S;
+  ServerConfig Cfg;
+  Cfg.CpuThreads = 4; // the three burst ops run concurrently
+  Cfg.Costs.BaseMetaOp = microseconds(90);
+  Cfg.Costs.PerInodeTouched = microseconds(4);
+  Cfg.Costs.PerDirEntryWritten = microseconds(8);
+  Cfg.CommitLatency = microseconds(20);
+  FileServer Server(S, Cfg);
+  Server.addVolume("v");
+  Server.enableJournal();
+
+  // Fully committed baseline: /f exists with default mode.
+  MetaReply O;
+  Server.process("v", makeOpen("/f", OpenWrite | OpenCreate),
+                 [&O](MetaReply R) { O = std::move(R); });
+  S.run();
+  ASSERT_TRUE(O.ok());
+
+  // One burst, executed in submit order at arrival: /f becomes /g, a new
+  // /f is created, and the NEW /f is chmodded. The chmod touches the
+  // least state, so its stable write finishes first (~119 us), before the
+  // create (~135 us) and the rename (~147 us).
+  SimTime T0 = S.now();
+  Server.process("v", makeRename("/f", "/g"), [](MetaReply) {});
+  Server.process("v", makeOpen("/f", OpenWrite | OpenCreate),
+                 [](MetaReply) {});
+  MetaRequest Chmod;
+  Chmod.Op = MetaOp::Chmod;
+  Chmod.Path = "/f";
+  Chmod.Mode = 0700;
+  Server.process("v", Chmod, [](MetaReply) {});
+
+  // Crash inside the window where only the chmod's stable write is done.
+  S.runUntil(T0 + microseconds(126));
+  uint64_t Lost = Server.crashAndRecover("v");
+
+  // All three burst records are lost: the chmod's persisted record sits
+  // behind the rename/create holes, so it cannot survive alone. Before
+  // the fix only the rename and create were lost, and replay left the
+  // ORIGINAL /f carrying the new file's mode 0700 with /g missing —
+  // a state no prefix of the execution ever had.
+  EXPECT_EQ(3u, Lost);
+  LocalFileSystem *Vol = Server.volume("v");
+  OpCtx Ctx = userCtx();
+  Result<Attr> F = Vol->stat(Ctx, "/f");
+  ASSERT_TRUE(F.ok());
+  EXPECT_EQ(0644u, F->Mode & 0777u);
+  EXPECT_EQ(FsError::NoEnt, Vol->stat(Ctx, "/g").error());
+  EXPECT_TRUE(Vol->fsck().clean());
+}
+
 TEST(Journal, RecoveredVolumeKeepsWorking) {
   Scheduler S;
   FileServer Server(S, ServerConfig());

@@ -413,6 +413,55 @@ TEST(Lustre, DirtyLimitThrottles) {
   EXPECT_EQ(64, Acked);
 }
 
+TEST(Lustre, QueuedChmodShadowsCachedAttrs) {
+  // Regression: a mutation sitting in the write-back queue must shadow
+  // the attribute cache the moment it is enqueued. Before the fix the
+  // cached entry survived, and a stat between the local ack and the
+  // commit was served the pre-chmod mode from the cache.
+  Scheduler S;
+  LustreOptions Opts;
+  Opts.WritebackMetadata = true;
+  LustreFs Fs(S, Opts);
+  std::unique_ptr<ClientFs> C = Fs.makeClient(0);
+  ASSERT_EQ(FsError::Ok, touch(S, *C, "/f"));
+  MetaReply St = runSync(S, *C, makeStat("/f"));
+  ASSERT_TRUE(St.ok());
+  ASSERT_NE(0700u, St.A.Mode & 0777u);
+
+  MetaRequest Chmod;
+  Chmod.Op = MetaOp::Chmod;
+  Chmod.Path = "/f";
+  Chmod.Mode = 0700;
+  C->submit(Chmod, [](MetaReply R) { ASSERT_TRUE(R.ok()); });
+  // No drain in between: this stat must revalidate at the MDS (which has
+  // already applied the queued chmod) instead of hitting the cache.
+  MetaReply St2 = runSync(S, *C, makeStat("/f"));
+  ASSERT_TRUE(St2.ok());
+  EXPECT_EQ(0700u, St2.A.Mode & 0777u);
+}
+
+TEST(Lustre, QueuedUnlinkShadowsParentDirAttrs) {
+  // Companion regression: namespace mutations (create/unlink/rename) also
+  // change the *parent directory's* attributes, so enqueuing one must
+  // evict the parent's cache entry too.
+  Scheduler S;
+  LustreOptions Opts;
+  Opts.WritebackMetadata = true;
+  LustreFs Fs(S, Opts);
+  std::unique_ptr<ClientFs> C = Fs.makeClient(0);
+  ASSERT_EQ(FsError::Ok, runSync(S, *C, makeMkdir("/d")).Err);
+  ASSERT_EQ(FsError::Ok, touch(S, *C, "/d/f"));
+  MetaReply St = runSync(S, *C, makeStat("/d"));
+  ASSERT_TRUE(St.ok());
+
+  C->submit(makeUnlink("/d/f"), [](MetaReply R) { ASSERT_TRUE(R.ok()); });
+  MetaReply St2 = runSync(S, *C, makeStat("/d"));
+  ASSERT_TRUE(St2.ok());
+  // The unlink bumped the directory's mtime at the MDS; a cache hit would
+  // still show the old timestamp.
+  EXPECT_GT(St2.A.Mtime, St.A.Mtime);
+}
+
 //===----------------------------------------------------------------------===//
 // AFS
 //===----------------------------------------------------------------------===//

@@ -206,6 +206,29 @@ TEST(Fault, BackoffCapsAtMaxTimeout) {
   EXPECT_EQ(T0 + milliseconds(16), S.now());
 }
 
+TEST(Fault, BackoffTrainIsExactInIntegerSimTime) {
+  // A real client arms each retransmit timer from the previous timer's
+  // tick-rounded value: T_{i+1} = floor(T_i * F). For a non-power-of-two
+  // factor that sequence diverges from accumulating the whole train in a
+  // double and truncating once — 5000 ns * 1.5^6 = 56953.125 rounds to
+  // 56953, but the step-by-step train reaches floor(37968 * 1.5) = 56952.
+  Scheduler S;
+  NfsOptions O;
+  O.Client.Retry.Timeout = nanoseconds(5000);
+  O.Client.Retry.BackoffFactor = 1.5;
+  O.Client.Retry.MaxTimeout = seconds(1);
+  O.Client.Retry.MaxRetransmits = 6;
+  O.Client.Net.Faults.DropProbability = 1.0; // the link is dead
+  NfsFs Fs(S, O);
+  std::unique_ptr<ClientFs> Client = Fs.makeClient(0);
+
+  SimTime T0 = S.now();
+  MetaReply R = runSync(S, *Client, makeMkdir("/d"));
+  EXPECT_EQ(FsError::TimedOut, R.Err);
+  // 5000 + 7500 + 11250 + 16875 + 25312 + 37968 + 56952.
+  EXPECT_EQ(T0 + nanoseconds(160857), S.now());
+}
+
 //===----------------------------------------------------------------------===//
 // Duplicate-request cache
 //===----------------------------------------------------------------------===//

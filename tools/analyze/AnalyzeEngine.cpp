@@ -132,6 +132,10 @@ public:
       if (lifetimeScope(F.RelPath)) {
         checkCallbackLifetime(F);
         checkBlockingInCallback(F);
+        // tests/ and bench/ are exempt for the same reason as
+        // callback-lifetime: they assert on final state, so an ignored
+        // completion there is a deliberate fixture shape.
+        checkSwallowedCompletionErrors(F);
       }
       if (startsWith(F.RelPath, "src/") && endsWith(F.RelPath, ".h"))
         checkNodiscardAnnotations(F);
@@ -813,6 +817,92 @@ private:
   }
 
   //===--------------------------------------------------------------------===
+  // Rule: swallowed-completion-error
+  //===--------------------------------------------------------------------===
+
+  /// Async submission APIs whose completion callback receives the
+  /// operation's MetaReply. With a write-behind queue between the caller
+  /// and the server, the reply delivered here is the only place a
+  /// deferred op's failure ever surfaces — a completion that names the
+  /// reply but never examines or forwards it swallows that error.
+  static bool isCompletionApi(const std::string &Name) {
+    return Name == "submit" || Name == "enqueue" || Name == "rpc" ||
+           Name == "transact" || Name == "process" || Name == "processEager";
+  }
+
+  void checkSwallowedCompletionErrors(const SourceFile &F) {
+    const std::vector<Token> &T = F.Toks.Tokens;
+    for (size_t I = 0; I + 1 < T.size(); ++I) {
+      if (T[I].Kind != TokKind::Ident || !isCompletionApi(T[I].Text) ||
+          !isPunct(T[I + 1], "("))
+        continue;
+      size_t Close = matchForward(T, I + 1);
+      if (Close >= T.size())
+        continue;
+      for (size_t J = I + 2; J < Close; ++J) {
+        if (!isLambdaIntroducer(T, J))
+          continue;
+        size_t CapClose = matchForward(T, J);
+        if (CapClose >= Close || !isPunct(T[CapClose + 1], "("))
+          continue;
+        size_t ParClose = matchForward(T, CapClose + 1);
+        if (ParClose >= Close)
+          continue;
+        // An unnamed `(MetaReply)` parameter is the sanctioned explicit
+        // discard, like `(void)` on a synchronous call.
+        std::string Name;
+        for (size_t K = CapClose + 2; K < ParClose; ++K) {
+          if (!isIdent(T[K], "MetaReply"))
+            continue;
+          size_t N = K + 1;
+          while (N < ParClose &&
+                 (isPunct(T[N], "&") || isPunct(T[N], "&&") ||
+                  isIdent(T[N], "const")))
+            ++N;
+          if (N < ParClose && T[N].Kind == TokKind::Ident)
+            Name = T[N].Text;
+          break;
+        }
+        if (Name.empty()) {
+          J = CapClose;
+          continue;
+        }
+        size_t BodyOpen = ParClose + 1;
+        while (BodyOpen < Close && (T[BodyOpen].Kind == TokKind::Ident ||
+                                    isPunct(T[BodyOpen], "->")))
+          ++BodyOpen; // mutable / noexcept / trailing return type
+        if (BodyOpen >= Close || !isPunct(T[BodyOpen], "{")) {
+          J = CapClose;
+          continue;
+        }
+        size_t BodyClose = matchForward(T, BodyOpen);
+        bool Examined = false;
+        for (size_t K = BodyOpen + 1; K < BodyClose && !Examined; ++K) {
+          if (T[K].Kind != TokKind::Ident || T[K].Text != Name)
+            continue;
+          if (isPunct(T[K + 1], ".")) {
+            // A field read examines the error only if it is the error.
+            if (isIdent(T[K + 2], "Err") || isIdent(T[K + 2], "ok"))
+              Examined = true;
+          } else {
+            // A bare use forwards or stores the whole reply; whoever
+            // receives it owns the error from here.
+            Examined = true;
+          }
+        }
+        if (!Examined)
+          emit(F, T[J].Line, "swallowed-completion-error",
+               "completion of '" + T[I].Text + "()' names its MetaReply '" +
+                   Name + "' but never checks " + Name + ".Err/" + Name +
+                   ".ok() nor forwards it; the enqueued op's failure is "
+                   "silently swallowed — examine it or drop the parameter "
+                   "name to discard explicitly");
+        J = BodyClose < Close ? BodyClose : CapClose;
+      }
+    }
+  }
+
+  //===--------------------------------------------------------------------===
   // Rule: determinism-taint
   //===--------------------------------------------------------------------===
 
@@ -1306,6 +1396,7 @@ const std::vector<std::string> &dmb::analyze::analyzeRuleNames() {
       "callback-lifetime",    "discarded-error",
       "nodiscard-annotation", "determinism-taint",
       "error-path-propagation", "blocking-in-callback",
+      "swallowed-completion-error",
       "layering",             "include-cycle",
       "unused-include"};
   return Names;

@@ -40,6 +40,13 @@
 ///    declared in a header without [[nodiscard]] — the compile-time half
 ///    of discarded-error ( -Werror turns the compiler into the second
 ///    gate).
+///  - swallowed-completion-error: a completion lambda handed to an async
+///    submission API (submit/enqueue/rpc/transact/process/processEager)
+///    that names its MetaReply parameter but never reads .Err/.ok() nor
+///    forwards the reply. With the write-behind queue the completion is
+///    the only place a deferred op's failure surfaces, so ignoring it
+///    swallows the error; an unnamed `(MetaReply)` parameter is the
+///    sanctioned explicit discard. tests/ and bench/ are exempt.
 ///  - layering / include-cycle / unused-include: see IncludeGraph.h.
 ///
 /// Interprocedural rules (built on analyze/SymbolTable.h and

@@ -15,7 +15,9 @@
 #      build/BENCH_engine.json),
 #   6. the fault-injection smoke: bench_fault_degradation (E29) exits
 #      nonzero when the op ledger, the post-run fsck or the determinism
-#      check fails,
+#      check fails — and the E30 (sharded) and E31 (write-behind
+#      crash-consistency) self-checking benches, whose JSON must
+#      reproduce the committed BENCH_E30.json / BENCH_E31.json,
 #   7. the trace and fault tests rebuilt under ASan+UBSan (always — the
 #      trace layer threads ids through every queue, and the retry path
 #      keeps exchange state alive across timer-cancelled attempts; both
@@ -99,6 +101,15 @@ step "sharded-metadata smoke (E30: scale-out, rebalance, kill-one-shard)"
 # committed BENCH_E30.json.
 "$ROOT/build/bench/bench_sharded_saturation" --out "$ROOT/build/BENCH_E30.json"
 cmp "$ROOT/build/BENCH_E30.json" "$ROOT/BENCH_E30.json"
+
+step "write-behind audit smoke (E31: mid-batch crash, exactly-once ledger)"
+# Self-checking: the binary exits nonzero when a barrier-confirmed op is
+# lost, double-applied or reordered across the mid-batch MDS crash, when
+# the deferred and synchronous trees diverge, or when the run is not
+# bit-for-bit replayable / schedule-invariant. Deterministic simulation:
+# the JSON must reproduce the committed BENCH_E31.json.
+"$ROOT/build/bench/bench_writebehind_audit" --out "$ROOT/build/BENCH_E31.json"
+cmp "$ROOT/build/BENCH_E31.json" "$ROOT/BENCH_E31.json"
 
 if [ -n "$SANITIZE" ]; then
   step "sanitizer build (build-sanitize/, DMB_SANITIZE=$SANITIZE)"
