@@ -62,7 +62,8 @@ struct Chain {
       return;
     // Varying delays keep many chains interleaved in the queue, so heap
     // maintenance runs against a realistically deep pending set.
-    S->after(50 + (Remaining % 17), [C = *this]() mutable { C.fire(); });
+    S->after(static_cast<SimDuration>(50 + (Remaining % 17)),
+             [C = *this]() mutable { C.fire(); });
   }
 };
 
@@ -72,8 +73,9 @@ struct RawResult {
   double EventsPerSec = 0;
 };
 
-RawResult rawSchedulerThroughput(uint64_t TargetEvents, unsigned Chains) {
-  Scheduler S;
+RawResult rawSchedulerThroughput(uint64_t TargetEvents, unsigned Chains,
+                                 const SchedulerConfig &Config = {}) {
+  Scheduler S(Config);
   uint64_t PerChain = TargetEvents / Chains;
   for (unsigned I = 0; I < Chains; ++I) {
     Chain C;
@@ -151,6 +153,68 @@ std::string jsonScenario(const ScenarioResult &R) {
                 R.SimOpsPerSec);
 }
 
+/// Peak resident set size (VmHWM) in kilobytes, or 0 when /proc is not
+/// readable. The high-water mark is monotonic, so running curve points in
+/// ascending client order lets the delta across the largest point isolate
+/// its incremental footprint.
+long readVmHwmKb() {
+  std::ifstream In("/proc/self/status");
+  std::string Line;
+  while (std::getline(In, Line))
+    if (Line.rfind("VmHWM:", 0) == 0)
+      return std::strtol(Line.c_str() + 6, nullptr, 10);
+  return 0;
+}
+
+struct CurvePoint {
+  unsigned Clients = 0;
+  unsigned Nodes = 0;
+  unsigned Ppn = 0;
+  uint64_t SimOps = 0;
+  uint64_t Events = 0;
+  double WallSec = 0;
+  double EventsPerSec = 0;
+};
+
+/// One scale-out point: a full Master combination with Clients simulated
+/// worker processes (8 per node) against a single NFS server, on the
+/// calendar event queue. The per-worker problem is kept tiny — the point
+/// measures the engine's cost per client (events retired per wall second
+/// and bytes of state), not file system throughput.
+CurvePoint runCurvePoint(unsigned Clients) {
+  unsigned Ppn = 8;
+  unsigned Nodes = std::max(1u, Clients / Ppn);
+  SchedulerConfig Config;
+  Config.Queue = EventQueueKind::Calendar;
+  Scheduler S(Config);
+  Cluster C(S, Nodes, Ppn);
+  NfsFs Fs(S);
+  C.mountEverywhere(Fs);
+
+  BenchParams P;
+  P.Operations = {"MakeFiles"};
+  P.ProblemSize = 1000;
+  P.TimeLimit = seconds(0.01);
+  MpiEnvironment Env = MpiEnvironment::uniform(Nodes, Ppn + 1);
+  Master M(C, Env, Fs.name(), P);
+
+  double T0 = wallSeconds();
+  ResultSet Res = M.runCombination(Nodes, Ppn);
+  double T1 = wallSeconds();
+
+  CurvePoint Pt;
+  Pt.Clients = Nodes * Ppn;
+  Pt.Nodes = Nodes;
+  Pt.Ppn = Ppn;
+  for (const SubtaskResult &Sub : Res.Subtasks)
+    Pt.SimOps += summarize(Sub).TotalOps;
+  Pt.Events = S.executedEvents();
+  Pt.WallSec = T1 - T0;
+  Pt.EventsPerSec =
+      Pt.WallSec > 0 ? static_cast<double>(Pt.Events) / Pt.WallSec : 0;
+  return Pt;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -161,6 +225,7 @@ int main(int Argc, char **Argv) {
   // adds ProblemSize fixed-size stats per worker process.
   uint64_t ProblemSize = 65536;
   double TimeLimitSec = 75.0;
+  uint64_t CurveMax = 1048576;
   std::string Out = "BENCH_engine.json";
   std::string Label = "current";
 
@@ -177,6 +242,8 @@ int main(int Argc, char **Argv) {
       ProblemSize = std::strtoull(Val(), nullptr, 10);
     else if (!std::strcmp(Arg, "--timelimit"))
       TimeLimitSec = std::strtod(Val(), nullptr);
+    else if (!std::strcmp(Arg, "--curve-max"))
+      CurveMax = std::strtoull(Val(), nullptr, 10);
     else if (!std::strcmp(Arg, "--out"))
       Out = Val();
     else if (!std::strcmp(Arg, "--label"))
@@ -184,8 +251,8 @@ int main(int Argc, char **Argv) {
     else {
       std::fprintf(stderr,
                    "usage: bench_engine_throughput [--events N] [--chains N]"
-                   " [--problemsize N] [--timelimit SEC] [--out FILE]"
-                   " [--label NAME]\n");
+                   " [--problemsize N] [--timelimit SEC] [--curve-max N]"
+                   " [--out FILE] [--label NAME]\n");
       return 2;
     }
   }
@@ -201,6 +268,14 @@ int main(int Argc, char **Argv) {
               (unsigned long long)Raw.Events, Raw.WallSec,
               Raw.EventsPerSec);
 
+  SchedulerConfig CalConfig;
+  CalConfig.Queue = EventQueueKind::Calendar;
+  RawResult RawCal = rawSchedulerThroughput(RawEvents, Chains, CalConfig);
+  std::printf("raw scheduler (calendar queue): %llu events in %.3f s -> "
+              "%.0f events/s\n",
+              (unsigned long long)RawCal.Events, RawCal.WallSec,
+              RawCal.EventsPerSec);
+
   ScenarioResult Nfs = runScenario("nfs", {"MakeFiles", "StatFiles"},
                                    ProblemSize, TimeLimitSec, 2, 4);
   std::printf("nfs MakeFiles+StatFiles: %llu sim ops in %.3f s wall -> "
@@ -215,6 +290,46 @@ int main(int Argc, char **Argv) {
               (unsigned long long)Lustre.SimOps, Lustre.WallSec,
               Lustre.OpsPerWallSec, Lustre.SimOpsPerSec);
 
+  // Clients-vs-throughput scale curve (ROADMAP item 2): geometric client
+  // counts up to --curve-max, each a full Master combination on the
+  // calendar queue. Ascending order makes the VmHWM delta across the
+  // largest point its incremental footprint -> bytes per client.
+  std::vector<CurvePoint> Curve;
+  long BytesPerClient = 0;
+  for (uint64_t Clients : {1024ull, 4096ull, 16384ull, 65536ull, 262144ull,
+                           1048576ull}) {
+    if (Clients > CurveMax)
+      break;
+    long HwmBefore = readVmHwmKb();
+    CurvePoint Pt = runCurvePoint(static_cast<unsigned>(Clients));
+    long HwmAfter = readVmHwmKb();
+    std::printf("scale %7u clients (%6u nodes x %u): %llu sim ops, "
+                "%llu events in %.3f s -> %.0f events/s\n",
+                Pt.Clients, Pt.Nodes, Pt.Ppn,
+                (unsigned long long)Pt.SimOps,
+                (unsigned long long)Pt.Events, Pt.WallSec, Pt.EventsPerSec);
+    if (HwmAfter > HwmBefore && Pt.Clients > 0)
+      BytesPerClient =
+          (HwmAfter - HwmBefore) * 1024L / static_cast<long>(Pt.Clients);
+    Curve.push_back(Pt);
+  }
+  if (!Curve.empty())
+    std::printf("bytes per client at %u clients: %ld\n",
+                Curve.back().Clients, BytesPerClient);
+
+  std::string CurveJson = "[";
+  for (size_t I = 0; I < Curve.size(); ++I) {
+    const CurvePoint &Pt = Curve[I];
+    CurveJson += format("%s\n    {\"clients\": %u, \"nodes\": %u, "
+                        "\"ppn\": %u, \"sim_ops\": %llu, \"events\": %llu, "
+                        "\"wall_s\": %.3f, \"events_per_sec\": %.0f}",
+                        I ? "," : "", Pt.Clients, Pt.Nodes, Pt.Ppn,
+                        (unsigned long long)Pt.SimOps,
+                        (unsigned long long)Pt.Events, Pt.WallSec,
+                        Pt.EventsPerSec);
+  }
+  CurveJson += "\n  ]";
+
   std::string Json = format(
       "{\n"
       "  \"bench\": \"engine_throughput\",\n"
@@ -223,13 +338,19 @@ int main(int Argc, char **Argv) {
       "             \"problemsize\": %llu, \"timelimit_s\": %.1f},\n"
       "  \"raw_scheduler\": {\"events\": %llu, \"wall_s\": %.3f, "
       "\"events_per_sec\": %.0f},\n"
+      "  \"raw_scheduler_calendar\": {\"events\": %llu, \"wall_s\": %.3f, "
+      "\"events_per_sec\": %.0f},\n"
       "  \"nfs_makefiles_statfiles\": %s,\n"
-      "  \"lustre_makefiles\": %s\n"
+      "  \"lustre_makefiles\": %s,\n"
+      "  \"scale_curve\": %s,\n"
+      "  \"bytes_per_client\": %ld\n"
       "}\n",
       Label.c_str(), (unsigned long long)RawEvents, Chains,
       (unsigned long long)ProblemSize, TimeLimitSec,
       (unsigned long long)Raw.Events, Raw.WallSec, Raw.EventsPerSec,
-      jsonScenario(Nfs).c_str(), jsonScenario(Lustre).c_str());
+      (unsigned long long)RawCal.Events, RawCal.WallSec, RawCal.EventsPerSec,
+      jsonScenario(Nfs).c_str(), jsonScenario(Lustre).c_str(),
+      CurveJson.c_str(), BytesPerClient);
 
   std::ofstream(Out) << Json;
   std::printf("\nwrote %s\n", Out.c_str());

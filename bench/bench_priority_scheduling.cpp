@@ -44,7 +44,7 @@ std::pair<double, double> runWeighted(double W0, double W1) {
     WorkerConfig W;
     W.Rank = static_cast<int>(I + 1);
     W.Ordinal = I;
-    W.Hostname = C.node(0).hostname();
+    W.Hostname = &C.node(0).hostname();
     W.Client = C.node(0).mount("nfs");
     W.Cpu = &C.node(0).cpu();
     W.CpuWeight = I == 0 ? W0 : W1;

@@ -67,7 +67,7 @@ TenantRates runShared(double AggressorLimit) {
       WorkerConfig W;
       W.Rank = static_cast<int>(FirstNode + I + 1);
       W.Ordinal = I;
-      W.Hostname = Node.hostname();
+      W.Hostname = &Node.hostname();
       W.Client = Node.mount("nfs");
       W.Cpu = &Node.cpu();
       Spec.Workers.push_back(W);

@@ -55,7 +55,7 @@ SubtaskResult Master::runSubtask(const PlanEntry &Entry,
     WorkerConfig W;
     W.Rank = Rank;
     W.Ordinal = I;
-    W.Hostname = Node.hostname();
+    W.Hostname = &Node.hostname();
     W.Client = Node.mount(FsName);
     DMB_ASSERT(W.Client, "file system not mounted on node");
     W.Cpu = &Node.cpu();

@@ -44,8 +44,7 @@ void SubtaskRunner::run(std::function<void(SubtaskResult)> OnDone) {
     Ctx.ProblemSize = Spec.Params.ProblemSize;
     Ctx.Creds = Spec.Params.Creds;
     Instances.push_back(Spec.Plugin->makeInstance(Ctx));
-    Workers.push_back(
-        std::make_unique<WorkerProcess>(Sched, Spec.Workers[I]));
+    Workers.emplace(Sched, Spec.Workers[I]);
   }
   BenchFailures.assign(Workers.size(), 0);
 
@@ -58,7 +57,8 @@ void SubtaskRunner::ensureWorkDirs(std::function<void()> Then) {
   // file system the duplicates return EEXIST; on node-local file systems
   // each OS instance needs its own copy of the directory tree.
   std::set<std::string> Dirs;
-  for (const std::string &D : Spec.WorkDirs) {
+  for (uint32_t Id = 0, E = Spec.WorkDirs.distinct(); Id != E; ++Id) {
+    const std::string &D = Spec.WorkDirs.distinctAt(Id);
     std::vector<std::string> Parts = split(D, '/');
     std::string Path;
     for (const std::string &P : Parts) {
@@ -68,12 +68,15 @@ void SubtaskRunner::ensureWorkDirs(std::function<void()> Then) {
       Dirs.insert(Path);
     }
   }
-  // Deduplicate clients in Spec.Workers order, NOT via a pointer set: a
-  // std::set<ClientFs *> iterates in address order, which would make the
-  // mkdir sequence (and with it the whole schedule) differ between runs.
+  // Deduplicate clients in Spec.Workers order, NOT via a pointer set's
+  // iteration: a std::set<ClientFs *> iterates in address order, which
+  // would make the mkdir sequence (and with it the whole schedule) differ
+  // between runs. The set is only a membership test; order comes from the
+  // workers (linear, not quadratic — a million-worker spec visits here).
   std::vector<ClientFs *> Clients;
+  std::set<ClientFs *> SeenClients;
   for (const WorkerConfig &W : Spec.Workers)
-    if (std::find(Clients.begin(), Clients.end(), W.Client) == Clients.end())
+    if (SeenClients.insert(W.Client).second)
       Clients.push_back(W.Client);
 
   auto Pending =
@@ -86,15 +89,16 @@ void SubtaskRunner::ensureWorkDirs(std::function<void()> Then) {
   auto Step = std::make_shared<std::function<void()>>();
   // The chain's continuations hold the only strong references; the step
   // function itself captures weakly, or the chain would keep itself alive
-  // forever (shared_ptr cycle).
+  // forever (shared_ptr cycle). Next walks by index: erasing the vector
+  // front would be quadratic over hundreds of thousands of mkdirs.
+  auto NextIdx = std::make_shared<size_t>(0);
   std::weak_ptr<std::function<void()>> WeakStep = Step;
-  *Step = [Pending, ThenPtr, WeakStep]() {
-    if (Pending->empty()) {
+  *Step = [Pending, NextIdx, ThenPtr, WeakStep]() {
+    if (*NextIdx == Pending->size()) {
       (*ThenPtr)();
       return;
     }
-    auto [Client, Dir] = Pending->front();
-    Pending->erase(Pending->begin());
+    auto [Client, Dir] = (*Pending)[(*NextIdx)++];
     auto Next = WeakStep.lock();
     Client->submit(makeMkdir(Dir), [Next](MetaReply) { (*Next)(); });
   };
@@ -119,7 +123,7 @@ void SubtaskRunner::runPhaseAll(int PhaseIndex, std::function<void()> Then) {
   }
 
   for (unsigned I = 0, E = Workers.size(); I != E; ++I) {
-    WorkerProcess &W = *Workers[I];
+    WorkerProcess &W = Workers[I];
     std::unique_ptr<OpStream> Stream;
     switch (PhaseIndex) {
     case 0:
@@ -164,11 +168,12 @@ void SubtaskRunner::finish() {
   Result.BenchStart = BenchStart;
   Result.Interval = Spec.Params.LogInterval;
   for (unsigned I = 0, E = Workers.size(); I != E; ++I) {
-    WorkerProcess &W = *Workers[I];
+    WorkerProcess &W = Workers[I];
     ProcessTrace Trace;
     Trace.Rank = Spec.Workers[I].Rank;
     Trace.Ordinal = I;
-    Trace.Hostname = Spec.Workers[I].Hostname;
+    Trace.Hostname =
+        Spec.Workers[I].Hostname ? *Spec.Workers[I].Hostname : std::string();
     Trace.OpsPerInterval = W.log().opsPerInterval();
     Trace.TotalOps = W.log().totalOps();
     Trace.FinishOffset = W.log().finishOffset();

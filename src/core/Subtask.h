@@ -21,13 +21,39 @@
 #include "workload/Plugin.h"
 #include "core/Results.h"
 #include "core/Worker.h"
+#include "core/WorkerArena.h"
 #include "sim/Scheduler.h"
+#include "support/Interner.h"
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 namespace dmb {
+
+/// Per-worker working directories, stored interned. The master derives
+/// one directory per subtask (or a short PathList cycle), so at 1M
+/// workers the per-worker strings are overwhelmingly duplicates: the
+/// table keeps one copy of each distinct path plus a 4-byte id per
+/// worker, instead of a 32+-byte std::string per worker. push_back keeps
+/// the old vector-of-strings call-site shape.
+class WorkDirTable {
+public:
+  void push_back(const std::string &Dir) { Ids.push_back(Pool.intern(Dir)); }
+  const std::string &operator[](size_t I) const {
+    return Pool.name(Ids[I]);
+  }
+  size_t size() const { return Ids.size(); }
+
+  /// The distinct directories, for mkdir-style deduplicated setup.
+  uint32_t distinct() const { return static_cast<uint32_t>(Pool.size()); }
+  const std::string &distinctAt(uint32_t Id) const { return Pool.name(Id); }
+
+private:
+  Interner Pool;
+  std::vector<uint32_t> Ids;
+};
 
 /// Everything needed to run one subtask.
 struct SubtaskSpec {
@@ -38,7 +64,7 @@ struct SubtaskSpec {
   BenchmarkPlugin *Plugin = nullptr;
   BenchParams Params;
   std::vector<WorkerConfig> Workers;   ///< in execution order (Fig. 3.9)
-  std::vector<std::string> WorkDirs;   ///< per worker (Fig. 3.10)
+  WorkDirTable WorkDirs;               ///< per worker (Fig. 3.10), interned
 };
 
 /// Drives a subtask through prepare / doBench / cleanup.
@@ -62,7 +88,9 @@ private:
 
   Scheduler &Sched;
   SubtaskSpec Spec;
-  std::vector<std::unique_ptr<WorkerProcess>> Workers;
+  /// Slab-allocated worker state: one chunked allocation per 256 workers
+  /// instead of a unique_ptr + malloc each (core/WorkerArena.h).
+  SlabArena<WorkerProcess> Workers;
   std::vector<std::unique_ptr<PluginInstance>> Instances;
   SimTime BenchStart = 0;
   std::function<void(SubtaskResult)> Done;

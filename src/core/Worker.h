@@ -26,11 +26,16 @@
 
 namespace dmb {
 
-/// Static configuration of one worker process.
+/// Static configuration of one worker process. Kept lean on purpose: a
+/// million-client run holds one of these per simulated process, so shared
+/// facts (the node hostname, identical for every worker on a node) are
+/// borrowed by pointer instead of copied per worker.
 struct WorkerConfig {
   int Rank = 1;
   unsigned Ordinal = 0;
-  std::string Hostname;
+  /// The owning node's hostname; not owned (the ClusterNode outlives its
+  /// workers). Null reads as an empty hostname in result traces.
+  const std::string *Hostname = nullptr;
   ClientFs *Client = nullptr;
   SharedProcessor *Cpu = nullptr;
   /// Scheduling weight of this process on its node (nice level, \S 4.4).

@@ -1,0 +1,87 @@
+//===- core/WorkerArena.h - Slab arena for worker state ---------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A chunked slab arena for per-worker simulation state. A million-client
+/// run constructs one WorkerProcess per simulated process; holding them as
+/// a vector of unique_ptr costs one malloc plus one pointer of indirection
+/// each, and scatters objects that are torn down together across the heap.
+/// The arena placement-constructs objects back to back inside fixed-size
+/// chunks: one allocation per ChunkSize objects, stable addresses (chunks
+/// never move), cache-adjacent iteration, and one teardown walk.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_CORE_WORKERARENA_H
+#define DMETABENCH_CORE_WORKERARENA_H
+
+#include "support/Assert.h"
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace dmb {
+
+/// Append-only slab of T with stable addresses. Not copyable or movable:
+/// emplaced objects may hand out `this` (WorkerProcess does, through its
+/// scheduled events).
+template <typename T, size_t ChunkSize = 256> class SlabArena {
+public:
+  SlabArena() = default;
+  SlabArena(const SlabArena &) = delete;
+  SlabArena &operator=(const SlabArena &) = delete;
+  ~SlabArena() { clear(); }
+
+  /// Constructs a new T in place and returns it. References stay valid
+  /// for the arena's lifetime.
+  template <typename... Args> T &emplace(Args &&...A) {
+    if (Count == Chunks.size() * ChunkSize)
+      Chunks.push_back(std::make_unique<Chunk>());
+    T *P = slot(Count);
+    new (P) T(std::forward<Args>(A)...);
+    ++Count;
+    return *P;
+  }
+
+  T &operator[](size_t I) {
+    DMB_ASSERT(I < Count, "SlabArena index out of range");
+    return *slot(I);
+  }
+  const T &operator[](size_t I) const {
+    DMB_ASSERT(I < Count, "SlabArena index out of range");
+    return *const_cast<SlabArena *>(this)->slot(I);
+  }
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  /// Destroys every object (newest first) and releases the chunks.
+  void clear() {
+    while (Count > 0) {
+      --Count;
+      slot(Count)->~T();
+    }
+    Chunks.clear();
+  }
+
+private:
+  struct Chunk {
+    alignas(alignof(T)) unsigned char Bytes[sizeof(T) * ChunkSize];
+  };
+
+  T *slot(size_t I) {
+    return reinterpret_cast<T *>(Chunks[I / ChunkSize]->Bytes) +
+           (I % ChunkSize);
+  }
+
+  std::vector<std::unique_ptr<Chunk>> Chunks;
+  size_t Count = 0;
+};
+
+} // namespace dmb
+
+#endif // DMETABENCH_CORE_WORKERARENA_H

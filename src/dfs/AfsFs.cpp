@@ -92,12 +92,12 @@ void AfsFs::unregisterClient(AfsClient *C) {
 }
 
 std::unique_ptr<ClientFs> AfsFs::makeClient(unsigned NodeIndex) {
-  return std::make_unique<AfsClient>(Sched, *this, NodeIndex);
+  return std::make_unique<AfsClient>(
+      ClientBuilder(Sched, Options.Client, NodeIndex), *this);
 }
 
-AfsClient::AfsClient(Scheduler &Sched, AfsFs &Cell, unsigned NodeIndex)
-    : RpcClientBase(Sched, Cell.options().Client, NodeIndex + 1), Cell(Cell),
-      NodeIndex(NodeIndex), Cache(/*Ttl=*/0) {
+AfsClient::AfsClient(const ClientBuilder &B, AfsFs &Cell)
+    : RpcClientBase(B), Cell(Cell), NodeIndex(B.nodeIndex()), Cache(/*Ttl=*/0) {
   Cell.registerClient(this);
 }
 

@@ -106,7 +106,7 @@ private:
 /// Per-node AFS cache manager.
 class AfsClient final : public RpcClientBase {
 public:
-  AfsClient(Scheduler &Sched, AfsFs &Cell, unsigned NodeIndex);
+  AfsClient(const ClientBuilder &B, AfsFs &Cell);
   ~AfsClient() override;
 
   void submit(const MetaRequest &Req, Callback Done) override;

@@ -1,0 +1,61 @@
+//===- dfs/ClientBuilder.h - Uniform client construction --------*- C++ -*-===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single construction context every dfs model's per-node client is
+/// built from. Before this existed, each of the eight models re-derived
+/// the same wiring by hand in its constructor initializer list — scheduler
+/// reference, ClientConfig (network links, RPC slots, retry policy,
+/// write-behind policy), and the NodeIndex -> nonzero ClientId mapping the
+/// server's duplicate-request cache keys on. Eight copies of one
+/// convention is how the copies drift; makeClient() implementations now
+/// hand their client a ClientBuilder instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMETABENCH_DFS_CLIENTBUILDER_H
+#define DMETABENCH_DFS_CLIENTBUILDER_H
+
+#include "dfs/ClientConfig.h"
+
+namespace dmb {
+
+class Scheduler;
+
+/// Construction parameters for one per-node client. A borrowing view: the
+/// scheduler must outlive the client, and the config must outlive the
+/// constructor call (clients that keep it copy it, as before).
+class ClientBuilder {
+public:
+  ClientBuilder(Scheduler &Sched, const ClientConfig &Config,
+                unsigned NodeIndex)
+      : SchedV(&Sched), ConfigV(&Config), NodeIndexV(NodeIndex) {}
+
+  /// For models with no protocol client config (LocalFsModel): config()
+  /// returns a default-constructed, no-network ClientConfig.
+  ClientBuilder(Scheduler &Sched, unsigned NodeIndex)
+      : SchedV(&Sched), ConfigV(nullptr), NodeIndexV(NodeIndex) {}
+
+  Scheduler &sched() const { return *SchedV; }
+  const ClientConfig &config() const {
+    static const ClientConfig Default{};
+    return ConfigV ? *ConfigV : Default;
+  }
+  unsigned nodeIndex() const { return NodeIndexV; }
+
+  /// Nonzero id keying the server's duplicate-request cache: node index
+  /// plus one (id 0 is reserved as "unset" on the wire).
+  unsigned clientId() const { return NodeIndexV + 1; }
+
+private:
+  Scheduler *SchedV;
+  const ClientConfig *ConfigV;
+  unsigned NodeIndexV;
+};
+
+} // namespace dmb
+
+#endif // DMETABENCH_DFS_CLIENTBUILDER_H

@@ -30,14 +30,16 @@ CxfsFs::CxfsFs(Scheduler &Sched, CxfsOptions Opts)
 }
 
 std::unique_ptr<ClientFs> CxfsFs::makeClient(unsigned NodeIndex) {
-  return std::make_unique<CxfsClient>(Sched, Mds, Options, NodeIndex);
+  return std::make_unique<CxfsClient>(
+      ClientBuilder(Sched, Options.Client, NodeIndex), Mds, Options);
 }
 
-CxfsClient::CxfsClient(Scheduler &Sched, FileServer &Mds,
-                       const CxfsOptions &Opts, unsigned NodeIndex)
-    : Sched(Sched), Mds(Mds), VolId(Mds.volumeId(CxfsFs::VolumeName)),
-      Options(Opts), NodeIndex(NodeIndex), Token(Sched, "cxfs.metadata-token"),
-      ToServer(Sched, Opts.Client.Net), FromServer(Sched, Opts.Client.Net) {}
+CxfsClient::CxfsClient(const ClientBuilder &B, FileServer &Mds,
+                       const CxfsOptions &Opts)
+    : Sched(B.sched()), Mds(Mds), VolId(Mds.volumeId(CxfsFs::VolumeName)),
+      Options(Opts), NodeIndex(B.nodeIndex()),
+      Token(Sched, "cxfs.metadata-token"), ToServer(Sched, B.config().Net),
+      FromServer(Sched, B.config().Net) {}
 
 std::string CxfsClient::describe() const {
   return format("cxfs node=%u mds=%s", NodeIndex,

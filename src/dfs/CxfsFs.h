@@ -17,6 +17,7 @@
 #ifndef DMETABENCH_DFS_CXFSFS_H
 #define DMETABENCH_DFS_CXFSFS_H
 
+#include "dfs/ClientBuilder.h"
 #include "dfs/ClientConfig.h"
 #include "dfs/DistributedFs.h"
 #include "dfs/FileServer.h"
@@ -65,8 +66,8 @@ private:
 /// Per-node CXFS client: token-serialized metadata RPCs to the MDS.
 class CxfsClient final : public ClientFs {
 public:
-  CxfsClient(Scheduler &Sched, FileServer &Mds, const CxfsOptions &Options,
-             unsigned NodeIndex);
+  CxfsClient(const ClientBuilder &B, FileServer &Mds,
+             const CxfsOptions &Options);
 
   void submit(const MetaRequest &Req, Callback Done) override;
   std::string describe() const override;

@@ -60,15 +60,15 @@ bool GxFs::moveVolume(const std::string &MountPrefix, unsigned NewFiler) {
 }
 
 std::unique_ptr<ClientFs> GxFs::makeClient(unsigned NodeIndex) {
-  return std::make_unique<GxClient>(Sched, *this, NodeIndex);
+  return std::make_unique<GxClient>(
+      ClientBuilder(Sched, Options.Client, NodeIndex), *this);
 }
 
-GxClient::GxClient(Scheduler &Sched, GxFs &Cluster, unsigned NodeIndex)
-    : RpcClientBase(Sched, Cluster.options().Client, NodeIndex + 1),
-      Cluster(Cluster), NodeIndex(NodeIndex),
+GxClient::GxClient(const ClientBuilder &B, GxFs &Cluster)
+    : RpcClientBase(B), Cluster(Cluster), NodeIndex(B.nodeIndex()),
       // Client mounts are distributed ~uniformly over the filer network
       // interfaces (\S 4.1.3).
-      Nblade(NodeIndex % Cluster.numFilers()),
+      Nblade(B.nodeIndex() % Cluster.numFilers()),
       Cache(Cluster.options().AttrCacheTtl) {}
 
 std::string GxClient::describe() const {

@@ -85,7 +85,7 @@ private:
 /// Per-node GX client (a normal NFS client pointed at one filer).
 class GxClient final : public RpcClientBase {
 public:
-  GxClient(Scheduler &Sched, GxFs &Cluster, unsigned NodeIndex);
+  GxClient(const ClientBuilder &B, GxFs &Cluster);
 
   void submit(const MetaRequest &Req, Callback Done) override;
   void dropCaches() override { Cache.clear(); }

@@ -24,13 +24,15 @@ LocalFsModel::LocalFsModel(Scheduler &Sched, LocalFsOptions Opts)
     : Sched(Sched), Options(std::move(Opts)) {}
 
 std::unique_ptr<ClientFs> LocalFsModel::makeClient(unsigned NodeIndex) {
-  return std::make_unique<LocalClient>(Sched, Options, NodeIndex);
+  // No protocol client config: the config-free builder form.
+  return std::make_unique<LocalClient>(ClientBuilder(Sched, NodeIndex),
+                                       Options);
 }
 
-LocalClient::LocalClient(Scheduler &Sched, const LocalFsOptions &Opts,
-                         unsigned NodeIndex)
-    : Sched(Sched), Options(Opts), NodeIndex(NodeIndex), Fs(Opts.Volume),
-      Cpu(Sched, "localfs.kernel", Opts.KernelThreads), VfsLock(Sched, "localfs.vfs-lock") {}
+LocalClient::LocalClient(const ClientBuilder &B, const LocalFsOptions &Opts)
+    : Sched(B.sched()), Options(Opts), NodeIndex(B.nodeIndex()),
+      Fs(Opts.Volume), Cpu(Sched, "localfs.kernel", Opts.KernelThreads),
+      VfsLock(Sched, "localfs.vfs-lock") {}
 
 std::string LocalClient::describe() const {
   return format("localfs node=%u dir-index=%s", NodeIndex,

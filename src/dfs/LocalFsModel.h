@@ -15,6 +15,7 @@
 #ifndef DMETABENCH_DFS_LOCALFSMODEL_H
 #define DMETABENCH_DFS_LOCALFSMODEL_H
 
+#include "dfs/ClientBuilder.h"
 #include "dfs/DistributedFs.h"
 #include "dfs/FileServer.h"
 #include "sim/Mutex.h"
@@ -52,8 +53,7 @@ private:
 /// One node's local file system.
 class LocalClient final : public ClientFs {
 public:
-  LocalClient(Scheduler &Sched, const LocalFsOptions &Options,
-              unsigned NodeIndex);
+  LocalClient(const ClientBuilder &B, const LocalFsOptions &Options);
 
   void submit(const MetaRequest &Req, Callback Done) override;
   std::string describe() const override;

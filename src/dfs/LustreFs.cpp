@@ -34,14 +34,14 @@ LustreFs::LustreFs(Scheduler &Sched, LustreOptions Opts)
 }
 
 std::unique_ptr<ClientFs> LustreFs::makeClient(unsigned NodeIndex) {
-  return std::make_unique<LustreClient>(Sched, Mds, Options, NodeIndex);
+  return std::make_unique<LustreClient>(
+      ClientBuilder(Sched, Options.Client, NodeIndex), Mds, Options);
 }
 
-LustreClient::LustreClient(Scheduler &Sched, FileServer &Mds,
-                           const LustreOptions &Opts, unsigned NodeIndex)
-    : RpcClientBase(Sched, Opts.Client, NodeIndex + 1), Mds(Mds),
-      VolId(Mds.volumeId(LustreFs::VolumeName)), Options(Opts),
-      NodeIndex(NodeIndex), Cache(Opts.AttrCacheTtl) {
+LustreClient::LustreClient(const ClientBuilder &B, FileServer &Mds,
+                           const LustreOptions &Opts)
+    : RpcClientBase(B), Mds(Mds), VolId(Mds.volumeId(LustreFs::VolumeName)),
+      Options(Opts), NodeIndex(B.nodeIndex()), Cache(Opts.AttrCacheTtl) {
   // Mount a write-behind queue when either the explicit policy or the
   // legacy E17 writeback switch asks for one. The legacy switch maps onto
   // the eager discipline with the historical dirty-op limit and ack cost.
@@ -52,20 +52,12 @@ LustreClient::LustreClient(Scheduler &Sched, FileServer &Mds,
     Policy.MaxQueuedOps = Options.MaxDirtyOps;
     Policy.LocalAckCost = Options.LocalAckCost;
   }
-  if (Policy.enabled()) {
-    WriteBehindHooks Hooks;
-    Hooks.Issue = [this](const MetaRequest &R,
-                         std::function<void(MetaReply)> Reply) {
-      rpc(R, std::move(Reply));
-    };
-    Hooks.AllocXid = [this]() { return allocXid(); };
-    Hooks.ApplyEager = [this](const MetaRequest &R,
-                              std::function<void()> Committed) {
-      return this->Mds.processEager(VolId, R, std::move(Committed));
-    };
-    Hooks.Cache = &Cache;
-    WB.emplace(sched(), Policy, std::move(Hooks));
-  }
+  mountWriteBehind(
+      WB, Policy,
+      [this](const MetaRequest &R, std::function<void(MetaReply)> Reply) {
+        rpc(R, std::move(Reply));
+      },
+      &this->Mds, VolId, &Cache);
 }
 
 std::string LustreClient::describe() const {

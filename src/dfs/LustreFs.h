@@ -79,8 +79,8 @@ private:
 /// Per-node Lustre client.
 class LustreClient final : public RpcClientBase {
 public:
-  LustreClient(Scheduler &Sched, FileServer &Mds,
-               const LustreOptions &Options, unsigned NodeIndex);
+  LustreClient(const ClientBuilder &B, FileServer &Mds,
+               const LustreOptions &Options);
 
   void submit(const MetaRequest &Req, Callback Done) override;
   void dropCaches() override { Cache.clear(); }

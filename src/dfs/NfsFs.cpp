@@ -43,28 +43,21 @@ NfsFs::NfsFs(Scheduler &Sched, NfsOptions Opts)
 }
 
 std::unique_ptr<ClientFs> NfsFs::makeClient(unsigned NodeIndex) {
-  return std::make_unique<NfsClient>(Sched, Server, Options, NodeIndex);
+  return std::make_unique<NfsClient>(
+      ClientBuilder(Sched, Options.Client, NodeIndex), Server, Options);
 }
 
-NfsClient::NfsClient(Scheduler &Sched, FileServer &Server,
-                     const NfsOptions &Opts, unsigned NodeIndex)
-    : RpcClientBase(Sched, Opts.Client, NodeIndex + 1), Server(Server),
+NfsClient::NfsClient(const ClientBuilder &B, FileServer &Server,
+                     const NfsOptions &Opts)
+    : RpcClientBase(B), Server(Server),
       VolId(Server.volumeId(NfsFs::VolumeName)), Options(Opts),
-      NodeIndex(NodeIndex), Cache(Opts.AttrCacheTtl) {
-  if (Options.Client.WriteBehind.enabled()) {
-    WriteBehindHooks Hooks;
-    Hooks.Issue = [this](const MetaRequest &R,
-                         std::function<void(MetaReply)> Reply) {
-      rpc(R, std::move(Reply));
-    };
-    Hooks.AllocXid = [this]() { return allocXid(); };
-    Hooks.ApplyEager = [this](const MetaRequest &R,
-                              std::function<void()> Committed) {
-      return this->Server.processEager(VolId, R, std::move(Committed));
-    };
-    Hooks.Cache = &Cache;
-    WB.emplace(sched(), Options.Client.WriteBehind, std::move(Hooks));
-  }
+      NodeIndex(B.nodeIndex()), Cache(Opts.AttrCacheTtl) {
+  mountWriteBehind(
+      WB, Options.Client.WriteBehind,
+      [this](const MetaRequest &R, std::function<void(MetaReply)> Reply) {
+        rpc(R, std::move(Reply));
+      },
+      &this->Server, VolId, &Cache);
 }
 
 std::string NfsClient::describe() const {

@@ -72,8 +72,8 @@ private:
 /// Per-node NFS client.
 class NfsClient final : public RpcClientBase {
 public:
-  NfsClient(Scheduler &Sched, FileServer &Server, const NfsOptions &Options,
-            unsigned NodeIndex);
+  NfsClient(const ClientBuilder &B, FileServer &Server,
+            const NfsOptions &Options);
 
   void submit(const MetaRequest &Req, Callback Done) override;
   void dropCaches() override { Cache.clear(); }

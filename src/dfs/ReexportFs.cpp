@@ -16,7 +16,8 @@ ReexportFs::ReexportFs(Scheduler &Sched, DistributedFs &Inner,
       InnerClient(Inner.makeClient(GatewayNodeIndex)) {}
 
 std::unique_ptr<ClientFs> ReexportFs::makeClient(unsigned NodeIndex) {
-  return std::make_unique<ReexportClient>(Sched, *this, NodeIndex);
+  return std::make_unique<ReexportClient>(
+      ClientBuilder(Sched, Options.Client, NodeIndex), *this);
 }
 
 void ReexportFs::forward(const MetaRequest &Req, ClientFs::Callback Done) {
@@ -38,10 +39,8 @@ void ReexportFs::forward(const MetaRequest &Req, ClientFs::Callback Done) {
       });
 }
 
-ReexportClient::ReexportClient(Scheduler &Sched, ReexportFs &Gateway,
-                               unsigned NodeIndex)
-    : RpcClientBase(Sched, Gateway.Options.Client, NodeIndex + 1),
-      Gateway(Gateway), NodeIndex(NodeIndex),
+ReexportClient::ReexportClient(const ClientBuilder &B, ReexportFs &Gateway)
+    : RpcClientBase(B), Gateway(Gateway), NodeIndex(B.nodeIndex()),
       Cache(Gateway.Options.AttrCacheTtl) {}
 
 std::string ReexportClient::describe() const {

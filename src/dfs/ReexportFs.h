@@ -79,8 +79,7 @@ private:
 /// Per-node NFS client of the re-export.
 class ReexportClient final : public RpcClientBase {
 public:
-  ReexportClient(Scheduler &Sched, ReexportFs &Gateway,
-                 unsigned NodeIndex);
+  ReexportClient(const ClientBuilder &B, ReexportFs &Gateway);
 
   void submit(const MetaRequest &Req, Callback Done) override;
   void dropCaches() override { Cache.clear(); }

@@ -19,35 +19,42 @@
 /// every attempt so the server's duplicate-request cache can recognise the
 /// retransmit, and discards orphaned late replies.
 ///
+/// Construction goes through dfs/ClientBuilder.h, and the common
+/// write-behind wiring every model used to copy lives in
+/// mountWriteBehind() — the model constructors shrink to their
+/// model-specific state.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DMETABENCH_DFS_RPCCLIENTBASE_H
 #define DMETABENCH_DFS_RPCCLIENTBASE_H
 
+#include "dfs/ClientBuilder.h"
 #include "dfs/ClientConfig.h"
 #include "dfs/ClientFs.h"
 #include "dfs/Message.h"
+#include "dfs/WriteBehind.h"
 #include "sim/HappensBefore.h"
 #include "sim/LockOrder.h"
 #include "sim/Network.h"
 #include "sim/Scheduler.h"
 #include "sim/Trace.h"
-#include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <utility>
 
 namespace dmb {
 
+class FileServer;
+
 /// Base class managing RPC slots and the network round trip.
 class RpcClientBase : public ClientFs {
 protected:
-  /// \p ClientId must be nonzero and unique among clients of the same
-  /// server; it keys the server's duplicate-request cache.
-  RpcClientBase(Scheduler &Sched, const ClientConfig &Cfg, unsigned ClientId)
-      : Sched(Sched), Config(Cfg), ClientIdV(ClientId ? ClientId : 1),
-        Slots(Cfg.RpcSlots ? Cfg.RpcSlots : 1),
-        ToServer(Sched, Cfg.Net), FromServer(Sched, Cfg.Net) {}
+  explicit RpcClientBase(const ClientBuilder &B)
+      : Sched(B.sched()), Config(B.config()), ClientIdV(B.clientId()),
+        Slots(Config.RpcSlots ? Config.RpcSlots : 1),
+        ToServer(Sched, Config.Net), FromServer(Sched, Config.Net) {}
 
   /// Runs \p RpcFn once a slot is free. RpcFn must eventually call
   /// slotDone() exactly once. The slot grant is the operation's NetOut
@@ -65,7 +72,7 @@ protected:
       RpcFn();
       return;
     }
-    Pending.push_back({std::move(RpcFn), Ctx});
+    Pending.push(PendingRpc{std::move(RpcFn), Ctx});
   }
 
   /// Releases the slot taken by the current RPC and pumps the queue.
@@ -74,8 +81,7 @@ protected:
     if (LockOrderGraph *G = Sched.lockOrder())
       G->onReleased(this, Ctx);
     if (!Pending.empty()) {
-      PendingRpc Next = std::move(Pending.front());
-      Pending.pop_front();
+      PendingRpc Next = Pending.pop();
       // The freed slot is handed to the queued request: everything the
       // finishing operation did happens-before the queued one resumes.
       if (HBTracker *T = Sched.happensBefore())
@@ -160,6 +166,19 @@ protected:
     startAttempt(std::move(Ex));
   }
 
+  /// Mounts \p WB behind \p Policy with the hook wiring every model used
+  /// to spell out by hand: Issue routes one op through \p Issue (the
+  /// client's normal RPC path), AllocXid pins (ClientId, Xid) at enqueue
+  /// time, and — when \p Eager is non-null — ApplyEager applies eager-
+  /// discipline ops at \p Eager under \p VolId with \p Cache kept
+  /// coherent. No-op when the policy is disabled.
+  void mountWriteBehind(
+      std::optional<WriteBehindQueue> &WB, const WriteBehindPolicy &Policy,
+      std::function<void(const MetaRequest &, std::function<void(MetaReply)>)>
+          Issue,
+      FileServer *Eager = nullptr, uint32_t VolId = 0,
+      AttrCache *Cache = nullptr);
+
   Scheduler &sched() { return Sched; }
   SimDuration oneWayLatency() const { return Config.Net.OneWayLatency; }
 
@@ -192,6 +211,45 @@ private:
   struct PendingRpc {
     std::function<void()> Fn;
     uint64_t Trace = 0; ///< trace id of the queued operation
+  };
+
+  /// FIFO of requests waiting for a slot: a power-of-two ring over a
+  /// vector, starting at zero capacity. The previous std::deque allocated
+  /// its first ~0.5 KB chunk on construction — per client, which at 10^5+
+  /// mounted nodes is tens of megabytes for queues that are empty almost
+  /// always and almost everywhere.
+  class PendingRing {
+  public:
+    bool empty() const { return Count == 0; }
+    size_t size() const { return Count; }
+
+    void push(PendingRpc Rpc) {
+      if (Count == Ring.size())
+        grow();
+      Ring[(Head + Count) & (Ring.size() - 1)] = std::move(Rpc);
+      ++Count;
+    }
+
+    PendingRpc pop() {
+      PendingRpc Rpc = std::move(Ring[Head]);
+      Head = (Head + 1) & (Ring.size() - 1);
+      --Count;
+      return Rpc;
+    }
+
+  private:
+    void grow() {
+      size_t NewCap = Ring.empty() ? 4 : Ring.size() * 2;
+      std::vector<PendingRpc> Bigger(NewCap);
+      for (size_t I = 0; I < Count; ++I)
+        Bigger[I] = std::move(Ring[(Head + I) & (Ring.size() - 1)]);
+      Ring = std::move(Bigger);
+      Head = 0;
+    }
+
+    std::vector<PendingRpc> Ring;
+    size_t Head = 0;
+    size_t Count = 0;
   };
 
   /// Retry state shared by the attempts of one logical operation.
@@ -264,7 +322,7 @@ private:
   uint64_t LastXid = 0;
   uint64_t Retransmits = 0;
   uint64_t TimedOutOps = 0;
-  std::deque<PendingRpc> Pending;
+  PendingRing Pending;
 };
 
 } // namespace dmb

@@ -64,7 +64,8 @@ ShardedFs::ShardedFs(Scheduler &Sched, ShardedOptions Opts)
 }
 
 std::unique_ptr<ClientFs> ShardedFs::makeClient(unsigned NodeIndex) {
-  return std::make_unique<ShardedClient>(Sched, *this, NodeIndex);
+  return std::make_unique<ShardedClient>(
+      ClientBuilder(Sched, Options.Client, NodeIndex), *this);
 }
 
 uint64_t ShardedFs::crashAndRecover(const std::string &Volume) {
@@ -662,23 +663,17 @@ uint64_t ShardedFs::migrateEntry(unsigned SrcShard, unsigned DstShard,
 // ShardedClient
 //===----------------------------------------------------------------------===//
 
-ShardedClient::ShardedClient(Scheduler &Sched, ShardedFs &Fs,
-                             unsigned NodeIndex)
-    : RpcClientBase(Sched, Fs.options().Client, NodeIndex + 1), Fs(Fs),
-      NodeIndex(NodeIndex) {
+ShardedClient::ShardedClient(const ClientBuilder &B, ShardedFs &Fs)
+    : RpcClientBase(B), Fs(Fs), NodeIndex(B.nodeIndex()) {
   WriteBehindPolicy Policy = Fs.options().Client.WriteBehind;
-  if (Policy.enabled()) {
-    // The sharded service has no single-server eager path; write-behind
-    // here is always the deferred pipeline.
-    Policy.DeferIssue = true;
-    WriteBehindHooks Hooks;
-    Hooks.Issue = [this](const MetaRequest &R,
-                         std::function<void(MetaReply)> Reply) {
-      submitDirect(R, std::move(Reply));
-    };
-    Hooks.AllocXid = [this]() { return allocXid(); };
-    WB.emplace(sched(), Policy, std::move(Hooks));
-  }
+  // The sharded service has no single-server eager path; write-behind
+  // here is always the deferred pipeline.
+  Policy.DeferIssue = true;
+  mountWriteBehind(WB, Policy,
+                   [this](const MetaRequest &R,
+                          std::function<void(MetaReply)> Reply) {
+                     submitDirect(R, std::move(Reply));
+                   });
 }
 
 std::string ShardedClient::describe() const {

@@ -238,7 +238,7 @@ private:
 /// the owning shard, and follows StaleMap redirects with pinned Xids.
 class ShardedClient final : public RpcClientBase {
 public:
-  ShardedClient(Scheduler &Sched, ShardedFs &Fs, unsigned NodeIndex);
+  ShardedClient(const ClientBuilder &B, ShardedFs &Fs);
 
   void submit(const MetaRequest &Req, Callback Done) override;
   /// Drops the cached partition bitmaps — subsequent operations on split

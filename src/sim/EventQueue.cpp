@@ -1,0 +1,129 @@
+//===- sim/EventQueue.cpp -------------------------------------------------===//
+//
+// Part of the DMetabench reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/EventQueue.h"
+#include "support/Assert.h"
+#include <algorithm>
+
+using namespace dmb;
+
+CalendarEventQueue::CalendarEventQueue(unsigned Levels)
+    : NumLevels(std::clamp(Levels, 1u, 8u)) {
+  this->Levels.resize(NumLevels);
+}
+
+int CalendarEventQueue::lowestSlot(const Level &L) {
+  for (unsigned Word = 0; Word < 4; ++Word)
+    if (L.Occupied[Word])
+      return static_cast<int>(Word * 64 +
+                              static_cast<unsigned>(
+                                  __builtin_ctzll(L.Occupied[Word])));
+  return -1;
+}
+
+// Routes one entry relative to the current cursor. Count is not touched:
+// push() and redistribution both come through here.
+void CalendarEventQueue::place(EventQueueEntry E) {
+  uint64_t W = static_cast<uint64_t>(eventKeyWhen(E));
+  if (W <= Cur) {
+    // Same-tick work, or a timestamp between Now and an eagerly advanced
+    // cursor (runUntil can peek past its deadline). Near keeps the full
+    // key order, so mixing timestamps here is still correct.
+    Near.push(E);
+    return;
+  }
+  unsigned B = diffByte(W, Cur);
+  if (B >= NumLevels) {
+    if (Overflow.empty() || E.Key < OverflowMinKey)
+      OverflowMinKey = E.Key;
+    Overflow.push_back(E);
+    return;
+  }
+  // Byte B of W exceeds byte B of Cur (W > Cur and B is the highest
+  // differing byte), so the slot index never wraps below the cursor.
+  unsigned S = static_cast<unsigned>(W >> (8 * B)) & 0xFFu;
+  Level &L = Levels[B];
+  L.Slots[S].push_back(E);
+  L.Occupied[S >> 6] |= 1ull << (S & 63u);
+}
+
+// Refills the near heap from the wheel (precondition: near heap empty).
+// Returns false only when the whole queue is empty.
+bool CalendarEventQueue::advance() {
+  for (;;) {
+    bool Flushed = false;
+    for (unsigned K = 0; K < NumLevels; ++K) {
+      int S = lowestSlot(Levels[K]);
+      if (S < 0)
+        continue;
+      Level &L = Levels[K];
+      std::vector<EventQueueEntry> Batch = std::move(L.Slots[S]);
+      L.Slots[S].clear();
+      L.Occupied[static_cast<unsigned>(S) >> 6] &=
+          ~(1ull << (static_cast<unsigned>(S) & 63u));
+      // Rebase the cursor: byte K := S, all lower bytes zero. Monotone,
+      // because S exceeds byte K of the old cursor, and never below any
+      // batch entry, whose lower bytes are >= 0 by construction.
+      uint64_t High =
+          (K + 1 < 8) ? (Cur >> (8 * (K + 1))) << (8 * (K + 1)) : 0;
+      Cur = High | (static_cast<uint64_t>(S) << (8 * K));
+      // Each entry lands at a strictly lower level (its bytes above K-1
+      // now match the cursor) or, at K == 0, in the near heap — so this
+      // terminates and re-places each entry at most NumLevels times.
+      for (const EventQueueEntry &E : Batch)
+        place(E);
+      if (!Near.empty())
+        return true;
+      Flushed = true;
+      break; // rescan from level 0: the batch landed below level K
+    }
+    if (Flushed)
+      continue;
+    if (Overflow.empty())
+      return false;
+    drainOverflow();
+    if (!Near.empty())
+      return true;
+  }
+}
+
+// Wheel and near heap are empty: jump the cursor to the overflow minimum
+// and migrate everything now within the wheel horizon. The minimum entry
+// itself lands in the near heap (its When equals the new cursor), so one
+// drain always makes progress. Wheel advances never change cursor bytes
+// at or above NumLevels, so the entries left behind (still differing in a
+// high byte) cannot be bypassed before the next drain.
+void CalendarEventQueue::drainOverflow() {
+  Cur = static_cast<uint64_t>(OverflowMinKey >> 64);
+  std::vector<EventQueueEntry> Keep;
+  unsigned __int128 NewMin = ~static_cast<unsigned __int128>(0);
+  for (const EventQueueEntry &E : Overflow) {
+    uint64_t W = static_cast<uint64_t>(eventKeyWhen(E));
+    if (W <= Cur || diffByte(W, Cur) < NumLevels) {
+      place(E);
+    } else {
+      if (E.Key < NewMin)
+        NewMin = E.Key;
+      Keep.push_back(E);
+    }
+  }
+  Overflow = std::move(Keep);
+  OverflowMinKey = NewMin;
+}
+
+const EventQueueEntry *CalendarEventQueue::front() {
+  if (Near.empty() && !advance())
+    return nullptr;
+  return &Near.front();
+}
+
+EventQueueEntry CalendarEventQueue::pop() {
+  const EventQueueEntry *F = front();
+  DMB_ASSERT(F, "pop from an empty calendar queue");
+  (void)F;
+  --Count;
+  return Near.pop();
+}

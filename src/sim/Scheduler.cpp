@@ -27,7 +27,7 @@ static bool schedulerAssertContext(AssertSimContext &Ctx) {
   return true;
 }
 
-Scheduler::Scheduler() {
+Scheduler::Scheduler(SchedulerConfig Config) : Queue(Config) {
   ActiveScheduler = this;
   setAssertSimContextProvider(&schedulerAssertContext);
 }
@@ -37,66 +37,59 @@ Scheduler::~Scheduler() {
     ActiveScheduler = nullptr;
 }
 
-// Floyd's bottom-up 4-ary sift-down. The displaced last leaf almost
-// always belongs back near the bottom, so instead of comparing it at
-// every level (a data-dependent branch per level), the hole walks straight
-// down through the smallest children — selected with conditional moves on
-// single-scalar keys — and the leaf then sifts up, usually zero levels.
-Scheduler::QueueEntry Scheduler::heapPop() {
-  QueueEntry Top = Heap.front();
-  QueueEntry Last = Heap.back();
-  Heap.pop_back();
-  size_t N = Heap.size();
-  if (N == 0)
-    return Top;
-  size_t I = 0, C;
-  while ((C = 4 * I + 1) + 4 <= N) {
-    size_t M01 = C + static_cast<size_t>(Heap[C + 1].Key < Heap[C].Key);
-    size_t M23 =
-        C + 2 + static_cast<size_t>(Heap[C + 3].Key < Heap[C + 2].Key);
-    size_t Min = Heap[M23].Key < Heap[M01].Key ? M23 : M01;
-    Heap[I] = Heap[Min];
-    I = Min;
-  }
-  if (C < N) {
-    // Partial group: only ever the deepest level (its children would lie
-    // past N).
-    size_t Min = C;
-    for (size_t K = C + 1; K < N; ++K)
-      if (Heap[K].Key < Heap[Min].Key)
-        Min = K;
-    Heap[I] = Heap[Min];
-    I = Min;
-  }
-  while (I > 0) {
-    size_t Parent = (I - 1) >> 2;
-    if (!(Last.Key < Heap[Parent].Key))
-      break;
-    Heap[I] = Heap[Parent];
-    I = Parent;
-  }
-  Heap[I] = Last;
-  return Top;
-}
-
 void Scheduler::enableSchedulePerturbation(uint64_t Seed) {
-  DMB_CHECK(NextSeq == 0 && Heap.empty(),
+  DMB_CHECK(NextSeq == 0 && Queue.empty(),
             "schedule perturbation must be enabled before any event is "
             "scheduled");
   PerturbSeed = Seed;
 }
 
-bool Scheduler::step() {
-  if (Heap.empty())
+const EventQueueEntry *Scheduler::peekLive() {
+  // Fast path: with no cancelled events pending, the front is live by
+  // definition — skip the payload-generation load, which would otherwise
+  // put a data-dependent pool access on the dispatch critical path.
+  if (Tombstones == 0)
+    return Queue.front();
+  for (;;) {
+    const EventQueueEntry *F = Queue.front();
+    if (!F)
+      return nullptr;
+    if (Pool[F->Slot].Gen == F->Gen)
+      return F;
+    // Tombstone of a cancelled event: its payload was freed at cancel
+    // time; only the 32-byte queue entry lingered until now.
+    Queue.pop();
+    --Tombstones;
+  }
+}
+
+bool Scheduler::cancel(EventId Id) {
+  if (Id.Slot == EventId::NoSlot || Id.Slot >= Pool.size() ||
+      Pool[Id.Slot].Gen != Id.Gen)
     return false;
+  // Destroy the closure now: a cancelled far-horizon timer must not pin
+  // its captures (retry exchanges, client state) until the dead queue
+  // entry happens to surface — that can be arbitrarily far in the future.
+  Pool[Id.Slot].Fn.reset();
+  Pool[Id.Slot].Trace = 0;
+  releaseSlot(Id.Slot);
+  ++Tombstones;
+  return true;
+}
+
+bool Scheduler::step() {
   ActiveScheduler = this;
-  QueueEntry E = heapPop();
+  const EventQueueEntry *Front = peekLive();
+  if (!Front)
+    return false;
+  EventQueueEntry E = *Front;
+  Queue.pop();
   // Move the action out and recycle the slot before running: the action
-  // may schedule new events, growing Pool/Heap under our feet.
+  // may schedule new events, growing Pool under our feet.
   Action Fn = std::move(Pool[E.Slot].Fn);
   uint64_t EvTrace = Pool[E.Slot].Trace;
-  FreeSlots.push_back(E.Slot);
-  Now = keyWhen(E);
+  releaseSlot(E.Slot);
+  Now = eventKeyWhen(E);
   ++Executed;
   if (Journal)
     JournalLog.push_back(JournalEntry{Now, E.Seq, EvTrace});
@@ -121,13 +114,14 @@ void Scheduler::runUntil(SimTime Deadline) {
   // with two schedulers interleaving, failure reports must name the one
   // being driven, not whichever stepped last.
   ActiveScheduler = this;
-  while (!Heap.empty() && keyWhen(Heap.front()) <= Deadline)
+  const EventQueueEntry *F;
+  while ((F = peekLive()) && eventKeyWhen(*F) <= Deadline)
     step();
   if (Now < Deadline)
     Now = Deadline;
   // A drained queue is quiescence, exactly as in run(): record the report
   // instead of leaving lastDiagnostics() stale.
-  if (Heap.empty())
+  if (Queue.empty())
     LastDiag = checkQuiescent();
 }
 
@@ -194,7 +188,7 @@ SimDiagnostics Scheduler::checkQuiescent() const {
   SimDiagnostics Diag;
   Diag.AtTime = Now;
   Diag.EventsExecuted = Executed;
-  Diag.PendingEvents = Heap.size();
+  Diag.PendingEvents = pendingEvents();
   for (const auto &Entry : QuiescenceChecks)
     Entry.second(Diag);
   return Diag;

@@ -9,6 +9,11 @@
 /// equal timestamps fire in insertion order, which makes whole benchmark
 /// runs deterministic (DESIGN.md, key decision 4).
 ///
+/// The pending queue lives behind sim/EventQueue.h: a 4-ary heap by
+/// default, or a calendar queue (hierarchical timer wheel) selected via
+/// SchedulerConfig for huge pending sets. Both pop bit-identical event
+/// orders, so the choice never changes results — only events/sec.
+///
 /// The scheduler is also the anchor of the runtime invariant checks: it
 /// feeds the simulated clock and event ordinal into DMB_ASSERT failure
 /// reports, and at quiescence (queue drained) it asks every registered
@@ -28,6 +33,7 @@
 #ifndef DMETABENCH_SIM_SCHEDULER_H
 #define DMETABENCH_SIM_SCHEDULER_H
 
+#include "sim/EventQueue.h"
 #include "sim/InplaceFunction.h"
 #include "sim/SimDiagnostics.h"
 #include "sim/Time.h"
@@ -44,13 +50,24 @@ enum class TracePoint : uint8_t;
 class LockOrderGraph;
 class HBTracker;
 
+/// Handle to one scheduled event, returned by at()/after() and accepted
+/// by cancel(). The generation makes handles single-use: once the event
+/// fires or is cancelled, the handle goes stale and cancel() is a no-op.
+/// Default-constructed handles are invalid (cancel() ignores them).
+struct EventId {
+  static constexpr uint32_t NoSlot = ~0u;
+  uint32_t Slot = NoSlot;
+  uint32_t Gen = 0;
+  bool valid() const { return Slot != NoSlot; }
+};
+
 /// Single-threaded event loop over simulated time.
 ///
 /// The hot path is allocation-free at steady state: actions live in a
 /// 64-byte small-buffer callback (sim/InplaceFunction.h), events are
-/// pooled and recycled through a free list, and the pending queue is a
-/// 4-ary heap of 32-byte (time, tie-key, seq, slot) entries — so pushing
-/// and popping never moves callback storage around.
+/// pooled and recycled through a free list, and the pending queue holds
+/// 32-byte (time, tie-key, seq, slot, gen) entries — so pushing and
+/// popping never moves callback storage around.
 class Scheduler {
 public:
   /// Move-only SBO callback: captures up to 64 bytes stay inline;
@@ -59,7 +76,10 @@ public:
   /// Inspects one primitive's state at quiescence and reports leaks.
   using QuiescenceCheck = std::function<void(SimDiagnostics &)>;
 
-  Scheduler();
+  /// The default config is the 4-ary heap — `Scheduler S;` behaves
+  /// exactly as it always has. Pass EventQueueKind::Calendar for runs
+  /// whose pending set is large enough that O(log n) sifts dominate.
+  explicit Scheduler(SchedulerConfig Config = SchedulerConfig());
   ~Scheduler();
   Scheduler(const Scheduler &) = delete;
   Scheduler &operator=(const Scheduler &) = delete;
@@ -67,27 +87,49 @@ public:
   /// Current simulated time.
   SimTime now() const { return Now; }
 
+  /// Which pending-queue implementation this scheduler runs on.
+  EventQueueKind queueKind() const { return Queue.kind(); }
+
   /// Schedules \p Fn to run at absolute time \p When. Scheduling into the
   /// past would silently reorder history, so When < now() is a fatal
   /// invariant violation (use after() for clamped relative delays).
   ///
+  /// \p When is strongly typed (sim/Time.h): SimTime and signed integral
+  /// expressions convert, but unsigned and floating-point arguments are
+  /// compile errors — they silently truncate or wrap to wrong times.
+  ///
   /// Takes the callable by forwarding reference and constructs it directly
   /// in a pooled event slot: the closure is built exactly once, with no
   /// intermediate Action temporary and no relocation on the way in.
-  template <typename F> void at(SimTime When, F &&Fn) {
-    DMB_ASSERT(When >= Now, "cannot schedule into the past");
+  ///
+  /// Returns a handle for cancel(); discarding it is fine and free.
+  template <typename F> EventId at(SimTimeArg When, F &&Fn) {
+    DMB_ASSERT(When.Value >= Now, "cannot schedule into the past");
     uint32_t Slot = acquireSlot();
     Pool[Slot].Trace = ActiveTrace;
     Pool[Slot].Fn.emplace(std::forward<F>(Fn));
     uint64_t Seq = NextSeq++;
     uint64_t Tie = PerturbSeed ? mixTieKey(PerturbSeed, Seq) : Seq;
-    heapPush(QueueEntry{orderKey(When, Tie), Seq, Slot});
+    Queue.push(EventQueueEntry{eventOrderKey(When.Value, Tie), Seq, Slot,
+                               Pool[Slot].Gen});
+    return EventId{Slot, Pool[Slot].Gen};
   }
 
   /// Schedules \p Fn to run \p Delay from now. Negative delays clamp to 0.
-  template <typename F> void after(SimDuration Delay, F &&Fn) {
-    at(Now + (Delay < 0 ? 0 : Delay), std::forward<F>(Fn));
+  /// \p Delay is strongly typed exactly like at()'s time argument.
+  template <typename F> EventId after(SimDurationArg Delay, F &&Fn) {
+    return at(Now + (Delay.Value < 0 ? 0 : Delay.Value),
+              std::forward<F>(Fn));
   }
+
+  /// Cancels a pending event. The payload (the captured closure, and any
+  /// shared state it pins) is destroyed immediately — not when the queue
+  /// entry would have surfaced, which for a far-horizon timer can be
+  /// arbitrarily later — and the pool slot is recycled at once. Only the
+  /// 32-byte queue entry stays behind, as a tombstone dropped when it
+  /// reaches the front. Returns false (and does nothing) if the handle is
+  /// invalid, stale, or the event already fired.
+  bool cancel(EventId Id);
 
   /// Runs events until the queue is empty, then records a quiescence
   /// report (see lastDiagnostics()).
@@ -100,12 +142,14 @@ public:
   /// Executes the single earliest event. Returns false if none pending.
   bool step();
 
-  /// Number of events waiting to fire.
-  size_t pendingEvents() const { return Heap.size(); }
+  /// Number of events waiting to fire (cancelled tombstones excluded).
+  size_t pendingEvents() const { return Queue.size() - Tombstones; }
 
   /// Capacity of the event pool (high-water mark of pending events).
   /// Steady-state stepping allocates only when the pending set grows past
-  /// every previous peak; tests pin this.
+  /// every previous peak; tests pin this. Cancelled events release their
+  /// slot immediately, so schedule/cancel churn at far horizons does not
+  /// grow the pool either.
   size_t eventPoolCapacity() const { return Pool.size(); }
 
   /// Total events executed so far (for tests and stats).
@@ -218,37 +262,15 @@ public:
 private:
   /// Pooled event payload: the callback plus the trace context it runs
   /// under. Slots are recycled through FreeSlots, so the pool stops
-  /// growing once the pending set reaches its high-water mark.
+  /// growing once the pending set reaches its high-water mark. Gen counts
+  /// releases of the slot (fire or cancel); queue entries carry the
+  /// generation they were scheduled under, which is how stale tombstones
+  /// of cancelled events are recognized.
   struct Event {
     uint64_t Trace = 0;
+    uint32_t Gen = 0;
     Action Fn;
   };
-  /// One pending entry in the heap: a single 128-bit ordering key plus
-  /// the pool slot of the payload. Small and trivially copyable, so heap
-  /// sifts never touch callback storage.
-  ///
-  /// Key packs (When << 64) | TieKey. The tie key is the insertion
-  /// ordinal, or under perturbation a splitmix64 mix of it — a bijection
-  /// either way, so tie keys are distinct and Key is a strict total order
-  /// identical to lexicographic (When, TieKey, Seq). Collapsing the
-  /// compare to one scalar matters: heap sifts are latency-bound on the
-  /// compare chain, and a 128-bit compare is one cmp/sbb instead of a
-  /// three-field cascade.
-  struct QueueEntry {
-    unsigned __int128 Key;
-    uint64_t Seq; ///< insertion ordinal (journal + diagnostics)
-    uint32_t Slot;
-  };
-  static unsigned __int128 orderKey(SimTime When, uint64_t Tie) {
-    // When >= 0 always (at() rejects the past, time starts at 0), so the
-    // unsigned cast preserves order.
-    return (static_cast<unsigned __int128>(static_cast<uint64_t>(When))
-            << 64) |
-           Tie;
-  }
-  static SimTime keyWhen(const QueueEntry &E) {
-    return static_cast<SimTime>(static_cast<uint64_t>(E.Key >> 64));
-  }
 
   /// Pops a recycled payload slot, growing the pool only when the pending
   /// set exceeds every previous peak.
@@ -262,6 +284,17 @@ private:
     return static_cast<uint32_t>(Pool.size() - 1);
   }
 
+  /// Invalidates outstanding EventIds/queue entries for the slot and
+  /// returns it to the free list.
+  void releaseSlot(uint32_t Slot) {
+    ++Pool[Slot].Gen;
+    FreeSlots.push_back(Slot);
+  }
+
+  /// The front live entry, dropping any cancelled tombstones that have
+  /// surfaced. Null iff nothing is pending.
+  const EventQueueEntry *peekLive();
+
   /// splitmix64 finalizer: cheap, well-mixed, and fully determined by the
   /// (Seed, Seq) pair, so a given seed always yields the same permutation.
   static uint64_t mixTieKey(uint64_t Seed, uint64_t Seq) {
@@ -271,33 +304,14 @@ private:
     return X ^ (X >> 31);
   }
 
-  /// Sift-up into a 4-ary min-heap (children of I are 4I+1 .. 4I+4).
-  /// 4-ary halves the tree depth of a binary heap, and each sift level is
-  /// one data-dependent key compare — the dominant cost of deep pending
-  /// sets — so fewer levels directly buys events/sec. The walk is
-  /// hole-based: parents slide down and the entry is written once.
-  void heapPush(QueueEntry E) {
-    size_t I = Heap.size();
-    Heap.push_back(E); // reserve the new leaf; overwritten by the walk
-    while (I > 0) {
-      size_t Parent = (I - 1) >> 2;
-      if (!(E.Key < Heap[Parent].Key))
-        break;
-      Heap[I] = Heap[Parent];
-      I = Parent;
-    }
-    Heap[I] = E;
-  }
-
-  QueueEntry heapPop();
-
   SimTime Now = 0;
   uint64_t NextSeq = 0;
   uint64_t Executed = 0;
   OpTraceSink *Trace = nullptr;
   uint64_t ActiveTrace = 0;
-  std::vector<QueueEntry> Heap; ///< 4-ary min-heap ordered by Key
-  std::vector<Event> Pool;      ///< payload slots addressed by the heap
+  EventQueue Queue;        ///< pending entries (sim/EventQueue.h)
+  size_t Tombstones = 0;   ///< cancelled entries still inside Queue
+  std::vector<Event> Pool; ///< payload slots addressed by queue entries
   std::vector<uint32_t> FreeSlots;
   uint64_t NextCheckId = 0;
   std::vector<std::pair<uint64_t, QuiescenceCheck>> QuiescenceChecks;

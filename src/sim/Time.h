@@ -15,6 +15,7 @@
 #define DMETABENCH_SIM_TIME_H
 
 #include <cstdint>
+#include <type_traits>
 
 namespace dmb {
 
@@ -23,6 +24,30 @@ using SimTime = int64_t;
 
 /// A duration in simulated time, in nanoseconds.
 using SimDuration = int64_t;
+
+/// Strongly-typed time parameter for the scheduling API (Scheduler::at).
+/// Accepts SimTime and any signed integral expression; unsigned and
+/// floating-point arguments are compile errors. The implicit conversions
+/// those would take — a uint64_t remainder wrapping through the sign bit,
+/// a `seconds(…)`-forgotten double truncating — compile silently and
+/// schedule wrong times, which in a deterministic simulator corrupts
+/// whole schedules, not one call.
+struct SimTimeArg {
+  SimTime Value;
+  template <typename T, typename = std::enable_if_t<std::is_integral_v<T> &&
+                                                    std::is_signed_v<T>>>
+  constexpr SimTimeArg(T V) : Value(static_cast<SimTime>(V)) {}
+};
+
+/// Strongly-typed duration parameter (Scheduler::after); same acceptance
+/// rules as SimTimeArg. An unsigned elapsed-count or modulo result must
+/// be cast through SimDuration explicitly at the call site.
+struct SimDurationArg {
+  SimDuration Value;
+  template <typename T, typename = std::enable_if_t<std::is_integral_v<T> &&
+                                                    std::is_signed_v<T>>>
+  constexpr SimDurationArg(T V) : Value(static_cast<SimDuration>(V)) {}
+};
 
 /// Duration constructors.
 constexpr SimDuration nanoseconds(int64_t N) { return N; }

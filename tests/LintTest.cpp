@@ -406,6 +406,48 @@ TEST(LintContent, FaultDeterminismRule) {
       "fault-determinism"));
 }
 
+TEST(LintContent, EventQueueRule) {
+  // A hand-rolled priority queue or heap primitive near the scheduler
+  // bypasses sim/EventQueue's tie discipline — caught in src/, bench/
+  // and tools/.
+  EXPECT_TRUE(hasRule(
+      lintOne("src/sim/Timers.cpp",
+              "std::priority_queue<Ev> Q;\n"),
+      "event-queue"));
+  EXPECT_TRUE(hasRule(
+      lintOne("tools/Cli.cpp",
+              "void f() { std::push_heap(H.begin(), H.end()); }\n"),
+      "event-queue"));
+  EXPECT_TRUE(hasRule(
+      lintOne("bench/Bench.cpp",
+              "void f() { std::pop_heap(H.begin(), H.end()); }\n"),
+      "event-queue"));
+  EXPECT_TRUE(hasRule(
+      lintOne("src/core/Sched.cpp",
+              "void f() { std::make_heap(H.begin(), H.end()); }\n"),
+      "event-queue"));
+  // The EventQueue implementation itself is the one sanctioned home.
+  EXPECT_FALSE(hasRule(
+      lintOne("src/sim/EventQueue.cpp",
+              "void f() { std::push_heap(H.begin(), H.end()); }\n"),
+      "event-queue"));
+  EXPECT_FALSE(hasRule(
+      lintOne("src/sim/EventQueue.h",
+              "std::priority_queue<Ev> Q;\n"),
+      "event-queue"));
+  // Identifiers merely containing the token do not fire.
+  EXPECT_FALSE(hasRule(
+      lintOne("src/sim/Timers.cpp",
+              "void f() { my_push_heap(H); }\n"),
+      "event-queue"));
+  // The escape hatch names the rule.
+  EXPECT_FALSE(hasRule(
+      lintOne("src/sim/Timers.cpp",
+              "std::priority_queue<Ev> Q; // dmeta-lint: allow("
+              "event-queue) not scheduling, a top-k result buffer\n"),
+      "event-queue"));
+}
+
 TEST(LintContent, AllowHatchIsRuleSpecific) {
   // An allow() naming a different rule must not suppress the finding,
   // and one allow() does not blanket the whole line's other findings.

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Guard the clients-vs-throughput scale curve against regressions.
+
+Compares a freshly measured BENCH_engine.json against the committed one
+and fails (exit 1) when any shared curve point regressed by more than the
+threshold (default 10%).
+
+Raw wall-clock numbers are machine-dependent, so the comparison is
+host-normalized: each curve point's events/sec is divided by the same
+run's raw-scheduler events/sec before comparing ratios. A slower CI
+runner scales both numbers down together; a real scale-out regression
+(e.g. an accidental O(n log n) step at large client counts) shows up as a
+drop in the ratio at the affected points only.
+
+Usage:
+  tools/check_scale_regression.py --baseline BENCH_engine.json \
+      --measured build/BENCH_engine.json [--threshold 0.10]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def normalized_curve(doc):
+    """Map clients -> curve events/sec divided by raw-scheduler events/sec."""
+    raw = doc.get("raw_scheduler", {}).get("events_per_sec", 0)
+    if not raw:
+        return {}
+    out = {}
+    for pt in doc.get("scale_curve", []):
+        if pt.get("events_per_sec") and pt.get("clients"):
+            out[int(pt["clients"])] = pt["events_per_sec"] / raw
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline", required=True,
+                    help="committed BENCH_engine.json")
+    ap.add_argument("--measured", required=True,
+                    help="freshly measured BENCH_engine.json")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="max allowed fractional regression per point")
+    args = ap.parse_args()
+
+    base = normalized_curve(load(args.baseline))
+    got = normalized_curve(load(args.measured))
+    if not base:
+        print("check_scale_regression: baseline has no scale curve; "
+              "nothing to guard")
+        return 0
+
+    shared = sorted(set(base) & set(got))
+    if not shared:
+        print("check_scale_regression: no shared curve points between "
+              "baseline and measured runs", file=sys.stderr)
+        return 1
+
+    failed = False
+    for clients in shared:
+        ratio = got[clients] / base[clients]
+        status = "ok"
+        if ratio < 1.0 - args.threshold:
+            status = "REGRESSED"
+            failed = True
+        print(f"  {clients:>8} clients: normalized {got[clients]:.4f} vs "
+              f"baseline {base[clients]:.4f} ({ratio:.2%}) {status}")
+
+    if failed:
+        print(f"check_scale_regression: scale curve regressed more than "
+              f"{args.threshold:.0%} at one or more points", file=sys.stderr)
+        return 1
+    print(f"check_scale_regression: {len(shared)} shared points within "
+          f"{args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -80,6 +80,13 @@ const Pattern TraceSinkPatterns[] = {
     {"stamp(", true},
 };
 
+const Pattern EventQueuePatterns[] = {
+    {"std::priority_queue", false},
+    {"push_heap(", true},
+    {"pop_heap(", true},
+    {"make_heap(", true},
+};
+
 bool matchesAny(const std::string &Line, const Pattern *Patterns, size_t N,
                 const char *&Hit) {
   for (size_t I = 0; I < N; ++I) {
@@ -121,6 +128,17 @@ bool inEventCaptureScope(const std::string &RelPath) {
 /// owning Scheduler so every timestamp reads the simulated clock.
 bool inTraceClockScope(const std::string &RelPath) {
   return startsWith(RelPath, "src/sim/") || startsWith(RelPath, "src/dfs/");
+}
+
+/// Directories where pending-event ordering must go through the
+/// sim/EventQueue interface. A hand-rolled priority queue next to the
+/// scheduler silently diverges from the calendar queue's tie discipline;
+/// only the EventQueue implementation file may use heap primitives.
+/// tests/ are exempt (lint fixtures quote the patterns on purpose).
+bool inEventQueueScope(const std::string &RelPath) {
+  return (startsWith(RelPath, "src/") || startsWith(RelPath, "bench/") ||
+          startsWith(RelPath, "tools/")) &&
+         !startsWith(RelPath, "src/sim/EventQueue.");
 }
 
 /// Files allowed to touch an OpTraceSink directly: the sink itself and
@@ -287,6 +305,7 @@ void dmb::lint::lintContent(const std::string &RelPath,
                             startsWith(RelPath, "tools/");
   bool EventCaptureScope = inEventCaptureScope(RelPath);
   bool TraceScope = inTraceClockScope(RelPath) && !traceClockExempt(RelPath);
+  bool EventQueueScope = inEventQueueScope(RelPath);
 
   // The fault-determinism rule fires only in files that handle a
   // FaultPolicy in code (a mention in a comment or string does not count):
@@ -339,6 +358,16 @@ void dmb::lint::lintContent(const std::string &RelPath,
                        std::string("unseeded randomness '") + Hit +
                            "' in deterministic code; use support/Random"});
     }
+
+    if (EventQueueScope && !allowed(Raw, "event-queue") &&
+        matchesAny(L, EventQueuePatterns, std::size(EventQueuePatterns),
+                   Hit))
+      Out.push_back({RelPath, LineNo, "event-queue",
+                     std::string("heap scheduling primitive '") + Hit +
+                         "' outside sim/EventQueue; route pending-event "
+                         "ordering through the EventQueue interface so the "
+                         "heap and calendar implementations stay "
+                         "interchangeable"});
 
     if (TraceScope && !allowed(Raw, "trace-clock") &&
         matchesAny(L, TraceSinkPatterns, std::size(TraceSinkPatterns), Hit))
@@ -522,6 +551,6 @@ const std::vector<std::string> &dmb::lint::lintRuleNames() {
       "wall-clock",        "randomness",        "raw-assert",
       "header-guard",      "error-table",       "trace-clock",
       "event-ref-capture", "raii-guard",        "fault-determinism",
-      "suppression-justification", "io"};
+      "event-queue",       "suppression-justification", "io"};
   return Names;
 }

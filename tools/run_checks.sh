@@ -10,9 +10,11 @@
 #      interprocedural fixpoint regression fails the gate instead of
 #      silently slowing every presubmit,
 #   3. the full ctest suite,
-#   4. a verify-schedules smoke pass (3 permuted schedules per scenario),
+#   4. a verify-schedules smoke pass (3 permuted schedules per scenario)
+#      and a verify-queues pass proving the heap and calendar event
+#      queues execute bit-identical schedules on six tier-1 models,
 #   5. an engine-throughput bench smoke at reduced sizes (writes
-#      build/BENCH_engine.json),
+#      build/BENCH_engine.json; scale curve capped at 4096 clients),
 #   6. the fault-injection smoke: bench_fault_degradation (E29) exits
 #      nonzero when the op ledger, the post-run fsck or the determinism
 #      check fails — and the E30 (sharded) and E31 (write-behind
@@ -80,11 +82,18 @@ ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
 step "verify-schedules smoke (3 permuted schedules)"
 "$ROOT/build/tools/dmetabench" verify-schedules --schedules 3
 
+step "verify-queues (heap vs calendar event queue, six tier-1 models)"
+# Both queue implementations must execute bit-identical schedules: the
+# verb compares canonical outputs AND executed-event journals, including
+# a shallow-wheel variant that forces the overflow path.
+"$ROOT/build/tools/dmetabench" verify-queues
+
 step "engine throughput smoke (reduced sizes)"
 # Reduced sizes: this only proves the bench runs and writes its JSON; the
-# committed BENCH_engine.json numbers come from a full-size run.
+# committed BENCH_engine.json numbers come from a full-size run. The
+# scale curve is capped at 4096 clients for the smoke.
 "$ROOT/build/bench/bench_engine_throughput" --events 500000 \
-    --problemsize 2000 --timelimit 2 --label smoke \
+    --problemsize 2000 --timelimit 2 --label smoke --curve-max 4096 \
     --out "$ROOT/build/BENCH_engine.json"
 
 step "fault-injection smoke (E29: loss window + MDS crash)"
